@@ -1,0 +1,29 @@
+"""Ablation — backfilling as the mechanism behind LS's advantage.
+
+The paper (§3.1.1) attributes LS's edge to an implicit backfilling
+window equal to the number of clusters.  This bench compares plain GS,
+GS with explicit aggressive backfilling windows (2/4/8) and LS: the
+window-4 backfiller should recover at least LS's maximal utilization,
+and a larger window should not hurt.
+"""
+
+from conftest import run_once
+
+from repro.analysis.ablations import backfilling_ablation
+from repro.analysis.tables import format_table
+
+
+def test_bench_ablation_backfilling(benchmark, scale, record):
+    data = run_once(benchmark, backfilling_ablation, scale)
+    utils = data["max_gross_utilization"]
+    rows = list(utils.items())
+    record("ablation_backfilling", format_table(
+        ["scheduler", "maximal gross utilization"], rows,
+        title=f"Ablation — backfilling (L={data['limit']})",
+    ))
+    # Backfilling never hurts GS's maximal utilization...
+    assert utils["GS-BF window=4"] >= utils["GS (no backfill)"] - 0.02
+    # ...window 8 at least matches window 2...
+    assert utils["GS-BF window=8"] >= utils["GS-BF window=2"] - 0.02
+    # ...and an explicit window-4 backfiller reaches LS's level.
+    assert utils["GS-BF window=4"] >= utils["LS (4 queues)"] - 0.03

@@ -1,0 +1,39 @@
+"""Ablation — the wide-area extension factor (viability bound).
+
+The paper's abstract claims co-allocation remains viable while the
+wide-area slowdown stays below roughly 1.25.  Holding the offered net
+load fixed, the LS-vs-SC response ratio must grow monotonically-ish
+with the factor, staying moderate at 1.0 and degrading severely well
+above 1.25.
+"""
+
+from conftest import run_once
+
+from repro.analysis.ablations import extension_factor_ablation
+from repro.analysis.tables import format_table
+
+
+def test_bench_ablation_extension(benchmark, scale, record):
+    data = run_once(benchmark, extension_factor_ablation, scale)
+    rows = [
+        (r["factor"], r["ls_response"], f"{r['ratio_vs_sc']:.2f}x",
+         "saturated" if r["saturated"] else "")
+        for r in data["rows"]
+    ]
+    record("ablation_extension", format_table(
+        ["extension factor", "LS response", "vs SC", ""], rows,
+        title=(
+            "Ablation — extension factor at offered net load "
+            f"{data['net_rho']:.2f} (SC reference "
+            f"{data['sc_response']:.0f}s)"
+        ),
+    ))
+    by_factor = {r["factor"]: r for r in data["rows"]}
+    # With wide-area links as fast as local ones, LS is close to SC.
+    assert by_factor[1.0]["ratio_vs_sc"] < 1.6
+    # At the paper's 1.25 the system still runs (no saturation at this
+    # moderate load)...
+    assert not by_factor[1.25]["saturated"]
+    # ...and higher factors only make things worse.
+    assert (by_factor[1.4]["ls_response"]
+            >= by_factor[1.0]["ls_response"])

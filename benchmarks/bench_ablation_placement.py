@@ -1,0 +1,28 @@
+"""Ablation — placement rule (the paper fixes Worst Fit).
+
+Maximal GS utilization under Worst Fit (the paper's rule), First Fit
+and Best Fit.  In a homogeneous multicluster the *fit decision* is
+rule-independent (Hall's condition, see repro.core.placement), so the
+rules differ only through the fragmentation they leave behind; the
+spread is expected to be small but WF's load-levelling should never be
+the worst choice for co-allocation.
+"""
+
+from conftest import run_once
+
+from repro.analysis.ablations import placement_rule_ablation
+from repro.analysis.tables import format_table
+
+
+def test_bench_ablation_placement(benchmark, scale, record):
+    data = run_once(benchmark, placement_rule_ablation, scale)
+    utils = data["max_gross_utilization"]
+    rows = [(rule, value) for rule, value in utils.items()]
+    record("ablation_placement", format_table(
+        ["placement rule", "maximal gross utilization"], rows,
+        title=f"Ablation — placement rules (GS, L={data['limit']})",
+    ))
+    # All rules land in a plausible band; the spread is bounded.
+    values = list(utils.values())
+    assert all(0.4 < v < 1.0 for v in values)
+    assert max(values) - min(values) < 0.12

@@ -1,0 +1,30 @@
+"""Ablation — the request-type taxonomy (unordered vs ordered vs
+flexible vs total).
+
+The paper studies unordered requests; its predecessors [6, 7] cover the
+whole taxonomy.  Expected dominance in maximal utilization:
+flexible >= unordered >= ordered (each type strictly relaxes the
+previous one's placement constraints).
+"""
+
+from conftest import run_once
+
+from repro.analysis.ablations import request_type_ablation
+from repro.analysis.tables import format_table
+
+
+def test_bench_ablation_request_types(benchmark, scale, record):
+    data = run_once(benchmark, request_type_ablation, scale)
+    utils = data["max_gross_utilization"]
+    rows = list(utils.items())
+    record("ablation_request_types", format_table(
+        ["request type", "maximal gross utilization"], rows,
+        title=f"Ablation — request types (GS, L={data['limit']})",
+    ))
+    # Dominance order (small tolerance for simulation noise).
+    assert utils["flexible"] >= utils["unordered"] - 0.02
+    assert utils["unordered"] >= utils["ordered"] - 0.02
+    # Flexible requests beat even the single-cluster total requests:
+    # they use the whole machine without the one-cluster constraint.
+    # (FCFS head-of-line blocking still caps them well below 1.0.)
+    assert utils["flexible"] >= utils["total (SC)"] - 0.02

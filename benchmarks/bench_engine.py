@@ -1,0 +1,94 @@
+"""Engine microbenchmarks: event throughput of the DES substrate.
+
+These are conventional pytest-benchmark measurements (repeated timing)
+of the hot paths every experiment exercises: the event calendar, the
+process machinery and the placement rule.
+"""
+
+from repro.core.placement import worst_fit
+from repro.core.system import SimulationConfig, run_open_system
+from repro.sim import Simulator
+from repro.workload import das_s_128, das_t_900
+
+
+def test_bench_event_calendar_throughput(benchmark):
+    def run_timeout_storm():
+        sim = Simulator()
+        for i in range(5_000):
+            sim.timeout(float(i % 97))
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_timeout_storm)
+    assert events == 5_000
+
+
+def test_bench_process_switching(benchmark):
+    def run_ping_pong():
+        sim = Simulator()
+        count = 0
+
+        def ticker(sim):
+            nonlocal count
+            for _ in range(2_000):
+                yield sim.timeout(1.0)
+                count += 1
+
+        sim.process(ticker(sim))
+        sim.run()
+        return count
+
+    assert benchmark(run_ping_pong) == 2_000
+
+
+def test_bench_event_list_heap(benchmark):
+    from repro.sim import HeapEventList
+
+    benchmark(_churn_event_list, HeapEventList)
+
+
+def test_bench_event_list_calendar(benchmark):
+    from repro.sim import CalendarQueue
+
+    benchmark(_churn_event_list, CalendarQueue)
+
+
+def _churn_event_list(factory):
+    """Hold ~1000 events while pushing/popping 5000 more (the typical
+    steady-state churn pattern of a queueing simulation)."""
+    import numpy as np
+
+    q = factory()
+    rng = np.random.default_rng(0)
+    seq = 0
+    now = 0.0
+    for _ in range(1_000):
+        seq += 1
+        q.push((now + float(rng.exponential(10.0)), 1, seq, None))
+    for _ in range(5_000):
+        now, _, _, _ = q.pop()
+        seq += 1
+        q.push((now + float(rng.exponential(10.0)), 1, seq, None))
+    return seq
+
+
+def test_bench_worst_fit_placement(benchmark):
+    free = [17, 32, 9, 28]
+    components = (16, 16, 12)
+
+    result = benchmark(worst_fit, components, free)
+    assert result is not None
+
+
+def test_bench_full_simulation_jobs_per_second(benchmark):
+    """End-to-end cost of one simulated job under the GS policy."""
+    sizes, service = das_s_128(), das_t_900()
+    config = SimulationConfig(policy="GS", component_limit=16,
+                              warmup_jobs=100, measured_jobs=2_000,
+                              seed=3, batch_size=200)
+
+    def run():
+        return run_open_system(config, sizes, service, 0.004)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.report.completed_jobs == 2_000

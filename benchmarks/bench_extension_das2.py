@@ -1,0 +1,46 @@
+"""Extension — co-allocation on the real heterogeneous DAS2 shape.
+
+The paper idealises the DAS2 as 4x32; the actual machine has five
+clusters of 72+32+32+32+32 nodes (paper §2.1).  This bench checks the
+first-order question the idealisation raises: does the policy ordering
+carry over to the heterogeneous 200-processor system?
+"""
+
+from conftest import run_once
+
+from repro.analysis.ablations import das2_heterogeneous_study
+from repro.analysis.tables import format_table
+
+
+def test_bench_extension_das2(benchmark, scale, record):
+    data = run_once(benchmark, das2_heterogeneous_study, scale)
+    rows = [
+        (policy,
+         r["mean_response"],
+         r["gross_utilization"],
+         r["net_utilization"],
+         "saturated" if r["saturated"] else "")
+        for policy, r in data["results"].items()
+    ]
+    record("extension_das2", format_table(
+        ["policy", "mean response", "gross util", "net util", ""],
+        rows,
+        title=(
+            "Extension — DAS2 shape "
+            f"{'+'.join(str(c) for c in data['capacities'])} at "
+            f"offered gross {data['target_utilization']:.2f} "
+            f"(L={data['limit']})"
+        ),
+    ))
+    res = data["results"]
+    # Nothing saturates at this moderate load.
+    assert not any(r["saturated"] for r in res.values())
+    # The policy ordering carries over: SC fastest, LP the slowest
+    # multicluster policy.
+    assert res["SC"]["mean_response"] <= res["LS"]["mean_response"]
+    assert res["LP"]["mean_response"] >= 0.95 * max(
+        res["GS"]["mean_response"], res["LS"]["mean_response"]
+    )
+    # Gross/net gap present for the multicluster policies only.
+    assert res["GS"]["net_utilization"] < res["GS"]["gross_utilization"]
+    assert res["SC"]["net_utilization"] == res["SC"]["gross_utilization"]

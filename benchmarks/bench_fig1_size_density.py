@@ -1,0 +1,32 @@
+"""Figure 1 — the density of job-request sizes (128-processor cluster).
+
+Regenerates the size histogram of the synthetic DAS1 log, split into the
+paper's two series (powers of two vs other numbers), rendered as a bar
+chart over the most frequent sizes.
+"""
+
+from conftest import run_once
+
+from repro.analysis import bar_chart
+from repro.analysis.experiments import fig1_size_density
+
+
+def test_bench_fig1(benchmark, scale, record):
+    data = run_once(benchmark, fig1_size_density, scale)
+    merged = {**data["powers"], **data["others"]}
+    top = dict(sorted(merged.items(), key=lambda kv: -kv[1])[:16])
+    chart = bar_chart(
+        top,
+        title=(
+            "Figure 1 — job-size density "
+            f"({data['total']} jobs, {data['distinct_sizes']} distinct "
+            "sizes; 16 most frequent shown)"
+        ),
+    )
+    powers_share = sum(data["powers"].values()) / data["total"]
+    chart += f"\npower-of-two share: {powers_share:.3f} (paper: 0.705)"
+    record("fig1", chart)
+    # The paper's headline features of the density:
+    assert data["distinct_sizes"] >= 50
+    assert abs(powers_share - 0.705) < 0.02
+    assert max(merged, key=merged.get) == 64  # 19% spike at size 64

@@ -1,0 +1,35 @@
+"""Figure 2 — the density of service times (cut at 900 s).
+
+Regenerates the service-time histogram of the synthetic DAS1 log below
+the working-hours kill limit: heavy mass at short runtimes plus the
+pile-up against the 900 s cutoff.
+"""
+
+from conftest import run_once
+
+from repro.analysis import bar_chart
+from repro.analysis.experiments import fig2_service_density
+
+
+def test_bench_fig2(benchmark, scale, record):
+    data = run_once(benchmark, fig2_service_density, scale, 60.0)
+    chart = bar_chart(
+        data["bins"],
+        title=(
+            "Figure 2 — service-time density below 900 s "
+            f"(mean {data['mean']:.1f}s, CV {data['cv']:.2f}, "
+            f"{data['fraction_below_cutoff']:.1%} of jobs below the "
+            "kill limit)"
+        ),
+    )
+    record("fig2", chart)
+    # Shape assertions: decreasing body + terminal spike at the cutoff.
+    bins = sorted(data["bins"].items())
+    assert bins[0][0] == 0.0
+    body_first = bins[1][1]
+    body_mid = dict(bins).get(420.0, 0)
+    assert body_first > body_mid  # decaying body
+    last_bin = bins[-1]
+    assert last_bin[0] >= 840.0 - 1e-9
+    assert last_bin[1] > body_mid  # kill-limit pile-up
+    assert data["fraction_below_cutoff"] > 0.85

@@ -1,0 +1,35 @@
+"""Figure 4 — response times close to LP's saturation point.
+
+For each component-size limit every policy runs at the gross-utilization
+point the paper annotates (0.55 / 0.46 / 0.54 for L=16/24/32), and LP's
+response time is broken down into the local queues and the global queue.
+The paper's signature observation: LP's global queue is the bottleneck —
+its mean response dwarfs the local queues'.
+"""
+
+import math
+
+import pytest
+from conftest import run_once
+
+from repro.analysis import tables
+from repro.analysis.experiments import fig4_lp_saturation
+
+
+@pytest.mark.parametrize("balanced", [True, False],
+                         ids=["balanced", "unbalanced"])
+def test_bench_fig4(benchmark, scale, record, balanced):
+    data = run_once(benchmark, fig4_lp_saturation, balanced, scale)
+    mode = "balanced" if balanced else "unbalanced"
+    record(f"fig4_{mode}", tables.render_fig4(data))
+
+    for panel in data["panels"]:
+        lp = panel["bars"]["LP"]
+        # LP's global queue is its bottleneck: global >> local.
+        if not math.isnan(lp["global"]) and not math.isnan(lp["local"]):
+            assert lp["global"] > lp["local"], panel["limit"]
+        # The gross/net annotation pair behaves like the paper's.
+        assert panel["net_utilization"] < panel["gross_utilization"]
+        # LP is the worst policy at its own near-saturation point.
+        others = [panel["bars"][p]["total"] for p in ("GS", "LS")]
+        assert lp["total"] >= 0.8 * min(others), panel["limit"]

@@ -1,0 +1,44 @@
+"""Figure 5 — limiting the total job size (DAS-s-64 vs DAS-s-128).
+
+All four policies at L=16 with balanced queues, under the full size
+distribution and under the distribution cut at 64.  The paper's finding:
+removing the 2% of jobs larger than 64 improves every policy — more than
+any policy choice does — and SC gains the most (no more whole-machine
+drains for size-128 jobs).
+"""
+
+from conftest import run_once
+
+from repro.analysis import line_plot, tables
+from repro.analysis.experiments import fig5_total_size_limit
+
+
+def test_bench_fig5(benchmark, scale, record):
+    sweeps = run_once(benchmark, fig5_total_size_limit, scale)
+    title = ("Figure 5 — maximal total job size 64 vs 128 "
+             "(L=16, balanced)")
+    text = tables.render_sweeps(sweeps, title=title)
+    plot = line_plot(
+        {s.label: s.series() for s in sweeps},
+        x_label="gross utilization", y_label="mean response (s)",
+        y_range=(0, 10_000), x_range=(0, 1), title=title,
+    )
+    record("fig5", text + "\n\n" + plot)
+
+    by_label = {s.label: s for s in sweeps}
+    for policy in ("LS", "SC", "GS", "LP"):
+        cut = by_label[f"{policy} 64"]
+        full = by_label[f"{policy} 128"]
+        # Every policy sustains at least as much load without the
+        # giant jobs (§3.2).
+        assert (cut.max_stable_utilization
+                >= full.max_stable_utilization - 0.06), policy
+        # ...and responds faster at a common moderate load.
+        r_cut = cut.response_at(0.5, tolerance=0.06)
+        r_full = full.response_at(0.5, tolerance=0.06)
+        if r_cut is not None and r_full is not None:
+            assert r_cut <= r_full * 1.1, policy
+    # SC gains the most maximal utilization from the cut (§3.2).
+    sc_gain = (by_label["SC 64"].max_stable_utilization
+               - by_label["SC 128"].max_stable_utilization)
+    assert sc_gain >= -0.02

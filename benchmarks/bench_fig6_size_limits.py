@@ -1,0 +1,40 @@
+"""Figure 6 — per-policy comparison across component-size limits.
+
+LS, LP (balanced and unbalanced) and GS, each across L = 16/24/32.
+Shape assertions from §3.3:
+
+* L=24 is the worst limit for every policy (the (22,21,21) split of
+  size-64 jobs packs disastrously);
+* for LS, L=16 beats L=32 (more co-allocation flexibility pays off for
+  the policy that can exploit it).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis import line_plot, rank_by_performance, tables
+from repro.analysis.experiments import fig6_component_size_limits
+
+
+@pytest.mark.parametrize("policy,balanced", [
+    ("LS", True), ("LS", False),
+    ("LP", True), ("LP", False),
+    ("GS", True),
+], ids=["LS-balanced", "LS-unbalanced", "LP-balanced", "LP-unbalanced",
+        "GS"])
+def test_bench_fig6(benchmark, scale, record, policy, balanced):
+    sweeps = run_once(benchmark, fig6_component_size_limits, policy,
+                      balanced, scale)
+    mode = "balanced" if balanced else "unbalanced"
+    title = f"Figure 6 — {policy} across size limits ({mode})"
+    text = tables.render_sweeps(sweeps, title=title)
+    plot = line_plot(
+        {s.label: s.series() for s in sweeps},
+        x_label="gross utilization", y_label="mean response (s)",
+        y_range=(0, 10_000), x_range=(0, 1), title=title,
+    )
+    record(f"fig6_{policy}_{mode}", text + "\n\n" + plot)
+
+    ranking = rank_by_performance(sweeps)
+    # L=24 is the worst limit for every policy (§3.3).
+    assert ranking[-1] == f"{policy} 24", ranking

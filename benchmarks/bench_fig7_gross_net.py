@@ -1,0 +1,37 @@
+"""Figure 7 — response time against gross AND net utilization.
+
+For LS, LP and GS at each component-size limit, the same runs are
+plotted against both utilization axes.  The horizontal gap between the
+two curves is the workload's gross/net ratio — computable analytically
+(§4) and asserted here against the measurement.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis import line_plot, tables
+from repro.analysis.experiments import fig7_gross_vs_net
+
+
+@pytest.mark.parametrize("policy", ["LS", "LP", "GS"])
+@pytest.mark.parametrize("limit", [16, 24, 32])
+def test_bench_fig7(benchmark, scale, record, policy, limit):
+    data = run_once(benchmark, fig7_gross_vs_net, policy, limit, scale)
+    text = tables.render_fig7(data)
+    gx, gy = data["gross_series"]
+    nx, ny = data["net_series"]
+    plot = line_plot(
+        {"gross": (gx, gy), "net": (nx, ny)},
+        x_label="utilization", y_label="mean response (s)",
+        y_range=(0, 10_000), x_range=(0, 1),
+        title=f"Figure 7 — {policy} L={limit}",
+    )
+    record(f"fig7_{policy}_L{limit}", text + "\n\n" + plot)
+
+    # Measured gross/net ratio equals the analytic §4 ratio pointwise.
+    for p in data["sweep"].points:
+        if p.net_utilization > 0.01:
+            measured = p.gross_utilization / p.net_utilization
+            assert measured == pytest.approx(
+                data["theoretical_ratio"], rel=0.02
+            )

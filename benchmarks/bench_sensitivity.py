@@ -1,0 +1,25 @@
+"""Extension — sensitivity tornado around the paper's base case.
+
+One-factor-at-a-time scan at a fixed offered net load: which modelling
+choices move the response time, and by how much.  Expectations: the
+total-size cut (DAS-s-64) and the extension factor dominate; the
+placement rule barely matters.
+"""
+
+from conftest import run_once
+
+from repro.analysis.sensitivity import render_tornado, sensitivity_scan
+
+
+def test_bench_sensitivity(benchmark, scale, record):
+    results = run_once(benchmark, sensitivity_scan, 0.40, "LS", scale)
+    record("sensitivity", render_tornado(results))
+
+    by_factor = {r.factor: r for r in results}
+    # The placement rule is not load-bearing...
+    assert by_factor["placement"].relative_swing < 0.25
+    # ...while the extension factor and the size cut are.
+    assert (by_factor["extension_factor"].swing
+            > by_factor["placement"].swing)
+    ext = by_factor["extension_factor"]
+    assert ext.responses[0] < ext.responses[-1]  # 1.0 faster than 1.5

@@ -1,0 +1,20 @@
+"""Table 1 — fractions of jobs with sizes powers of two.
+
+Regenerates the paper's Table 1 three ways: the published values, the
+reconstructed size model, and the marginals of a freshly generated
+synthetic DAS1 log.  All three must agree (model exactly, log to
+sampling error).
+"""
+
+from conftest import run_once
+
+from repro.analysis import tables
+from repro.analysis.experiments import table1_power_of_two_fractions
+
+
+def test_bench_table1(benchmark, scale, record):
+    data = run_once(benchmark, table1_power_of_two_fractions, scale)
+    record("table1", tables.render_table1(data))
+    for row in data["rows"]:
+        assert abs(row["model"] - row["paper"]) < 1e-9
+        assert abs(row["log"] - row["paper"]) < 0.02

@@ -1,0 +1,26 @@
+"""Table 2 — fractions of jobs with 1..4 components per size limit.
+
+Exact reproduction: the component count is a deterministic function of
+the total size, so the model reproduces the paper's Table 2 to the last
+digit (with the documented 0.009 correction of the scanned L=16 row).
+"""
+
+from conftest import run_once
+
+from repro.analysis import tables
+from repro.analysis.experiments import table2_component_fractions
+from repro.workload.stats_model import MULTI_COMPONENT_FRACTIONS
+
+
+def test_bench_table2(benchmark, record):
+    data = run_once(benchmark, table2_component_fractions)
+    text = tables.render_table2(data)
+    lines = [
+        f"multi-component fraction L={L}: paper {f:.3f}, model "
+        f"{1 - next(r for r in data['rows'] if r['limit'] == L)['model'][0]:.3f}"
+        for L, f in sorted(MULTI_COMPONENT_FRACTIONS.items())
+    ]
+    record("table2", text + "\n" + "\n".join(lines))
+    for row in data["rows"]:
+        for paper, model in zip(row["paper"], row["model"]):
+            assert abs(paper - model) < 1e-9

@@ -1,0 +1,37 @@
+"""Table 3 — maximal gross and net utilizations (constant backlog).
+
+The paper's Table 3 reports GS's maximal gross utilization per
+component-size limit and derives the net values through the §4 ratios;
+the text adds the SC reference.  Shape assertions:
+
+* L=24 yields the lowest maximal utilization for GS;
+* maximal net = maximal gross / ratio(L) by construction;
+* the §4 ratios match the (gross, net) pairs printed in Figure 4.
+"""
+
+from conftest import run_once
+
+from repro.analysis import tables
+from repro.analysis.experiments import table3_maximal_utilization
+
+#: The paper's Figure 4 prints these (gross, net) utilization pairs.
+FIG4_PAIRS = {16: (0.552, 0.453), 24: (0.463, 0.395), 32: (0.544, 0.469)}
+
+
+def test_bench_table3(benchmark, scale, record):
+    data = run_once(benchmark, table3_maximal_utilization, scale, True)
+    record("table3", tables.render_table3(data))
+
+    by_limit = {m.config.component_limit: m for m in data["gs_rows"]}
+    # L=24 packs worst (§3.3 carried into the maximal utilizations).
+    assert by_limit[24].gross < by_limit[16].gross
+    assert by_limit[24].gross < by_limit[32].gross
+    # net = gross / ratio.
+    for m in data["gs_rows"]:
+        assert abs(m.net - m.gross / m.gross_net_ratio) < 1e-12
+    # The analytic ratios reproduce the paper's Figure 4 pairs.
+    for limit, (g, n) in FIG4_PAIRS.items():
+        assert abs(data["ratios"][limit] - g / n) < 0.006
+    # All maximal utilizations are nontrivial and below 1.
+    for m in data["gs_rows"] + data["extra"] + [data["sc"]]:
+        assert 0.4 < m.gross < 1.0

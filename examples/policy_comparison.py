@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Compare all four scheduling policies across the load range.
+
+Reproduces the experiment behind the paper's Figure 3 (L = 16, balanced
+local queues): response-time-vs-utilization curves for LS, GS, LP in the
+4x32 multicluster and FCFS total requests in a single 128-processor
+cluster (SC).  Thanks to common random numbers (one master seed feeding
+identical workload streams to every policy), the differences between the
+curves are policy effects, not sampling noise.
+
+Run:  python examples/policy_comparison.py [--full]
+"""
+
+import argparse
+
+from repro import SimulationConfig
+from repro.analysis import line_plot, rank_by_performance, sweep, tables
+from repro.workload import das_s_128, das_t_900
+from repro.workload.stats_model import SINGLE_CLUSTER_SIZE
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--full", action="store_true",
+                        help="paper-grade run lengths (slower)")
+    parser.add_argument("--limit", type=int, default=16,
+                        choices=[16, 24, 32])
+    args = parser.parse_args()
+
+    warmup, measured = (4_000, 25_000) if args.full else (1_000, 6_000)
+    grid = tuple(round(0.2 + 0.05 * i, 2) for i in range(14))
+
+    sizes, service = das_s_128(), das_t_900()
+    results = []
+    for policy in ("LS", "SC", "GS", "LP"):
+        kwargs = dict(policy=policy, component_limit=args.limit,
+                      warmup_jobs=warmup, measured_jobs=measured, seed=7)
+        if policy == "SC":
+            kwargs.update(capacities=(SINGLE_CLUSTER_SIZE,),
+                          component_limit=None)
+        config = SimulationConfig(**kwargs)
+        print(f"sweeping {policy} ...")
+        results.append(sweep(policy, config, sizes, service,
+                             utilizations=grid))
+
+    print()
+    print(tables.render_sweeps(
+        results,
+        title=f"Policies at component-size limit {args.limit} "
+              "(balanced local queues)",
+    ))
+    print()
+    print(line_plot(
+        {s.label: s.series() for s in results},
+        x_label="gross utilization",
+        y_label="mean response time (s)",
+        y_range=(0, 10_000),
+        title="Figure-3-style curves (clipped at response 10000)",
+    ))
+    print()
+    ranking = rank_by_performance(results)
+    print(f"Best policy for this workload: {ranking[0]} "
+          f"(full order: {' > '.join(ranking)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Trace tooling: generate, export, re-import and analyse a DAS1 log.
+
+Shows the workload-substrate path end to end:
+
+1. generate the synthetic DAS1 log (marginals match the paper's Table 1
+   and the Figure 1/2 densities);
+2. export it in Standard Workload Format (the format of the Parallel
+   Workloads Archive, where the public DAS2 traces live);
+3. read it back and derive the empirical DAS-s-128 / DAS-s-64 /
+   DAS-t-900 distributions exactly as the authors derived theirs;
+4. drive a short simulation from the *trace-derived* distributions and
+   compare against the canonical ones.
+
+Run:  python examples/trace_tools.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import SimulationConfig, run_open_system
+from repro.analysis import bar_chart
+from repro.sim import StreamFactory
+from repro.workload import (
+    JobFactory,
+    das_s_128,
+    generate_das_log,
+    read_swf,
+    service_distribution_from_log,
+    size_distribution_from_log,
+    size_histogram,
+    summarize_log,
+    write_swf,
+)
+
+
+def main() -> None:
+    # 1. Generate.
+    log = generate_das_log(seed=2003, num_jobs=30_000)
+    summary = summarize_log(log)
+    print(f"generated {summary.num_jobs} jobs, "
+          f"{summary.num_users} users, "
+          f"{summary.num_distinct_sizes} distinct sizes, "
+          f"mean size {summary.mean_size:.2f}, "
+          f"mean runtime {summary.mean_runtime:.0f}s")
+
+    # 2. Export to SWF and 3. read back.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "das1-synthetic.swf"
+        write_swf(log, path)
+        print(f"exported to {path.name} "
+              f"({path.stat().st_size // 1024} KiB)")
+        records = read_swf(path)
+    assert len(records) == len(log)
+
+    sizes = size_distribution_from_log(records)
+    service = service_distribution_from_log(records)
+    canonical = das_s_128()
+    print(f"trace-derived size distribution: mean {sizes.mean:.2f} "
+          f"(canonical {canonical.mean:.2f})")
+
+    hist = size_histogram(records)
+    top = dict(sorted(hist.items(), key=lambda kv: -kv[1])[:10])
+    print()
+    print(bar_chart(top, title="ten most frequent job sizes "
+                               "(the paper's Figure 1 spikes)",
+                    sort_keys=True))
+
+    # 4. Simulate from the trace-derived distributions.
+    config = SimulationConfig(policy="GS", component_limit=16,
+                              warmup_jobs=500, measured_jobs=4_000,
+                              seed=5)
+    factory = JobFactory(sizes, service, 16,
+                         streams=StreamFactory(config.seed))
+    rate = factory.arrival_rate_for_gross_utilization(0.5, 128)
+    result = run_open_system(config, sizes, service, rate)
+    print()
+    print(f"GS at offered gross utilization 0.5 (trace-derived inputs): "
+          f"mean response {result.mean_response:.0f}s, "
+          f"measured gross util {result.gross_utilization:.3f}")
+
+
+if __name__ == "__main__":
+    main()

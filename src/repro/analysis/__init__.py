@@ -1,0 +1,46 @@
+"""``repro.analysis`` — experiment definitions, sweeps, theory, rendering."""
+
+from . import (
+    ablations,
+    crossings,
+    experiments,
+    figures,
+    io,
+    queueing,
+    sensitivity,
+    tables,
+    theory,
+)
+from .ascii_plot import bar_chart, line_plot
+from .io import load_report, load_sweep, save_report, save_sweep
+from .replications import (
+    ReplicatedPoint,
+    ReplicatedSweep,
+    paired_comparison,
+    replicate_sweep,
+)
+from .sweeps import (
+    SweepPoint,
+    SweepResult,
+    compare,
+    default_grid,
+    rank_by_performance,
+    sweep,
+)
+from .theory import (
+    gross_net_ratio,
+    gross_net_ratios_table,
+    mm1_response_time,
+)
+
+__all__ = [
+    "experiments", "tables", "theory", "queueing", "ablations", "io",
+    "figures", "sensitivity", "crossings",
+    "sweep", "SweepPoint", "SweepResult", "compare", "default_grid",
+    "rank_by_performance",
+    "replicate_sweep", "paired_comparison", "ReplicatedSweep",
+    "ReplicatedPoint",
+    "save_sweep", "load_sweep", "save_report", "load_report",
+    "gross_net_ratio", "gross_net_ratios_table", "mm1_response_time",
+    "line_plot", "bar_chart",
+]

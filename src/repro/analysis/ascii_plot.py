@@ -1,0 +1,82 @@
+"""Terminal (ASCII) plotting for curves and histograms.
+
+The paper's figures are line plots and bar charts; this module renders
+close-enough terminal versions so the benchmark harness can *show* each
+regenerated figure without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["line_plot", "bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_plot(series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+              width: int = 72, height: int = 20,
+              x_label: str = "x", y_label: str = "y",
+              title: str = "",
+              x_range: Optional[tuple[float, float]] = None,
+              y_range: Optional[tuple[float, float]] = None) -> str:
+    """Scatter/line plot of named (xs, ys) series on a character grid.
+
+    Points outside the ranges are clipped; NaNs are skipped.
+    """
+    cleaned = {
+        name: [(x, y) for x, y in zip(xs, ys)
+               if not (math.isnan(x) or math.isnan(y))]
+        for name, (xs, ys) in series.items()
+    }
+    points = [p for pts in cleaned.values() for p in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs_all = [p[0] for p in points]
+    ys_all = [p[1] for p in points]
+    x_lo, x_hi = x_range if x_range else (min(xs_all), max(xs_all))
+    y_lo, y_hi = y_range if y_range else (min(ys_all), max(ys_all))
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(cleaned.items(), _MARKERS):
+        for x, y in pts:
+            if not (x_lo <= x <= x_hi and y_lo <= y <= y_hi):
+                continue
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top {y_hi:.3g}, bottom {y_lo:.3g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:.3g} .. {x_hi:.3g}")
+    legend = "  ".join(
+        f"{marker}={name}"
+        for (name, _), marker in zip(cleaned.items(), _MARKERS)
+    )
+    lines.append(" legend: " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(values: Mapping, width: int = 60, title: str = "",
+              sort_keys: bool = True) -> str:
+    """Horizontal bar chart of a {label: value} mapping."""
+    if not values:
+        return f"{title}\n(no data)"
+    items = sorted(values.items()) if sort_keys else list(values.items())
+    peak = max(v for _, v in items) or 1
+    label_width = max(len(str(k)) for k, _ in items)
+    lines = [title] if title else []
+    for key, value in items:
+        bar = "#" * max(0, int(value / peak * width))
+        lines.append(f"{str(key).rjust(label_width)} |{bar} {value:g}")
+    return "\n".join(lines)

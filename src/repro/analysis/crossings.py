@@ -1,0 +1,124 @@
+"""Curve interpolation and crossover detection between sweeps.
+
+The paper's comparisons are read off curves ("LS comes close to SC",
+"LP beats GS under DAS-s-64").  This module makes those readings
+precise: linear interpolation of a response curve at any utilization,
+and detection of the utilization where one curve crosses another —
+with the convention that response curves are compared on their common
+stable range.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .sweeps import SweepResult
+
+__all__ = ["interpolate_response", "crossover_utilization",
+           "dominance_interval"]
+
+
+def _stable_series(sweep: SweepResult,
+                   axis: str) -> tuple[list[float], list[float]]:
+    points = sorted(sweep.stable_points,
+                    key=lambda p: getattr(p, axis))
+    xs = [getattr(p, axis) for p in points]
+    ys = [p.mean_response for p in points]
+    return xs, ys
+
+
+def interpolate_response(sweep: SweepResult, utilization: float,
+                         axis: str = "gross_utilization"
+                         ) -> Optional[float]:
+    """Linearly interpolated mean response at ``utilization``.
+
+    Returns ``None`` outside the sweep's stable range (no
+    extrapolation — responses diverge at the range's edge, so
+    extrapolation would be fiction).
+    """
+    xs, ys = _stable_series(sweep, axis)
+    if len(xs) < 2 or not xs[0] <= utilization <= xs[-1]:
+        return None
+    for i in range(1, len(xs)):
+        if utilization <= xs[i]:
+            x0, x1 = xs[i - 1], xs[i]
+            y0, y1 = ys[i - 1], ys[i]
+            if x1 == x0:
+                return y0
+            t = (utilization - x0) / (x1 - x0)
+            return y0 + t * (y1 - y0)
+    return ys[-1]  # pragma: no cover - loop always returns
+
+
+def crossover_utilization(a: SweepResult, b: SweepResult,
+                          axis: str = "gross_utilization",
+                          samples: int = 200) -> Optional[float]:
+    """Utilization where curve ``a`` stops being faster than ``b``.
+
+    Scans the common stable range; returns the first utilization at
+    which the sign of (response_a − response_b) flips, linearly
+    refined, or ``None`` if one curve dominates throughout (or the
+    ranges do not overlap).
+    """
+    ax, _ = _stable_series(a, axis)
+    bx, _ = _stable_series(b, axis)
+    if len(ax) < 2 or len(bx) < 2:
+        return None
+    lo = max(ax[0], bx[0])
+    hi = min(ax[-1], bx[-1])
+    if hi <= lo:
+        return None
+
+    def diff(u: float) -> Optional[float]:
+        ra = interpolate_response(a, u, axis)
+        rb = interpolate_response(b, u, axis)
+        if ra is None or rb is None:
+            return None
+        return ra - rb
+
+    previous_u, previous_d = None, None
+    for i in range(samples + 1):
+        u = lo + (hi - lo) * i / samples
+        d = diff(u)
+        if d is None:
+            continue
+        if previous_d is not None and previous_d * d < 0:
+            # Sign change: refine linearly.
+            t = abs(previous_d) / (abs(previous_d) + abs(d))
+            return previous_u + t * (u - previous_u)
+        if d != 0:
+            previous_u, previous_d = u, d
+    return None
+
+
+def dominance_interval(a: SweepResult, b: SweepResult,
+                       axis: str = "gross_utilization",
+                       samples: int = 200
+                       ) -> tuple[float, Optional[float]]:
+    """Fraction of the common range where ``a`` is faster, and the
+    crossover (if any).
+
+    Returns ``(fraction_a_faster, crossover)``; fraction is nan when
+    the ranges do not overlap.
+    """
+    ax, _ = _stable_series(a, axis)
+    bx, _ = _stable_series(b, axis)
+    if len(ax) < 2 or len(bx) < 2:
+        return (math.nan, None)
+    lo = max(ax[0], bx[0])
+    hi = min(ax[-1], bx[-1])
+    if hi <= lo:
+        return (math.nan, None)
+    faster = total = 0
+    for i in range(samples + 1):
+        u = lo + (hi - lo) * i / samples
+        ra = interpolate_response(a, u, axis)
+        rb = interpolate_response(b, u, axis)
+        if ra is None or rb is None:
+            continue
+        total += 1
+        if ra < rb:
+            faster += 1
+    fraction = faster / total if total else math.nan
+    return (fraction, crossover_utilization(a, b, axis, samples))

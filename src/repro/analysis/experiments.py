@@ -1,0 +1,379 @@
+"""Definitions of every experiment in the paper's evaluation.
+
+One function per table/figure, each returning plain data structures that
+the benchmark harness prints and EXPERIMENTS.md records.  Simulation
+sizes are controlled by :class:`Scale` — ``quick`` (default, minutes for
+the whole suite) or ``full`` (paper-grade run lengths) via the
+``REPRO_BENCH_SCALE`` environment variable.
+
+Experiment index (see DESIGN.md §4):
+
+=========  ==========================================================
+Exhibit    Function
+=========  ==========================================================
+Table 1    :func:`table1_power_of_two_fractions`
+Figure 1   :func:`fig1_size_density`
+Figure 2   :func:`fig2_service_density`
+Table 2    :func:`table2_component_fractions`
+Figure 3   :func:`fig3_policy_comparison`
+Figure 4   :func:`fig4_lp_saturation`
+Figure 5   :func:`fig5_total_size_limit`
+Figure 6   :func:`fig6_component_size_limits`
+Figure 7   :func:`fig7_gross_vs_net`
+Table 3    :func:`table3_maximal_utilization`
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.system import SimulationConfig
+from repro.metrics.saturation import (
+    MaximalUtilization,
+    estimate_maximal_utilization,
+)
+from repro.sim.rng import StreamFactory
+from repro.workload import (
+    JobFactory,
+    das_s_64,
+    das_s_128,
+    das_t_900,
+    generate_das_log,
+    runtime_histogram,
+    size_histogram,
+)
+from repro.workload import stats_model
+from repro.workload.splitting import component_fractions
+
+from .sweeps import SweepResult, sweep
+from .theory import gross_net_ratios_table
+
+__all__ = [
+    "Scale",
+    "get_scale",
+    "table1_power_of_two_fractions",
+    "fig1_size_density",
+    "fig2_service_density",
+    "table2_component_fractions",
+    "fig3_policy_comparison",
+    "fig4_lp_saturation",
+    "fig5_total_size_limit",
+    "fig6_component_size_limits",
+    "fig7_gross_vs_net",
+    "table3_maximal_utilization",
+    "POLICY_ORDER",
+]
+
+#: Display order for the four policies.
+POLICY_ORDER = ("LS", "SC", "GS", "LP")
+
+#: The near-LP-saturation gross-utilization points of the paper's
+#: Figure 4, per component-size limit.
+FIG4_UTILIZATIONS = {16: 0.55, 24: 0.46, 32: 0.54}
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Run-length parameters for the experiment suite."""
+
+    name: str
+    warmup_jobs: int
+    measured_jobs: int
+    grid_step: float
+    grid_stop: float
+    backlog_warmup: int
+    backlog_measured: int
+    log_jobs: int
+    seed: int = 20030622  # HPDC'03 conference date
+
+    def grid(self, start: float = 0.2,
+             stop: Optional[float] = None) -> tuple[float, ...]:
+        """Offered-utilization grid."""
+        stop = self.grid_stop if stop is None else stop
+        points, u = [], start
+        while u <= stop + 1e-9:
+            points.append(round(u, 10))
+            u += self.grid_step
+        return tuple(points)
+
+    def config(self, policy: str, limit: Optional[int],
+               balanced: bool = True, **overrides) -> SimulationConfig:
+        """A SimulationConfig at this scale."""
+        weights = (stats_model.BALANCED_WEIGHTS if balanced
+                   else stats_model.UNBALANCED_WEIGHTS)
+        base = dict(
+            policy=policy,
+            component_limit=limit,
+            routing_weights=weights,
+            warmup_jobs=self.warmup_jobs,
+            measured_jobs=self.measured_jobs,
+            seed=self.seed,
+        )
+        if policy == "SC":
+            base.update(capacities=(stats_model.SINGLE_CLUSTER_SIZE,),
+                        component_limit=None)
+        base.update(overrides)
+        return SimulationConfig(**base)
+
+
+SCALES = {
+    "smoke": Scale(
+        name="smoke", warmup_jobs=150, measured_jobs=800,
+        grid_step=0.20, grid_stop=0.60,
+        backlog_warmup=150, backlog_measured=800,
+        log_jobs=5_000,
+    ),
+    "quick": Scale(
+        name="quick", warmup_jobs=1_000, measured_jobs=6_000,
+        grid_step=0.10, grid_stop=0.80,
+        backlog_warmup=500, backlog_measured=4_000,
+        log_jobs=30_000,
+    ),
+    "full": Scale(
+        name="full", warmup_jobs=4_000, measured_jobs=25_000,
+        grid_step=0.05, grid_stop=0.85,
+        backlog_warmup=2_000, backlog_measured=15_000,
+        log_jobs=30_000,
+    ),
+}
+
+
+def get_scale(name: Optional[str] = None) -> Scale:
+    """The active scale (``REPRO_BENCH_SCALE`` env var, default quick)."""
+    name = name or os.environ.get("REPRO_BENCH_SCALE", "quick")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Workload exhibits (Tables 1-2, Figures 1-2)
+# ---------------------------------------------------------------------------
+
+def table1_power_of_two_fractions(scale: Optional[Scale] = None) -> dict:
+    """Table 1: fraction of jobs at each power-of-two size.
+
+    Returns the paper's values, the canonical model values and the
+    values measured on a freshly generated synthetic log.
+    """
+    scale = scale or get_scale()
+    log = generate_das_log(seed=scale.seed, num_jobs=scale.log_jobs)
+    hist = size_histogram(log)
+    total = sum(hist.values())
+    rows = []
+    for size, paper in sorted(stats_model.POWER_OF_TWO_FRACTIONS.items()):
+        model = stats_model.SIZE_TABLE[size] / 10_000
+        measured = hist.get(size, 0) / total
+        rows.append({"size": size, "paper": paper, "model": model,
+                     "log": measured})
+    return {"rows": rows, "log_jobs": total}
+
+
+def fig1_size_density(scale: Optional[Scale] = None) -> dict:
+    """Figure 1: the density of job-request sizes, split into the
+    power-of-two series and the other-numbers series."""
+    scale = scale or get_scale()
+    log = generate_das_log(seed=scale.seed, num_jobs=scale.log_jobs)
+    hist = size_histogram(log)
+    powers = {1, 2, 4, 8, 16, 32, 64, 128}
+    return {
+        "powers": {s: n for s, n in hist.items() if s in powers},
+        "others": {s: n for s, n in hist.items() if s not in powers},
+        "total": sum(hist.values()),
+        "distinct_sizes": len(hist),
+    }
+
+
+def fig2_service_density(scale: Optional[Scale] = None,
+                         bin_width: float = 20.0) -> dict:
+    """Figure 2: the density of service times below the 900 s cutoff."""
+    scale = scale or get_scale()
+    log = generate_das_log(seed=scale.seed, num_jobs=scale.log_jobs)
+    hist = runtime_histogram(log, bin_width=bin_width)
+    below = [r.runtime for r in log
+             if r.runtime <= stats_model.SERVICE_CUTOFF]
+    mean = sum(below) / len(below)
+    var = sum((x - mean) ** 2 for x in below) / len(below)
+    return {
+        "bins": hist,
+        "bin_width": bin_width,
+        "mean": mean,
+        "cv": var ** 0.5 / mean,
+        "fraction_below_cutoff": len(below) / len(log),
+    }
+
+
+def table2_component_fractions() -> dict:
+    """Table 2: fractions of jobs with 1..4 components per limit."""
+    dist = das_s_128()
+    rows = []
+    for limit in stats_model.SIZE_LIMITS:
+        model = component_fractions(dist, limit, stats_model.NUM_CLUSTERS)
+        paper = stats_model.COMPONENT_FRACTION_TARGETS[limit]
+        rows.append({"limit": limit, "paper": paper, "model": model})
+    return {"rows": rows}
+
+
+# ---------------------------------------------------------------------------
+# Simulation exhibits (Figures 3-7, Table 3)
+# ---------------------------------------------------------------------------
+
+def _policy_sweep(scale: Scale, policy: str, limit: Optional[int],
+                  balanced: bool, sizes, label: Optional[str] = None,
+                  grid: Sequence[float] = ()) -> SweepResult:
+    service = das_t_900()
+    config = scale.config(policy, limit, balanced)
+    return sweep(
+        label or policy, config, sizes, service,
+        utilizations=grid or scale.grid(),
+    )
+
+
+def fig3_policy_comparison(limit: int, balanced: bool = True,
+                           scale: Optional[Scale] = None,
+                           ) -> list[SweepResult]:
+    """Figure 3: all four policies at one component-size limit.
+
+    Returns four sweeps (LS, SC, GS, LP).  SC ignores the limit — its
+    curve is the reference repeated in every panel.
+    """
+    scale = scale or get_scale()
+    sizes = das_s_128()
+    return [
+        _policy_sweep(scale, policy, limit, balanced, sizes)
+        for policy in POLICY_ORDER
+    ]
+
+
+def fig4_lp_saturation(balanced: bool = True,
+                       scale: Optional[Scale] = None) -> dict:
+    """Figure 4: response times near LP's saturation point.
+
+    For each component-size limit, every policy runs at the paper's
+    utilization point; for LP the local/global queue breakdown is
+    reported, plus the measured gross and net utilizations.
+    """
+    from repro.core.system import run_open_system
+
+    scale = scale or get_scale()
+    sizes, service = das_s_128(), das_t_900()
+    panels = []
+    for limit, rho in sorted(FIG4_UTILIZATIONS.items()):
+        bars = {}
+        gross = net = None
+        for policy in ("GS", "LS", "LP", "SC"):
+            config = scale.config(policy, limit, balanced)
+            factory = JobFactory(
+                sizes, service, config.component_limit,
+                clusters=len(config.capacities),
+                extension_factor=config.extension_factor,
+                routing_weights=config.routing_weights,
+                streams=StreamFactory(config.seed),
+            )
+            rate = factory.arrival_rate_for_gross_utilization(
+                rho, config.capacity
+            )
+            result = run_open_system(config, sizes, service, rate)
+            bars[policy] = {
+                "total": result.mean_response,
+                "local": result.report.mean_response_local,
+                "global": result.report.mean_response_global,
+                "saturated": result.saturated,
+            }
+            if policy == "GS":
+                gross = result.gross_utilization
+                net = result.net_utilization
+        panels.append({
+            "limit": limit,
+            "target_gross_utilization": rho,
+            "gross_utilization": gross,
+            "net_utilization": net,
+            "bars": bars,
+        })
+    return {"balanced": balanced, "panels": panels}
+
+
+def fig5_total_size_limit(scale: Optional[Scale] = None
+                          ) -> list[SweepResult]:
+    """Figure 5: DAS-s-64 vs DAS-s-128 for all policies (L=16,
+    balanced)."""
+    scale = scale or get_scale()
+    out = []
+    for dist, tag in ((das_s_64(), "64"), (das_s_128(), "128")):
+        for policy in POLICY_ORDER:
+            out.append(_policy_sweep(
+                scale, policy, 16, True, dist, label=f"{policy} {tag}",
+            ))
+    return out
+
+
+def fig6_component_size_limits(policy: str, balanced: bool = True,
+                               scale: Optional[Scale] = None,
+                               ) -> list[SweepResult]:
+    """Figure 6: one policy across the three component-size limits."""
+    scale = scale or get_scale()
+    sizes = das_s_128()
+    return [
+        _policy_sweep(scale, policy, limit, balanced, sizes,
+                      label=f"{policy} {limit}")
+        for limit in stats_model.SIZE_LIMITS
+    ]
+
+
+def fig7_gross_vs_net(policy: str, limit: int,
+                      scale: Optional[Scale] = None) -> dict:
+    """Figure 7: one policy/limit curve against both utilization axes.
+
+    One set of runs; each point carries its measured gross *and* net
+    utilization, so the two curves are horizontal translations of each
+    other by the §4 ratio.
+    """
+    scale = scale or get_scale()
+    result = _policy_sweep(scale, policy, limit, True, das_s_128(),
+                           label=f"{policy} {limit}")
+    ratio = gross_net_ratios_table(das_s_128())[limit]
+    return {
+        "sweep": result,
+        "gross_series": result.series(x="gross_utilization"),
+        "net_series": result.series(x="net_utilization"),
+        "theoretical_ratio": ratio,
+    }
+
+
+def table3_maximal_utilization(scale: Optional[Scale] = None,
+                               include_reference_policies: bool = True,
+                               ) -> dict:
+    """Table 3: maximal gross/net utilization of GS per limit, plus the
+    §4 SC reference value (and optionally LS/LP for the extension
+    study)."""
+    scale = scale or get_scale()
+    sizes, service = das_s_128(), das_t_900()
+    ratios = gross_net_ratios_table(sizes)
+    rows: list[MaximalUtilization] = []
+    for limit in stats_model.SIZE_LIMITS:
+        rows.append(estimate_maximal_utilization(
+            scale.config("GS", limit), sizes, service, ratios[limit],
+            backlog=60, warmup_jobs=scale.backlog_warmup,
+            measured_jobs=scale.backlog_measured,
+        ))
+    sc = None
+    extra: list[MaximalUtilization] = []
+    if include_reference_policies:
+        sc = estimate_maximal_utilization(
+            scale.config("SC", None), sizes, service, 1.0,
+            backlog=60, warmup_jobs=scale.backlog_warmup,
+            measured_jobs=scale.backlog_measured,
+        )
+        for policy in ("LS", "LP"):
+            extra.append(estimate_maximal_utilization(
+                scale.config(policy, 16), sizes, service, ratios[16],
+                backlog=60, warmup_jobs=scale.backlog_warmup,
+                measured_jobs=scale.backlog_measured,
+            ))
+    return {"gs_rows": rows, "sc": sc, "extra": extra, "ratios": ratios}

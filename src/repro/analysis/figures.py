@@ -1,0 +1,109 @@
+"""Multi-panel figure rendering (text form) for the paper's figures.
+
+:mod:`repro.analysis.tables` renders single tables;
+this module assembles the paper's *multi-panel* figures — Figure 3's
+3×2 grid, Figure 6's per-policy triptychs, Figure 7's 3×3 grid — as
+side-by-side ASCII panels, for the CLI and the report generator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.workload import stats_model
+
+from . import experiments
+from .ascii_plot import line_plot
+from .sweeps import SweepResult
+
+__all__ = [
+    "render_panel",
+    "side_by_side",
+    "figure3_grid",
+    "figure6_grid",
+    "figure7_grid",
+]
+
+_PANEL_WIDTH = 46
+_PANEL_HEIGHT = 12
+
+
+def render_panel(sweeps: Sequence[SweepResult], title: str,
+                 x: str = "gross_utilization",
+                 y_max: float = 10_000.0) -> str:
+    """One response-vs-utilization panel."""
+    return line_plot(
+        {s.label: s.series(x=x) for s in sweeps},
+        width=_PANEL_WIDTH, height=_PANEL_HEIGHT,
+        x_label="utilization", y_label="response",
+        x_range=(0.0, 1.0), y_range=(0.0, y_max),
+        title=title,
+    )
+
+
+def side_by_side(panels: Sequence[str], gap: str = "   ") -> str:
+    """Join multi-line blocks horizontally (pad to equal height)."""
+    if not panels:
+        return ""
+    split = [p.splitlines() for p in panels]
+    height = max(len(lines) for lines in split)
+    widths = [max((len(l) for l in lines), default=0) for lines in split]
+    rows = []
+    for i in range(height):
+        row = []
+        for lines, w in zip(split, widths):
+            cell = lines[i] if i < len(lines) else ""
+            row.append(cell.ljust(w))
+        rows.append(gap.join(row).rstrip())
+    return "\n".join(rows)
+
+
+def figure3_grid(scale=None) -> str:
+    """The full Figure 3: limits 16/24/32 × balanced/unbalanced."""
+    scale = scale or experiments.get_scale()
+    rows = []
+    for balanced in (True, False):
+        panels = []
+        mode = "balanced" if balanced else "unbalanced"
+        for limit in stats_model.SIZE_LIMITS:
+            sweeps = experiments.fig3_policy_comparison(
+                limit, balanced, scale)
+            panels.append(render_panel(
+                sweeps, title=f"L={limit} ({mode})"))
+        rows.append(side_by_side(panels))
+    return ("Figure 3 — response time vs gross utilization\n\n"
+            + "\n\n".join(rows))
+
+
+def figure6_grid(scale=None,
+                 policies: Sequence[str] = ("LS", "LP", "GS")) -> str:
+    """The full Figure 6: one panel per policy across limits."""
+    scale = scale or experiments.get_scale()
+    panels = []
+    for policy in policies:
+        sweeps = experiments.fig6_component_size_limits(
+            policy, True, scale)
+        panels.append(render_panel(sweeps, title=policy))
+    return ("Figure 6 — size limits per policy (balanced)\n\n"
+            + side_by_side(panels))
+
+
+def figure7_grid(scale=None, limit: Optional[int] = 16,
+                 policies: Sequence[str] = ("LS", "LP", "GS")) -> str:
+    """Figure 7 panels: gross and net curves per policy."""
+    scale = scale or experiments.get_scale()
+    panels = []
+    for policy in policies:
+        data = experiments.fig7_gross_vs_net(policy, limit, scale)
+        sweep = data["sweep"]
+        gx, gy = data["gross_series"]
+        nx, ny = data["net_series"]
+        panels.append(line_plot(
+            {"gross": (gx, gy), "net": (nx, ny)},
+            width=_PANEL_WIDTH, height=_PANEL_HEIGHT,
+            x_label="utilization", y_label="response",
+            x_range=(0.0, 1.0), y_range=(0.0, 10_000.0),
+            title=f"{sweep.label}",
+        ))
+    return (f"Figure 7 — gross vs net utilization (L={limit})\n\n"
+            + side_by_side(panels))

@@ -1,0 +1,108 @@
+"""Serialisation of experiment results to/from JSON.
+
+Sweeps and reports are plain data; persisting them lets long runs be
+archived, diffed across code versions and re-rendered without
+re-simulating.  The format is versioned and deliberately flat — every
+value a JSON scalar — so results stay greppable and stable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.core.system import SimulationConfig
+from repro.metrics.recorder import UtilizationReport
+
+from .sweeps import SweepPoint, SweepResult
+
+__all__ = ["save_sweep", "load_sweep", "save_report", "load_report",
+           "FORMAT_VERSION"]
+
+#: Bump when the on-disk shape changes incompatibly.
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _config_to_dict(config: SimulationConfig) -> dict:
+    d = asdict(config)
+    d["capacities"] = list(d["capacities"])
+    d["routing_weights"] = list(d["routing_weights"])
+    return d
+
+
+def _config_from_dict(d: dict) -> SimulationConfig:
+    d = dict(d)
+    d["capacities"] = tuple(d["capacities"])
+    d["routing_weights"] = tuple(d["routing_weights"])
+    return SimulationConfig(**d)
+
+
+def save_sweep(result: SweepResult, target: "PathLike | TextIO") -> None:
+    """Write a sweep result as JSON."""
+    payload = {
+        "format": "repro.sweep",
+        "version": FORMAT_VERSION,
+        "label": result.label,
+        "config": _config_to_dict(result.config),
+        "points": [asdict(p) for p in result.points],
+    }
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+    else:
+        json.dump(payload, target, indent=2)
+
+
+def load_sweep(source: "PathLike | TextIO") -> SweepResult:
+    """Read a sweep result written by :func:`save_sweep`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    else:
+        payload = json.load(source)
+    if payload.get("format") != "repro.sweep":
+        raise ValueError("not a repro sweep file")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported sweep format version {payload.get('version')!r}"
+        )
+    return SweepResult(
+        label=payload["label"],
+        config=_config_from_dict(payload["config"]),
+        points=tuple(SweepPoint(**p) for p in payload["points"]),
+    )
+
+
+def save_report(report: UtilizationReport,
+                target: "PathLike | TextIO") -> None:
+    """Write a utilization report as JSON."""
+    payload = {
+        "format": "repro.report",
+        "version": FORMAT_VERSION,
+        "report": report.as_dict(),
+    }
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+    else:
+        json.dump(payload, target, indent=2)
+
+
+def load_report(source: "PathLike | TextIO") -> UtilizationReport:
+    """Read a report written by :func:`save_report`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    else:
+        payload = json.load(source)
+    if payload.get("format") != "repro.report":
+        raise ValueError("not a repro report file")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported report format version {payload.get('version')!r}"
+        )
+    return UtilizationReport(**payload["report"])

@@ -1,0 +1,100 @@
+"""Classical queueing formulas used to validate the simulation stack.
+
+The multicluster model has no closed form, but its degenerate cases do:
+single-processor jobs on a c-processor cluster form an M/M/c (or M/G/1
+for c = 1) queue.  The test suite runs those cases through the full
+engine + policy + metrics pipeline and checks the measured means against
+these formulas — an end-to-end correctness audit that catches subtle
+bugs (event ordering, utilization windows, warmup handling) no unit test
+would.
+
+All formulas use the standard notation: arrival rate λ, mean service
+time E[S] (rate μ = 1/E[S]), ρ = λ·E[S]/c.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "erlang_c",
+    "mmc_mean_wait",
+    "mmc_mean_response",
+    "mm1_mean_response",
+    "mg1_mean_wait",
+    "mg1_mean_response",
+    "mean_queue_length",
+]
+
+
+def _offered_load(rate: float, mean_service: float, servers: int) -> float:
+    if rate <= 0 or mean_service <= 0:
+        raise ValueError("rate and mean service time must be positive")
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers!r}")
+    rho = rate * mean_service / servers
+    if rho >= 1.0:
+        raise ValueError(f"unstable system (rho = {rho:.4f} >= 1)")
+    return rho
+
+
+def erlang_c(rate: float, mean_service: float, servers: int) -> float:
+    """Erlang-C probability that an arriving job must wait (M/M/c).
+
+    Computed with the numerically stable iterative form of the Erlang-B
+    recursion followed by the B→C conversion.
+    """
+    rho = _offered_load(rate, mean_service, servers)
+    a = rate * mean_service  # offered load in Erlangs
+    # Erlang-B recursion: B(0) = 1; B(k) = a·B(k-1) / (k + a·B(k-1)).
+    b = 1.0
+    for k in range(1, servers + 1):
+        b = a * b / (k + a * b)
+    return b / (1.0 - rho * (1.0 - b))
+
+
+def mmc_mean_wait(rate: float, mean_service: float, servers: int) -> float:
+    """Mean queueing delay in M/M/c."""
+    rho = _offered_load(rate, mean_service, servers)
+    c_prob = erlang_c(rate, mean_service, servers)
+    return c_prob * mean_service / (servers * (1.0 - rho))
+
+
+def mmc_mean_response(rate: float, mean_service: float,
+                      servers: int) -> float:
+    """Mean response time in M/M/c."""
+    return mmc_mean_wait(rate, mean_service, servers) + mean_service
+
+
+def mm1_mean_response(rate: float, mean_service: float) -> float:
+    """Mean response time in M/M/1: E[S] / (1 − ρ)."""
+    rho = _offered_load(rate, mean_service, 1)
+    return mean_service / (1.0 - rho)
+
+
+def mg1_mean_wait(rate: float, mean_service: float,
+                  service_cv: float) -> float:
+    """Pollaczek–Khinchine mean wait for M/G/1.
+
+    ``service_cv`` is the coefficient of variation of the service time.
+    """
+    rho = _offered_load(rate, mean_service, 1)
+    if service_cv < 0:
+        raise ValueError(f"cv must be nonnegative, got {service_cv!r}")
+    return (rho * mean_service * (1.0 + service_cv**2)
+            / (2.0 * (1.0 - rho)))
+
+
+def mg1_mean_response(rate: float, mean_service: float,
+                      service_cv: float) -> float:
+    """Mean response time in M/G/1 (P-K formula)."""
+    return mg1_mean_wait(rate, mean_service, service_cv) + mean_service
+
+
+def mean_queue_length(rate: float, mean_response: float) -> float:
+    """Little's law: mean jobs in system L = λ·W."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate!r}")
+    if math.isnan(mean_response):
+        return math.nan
+    return rate * mean_response

@@ -1,0 +1,167 @@
+"""Independent replications: across-run confidence intervals.
+
+Batch means (within one run) handle autocorrelation but share one
+warmup; *independent replications* — the same configuration under
+different master seeds — give the textbook-clean confidence interval
+for steady-state means and a variance estimate that includes run-to-run
+warmup bias.  The harness replicates whole sweeps, so a curve carries a
+CI at every utilization point, and policy comparisons can report
+paired (common-random-number) differences per seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.core.system import SimulationConfig
+from repro.sim.stats import ConfidenceInterval, Tally, student_t_quantile
+
+from .sweeps import SweepResult, sweep
+
+__all__ = [
+    "ReplicatedPoint",
+    "ReplicatedSweep",
+    "replicate_sweep",
+    "paired_comparison",
+]
+
+
+@dataclass(frozen=True)
+class ReplicatedPoint:
+    """One utilization point aggregated over replications."""
+
+    offered_gross: float
+    mean_response: float
+    response_ci: ConfidenceInterval
+    mean_gross_utilization: float
+    mean_net_utilization: float
+    replications: int
+    any_saturated: bool
+
+
+@dataclass(frozen=True)
+class ReplicatedSweep:
+    """A curve with across-replication confidence intervals."""
+
+    label: str
+    config: SimulationConfig
+    points: tuple[ReplicatedPoint, ...]
+    seeds: tuple[int, ...]
+
+    def series(self) -> tuple[list[float], list[float]]:
+        """(utilization, mean response) arrays."""
+        return (
+            [p.mean_gross_utilization for p in self.points],
+            [p.mean_response for p in self.points],
+        )
+
+
+def _aggregate(offered: float, results: Sequence, level: float
+               ) -> ReplicatedPoint:
+    responses = Tally()
+    gross = Tally()
+    net = Tally()
+    saturated = False
+    for p in results:
+        if not math.isnan(p.mean_response):
+            responses.record(p.mean_response)
+        gross.record(p.gross_utilization)
+        net.record(p.net_utilization)
+        saturated = saturated or p.saturated
+    if responses.count >= 2:
+        t = student_t_quantile(0.5 + level / 2.0, responses.count - 1)
+        half = t * responses.std / math.sqrt(responses.count)
+    else:
+        half = math.inf
+    return ReplicatedPoint(
+        offered_gross=offered,
+        mean_response=responses.mean,
+        response_ci=ConfidenceInterval(responses.mean, half, level),
+        mean_gross_utilization=gross.mean,
+        mean_net_utilization=net.mean,
+        replications=len(results),
+        any_saturated=saturated,
+    )
+
+
+def replicate_sweep(label: str, config: SimulationConfig,
+                    size_distribution, service_distribution,
+                    utilizations: Sequence[float],
+                    replications: int = 5,
+                    confidence: float = 0.95,
+                    base_seed: Optional[int] = None) -> ReplicatedSweep:
+    """Run ``replications`` sweeps with distinct seeds and aggregate.
+
+    Points are aligned by *offered* utilization; a point missing from a
+    replication (the sweep stopped after saturating) is aggregated over
+    the replications that reached it.
+    """
+    if replications < 1:
+        raise ValueError(
+            f"replications must be >= 1, got {replications!r}"
+        )
+    base = config.seed if base_seed is None else base_seed
+    seeds = tuple(base + 1_000 * i for i in range(replications))
+    runs: list[SweepResult] = [
+        sweep(label, replace(config, seed=seed), size_distribution,
+              service_distribution, utilizations=utilizations)
+        for seed in seeds
+    ]
+    points = []
+    for offered in utilizations:
+        matched = []
+        for run in runs:
+            for p in run.points:
+                if abs(p.offered_gross - offered) < 1e-9:
+                    matched.append(p)
+                    break
+        if not matched:
+            break  # every replication saturated before this point
+        points.append(_aggregate(offered, matched, confidence))
+    return ReplicatedSweep(label=label, config=config,
+                           points=tuple(points), seeds=seeds)
+
+
+def paired_comparison(config_a: SimulationConfig,
+                      config_b: SimulationConfig,
+                      size_distribution, service_distribution,
+                      utilization: float, replications: int = 5,
+                      confidence: float = 0.95,
+                      ) -> ConfidenceInterval:
+    """CI on the response-time difference A − B at one utilization.
+
+    Uses common random numbers: replication *i* of both configurations
+    shares a seed, so the per-seed differences cancel workload noise —
+    the standard paired-t design for policy comparison.
+    """
+    from repro.core.system import run_open_system
+    from repro.sim.rng import StreamFactory
+    from repro.workload.generator import JobFactory
+
+    diffs = Tally()
+    for i in range(replications):
+        pair = []
+        for config in (config_a, config_b):
+            seeded = replace(config, seed=config.seed + 1_000 * i)
+            factory = JobFactory(
+                size_distribution, service_distribution,
+                seeded.component_limit,
+                clusters=len(seeded.capacities),
+                extension_factor=seeded.extension_factor,
+                routing_weights=seeded.routing_weights,
+                streams=StreamFactory(seeded.seed),
+            )
+            rate = factory.arrival_rate_for_gross_utilization(
+                utilization, seeded.capacity
+            )
+            pair.append(run_open_system(seeded, size_distribution,
+                                        service_distribution, rate))
+        diffs.record(pair[0].mean_response - pair[1].mean_response)
+    if diffs.count >= 2:
+        t = student_t_quantile(0.5 + confidence / 2.0, diffs.count - 1)
+        half = t * diffs.std / math.sqrt(diffs.count)
+    else:
+        half = math.inf
+    return ConfidenceInterval(diffs.mean, half, confidence)

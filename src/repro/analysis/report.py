@@ -1,0 +1,188 @@
+"""One-shot reproduction report: every exhibit, rendered to Markdown.
+
+``repro-sim report --out report.md`` (or :func:`generate_report`) runs
+the full experiment suite at the chosen scale and writes a single
+self-contained Markdown document: workload validation, every figure and
+table, and the ablations — the machine-generated companion to the
+hand-curated EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Optional, TextIO, Union
+
+from repro.workload import stats_model
+
+from . import ablations, experiments, tables
+
+__all__ = ["generate_report", "REPORT_SECTIONS"]
+
+
+def _section_workload(scale) -> str:
+    parts = [
+        tables.render_table1(
+            experiments.table1_power_of_two_fractions(scale)),
+        tables.render_table2(experiments.table2_component_fractions()),
+    ]
+    fig2 = experiments.fig2_service_density(scale)
+    parts.append(
+        "Figure 2 reconstruction: service-time mean "
+        f"{fig2['mean']:.1f}s, CV {fig2['cv']:.2f}, "
+        f"{fig2['fraction_below_cutoff']:.1%} of jobs below the 900 s "
+        "kill limit."
+    )
+    return "\n\n".join(parts)
+
+
+def _section_fig3(scale) -> str:
+    blocks = []
+    for limit in stats_model.SIZE_LIMITS:
+        for balanced in (True, False):
+            sweeps = experiments.fig3_policy_comparison(
+                limit, balanced, scale)
+            mode = "balanced" if balanced else "unbalanced"
+            blocks.append(tables.render_sweeps(
+                sweeps,
+                title=f"Figure 3 — L={limit}, {mode} local queues",
+            ))
+    return "\n\n".join(blocks)
+
+
+def _section_fig4(scale) -> str:
+    return "\n\n".join(
+        tables.render_fig4(
+            experiments.fig4_lp_saturation(balanced, scale))
+        for balanced in (True, False)
+    )
+
+
+def _section_fig5(scale) -> str:
+    return tables.render_sweeps(
+        experiments.fig5_total_size_limit(scale),
+        title="Figure 5 — maximal total job size 64 vs 128",
+    )
+
+
+def _section_fig6(scale) -> str:
+    blocks = []
+    for policy in ("LS", "LP", "GS"):
+        blocks.append(tables.render_sweeps(
+            experiments.fig6_component_size_limits(policy, True, scale),
+            title=f"Figure 6 — {policy} across size limits",
+        ))
+    return "\n\n".join(blocks)
+
+
+def _section_fig7(scale) -> str:
+    blocks = []
+    for policy in ("LS", "LP", "GS"):
+        blocks.append(tables.render_fig7(
+            experiments.fig7_gross_vs_net(policy, 16, scale)))
+    return "\n\n".join(blocks)
+
+
+def _section_table3(scale) -> str:
+    return tables.render_table3(
+        experiments.table3_maximal_utilization(scale))
+
+
+def _section_ablations(scale) -> str:
+    blocks = []
+    placement = ablations.placement_rule_ablation(scale)
+    blocks.append(tables.format_table(
+        ["placement rule", "maximal gross utilization"],
+        list(placement["max_gross_utilization"].items()),
+        title="Ablation — placement rules",
+    ))
+    requests = ablations.request_type_ablation(scale)
+    blocks.append(tables.format_table(
+        ["request type", "maximal gross utilization"],
+        list(requests["max_gross_utilization"].items()),
+        title="Ablation — request types",
+    ))
+    backfill = ablations.backfilling_ablation(scale)
+    blocks.append(tables.format_table(
+        ["scheduler", "maximal gross utilization"],
+        list(backfill["max_gross_utilization"].items()),
+        title="Ablation — backfilling",
+    ))
+    return "\n\n".join(blocks)
+
+
+#: Ordered (title, renderer) pairs; each renderer takes the scale.
+REPORT_SECTIONS: list[tuple[str, Callable]] = [
+    ("Workload validation (Tables 1-2, Figure 2)", _section_workload),
+    ("Figure 3 — policy comparison", _section_fig3),
+    ("Figure 4 — LP near saturation", _section_fig4),
+    ("Figure 5 — limiting the total job size", _section_fig5),
+    ("Figure 6 — component-size limits", _section_fig6),
+    ("Figure 7 — gross vs net utilization", _section_fig7),
+    ("Table 3 — maximal utilizations", _section_table3),
+    ("Ablations", _section_ablations),
+]
+
+
+def generate_report(target: Union[str, Path, TextIO],
+                    scale=None,
+                    sections: Optional[list[str]] = None,
+                    clock: Callable[[], float] = time.perf_counter
+                    ) -> list[str]:
+    """Run the experiment suite and write the Markdown report.
+
+    Parameters
+    ----------
+    target:
+        Output path or stream.
+    scale:
+        Experiment scale (default: the environment's).
+    sections:
+        Optional subset of section titles (prefix match, case-
+        insensitive) to include.
+    clock:
+        Timing function (injectable for tests).
+
+    Returns the list of section titles rendered.
+    """
+    scale = scale or experiments.get_scale()
+    wanted = None
+    if sections is not None:
+        wanted = [s.lower() for s in sections]
+
+    def selected(title: str) -> bool:
+        if wanted is None:
+            return True
+        low = title.lower()
+        return any(low.startswith(w) for w in wanted)
+
+    rendered: list[str] = []
+    chunks = [
+        "# Reproduction report — Bucur & Epema, HPDC 2003",
+        "",
+        f"Scale: `{scale.name}` (warmup {scale.warmup_jobs}, measured "
+        f"{scale.measured_jobs} jobs per point; master seed "
+        f"{scale.seed}).",
+        "",
+    ]
+    for title, renderer in REPORT_SECTIONS:
+        if not selected(title):
+            continue
+        start = clock()
+        body = renderer(scale)
+        elapsed = clock() - start
+        rendered.append(title)
+        chunks.append(f"## {title}")
+        chunks.append("")
+        chunks.append("```")
+        chunks.append(body)
+        chunks.append("```")
+        chunks.append("")
+        chunks.append(f"_(generated in {elapsed:.1f} s)_")
+        chunks.append("")
+    text = "\n".join(chunks)
+    if isinstance(target, (str, Path)):
+        Path(target).write_text(text, encoding="utf-8")
+    else:
+        target.write(text)
+    return rendered

@@ -1,0 +1,150 @@
+"""One-factor-at-a-time sensitivity analysis.
+
+Which modelling choices actually move the results?  The scan perturbs
+one factor at a time around the paper's base case (LS, L=16, balanced,
+extension 1.25, 4x32) and records the response time at a fixed offered
+*net* load — net, so that changing the extension factor or the split
+does not silently change the amount of useful work offered.  The output
+is a tornado-style table: factors sorted by their response-time swing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.core.system import SimulationConfig, run_open_system
+from repro.sim.rng import StreamFactory
+from repro.workload import JobFactory, das_s_64, das_s_128, das_t_900
+from repro.workload import stats_model
+
+from .experiments import Scale, get_scale
+
+__all__ = ["SensitivityResult", "sensitivity_scan", "BASE_FACTORS"]
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """One factor's scan outcome."""
+
+    factor: str
+    values: tuple
+    responses: tuple[float, ...]
+    base_response: float
+
+    @property
+    def swing(self) -> float:
+        """max − min response across the factor's values."""
+        return max(self.responses) - min(self.responses)
+
+    @property
+    def relative_swing(self) -> float:
+        """Swing relative to the base response."""
+        if self.base_response == 0:
+            return float("inf")
+        return self.swing / self.base_response
+
+
+def _run(config: SimulationConfig, sizes, service,
+         net_rho: float) -> float:
+    factory = JobFactory(
+        sizes, service, config.component_limit,
+        clusters=len(config.capacities),
+        extension_factor=config.extension_factor,
+        routing_weights=config.routing_weights,
+        streams=StreamFactory(config.seed),
+    )
+    rate = net_rho * config.capacity / factory.expected_net_work()
+    return run_open_system(config, sizes, service, rate).mean_response
+
+
+#: factor name → (values, config transformer or workload marker).
+BASE_FACTORS: dict[str, tuple] = {
+    "component_limit": ((16, 24, 32),
+                        lambda cfg, v: replace(cfg, component_limit=v)),
+    "extension_factor": ((1.0, 1.25, 1.5),
+                         lambda cfg, v: replace(cfg,
+                                                extension_factor=v)),
+    "routing": (("balanced", "unbalanced"),
+                lambda cfg, v: replace(
+                    cfg,
+                    routing_weights=(
+                        stats_model.BALANCED_WEIGHTS if v == "balanced"
+                        else stats_model.UNBALANCED_WEIGHTS
+                    ),
+                )),
+    "placement": (("worst-fit", "first-fit", "best-fit"),
+                  lambda cfg, v: replace(cfg, placement=v)),
+    "cluster_shape": ((("4x32"), ("2x64"), ("8x16")),
+                      lambda cfg, v: replace(
+                          cfg,
+                          capacities={
+                              "4x32": (32,) * 4,
+                              "2x64": (64,) * 2,
+                              "8x16": (16,) * 8,
+                          }[v],
+                          routing_weights={
+                              "4x32": (0.25,) * 4,
+                              "2x64": (0.5,) * 2,
+                              "8x16": (0.125,) * 8,
+                          }[v],
+                      )),
+    "size_distribution": (("das-s-128", "das-s-64"), None),
+}
+
+
+def sensitivity_scan(net_rho: float = 0.40,
+                     policy: str = "LS",
+                     scale: Optional[Scale] = None,
+                     factors: Optional[Sequence[str]] = None,
+                     ) -> list[SensitivityResult]:
+    """Scan each factor around the base case; sorted by swing (desc).
+
+    The base case is the paper's: ``policy`` (LS), L=16, balanced
+    queues, Worst Fit, extension 1.25, 4×32 clusters, DAS-s-128.
+    """
+    scale = scale or get_scale()
+    service = das_t_900()
+    base_config = scale.config(policy, 16)
+    base_response = _run(base_config, das_s_128(), service, net_rho)
+
+    selected = factors if factors is not None else list(BASE_FACTORS)
+    results = []
+    for name in selected:
+        values, transform = BASE_FACTORS[name]
+        responses = []
+        for value in values:
+            if name == "size_distribution":
+                sizes = das_s_128() if value == "das-s-128" else das_s_64()
+                responses.append(
+                    _run(base_config, sizes, service, net_rho)
+                )
+            else:
+                cfg = transform(base_config, value)
+                responses.append(
+                    _run(cfg, das_s_128(), service, net_rho)
+                )
+        results.append(SensitivityResult(
+            factor=name, values=tuple(values),
+            responses=tuple(responses), base_response=base_response,
+        ))
+    results.sort(key=lambda r: -r.swing)
+    return results
+
+
+def render_tornado(results: Sequence[SensitivityResult]) -> str:
+    """Text tornado table (largest swing first)."""
+    lines = [
+        "Sensitivity scan (one factor at a time; response at fixed "
+        "offered net load)",
+        f"{'factor':<18} {'swing':>8} {'rel':>7}  values -> responses",
+    ]
+    for r in results:
+        pairs = ", ".join(
+            f"{v}={resp:.0f}" for v, resp in zip(r.values, r.responses)
+        )
+        lines.append(
+            f"{r.factor:<18} {r.swing:>8.0f} {r.relative_swing:>6.1%}  "
+            f"{pairs}"
+        )
+    return "\n".join(lines)

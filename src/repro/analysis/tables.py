@@ -1,0 +1,180 @@
+"""Text rendering of the paper's tables and figure data.
+
+Every render function takes the data structure produced by the matching
+:mod:`repro.analysis.experiments` function and returns a printable string
+— the benchmark harness prints these so the regenerated exhibits are
+visible in the bench output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .sweeps import SweepResult
+
+__all__ = [
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_sweeps",
+    "render_fig4",
+    "render_fig7",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Simple fixed-width table formatting."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table1(data: dict) -> str:
+    """Table 1: power-of-two size fractions (paper vs model vs log)."""
+    rows = [
+        (r["size"], r["paper"], r["model"], r["log"])
+        for r in data["rows"]
+    ]
+    return format_table(
+        ["size", "paper", "model", "synthetic log"], rows,
+        title=(
+            "Table 1 — fractions of jobs with sizes powers of two "
+            f"(log of {data['log_jobs']} jobs)"
+        ),
+    )
+
+
+def render_table2(data: dict) -> str:
+    """Table 2: component-count fractions per size limit."""
+    rows = []
+    for r in data["rows"]:
+        rows.append((
+            r["limit"],
+            "/".join(f"{v:.3f}" for v in r["paper"]),
+            "/".join(f"{v:.3f}" for v in r["model"]),
+        ))
+    return format_table(
+        ["limit", "paper (1/2/3/4 comps)", "model (1/2/3/4 comps)"],
+        rows,
+        title="Table 2 — fractions of jobs by number of components "
+              "(DAS-s-128; L=16 row carries the 0.009 consistency "
+              "correction)",
+    )
+
+
+def render_table3(data: dict) -> str:
+    """Table 3: maximal gross/net utilizations."""
+    rows = []
+    for m in data["gs_rows"]:
+        rows.append((f"GS L={m.config.component_limit}", m.gross, m.net))
+    if data["sc"] is not None:
+        rows.append(("SC (reference)", data["sc"].gross, data["sc"].net))
+    for m in data["extra"]:
+        rows.append((f"{m.config.policy} L={m.config.component_limit}",
+                     m.gross, m.net))
+    table = format_table(
+        ["configuration", "maximal gross", "maximal net"], rows,
+        title="Table 3 — maximal utilizations (constant backlog)",
+    )
+    ratios = ", ".join(
+        f"L={L}: {r:.4f}" for L, r in sorted(data["ratios"].items())
+    )
+    return table + f"\ngross/net ratios (analytic): {ratios}"
+
+
+def render_sweeps(sweeps: Sequence[SweepResult], title: str = "",
+                  x: str = "gross_utilization") -> str:
+    """Response-vs-utilization curves as a merged table."""
+    rows = []
+    for s in sweeps:
+        for p in s.points:
+            rows.append((
+                s.label,
+                round(p.offered_gross, 3),
+                round(getattr(p, x), 3),
+                round(p.mean_response, 1),
+                "saturated" if p.saturated else "",
+            ))
+    table = format_table(
+        ["curve", "offered", x, "mean response", ""], rows, title=title,
+    )
+    ranking = " > ".join(_rank(sweeps))
+    return table + f"\nperformance ranking (best first): {ranking}"
+
+
+def _rank(sweeps: Sequence[SweepResult]) -> list[str]:
+    from .sweeps import rank_by_performance
+
+    return rank_by_performance(list(sweeps))
+
+
+def render_fig4(data: dict) -> str:
+    """Figure 4: response-time bars near LP saturation."""
+    blocks = []
+    mode = "balanced" if data["balanced"] else "unbalanced"
+    for panel in data["panels"]:
+        rows = []
+        for policy in ("GS", "LS", "LP", "SC"):
+            bar = panel["bars"][policy]
+            rows.append((
+                policy,
+                bar["local"],
+                bar["total"],
+                bar["global"],
+                "saturated" if bar["saturated"] else "",
+            ))
+        title = (
+            f"Figure 4 (L={panel['limit']}, {mode}) at gross util "
+            f"~{panel['target_gross_utilization']:.2f} — measured "
+            f"gross {panel['gross_utilization']:.3f}, "
+            f"net {panel['net_utilization']:.3f}"
+        )
+        blocks.append(format_table(
+            ["policy", "local", "total avg", "global", ""], rows,
+            title=title,
+        ))
+    return "\n\n".join(blocks)
+
+
+def render_fig7(data: dict) -> str:
+    """Figure 7: gross and net utilization series for one curve."""
+    s: SweepResult = data["sweep"]
+    rows = []
+    for p in s.points:
+        rows.append((
+            round(p.gross_utilization, 3),
+            round(p.net_utilization, 3),
+            round(p.mean_response, 1),
+            "saturated" if p.saturated else "",
+        ))
+    table = format_table(
+        ["gross util", "net util", "mean response", ""], rows,
+        title=f"Figure 7 — {s.label}: response vs gross and net "
+              "utilization",
+    )
+    return table + (
+        f"\nanalytic gross/net ratio: {data['theoretical_ratio']:.4f}"
+    )

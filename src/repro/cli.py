@@ -1,0 +1,377 @@
+"""Command-line interface: ``repro-sim``.
+
+Subcommands
+-----------
+``run``
+    One open-system simulation at a target gross utilization.
+``sweep``
+    A response-time-vs-utilization curve for one configuration.
+``maxutil``
+    Constant-backlog estimation of the maximal utilization.
+``trace``
+    Generate the synthetic DAS1 log and write it in SWF.
+``trace-info``
+    Summarise an SWF trace file.
+``experiment``
+    Regenerate one of the paper's exhibits (table1..table3, fig1..fig7).
+
+Examples::
+
+    repro-sim run --policy LS --limit 16 --utilization 0.5
+    repro-sim sweep --policy GS --limit 24 --grid 0.2:0.8:0.1
+    repro-sim maxutil --policy GS --limit 16
+    repro-sim trace --jobs 30000 --out das1.swf
+    repro-sim experiment table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import experiments, line_plot, tables
+from repro.analysis.sweeps import sweep
+from repro.core import SimulationConfig, run_open_system
+from repro.metrics.saturation import estimate_maximal_utilization
+from repro.sim import StreamFactory
+from repro.workload import (
+    JobFactory,
+    WORKLOADS,
+    das_t_900,
+    generate_das_log,
+    read_swf,
+    summarize_log,
+    write_swf,
+)
+from repro.workload import stats_model
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Processor co-allocation simulations (HPDC'03 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_model_args(p):
+        p.add_argument("--policy", default="GS",
+                       choices=["GS", "LS", "LP", "SC"],
+                       help="scheduling policy")
+        p.add_argument("--limit", type=int, default=16,
+                       choices=[16, 24, 32],
+                       help="job-component-size limit")
+        p.add_argument("--workload", default="das-s-128",
+                       choices=sorted(WORKLOADS),
+                       help="total-job-size distribution")
+        p.add_argument("--unbalanced", action="store_true",
+                       help="use the 40/20/20/20 local-queue routing")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--warmup", type=int, default=2_000,
+                       help="warmup jobs discarded")
+        p.add_argument("--measured", type=int, default=10_000,
+                       help="jobs measured after warmup")
+
+    run_p = sub.add_parser("run", help="one open-system simulation")
+    add_model_args(run_p)
+    run_p.add_argument("--utilization", type=float, default=0.5,
+                       help="target offered gross utilization")
+
+    sweep_p = sub.add_parser("sweep", help="response-vs-utilization curve")
+    add_model_args(sweep_p)
+    sweep_p.add_argument("--grid", default="0.2:0.8:0.1",
+                         help="utilization grid start:stop:step")
+    sweep_p.add_argument("--plot", action="store_true",
+                         help="also render an ASCII plot")
+    sweep_p.add_argument("--json", metavar="PATH", default=None,
+                         help="save the sweep result as JSON")
+
+    max_p = sub.add_parser("maxutil",
+                           help="maximal utilization (constant backlog)")
+    add_model_args(max_p)
+    max_p.add_argument("--backlog", type=int, default=60)
+
+    trace_p = sub.add_parser("trace", help="generate a synthetic DAS1 log")
+    trace_p.add_argument("--jobs", type=int,
+                         default=stats_model.LOG_NUM_JOBS)
+    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.add_argument("--out", required=True, help="SWF output path")
+
+    info_p = sub.add_parser("trace-info", help="summarise an SWF trace")
+    info_p.add_argument("path", help="SWF file to read")
+
+    exp_p = sub.add_parser("experiment",
+                           help="regenerate one paper exhibit")
+    exp_p.add_argument("name", choices=[
+        "table1", "table2", "table3",
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    ])
+    exp_p.add_argument("--scale", default=None, choices=["smoke", "quick", "full"])
+
+    report_p = sub.add_parser(
+        "report", help="run the full suite, write a Markdown report"
+    )
+    report_p.add_argument("--out", required=True, help="output .md path")
+    report_p.add_argument("--scale", default=None,
+                          choices=["smoke", "quick", "full"])
+    report_p.add_argument("--sections", nargs="*", default=None,
+                          help="section title prefixes to include")
+
+    sens_p = sub.add_parser(
+        "sensitivity", help="one-factor-at-a-time sensitivity tornado"
+    )
+    sens_p.add_argument("--net-load", type=float, default=0.40,
+                        help="fixed offered net utilization")
+    sens_p.add_argument("--policy", default="LS",
+                        choices=["GS", "LS", "LP"])
+    sens_p.add_argument("--scale", default=None,
+                        choices=["smoke", "quick", "full"])
+
+    char_p = sub.add_parser(
+        "characterize", help="characterise an SWF trace"
+    )
+    char_p.add_argument("path", help="SWF file to analyse")
+    return parser
+
+
+def _config_from_args(args) -> SimulationConfig:
+    weights = (stats_model.UNBALANCED_WEIGHTS if args.unbalanced
+               else stats_model.BALANCED_WEIGHTS)
+    kwargs = dict(
+        policy=args.policy,
+        component_limit=args.limit,
+        routing_weights=weights,
+        seed=args.seed,
+        warmup_jobs=args.warmup,
+        measured_jobs=args.measured,
+    )
+    if args.policy == "SC":
+        kwargs.update(capacities=(stats_model.SINGLE_CLUSTER_SIZE,),
+                      component_limit=None)
+    return SimulationConfig(**kwargs)
+
+
+def _factory_for(config: SimulationConfig, workload: str) -> JobFactory:
+    return JobFactory(
+        WORKLOADS[workload](), das_t_900(), config.component_limit,
+        clusters=len(config.capacities),
+        extension_factor=config.extension_factor,
+        routing_weights=config.routing_weights,
+        streams=StreamFactory(config.seed),
+    )
+
+
+def _cmd_run(args) -> int:
+    config = _config_from_args(args)
+    sizes = WORKLOADS[args.workload]()
+    service = das_t_900()
+    factory = _factory_for(config, args.workload)
+    rate = factory.arrival_rate_for_gross_utilization(
+        args.utilization, config.capacity
+    )
+    result = run_open_system(config, sizes, service, rate)
+    r = result.report
+    print(f"policy                {config.policy}")
+    print(f"component-size limit  {config.component_limit}")
+    print(f"offered gross util    {result.offered_gross_utilization:.3f}")
+    print(f"measured gross util   {r.gross_utilization:.3f}")
+    print(f"measured net util     {r.net_utilization:.3f}")
+    print(f"mean response time    {r.mean_response:.1f} "
+          f"± {r.response_ci_half_width:.1f} (95% CI)")
+    print(f"mean jobs waiting     {r.mean_jobs_waiting:.1f}")
+    print(f"completed jobs        {r.completed_jobs}")
+    print(f"saturated             {'yes' if result.saturated else 'no'}")
+    return 0
+
+
+def _parse_grid(text: str) -> tuple[float, ...]:
+    try:
+        start, stop, step = (float(x) for x in text.split(":"))
+    except ValueError:
+        raise SystemExit(f"bad grid {text!r}; expected start:stop:step")
+    grid, u = [], start
+    while u <= stop + 1e-9:
+        grid.append(round(u, 10))
+        u += step
+    return tuple(grid)
+
+
+def _cmd_sweep(args) -> int:
+    config = _config_from_args(args)
+    sizes = WORKLOADS[args.workload]()
+    result = sweep(args.policy, config, sizes, das_t_900(),
+                   utilizations=_parse_grid(args.grid))
+    print(tables.render_sweeps(
+        [result], title=f"{args.policy} L={args.limit} ({args.workload})"
+    ))
+    if args.plot:
+        xs, ys = result.series()
+        print(line_plot({result.label: (xs, ys)},
+                        x_label="gross utilization",
+                        y_label="mean response"))
+    if args.json:
+        from repro.analysis.io import save_sweep
+
+        save_sweep(result, args.json)
+        print(f"saved sweep to {args.json}")
+    return 0
+
+
+def _cmd_maxutil(args) -> int:
+    from repro.analysis.theory import gross_net_ratio
+
+    config = _config_from_args(args)
+    sizes = WORKLOADS[args.workload]()
+    ratio = (1.0 if config.component_limit is None
+             else gross_net_ratio(sizes, config.component_limit,
+                                  len(config.capacities)))
+    result = estimate_maximal_utilization(
+        config, sizes, das_t_900(), ratio,
+        backlog=args.backlog, warmup_jobs=args.warmup,
+        measured_jobs=args.measured,
+    )
+    print(f"policy                {config.policy}")
+    print(f"component-size limit  {config.component_limit}")
+    print(f"maximal gross util    {result.gross:.3f}")
+    print(f"maximal net util      {result.net:.3f}")
+    print(f"gross/net ratio       {result.gross_net_ratio:.4f}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    log = generate_das_log(seed=args.seed, num_jobs=args.jobs)
+    count = write_swf(log, args.out)
+    summary = summarize_log(log)
+    print(f"wrote {count} jobs to {args.out}")
+    print(f"mean size {summary.mean_size:.2f}, "
+          f"mean runtime {summary.mean_runtime:.1f}s, "
+          f"{summary.num_distinct_sizes} distinct sizes")
+    return 0
+
+
+def _cmd_trace_info(args) -> int:
+    records = read_swf(args.path)
+    s = summarize_log(records)
+    print(f"jobs                 {s.num_jobs}")
+    print(f"users                {s.num_users}")
+    print(f"distinct sizes       {s.num_distinct_sizes}")
+    print(f"mean size            {s.mean_size:.2f} (CV {s.cv_size:.2f})")
+    print(f"mean runtime         {s.mean_runtime:.1f}s "
+          f"(CV {s.cv_runtime:.2f})")
+    print(f"power-of-two sizes   {s.power_of_two_fraction:.1%}")
+    print(f"below 900s           {s.fraction_below_cutoff:.1%}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    scale = experiments.get_scale(args.scale)
+    name = args.name
+    if name == "table1":
+        print(tables.render_table1(
+            experiments.table1_power_of_two_fractions(scale)))
+    elif name == "table2":
+        print(tables.render_table2(
+            experiments.table2_component_fractions()))
+    elif name == "table3":
+        print(tables.render_table3(
+            experiments.table3_maximal_utilization(scale)))
+    elif name == "fig1":
+        from repro.analysis import bar_chart
+
+        data = experiments.fig1_size_density(scale)
+        merged = {**data["powers"], **data["others"]}
+        top = dict(sorted(merged.items(), key=lambda kv: -kv[1])[:20])
+        print(bar_chart(top, title="Figure 1 — job-size density "
+                                   "(20 most frequent sizes)"))
+    elif name == "fig2":
+        from repro.analysis import bar_chart
+
+        data = experiments.fig2_service_density(scale, bin_width=60.0)
+        print(bar_chart(data["bins"],
+                        title="Figure 2 — service-time density "
+                              f"(mean {data['mean']:.0f}s)"))
+    elif name == "fig3":
+        for limit in stats_model.SIZE_LIMITS:
+            sweeps = experiments.fig3_policy_comparison(limit, scale=scale)
+            print(tables.render_sweeps(
+                sweeps, title=f"Figure 3 — L={limit}, balanced"))
+            print()
+    elif name == "fig4":
+        print(tables.render_fig4(experiments.fig4_lp_saturation(
+            scale=scale)))
+    elif name == "fig5":
+        print(tables.render_sweeps(
+            experiments.fig5_total_size_limit(scale),
+            title="Figure 5 — DAS-s-64 vs DAS-s-128 (L=16, balanced)"))
+    elif name == "fig6":
+        for policy in ("LS", "LP", "GS"):
+            print(tables.render_sweeps(
+                experiments.fig6_component_size_limits(policy,
+                                                       scale=scale),
+                title=f"Figure 6 — {policy} across size limits"))
+            print()
+    elif name == "fig7":
+        for policy in ("LS", "LP", "GS"):
+            print(tables.render_fig7(
+                experiments.fig7_gross_vs_net(policy, 16, scale=scale)))
+            print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    scale = experiments.get_scale(args.scale)
+    rendered = generate_report(args.out, scale=scale,
+                               sections=args.sections)
+    print(f"wrote {len(rendered)} sections to {args.out}:")
+    for title in rendered:
+        print(f"  - {title}")
+    return 0
+
+
+def _cmd_sensitivity(args) -> int:
+    from repro.analysis.sensitivity import (
+        render_tornado,
+        sensitivity_scan,
+    )
+
+    scale = experiments.get_scale(args.scale)
+    results = sensitivity_scan(net_rho=args.net_load,
+                               policy=args.policy, scale=scale)
+    print(render_tornado(results))
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.workload import characterize
+
+    records = read_swf(args.path)
+    print(characterize(records).summary())
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "maxutil": _cmd_maxutil,
+    "trace": _cmd_trace,
+    "trace-info": _cmd_trace_info,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+    "sensitivity": _cmd_sensitivity,
+    "characterize": _cmd_characterize,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

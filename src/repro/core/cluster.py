@@ -1,0 +1,150 @@
+"""Cluster and multicluster processor state.
+
+A :class:`Cluster` is a bank of identical processors allocated by count
+(space sharing: a job holds its processors exclusively until completion).
+A :class:`Multicluster` is an ordered collection of clusters — the paper's
+system is four clusters of 32 processors; the single-cluster reference is
+a multicluster with one 128-processor cluster.
+
+Allocation here is pure bookkeeping: *which* clusters a job's components
+go to is decided by the placement module and the scheduling policies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["Cluster", "Multicluster", "AllocationError"]
+
+
+class AllocationError(RuntimeError):
+    """Raised on impossible allocate/release operations (model bugs)."""
+
+
+class Cluster:
+    """A bank of ``capacity`` identical processors.
+
+    Attributes
+    ----------
+    index:
+        Position of this cluster in its multicluster.
+    capacity:
+        Total processors.
+    free:
+        Currently idle processors.
+    """
+
+    __slots__ = ("index", "capacity", "free")
+
+    def __init__(self, index: int, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.index = index
+        self.capacity = capacity
+        self.free = capacity
+
+    @property
+    def busy(self) -> int:
+        """Processors currently allocated."""
+        return self.capacity - self.free
+
+    def fits(self, procs: int) -> bool:
+        """Whether ``procs`` processors are currently available."""
+        return procs <= self.free
+
+    def allocate(self, procs: int) -> None:
+        """Take ``procs`` processors; raises if not available."""
+        if procs < 1:
+            raise AllocationError(f"allocation must be >= 1, got {procs!r}")
+        if procs > self.free:
+            raise AllocationError(
+                f"cluster {self.index}: requested {procs}, free {self.free}"
+            )
+        self.free -= procs
+
+    def release(self, procs: int) -> None:
+        """Return ``procs`` processors; raises on over-release."""
+        if procs < 1:
+            raise AllocationError(f"release must be >= 1, got {procs!r}")
+        if self.free + procs > self.capacity:
+            raise AllocationError(
+                f"cluster {self.index}: releasing {procs} would exceed "
+                f"capacity ({self.free} free of {self.capacity})"
+            )
+        self.free += procs
+
+    def __repr__(self) -> str:
+        return f"<Cluster {self.index}: {self.busy}/{self.capacity} busy>"
+
+
+class Multicluster:
+    """An ordered collection of clusters with aggregate accounting."""
+
+    def __init__(self, capacities: Sequence[int]):
+        if not capacities:
+            raise ValueError("need at least one cluster")
+        self.clusters = tuple(
+            Cluster(i, c) for i, c in enumerate(capacities)
+        )
+        self.total_capacity = sum(c.capacity for c in self.clusters)
+
+    @classmethod
+    def homogeneous(cls, num_clusters: int, cluster_size: int
+                    ) -> "Multicluster":
+        """The paper's homogeneous system: C clusters of equal size."""
+        return cls([cluster_size] * num_clusters)
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __getitem__(self, index: int) -> Cluster:
+        return self.clusters[index]
+
+    def __iter__(self):
+        return iter(self.clusters)
+
+    @property
+    def total_free(self) -> int:
+        """Idle processors across all clusters."""
+        return sum(c.free for c in self.clusters)
+
+    @property
+    def total_busy(self) -> int:
+        """Allocated processors across all clusters."""
+        return self.total_capacity - self.total_free
+
+    def free_list(self) -> list[int]:
+        """Idle processor counts per cluster (a placement-input snapshot)."""
+        return [c.free for c in self.clusters]
+
+    def allocate(self, assignment: Iterable[tuple[int, int]]) -> None:
+        """Allocate an (cluster index, processors) assignment atomically.
+
+        If any component does not fit, nothing is allocated and
+        :class:`AllocationError` is raised.
+        """
+        assignment = list(assignment)
+        seen: set[int] = set()
+        for idx, procs in assignment:
+            if idx in seen:
+                raise AllocationError(
+                    f"assignment uses cluster {idx} twice "
+                    "(components must go to distinct clusters)"
+                )
+            seen.add(idx)
+            if not self.clusters[idx].fits(procs):
+                raise AllocationError(
+                    f"cluster {idx}: {procs} requested, "
+                    f"{self.clusters[idx].free} free"
+                )
+        for idx, procs in assignment:
+            self.clusters[idx].allocate(procs)
+
+    def release(self, assignment: Iterable[tuple[int, int]]) -> None:
+        """Release a previously allocated assignment."""
+        for idx, procs in assignment:
+            self.clusters[idx].release(procs)
+
+    def __repr__(self) -> str:
+        caps = "+".join(str(c.capacity) for c in self.clusters)
+        return f"<Multicluster {caps} ({self.total_busy} busy)>"

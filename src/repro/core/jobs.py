@@ -1,0 +1,163 @@
+"""Job lifecycle objects for the multicluster model.
+
+A :class:`Job` is created at submission from a workload
+:class:`~repro.workload.generator.JobSpec` and carries its timing and
+placement through the simulation.  Service-time extension (paper §2.4):
+multi-component jobs run for ``extension_factor × service_time`` wall
+time to account for slow wide-area communication; their *net* (useful)
+demand stays ``service_time``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Optional, Sequence
+
+from repro.workload.generator import JobSpec
+
+__all__ = ["Job", "JobState"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle states of a job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+class Job:
+    """A rigid parallel job inside a simulation run.
+
+    Parameters
+    ----------
+    spec:
+        The workload-layer description (size, components, base service
+        time, submission queue).
+    arrival_time:
+        Simulation time of submission.
+    extension_factor:
+        Wide-area slowdown applied if the job has multiple components.
+    """
+
+    __slots__ = (
+        "spec", "arrival_time", "extension_factor",
+        "start_time", "finish_time", "placement", "state",
+        "from_global_queue",
+    )
+
+    def __init__(self, spec: JobSpec, arrival_time: float,
+                 extension_factor: float = 1.25):
+        self.spec = spec
+        self.arrival_time = float(arrival_time)
+        self.extension_factor = (
+            float(extension_factor) if spec.is_multi_component else 1.0
+        )
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.placement: Optional[tuple[tuple[int, int], ...]] = None
+        self.state = JobState.QUEUED
+        #: Whether the job was started from a global queue (LP/GS
+        #: breakdown in the paper's Figure 4).
+        self.from_global_queue = False
+
+    # -- static properties ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total processors required."""
+        return self.spec.size
+
+    @property
+    def components(self) -> tuple[int, ...]:
+        """Component sizes (non-increasing)."""
+        return self.spec.components
+
+    @property
+    def is_multi_component(self) -> bool:
+        """Whether the job is co-allocated over several clusters."""
+        return self.spec.is_multi_component
+
+    @property
+    def origin_queue(self) -> int:
+        """Local queue the job was submitted to."""
+        return self.spec.queue
+
+    @property
+    def net_service_time(self) -> float:
+        """Useful service demand (computation + local communication)."""
+        return self.spec.service_time
+
+    @property
+    def gross_service_time(self) -> float:
+        """Wall-clock occupation: net demand times the extension factor."""
+        return self.spec.service_time * self.extension_factor
+
+    @property
+    def net_work(self) -> float:
+        """Net processor-seconds: size × net service time."""
+        return self.size * self.net_service_time
+
+    @property
+    def gross_work(self) -> float:
+        """Gross processor-seconds: size × gross service time."""
+        return self.size * self.gross_service_time
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self, time: float,
+              placement: Sequence[tuple[int, int]]) -> None:
+        """Record the start of execution with a placement.
+
+        ``placement`` pairs (cluster index, processors) must conserve
+        the job's total size on distinct clusters.  (For unordered and
+        ordered requests the placement mirrors the components exactly;
+        flexible requests may split differently, so only conservation
+        is enforced here.)
+        """
+        if self.state is not JobState.QUEUED:
+            raise RuntimeError(f"cannot start a {self.state.value} job")
+        placed = tuple(placement)
+        if sum(p for _, p in placed) != self.size:
+            raise ValueError(
+                f"placement {placed!r} does not conserve job size "
+                f"{self.size!r}"
+            )
+        clusters = [c for c, _ in placed]
+        if len(set(clusters)) != len(clusters):
+            raise ValueError(
+                f"placement {placed!r} reuses a cluster"
+            )
+        self.start_time = float(time)
+        self.placement = placed
+        self.state = JobState.RUNNING
+
+    def finish(self, time: float) -> None:
+        """Record completion."""
+        if self.state is not JobState.RUNNING:
+            raise RuntimeError(f"cannot finish a {self.state.value} job")
+        self.finish_time = float(time)
+        self.state = JobState.FINISHED
+
+    # -- derived times ----------------------------------------------------------
+
+    @property
+    def wait_time(self) -> float:
+        """Queueing delay (nan while queued)."""
+        if self.start_time is None:
+            return math.nan
+        return self.start_time - self.arrival_time
+
+    @property
+    def response_time(self) -> float:
+        """Departure minus arrival (nan until finished)."""
+        if self.finish_time is None:
+            return math.nan
+        return self.finish_time - self.arrival_time
+
+    def __repr__(self) -> str:
+        return (
+            f"<Job #{self.spec.index} size={self.size} "
+            f"components={self.components} {self.state.value}>"
+        )

@@ -1,0 +1,108 @@
+"""Placement of unordered requests onto distinct clusters.
+
+The paper (§2.3): *"To determine whether an unordered request fits, we try
+to schedule its components in decreasing order of their sizes on distinct
+clusters.  We use Worst Fit (WF) to place the components on clusters."*
+
+Worst Fit assigns each component (largest first) to the cluster with the
+most idle processors among the clusters not yet used by this job; the
+request fits iff every component finds a cluster.  For the *fit decision*
+this greedy rule is optimal (sorted components against sorted free counts
+is exactly Hall's condition here — the test suite verifies this by brute
+force), but the *choice* of clusters still shapes future fragmentation,
+which is why First Fit and Best Fit behave differently over time.
+
+First Fit and Best Fit are provided for the placement ablation study.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+__all__ = [
+    "worst_fit",
+    "first_fit",
+    "best_fit",
+    "place_components",
+    "PLACEMENT_RULES",
+]
+
+#: A placement rule maps (component sizes, free processors per cluster)
+#: to a tuple of (cluster index, processors) pairs, or None if no fit.
+PlacementRule = Callable[
+    [Sequence[int], Sequence[int]], Optional[tuple[tuple[int, int], ...]]
+]
+
+
+def _greedy(components: Sequence[int], free: Sequence[int],
+            choose: Callable[[list[tuple[int, int]]], tuple[int, int]],
+            ) -> Optional[tuple[tuple[int, int], ...]]:
+    """Greedy placement: components in decreasing size order, each on a
+    distinct cluster selected by ``choose`` from the feasible candidates."""
+    if len(components) > len(free):
+        return None
+    ordered = sorted(components, reverse=True)
+    remaining = list(enumerate(free))
+    assignment: list[tuple[int, int]] = []
+    for comp in ordered:
+        candidates = [(idx, f) for idx, f in remaining if f >= comp]
+        if not candidates:
+            return None
+        idx, _ = choose(candidates)
+        assignment.append((idx, comp))
+        remaining = [(i, f) for i, f in remaining if i != idx]
+    return tuple(assignment)
+
+
+def worst_fit(components: Sequence[int], free: Sequence[int]
+              ) -> Optional[tuple[tuple[int, int], ...]]:
+    """Worst Fit: each component goes to the emptiest feasible cluster.
+
+    Ties break toward the lowest cluster index (deterministic).
+    """
+    return _greedy(
+        components, free,
+        choose=lambda cands: max(cands, key=lambda c: (c[1], -c[0])),
+    )
+
+
+def first_fit(components: Sequence[int], free: Sequence[int]
+              ) -> Optional[tuple[tuple[int, int], ...]]:
+    """First Fit: each component goes to the lowest-indexed feasible
+    cluster (ablation alternative)."""
+    return _greedy(
+        components, free,
+        choose=lambda cands: min(cands, key=lambda c: c[0]),
+    )
+
+
+def best_fit(components: Sequence[int], free: Sequence[int]
+             ) -> Optional[tuple[tuple[int, int], ...]]:
+    """Best Fit: each component goes to the feasible cluster with the
+    least free space (ablation alternative).  Ties break toward the
+    lowest index."""
+    return _greedy(
+        components, free,
+        choose=lambda cands: min(cands, key=lambda c: (c[1], c[0])),
+    )
+
+
+#: Registry used by configuration and the ablation benchmark.
+PLACEMENT_RULES: dict[str, PlacementRule] = {
+    "worst-fit": worst_fit,
+    "first-fit": first_fit,
+    "best-fit": best_fit,
+}
+
+
+def place_components(components: Sequence[int], free: Sequence[int],
+                     rule: "str | PlacementRule" = "worst-fit",
+                     ) -> Optional[tuple[tuple[int, int], ...]]:
+    """Place ``components`` on clusters with ``free`` idle processors.
+
+    ``rule`` is a registry name or a placement callable.  Returns the
+    (cluster, processors) assignment or ``None`` if the request does not
+    fit under the rule.
+    """
+    fn = PLACEMENT_RULES[rule] if isinstance(rule, str) else rule
+    return fn(components, free)

@@ -1,0 +1,309 @@
+"""The scheduling policies: GS, LS, LP and the single-cluster SC.
+
+All four policies are FCFS per queue — only the job at the head of a
+queue may start — and differ in how many queues exist, which jobs they
+receive and which clusters each queue may use (paper §2.5):
+
+* :class:`GSPolicy` — one global queue for all jobs; the scheduler picks
+  clusters for every job (Worst Fit over distinct clusters).
+* :class:`LSPolicy` — one local queue per cluster, each receiving both
+  single- and multi-component jobs; single-component jobs may only run on
+  their local cluster, multi-component jobs are co-allocated anywhere.
+* :class:`LPPolicy` — local queues receive the single-component jobs, a
+  global queue receives all multi-component jobs; local queues have
+  priority: the global queue may start jobs only while at least one local
+  queue is empty.
+* :class:`SCPolicy` — the single-cluster reference: total requests in one
+  cluster, FCFS.
+
+Queue mechanics (disable on head-does-not-fit, re-enable at departures in
+disablement order, at most one start per queue per visiting round) follow
+§2.5 verbatim; see :class:`repro.core.queues.QueueRing`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .placement import PlacementRule, place_components
+from .queues import JobQueue, QueueRing
+from .requests import RequestType, try_place
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .jobs import Job
+    from .system import MulticlusterSimulation
+
+__all__ = ["Policy", "GSPolicy", "LSPolicy", "LPPolicy", "SCPolicy",
+           "POLICIES", "make_policy"]
+
+
+class Policy:
+    """Base class wiring a policy to its system.
+
+    Subclasses implement :meth:`submit` (a job arrived) and
+    :meth:`on_departure` (a job left; re-enable queues and try to start
+    more work).  They call ``self.system.start_job(job, assignment)`` to
+    begin execution.
+    """
+
+    #: Registry name, set by subclasses.
+    name: str = "?"
+
+    def __init__(self, system: "MulticlusterSimulation"):
+        self.system = system
+
+    # -- interface -------------------------------------------------------------
+
+    def submit(self, job: "Job") -> None:
+        """Handle a job arrival."""
+        raise NotImplementedError
+
+    def on_departure(self, job: "Job") -> None:
+        """Handle a job departure."""
+        raise NotImplementedError
+
+    def queues(self) -> Sequence[JobQueue]:
+        """All queues of this policy (diagnostics)."""
+        raise NotImplementedError
+
+    def pending_jobs(self) -> int:
+        """Jobs currently waiting in queues."""
+        return sum(len(q) for q in self.queues())
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def _free(self) -> list[int]:
+        return self.system.multicluster.free_list()
+
+    @property
+    def _placement_rule(self) -> PlacementRule:
+        return self.system.placement_rule
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} pending={self.pending_jobs()}>"
+
+
+class _SingleQueuePolicy(Policy):
+    """Shared machinery for GS and SC: one FCFS queue, drain while the
+    head fits."""
+
+    request_type: RequestType = RequestType.UNORDERED
+
+    def __init__(self, system: "MulticlusterSimulation"):
+        super().__init__(system)
+        self.queue = JobQueue("global", is_global=True)
+
+    def queues(self) -> Sequence[JobQueue]:
+        return (self.queue,)
+
+    def submit(self, job: "Job") -> None:
+        self.queue.push(job)
+        self._drain()
+
+    def on_departure(self, job: "Job") -> None:
+        self._drain()
+
+    def _drain(self) -> None:
+        while self.queue:
+            head = self.queue.head
+            assignment = try_place(
+                self.request_type, head.components, self._free,
+                rule=self._placement_rule,
+            )
+            if assignment is None:
+                return
+            self.queue.pop()
+            self.system.start_job(head, assignment,
+                                  from_global_queue=True)
+
+
+class GSPolicy(_SingleQueuePolicy):
+    """[GS] One global scheduler with one global queue for all jobs.
+
+    The scheduler knows the idle counts of every cluster and chooses the
+    clusters for each job — including the cluster of single-component
+    jobs — with Worst Fit.
+    """
+
+    name = "GS"
+    request_type = RequestType.UNORDERED
+
+
+class SCPolicy(_SingleQueuePolicy):
+    """[SC] The single-cluster reference: total requests under FCFS.
+
+    Runs on a system whose multicluster has a single cluster of the
+    combined size; a job fits iff its *total* size fits in one cluster.
+    """
+
+    name = "SC"
+    request_type = RequestType.TOTAL
+
+
+class LSPolicy(Policy):
+    """[LS] One local queue per cluster; all queues receive both job
+    types; single-component jobs run only on the local cluster.
+
+    Scheduling visits all enabled queues round-robin, starting at most
+    one job per queue per round; a queue whose head does not fit is
+    disabled until the next departure; departures re-enable the disabled
+    queues in disablement order.  The multi-queue structure gives LS a
+    backfilling-like window equal to the number of clusters (§3.1.1).
+    """
+
+    name = "LS"
+
+    def __init__(self, system: "MulticlusterSimulation"):
+        super().__init__(system)
+        n = len(system.multicluster)
+        self.local_queues = [JobQueue(f"local-{i}") for i in range(n)]
+        self.ring = QueueRing(self.local_queues)
+
+    def queues(self) -> Sequence[JobQueue]:
+        return tuple(self.local_queues)
+
+    def submit(self, job: "Job") -> None:
+        queue = self.local_queues[job.origin_queue % len(self.local_queues)]
+        queue.push(job)
+        if queue.enabled:
+            self._rounds()
+
+    def on_departure(self, job: "Job") -> None:
+        self.ring.enable_all()
+        self._rounds()
+
+    def _try_fit(self, queue_index: int, job: "Job"
+                 ) -> Optional[tuple[tuple[int, int], ...]]:
+        if job.is_multi_component:
+            return place_components(job.components, self._free,
+                                    self._placement_rule)
+        size = job.size
+        if self.system.multicluster[queue_index].free >= size:
+            return ((queue_index, size),)
+        return None
+
+    def _rounds(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for queue in self.ring.visit():
+                if not queue.enabled or not queue:
+                    continue
+                head = queue.head
+                index = self.local_queues.index(queue)
+                assignment = self._try_fit(index, head)
+                if assignment is None:
+                    self.ring.disable(queue)
+                else:
+                    queue.pop()
+                    self.system.start_job(head, assignment)
+                    progress = True
+
+
+class LPPolicy(Policy):
+    """[LP] Local queues for single-component jobs with priority; a
+    global queue for all multi-component jobs.
+
+    The global scheduler may start jobs only while at least one local
+    queue is empty.  At departures: if one or more local queues are
+    empty, the global queue and the local queues are all enabled,
+    starting with the global queue; otherwise only the local queues are
+    enabled, and the global queue joins the visit list as soon as a local
+    queue empties.
+    """
+
+    name = "LP"
+
+    def __init__(self, system: "MulticlusterSimulation"):
+        super().__init__(system)
+        n = len(system.multicluster)
+        self.local_queues = [JobQueue(f"local-{i}") for i in range(n)]
+        self.global_queue = JobQueue("global", is_global=True)
+        self.ring = QueueRing([self.global_queue] + self.local_queues)
+
+    def queues(self) -> Sequence[JobQueue]:
+        return (self.global_queue, *self.local_queues)
+
+    # -- eligibility --------------------------------------------------------
+
+    def _some_local_empty(self) -> bool:
+        return any(not q for q in self.local_queues)
+
+    # -- events ------------------------------------------------------------------
+
+    def submit(self, job: "Job") -> None:
+        if job.is_multi_component:
+            self.global_queue.push(job)
+        else:
+            queue = self.local_queues[
+                job.origin_queue % len(self.local_queues)
+            ]
+            queue.push(job)
+        self._rounds()
+
+    def on_departure(self, job: "Job") -> None:
+        if self._some_local_empty():
+            self.ring.enable_all(global_first=True)
+        else:
+            self.ring.enable_all(skip_global=True)
+        self._rounds()
+
+    # -- scheduling -------------------------------------------------------------
+
+    def _try_fit(self, queue: JobQueue, job: "Job"
+                 ) -> Optional[tuple[tuple[int, int], ...]]:
+        if queue.is_global:
+            return place_components(job.components, self._free,
+                                    self._placement_rule)
+        index = self.local_queues.index(queue)
+        if self.system.multicluster[index].free >= job.size:
+            return ((index, job.size),)
+        return None
+
+    def _rounds(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for queue in self.ring.visit():
+                if not queue.enabled or not queue:
+                    continue
+                if queue.is_global and not self._some_local_empty():
+                    # Local queues have priority: the global queue only
+                    # schedules while some local queue is empty.
+                    continue
+                head = queue.head
+                assignment = self._try_fit(queue, head)
+                if assignment is None:
+                    self.ring.disable(queue)
+                    continue
+                queue.pop()
+                self.system.start_job(
+                    head, assignment, from_global_queue=queue.is_global
+                )
+                progress = True
+                if (not queue.is_global and not queue
+                        and not self.global_queue.enabled):
+                    # A local queue just emptied: the global queue joins
+                    # the visit list (§2.5, LP rule).
+                    self.ring.reenable(self.global_queue)
+
+
+#: Policy registry by paper name.
+POLICIES = {
+    "GS": GSPolicy,
+    "LS": LSPolicy,
+    "LP": LPPolicy,
+    "SC": SCPolicy,
+}
+
+
+def make_policy(name: str, system: "MulticlusterSimulation") -> Policy:
+    """Instantiate a policy from its registry name."""
+    try:
+        cls = POLICIES[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None
+    return cls(system)

@@ -1,0 +1,97 @@
+"""Request types from the co-allocation taxonomy.
+
+The paper's focus is the **unordered** request (component sizes given, the
+scheduler picks the clusters) compared against the **total** request
+(single number of processors in a single cluster).  The authors' earlier
+work [6, 7] also studies **ordered** requests (component *i* must go to
+cluster *i*) and **flexible** requests (only the total matters; the
+scheduler may split it arbitrarily over clusters).  All four are
+implemented; ordered and flexible feed the request-type ablation bench.
+
+Each request type answers one question: given the per-cluster free
+processor counts, where would this job run?  (``None`` = does not fit.)
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from .placement import PlacementRule, place_components
+
+__all__ = ["RequestType", "try_place"]
+
+
+class RequestType(enum.Enum):
+    """How a job expresses its processor needs."""
+
+    #: Component sizes given; scheduler chooses distinct clusters.
+    UNORDERED = "unordered"
+    #: Component *i* must be allocated in cluster *i*.
+    ORDERED = "ordered"
+    #: One number; scheduler may split arbitrarily over clusters.
+    FLEXIBLE = "flexible"
+    #: One number; must fit inside a single cluster.
+    TOTAL = "total"
+
+
+def _place_ordered(components: Sequence[int], free: Sequence[int]
+                   ) -> Optional[tuple[tuple[int, int], ...]]:
+    if len(components) > len(free):
+        return None
+    assignment = []
+    for idx, comp in enumerate(components):
+        if comp == 0:
+            continue
+        if free[idx] < comp:
+            return None
+        assignment.append((idx, comp))
+    return tuple(assignment)
+
+
+def _place_flexible(total: int, free: Sequence[int]
+                    ) -> Optional[tuple[tuple[int, int], ...]]:
+    if sum(free) < total:
+        return None
+    # Fill emptiest-first (Worst-Fit flavoured) to keep load spread.
+    order = sorted(range(len(free)), key=lambda i: (-free[i], i))
+    need = total
+    assignment = []
+    for idx in order:
+        take = min(free[idx], need)
+        if take > 0:
+            assignment.append((idx, take))
+            need -= take
+        if need == 0:
+            return tuple(assignment)
+    return None  # pragma: no cover - unreachable (sum(free) >= total)
+
+
+def _place_total(total: int, free: Sequence[int]
+                 ) -> Optional[tuple[tuple[int, int], ...]]:
+    candidates = [i for i, f in enumerate(free) if f >= total]
+    if not candidates:
+        return None
+    # Worst Fit among single clusters.
+    idx = max(candidates, key=lambda i: (free[i], -i))
+    return ((idx, total),)
+
+
+def try_place(request_type: RequestType, components: Sequence[int],
+              free: Sequence[int],
+              rule: "str | PlacementRule" = "worst-fit",
+              ) -> Optional[tuple[tuple[int, int], ...]]:
+    """Attempt to place a request; returns the assignment or ``None``.
+
+    ``components`` is the component-size tuple for unordered/ordered
+    requests; for flexible and total requests its *sum* is what matters.
+    """
+    if request_type is RequestType.UNORDERED:
+        return place_components(components, free, rule)
+    if request_type is RequestType.ORDERED:
+        return _place_ordered(components, free)
+    if request_type is RequestType.FLEXIBLE:
+        return _place_flexible(sum(components), free)
+    if request_type is RequestType.TOTAL:
+        return _place_total(sum(components), free)
+    raise ValueError(f"unknown request type {request_type!r}")

@@ -1,0 +1,137 @@
+"""Runtime invariant monitoring and failure injection.
+
+:class:`InvariantMonitor` attaches to a running simulation and checks
+the model's conservation laws after every departure (and on demand):
+
+* processor conservation per cluster (0 ≤ free ≤ capacity);
+* ledger consistency: the processors held by running jobs exactly
+  account for every cluster's busy count;
+* FCFS discipline per queue: jobs in a queue are in arrival order;
+* lifecycle sanity: started ≥ finished, timestamps monotone per job.
+
+Violations raise :class:`InvariantViolation` at the moment the state
+corrupts — vastly easier to debug than a wrong mean response three
+million events later.  The failure-injection tests corrupt the state on
+purpose and assert the monitor catches each class of bug.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .jobs import JobState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import MulticlusterSimulation
+
+__all__ = ["InvariantMonitor", "InvariantViolation"]
+
+
+class InvariantViolation(AssertionError):
+    """A model invariant failed during simulation."""
+
+
+class InvariantMonitor:
+    """Continuous conservation checking for a multicluster simulation.
+
+    Parameters
+    ----------
+    system:
+        The simulation to watch.  The monitor chains onto the system's
+        departure hook (preserving any existing hook) and keeps its own
+        ledger of running jobs.
+    """
+
+    def __init__(self, system: "MulticlusterSimulation"):
+        self.system = system
+        self.running: dict[int, object] = {}
+        self.checks = 0
+        self._wrap_hooks()
+
+    def _wrap_hooks(self) -> None:
+        previous_hook = self.system.on_departure_hook
+        original_start = self.system.start_job
+
+        def start_job(job, assignment, **kwargs):
+            original_start(job, assignment, **kwargs)
+            self.running[id(job)] = job
+
+        def on_departure(job):
+            self.running.pop(id(job), None)
+            self.check()
+            if previous_hook is not None:
+                previous_hook(job)
+
+        self.system.start_job = start_job  # type: ignore[method-assign]
+        self.system.on_departure_hook = on_departure
+
+    # -- checks -----------------------------------------------------------
+
+    def check(self) -> None:
+        """Run every invariant check against the current state."""
+        self.checks += 1
+        self._check_cluster_bounds()
+        self._check_ledger()
+        self._check_queues()
+        self._check_lifecycle_counts()
+
+    def _check_cluster_bounds(self) -> None:
+        for cluster in self.system.multicluster:
+            if not 0 <= cluster.free <= cluster.capacity:
+                raise InvariantViolation(
+                    f"cluster {cluster.index}: free={cluster.free} "
+                    f"outside [0, {cluster.capacity}]"
+                )
+
+    def _check_ledger(self) -> None:
+        held = [0] * len(self.system.multicluster)
+        for job in self.running.values():
+            if job.state is not JobState.RUNNING:
+                raise InvariantViolation(
+                    f"{job!r} in the running ledger but "
+                    f"state={job.state.value}"
+                )
+            for cluster_index, procs in job.placement:
+                held[cluster_index] += procs
+        for cluster in self.system.multicluster:
+            if held[cluster.index] != cluster.busy:
+                raise InvariantViolation(
+                    f"cluster {cluster.index}: busy={cluster.busy} but "
+                    f"running jobs hold {held[cluster.index]}"
+                )
+
+    def _check_queues(self) -> None:
+        for queue in self.system.policy.queues():
+            previous = None
+            for job in queue:
+                if job.state is not JobState.QUEUED:
+                    raise InvariantViolation(
+                        f"{job!r} queued in {queue.name} but "
+                        f"state={job.state.value}"
+                    )
+                if (previous is not None
+                        and job.arrival_time < previous - 1e-12):
+                    raise InvariantViolation(
+                        f"queue {queue.name} out of FCFS order"
+                    )
+                previous = job.arrival_time
+
+    def _check_lifecycle_counts(self) -> None:
+        system = self.system
+        if system.jobs_finished > system.jobs_started:
+            raise InvariantViolation(
+                f"finished ({system.jobs_finished}) exceeds started "
+                f"({system.jobs_started})"
+            )
+        running = system.jobs_started - system.jobs_finished
+        if running != len(self.running):
+            raise InvariantViolation(
+                f"counter says {running} running, ledger has "
+                f"{len(self.running)}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<InvariantMonitor running={len(self.running)} "
+            f"checks={self.checks}>"
+        )

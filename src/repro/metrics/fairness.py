@@ -1,0 +1,119 @@
+"""Per-user fairness metrics.
+
+A policy can have a fine mean response time while a few users absorb
+all the queueing pain (large co-allocated jobs starving behind small
+local ones, or vice versa).  :class:`FairnessTracker` aggregates
+responses (or bounded slowdowns) per user and per job-size class and
+reports
+
+* **Jain's fairness index** J = (Σx)² / (n·Σx²) over per-group means —
+  1 for perfect equality, 1/n for total concentration;
+* the max/min ratio between group means (the "worst user pays X× more"
+  headline number).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.sim.stats import Tally
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.jobs import Job
+
+__all__ = ["FairnessTracker", "jain_index"]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of a vector of nonnegative values."""
+    xs = [float(v) for v in values if not math.isnan(v)]
+    if not xs:
+        raise ValueError("no values")
+    if any(x < 0 for x in xs):
+        raise ValueError("values must be nonnegative")
+    total = sum(xs)
+    squares = sum(x * x for x in xs)
+    if squares == 0:
+        return 1.0
+    return total * total / (len(xs) * squares)
+
+
+#: Job-size classes used for the by-size breakdown.
+SIZE_CLASSES = (
+    ("tiny (1-4)", 1, 4),
+    ("small (5-16)", 5, 16),
+    ("medium (17-32)", 17, 32),
+    ("large (33-64)", 33, 64),
+    ("huge (65-128)", 65, 128),
+)
+
+
+class FairnessTracker:
+    """Aggregates a per-job metric by user and by size class."""
+
+    def __init__(self, metric: str = "bounded_slowdown",
+                 threshold: float = 10.0):
+        if metric not in ("response", "bounded_slowdown"):
+            raise ValueError(f"unknown metric {metric!r}")
+        self.metric = metric
+        self.threshold = threshold
+        self.by_user: dict[int, Tally] = {}
+        self.by_class: dict[str, Tally] = {
+            name: Tally(name) for name, _, _ in SIZE_CLASSES
+        }
+
+    def _value(self, job: "Job") -> float:
+        if self.metric == "response":
+            return job.response_time
+        response = job.response_time
+        service = job.gross_service_time
+        return (max(response, self.threshold)
+                / max(service, self.threshold))
+
+    def record_job(self, job: "Job") -> None:
+        """Record one finished job."""
+        value = self._value(job)
+        user = job.spec.user
+        if user not in self.by_user:
+            self.by_user[user] = Tally(f"user-{user}")
+        self.by_user[user].record(value)
+        for name, lo, hi in SIZE_CLASSES:
+            if lo <= job.size <= hi:
+                self.by_class[name].record(value)
+                break
+
+    # -- summaries ---------------------------------------------------------
+
+    def user_means(self) -> Mapping[int, float]:
+        """Mean metric per user."""
+        return {u: t.mean for u, t in sorted(self.by_user.items())}
+
+    def class_means(self) -> Mapping[str, float]:
+        """Mean metric per size class (classes with data)."""
+        return {
+            name: t.mean for name, t in self.by_class.items()
+            if t.count > 0
+        }
+
+    def user_fairness(self) -> float:
+        """Jain's index over the per-user means."""
+        return jain_index(list(self.user_means().values()))
+
+    def class_fairness(self) -> float:
+        """Jain's index over the per-size-class means."""
+        return jain_index(list(self.class_means().values()))
+
+    def worst_best_ratio(self) -> float:
+        """Max/min ratio of per-class means (how much the worst size
+        class pays relative to the best)."""
+        means = [m for m in self.class_means().values() if m > 0]
+        if not means:
+            return math.nan
+        return max(means) / min(means)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FairnessTracker metric={self.metric} "
+            f"users={len(self.by_user)}>"
+        )

@@ -1,0 +1,68 @@
+"""Maximal-utilization estimation (paper §4, Table 3).
+
+The maximal utilization of a policy — the offered load beyond which the
+system is unstable — is measured with a constant-backlog simulation: the
+queue never drains, and the long-run time-average fraction of busy
+processors is the maximal *gross* utilization.  The maximal *net*
+utilization follows by dividing by the (policy-independent) gross/net
+ratio of the workload.
+
+The paper notes the method applies to policies with a single global
+queue (GS and SC); for multi-queue policies the notion of "constant
+backlog" is routing-dependent, so we keep backlog constant per local
+queue, which the ablation benches use for LS/LP with that caveat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - avoid import cycle with repro.core
+    from repro.core.system import SimulationConfig
+
+__all__ = ["MaximalUtilization", "estimate_maximal_utilization"]
+
+
+@dataclass(frozen=True)
+class MaximalUtilization:
+    """Maximal utilizations of one configuration."""
+
+    config: "SimulationConfig"
+    gross: float
+    net: float
+    gross_net_ratio: float
+
+    def as_row(self) -> tuple[str, float, float]:
+        """(label, gross, net) — a Table 3 row."""
+        label = f"{self.config.policy} L={self.config.component_limit}"
+        return (label, self.gross, self.net)
+
+
+def estimate_maximal_utilization(config: "SimulationConfig",
+                                 size_distribution, service_distribution,
+                                 gross_net_ratio: float, *,
+                                 backlog: int = 50,
+                                 warmup_jobs: int = 2_000,
+                                 measured_jobs: int = 10_000
+                                 ) -> MaximalUtilization:
+    """Estimate the maximal gross and net utilization of ``config``.
+
+    ``gross_net_ratio`` is the workload's gross/net utilization ratio
+    (see :meth:`repro.workload.JobFactory.gross_net_ratio` and
+    :func:`repro.analysis.theory.gross_net_ratio`).
+    """
+    from repro.core.system import run_constant_backlog
+
+    report = run_constant_backlog(
+        config, size_distribution, service_distribution,
+        backlog=backlog, warmup_jobs=warmup_jobs,
+        measured_jobs=measured_jobs,
+    )
+    gross = report.gross_utilization
+    return MaximalUtilization(
+        config=config,
+        gross=gross,
+        net=gross / gross_net_ratio,
+        gross_net_ratio=gross_net_ratio,
+    )

@@ -1,0 +1,93 @@
+"""Slowdown metrics — the job-scheduling literature's fairness lens.
+
+The paper evaluates mean response time; the surrounding literature
+(Feitelson et al.) prefers *slowdown* — response time relative to
+service time — because it exposes how disproportionately short jobs
+suffer from queueing.  Two standard variants:
+
+* slowdown:           ``response / service``
+* bounded slowdown:   ``max(response, τ) / max(service, τ)`` with the
+  customary threshold τ = 10 s, which stops sub-second jobs from
+  dominating the average.
+
+:class:`SlowdownTracker` aggregates both (means via Welford tallies,
+percentiles via P²), with the *gross* service time as denominator so a
+multi-component job is not charged for its own wide-area extension.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.quantiles import QuantileSet
+from repro.sim.stats import Tally
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.jobs import Job
+
+__all__ = ["SlowdownTracker", "bounded_slowdown"]
+
+#: The customary bounded-slowdown threshold (seconds).
+DEFAULT_THRESHOLD = 10.0
+
+
+def bounded_slowdown(response: float, service: float,
+                     threshold: float = DEFAULT_THRESHOLD) -> float:
+    """Bounded slowdown of one job."""
+    if response < 0 or service < 0:
+        raise ValueError("times must be nonnegative")
+    return max(response, threshold) / max(service, threshold)
+
+
+class SlowdownTracker:
+    """Aggregates (bounded) slowdowns over completed jobs."""
+
+    def __init__(self, threshold: float = DEFAULT_THRESHOLD):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold!r}")
+        self.threshold = float(threshold)
+        self.slowdown = Tally("slowdown")
+        self.bounded = Tally("bounded-slowdown")
+        self.bounded_quantiles = QuantileSet()
+
+    def record_job(self, job: "Job") -> None:
+        """Record one finished job."""
+        response = job.response_time
+        service = job.gross_service_time
+        self.slowdown.record(response / max(service, 1e-12))
+        b = bounded_slowdown(response, service, self.threshold)
+        self.bounded.record(b)
+        self.bounded_quantiles.record(b)
+
+    def record(self, response: float, service: float) -> None:
+        """Record one (response, service) pair directly."""
+        self.slowdown.record(response / max(service, 1e-12))
+        b = bounded_slowdown(response, service, self.threshold)
+        self.bounded.record(b)
+        self.bounded_quantiles.record(b)
+
+    @property
+    def mean_slowdown(self) -> float:
+        """Mean raw slowdown."""
+        return self.slowdown.mean
+
+    @property
+    def mean_bounded_slowdown(self) -> float:
+        """Mean bounded slowdown."""
+        return self.bounded.mean
+
+    def percentile(self, p: float) -> float:
+        """Bounded-slowdown percentile from the P² ladder."""
+        return self.bounded_quantiles[p]
+
+    def reset(self) -> None:
+        """Forget everything (warmup deletion)."""
+        self.slowdown.reset()
+        self.bounded.reset()
+        self.bounded_quantiles = QuantileSet()
+
+    def __repr__(self) -> str:
+        return (
+            f"<SlowdownTracker n={self.bounded.count} "
+            f"mean={self.mean_bounded_slowdown:.4g}>"
+        )

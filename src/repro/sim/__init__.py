@@ -1,0 +1,93 @@
+"""``repro.sim`` — a process-oriented discrete-event simulation engine.
+
+This subpackage is the substrate replacing the commercial CSIM18 package
+the paper used: an event calendar with deterministic tie-breaking,
+generator-coroutine processes, interrupts, counted resources, reproducible
+named random streams, input distributions, and steady-state output
+statistics (batch means, time-weighted averages).
+
+Quick example::
+
+    from repro.sim import Simulator, Exponential, StreamFactory
+
+    sim = Simulator()
+    rng = StreamFactory(1).get("arrivals")
+    iat = Exponential(mean=2.0)
+
+    def source(sim):
+        while True:
+            yield sim.timeout(iat.sample(rng))
+            print("arrival at", sim.now)
+
+    sim.process(source(sim))
+    sim.run(until=10)
+"""
+
+from .calendar import CalendarQueue, EventList, HeapEventList
+from .engine import Infinity, Simulator
+from .errors import (
+    EmptySchedule,
+    Interrupt,
+    SchedulingError,
+    SimulationError,
+)
+from .events import AllOf, AnyOf, Condition, Event, Timeout
+from .process import Process
+from .resources import Gate, Grant, PreemptiveResource, Resource, Store
+from .rng import StreamFactory, stream
+from .distributions import (
+    BoundedPareto,
+    ContinuousEmpirical,
+    Deterministic,
+    DiscreteEmpirical,
+    Distribution,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    Lognormal,
+    Mixture,
+    Scaled,
+    TruncatedLognormal,
+    Uniform,
+    Weibull,
+)
+from .quantiles import P2Quantile, QuantileSet
+from .run_length import RunLengthController, StoppingDecision, run_to_precision
+from .warmup import is_warmup_adequate, mser_truncation_point
+from .stats import (
+    BatchMeans,
+    ConfidenceInterval,
+    Histogram,
+    Tally,
+    TimeWeighted,
+    normal_quantile,
+    student_t_quantile,
+)
+from .trace import NullTracer, TraceRecord, Tracer
+
+__all__ = [
+    # engine
+    "Simulator", "Infinity",
+    "EventList", "HeapEventList", "CalendarQueue",
+    # errors
+    "SimulationError", "SchedulingError", "EmptySchedule", "Interrupt",
+    # events & processes
+    "Event", "Timeout", "Condition", "AnyOf", "AllOf", "Process",
+    # resources
+    "Resource", "Grant", "Store", "Gate", "PreemptiveResource",
+    # rng
+    "StreamFactory", "stream",
+    # distributions
+    "Distribution", "Deterministic", "Exponential", "Uniform", "Erlang",
+    "Hyperexponential", "Lognormal", "TruncatedLognormal",
+    "DiscreteEmpirical", "ContinuousEmpirical", "Mixture", "Scaled",
+    "Weibull", "BoundedPareto",
+    # stats
+    "P2Quantile", "QuantileSet",
+    "RunLengthController", "StoppingDecision", "run_to_precision",
+    "mser_truncation_point", "is_warmup_adequate",
+    "Tally", "TimeWeighted", "BatchMeans", "Histogram",
+    "ConfidenceInterval", "normal_quantile", "student_t_quantile",
+    # tracing
+    "Tracer", "NullTracer", "TraceRecord",
+]

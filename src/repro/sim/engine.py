@@ -1,0 +1,227 @@
+"""The simulation engine: a time-ordered event calendar and its driver.
+
+:class:`Simulator` owns the clock and the pending-event heap.  Events are
+processed in (time, priority, insertion order) — ties at the same timestamp
+are broken first by the *urgent* flag (used internally so process
+initialisation and termination precede ordinary events) and then FIFO, which
+makes runs fully deterministic.
+
+Typical usage::
+
+    sim = Simulator()
+
+    def source(sim):
+        while True:
+            yield sim.timeout(1.0)
+            print("tick at", sim.now)
+
+    sim.process(source(sim))
+    sim.run(until=10.0)
+
+The engine is single-threaded and re-entrant-free by design: model code
+runs only inside :meth:`step`, so no locking is ever needed — the usual
+discipline for process-oriented simulation kernels (CSIM, SimPy).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from .calendar import EventList, HeapEventList
+from .errors import EmptySchedule, SchedulingError, StopSimulation
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process, ProcessGenerator
+
+__all__ = ["Simulator", "Infinity"]
+
+#: Convenience alias used for "run forever".
+Infinity = float("inf")
+
+#: Priority rank for urgent (engine-internal) events.
+_URGENT = 0
+#: Priority rank for normal events.
+_NORMAL = 1
+
+
+class Simulator:
+    """Discrete-event simulation kernel.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (default 0).
+    event_list:
+        Pending-event structure; defaults to a binary heap.  Pass a
+        :class:`~repro.sim.calendar.CalendarQueue` for very large event
+        populations.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time.  Only the engine advances it.
+    """
+
+    def __init__(self, initial_time: float = 0.0,
+                 event_list: Optional[EventList] = None):
+        self._now = float(initial_time)
+        self._queue: EventList = (
+            event_list if event_list is not None else HeapEventList()
+        )
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+        #: Monotone counter of processed events (for diagnostics/benchmarks).
+        self.events_processed = 0
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: Optional[str] = None) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition event: fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition event: fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- calendar ----------------------------------------------------------
+
+    def schedule(self, event: Event, *, delay: float = 0.0,
+                 priority: bool = False) -> None:
+        """Place a triggered event on the calendar ``delay`` from now.
+
+        ``priority`` marks engine-internal urgent events which are
+        processed before normal events scheduled at the same time.
+        """
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule into the past ({delay!r})")
+        self._eid += 1
+        rank = _URGENT if priority else _NORMAL
+        self._queue.push((self._now + delay, rank, self._eid, event))
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Invoke ``fn()`` at absolute simulation time ``time``.
+
+        Returns the underlying event so callers can cancel interest by
+        ignoring it; ``fn`` runs as an ordinary event callback.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"call_at({time!r}) is in the past (now={self._now!r})"
+            )
+        ev = Timeout(self, time - self._now)
+        ev.callbacks.append(lambda _ev: fn())  # type: ignore[union-attr]
+        return ev
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        t = self._queue.peek_time()
+        return t if t is not None else Infinity
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one event.
+
+        Raises :class:`EmptySchedule` if the calendar is empty, and
+        re-raises unhandled failed events (model bugs must not pass
+        silently).
+        """
+        try:
+            self._now, _, _, event = self._queue.pop()
+        except IndexError:
+            raise EmptySchedule("no more events scheduled") from None
+
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        self.events_processed += 1
+        for callback in callbacks:  # type: ignore[union-attr]
+            callback(event)
+
+        if event._ok is False and not event._defused:
+            # Nobody handled the failure: crash loudly.
+            raise event._value  # type: ignore[misc]
+
+    def run(self, until: "float | Event | None" = None) -> object:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the calendar empties.
+            * a number — run until the clock reaches that time (the clock
+              is set exactly to it on return).
+            * an :class:`Event` — run until that event is processed and
+              return its value (raising if the event failed).
+        """
+        stop: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop = until
+            if stop.callbacks is None:
+                # Already processed.
+                if stop._ok:
+                    return stop._value
+                raise stop._value  # type: ignore[misc]
+            stop.callbacks.append(self._stop_callback)
+        else:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SchedulingError(
+                    f"run(until={horizon!r}) is in the past (now={self._now!r})"
+                )
+            stop = Event(self)
+            stop._ok = True
+            stop._value = None
+            stop.callbacks.append(self._stop_callback)
+            self.schedule(stop, delay=horizon - self._now, priority=True)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as signal:
+            return signal.value
+        except EmptySchedule:
+            if stop is not None and stop.callbacks is not None:
+                if isinstance(until, Event):
+                    raise SchedulingError(
+                        "run(until=event): calendar emptied before the event "
+                        "triggered"
+                    ) from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        raise event._value  # type: ignore[misc]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Simulator t={self._now:.6g} pending={len(self._queue)} "
+            f"processed={self.events_processed}>"
+        )

@@ -1,0 +1,71 @@
+"""Exception types used by the discrete-event simulation engine.
+
+The engine distinguishes three failure modes:
+
+* :class:`SimulationError` — a structural misuse of the engine (scheduling
+  into the past, running a finished simulation, ...).  These indicate bugs
+  in the model, never ordinary simulation outcomes.
+* :class:`Interrupt` — thrown *into* a process when another process calls
+  :meth:`repro.sim.process.Process.interrupt`.  Models preemption and
+  cancellation; a process may catch it and continue.
+* :class:`StopSimulation` — raised internally to end :meth:`Simulator.run`
+  when the ``until`` event triggers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "SchedulingError",
+    "Interrupt",
+    "StopSimulation",
+    "EmptySchedule",
+]
+
+
+class SimulationError(Exception):
+    """Base class for all engine-level errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled or triggered in an illegal way.
+
+    Examples: scheduling an event at a time earlier than the current
+    simulation time, triggering an already-triggered event, or yielding a
+    non-event object from a process.
+    """
+
+
+class EmptySchedule(SimulationError):
+    """The event calendar ran empty before the run's stop condition."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception that terminates :meth:`Simulator.run`.
+
+    Carries the value of the event that ended the run.  User code never
+    needs to raise or catch this.
+    """
+
+    def __init__(self, value: object = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted by another process.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary object describing why the interrupt happened; made
+        available as :attr:`cause`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]

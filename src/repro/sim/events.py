@@ -1,0 +1,256 @@
+"""Event primitives for the discrete-event simulation engine.
+
+An :class:`Event` is a one-shot occurrence on the simulation timeline.  It
+moves through three states:
+
+``untriggered`` → ``triggered`` (scheduled on the calendar with a value) →
+``processed`` (callbacks have run).
+
+Processes (see :mod:`repro.sim.process`) communicate exclusively through
+events: a process *yields* an event to suspend until the event is processed.
+Composite conditions (:class:`AnyOf`, :class:`AllOf`) let a process wait on
+several events at once.
+
+The design is deliberately close to the classic process-oriented simulation
+libraries (CSIM, SimPy) so that models read like the pseudo-code in the
+simulation literature, but the implementation here is self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from .errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .engine import Simulator
+
+__all__ = ["Event", "Timeout", "Condition", "AnyOf", "AllOf", "PENDING"]
+
+
+class _PendingType:
+    """Sentinel for the value of an event that has not been triggered."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<PENDING>"
+
+
+#: Sentinel marking an event whose value has not been set yet.
+PENDING = _PendingType()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Parameters
+    ----------
+    sim:
+        The :class:`~repro.sim.engine.Simulator` this event belongs to.
+
+    Attributes
+    ----------
+    callbacks:
+        List of callables invoked with the event when it is processed.
+        ``None`` once the event has been processed.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: object = PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded; raises if not yet triggered."""
+        if self._ok is None:
+            raise SchedulingError(f"{self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value (or exception for failed events)."""
+        if self._value is PENDING:
+            raise SchedulingError(f"{self!r} has no value yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: object = None, *, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        The event is placed on the calendar at ``now + delay`` and its
+        callbacks run when the simulator reaches that time.
+        """
+        if self._value is not PENDING:
+            raise SchedulingError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim.schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, *, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        Any process waiting on the event will have the exception thrown
+        into it, unless the failure is defused first.
+        """
+        if self._value is not PENDING:
+            raise SchedulingError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.sim.schedule(self, delay=delay)
+        return self
+
+    def trigger_from(self, event: "Event") -> None:
+        """Trigger this event with the state (ok/value) of ``event``.
+
+        Useful for chaining events: the target mirrors the source.
+        """
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)  # type: ignore[arg-type]
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the engine will not re-raise.
+
+        If a failed event has no waiting process, the engine propagates the
+        exception out of :meth:`Simulator.step` to avoid silently lost
+        errors; defusing suppresses that.
+        """
+        self._defused = True
+
+    @property
+    def defused(self) -> bool:
+        """Whether a failure of this event has been marked as handled."""
+        return self._defused
+
+    # -- composition ------------------------------------------------------
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay.
+
+    Yielding a ``Timeout`` is how a process models the passage of time::
+
+        def worker(sim):
+            yield sim.timeout(3.5)   # advance 3.5 time units
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: object = None):
+        if delay < 0:
+            raise SchedulingError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        sim.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r}>"
+
+
+class Condition(Event):
+    """An event that triggers when a predicate over child events holds.
+
+    Subclasses define :meth:`_check` to decide, after each child event
+    fires, whether the condition is satisfied.  The condition's value is a
+    dict mapping each *triggered* child event to its value, in trigger
+    order (insertion ordered).
+
+    A failing child event fails the whole condition immediately.
+    """
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events: tuple[Event, ...] = tuple(events)
+        self._count = 0
+        for event in self.events:
+            if event.sim is not sim:
+                raise SchedulingError("condition spans multiple simulators")
+        # Immediately evaluate against already-processed children and
+        # subscribe to pending ones.
+        if self._check(0, len(self.events)) and not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)  # type: ignore[union-attr]
+
+    def _check(self, count: int, total: int) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)  # type: ignore[arg-type]
+            return
+        self._count += 1
+        if self._check(self._count, len(self.events)):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, object]:
+        # Only children that have actually *occurred* (been processed)
+        # belong in the value: a Timeout is "triggered" from construction
+        # but has not happened until the calendar reaches it.
+        return {ev: ev._value for ev in self.events if ev.processed and ev._ok}
+
+
+class AnyOf(Condition):
+    """Condition satisfied when at least one child event has triggered."""
+
+    __slots__ = ()
+
+    def _check(self, count: int, total: int) -> bool:
+        return count >= 1 or total == 0
+
+
+class AllOf(Condition):
+    """Condition satisfied when every child event has triggered."""
+
+    __slots__ = ()
+
+    def _check(self, count: int, total: int) -> bool:
+        return count == total

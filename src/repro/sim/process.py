@@ -1,0 +1,178 @@
+"""Process abstraction: generator coroutines driven by the event calendar.
+
+A *process* is a Python generator that yields :class:`~repro.sim.events.Event`
+objects.  Each yield suspends the process until the yielded event is
+processed; the event's value is sent back into the generator (or its
+exception thrown in, for failed events).  When the generator returns, the
+process event itself triggers with the return value, so processes can wait
+for each other::
+
+    def child(sim):
+        yield sim.timeout(5)
+        return "done"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        assert result == "done"
+
+Processes can be interrupted (:meth:`Process.interrupt`), which throws
+:class:`~repro.sim.errors.Interrupt` into the generator at its current
+suspension point; the process may catch it and keep running.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from .errors import Interrupt, SchedulingError
+from .events import Event, PENDING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
+
+__all__ = ["Process", "ProcessGenerator"]
+
+#: Type alias for the generators accepted by :class:`Process`.
+ProcessGenerator = Generator[Event, object, object]
+
+
+class _Initialize(Event):
+    """Internal event that starts a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)  # type: ignore[union-attr]
+        sim.schedule(self, priority=True)
+
+
+class Process(Event):
+    """A running model process; also an event that fires on termination.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    generator:
+        A generator yielding events.
+
+    Notes
+    -----
+    * :attr:`target` is the event the process is currently waiting on
+      (``None`` while the process is being stepped or after it ended).
+    * The process, being an event, triggers when the generator terminates:
+      with the generator's return value on normal exit, or as *failed*
+      with the exception if the generator raised.  An unhandled failure
+      (no one waiting on the process, not defused) is re-raised by the
+      engine and crashes the simulation, which is the desired behaviour
+      for model bugs.
+    """
+
+    __slots__ = ("generator", "target", "name")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise SchedulingError(
+                f"{generator!r} is not a generator; did you forget to call "
+                "the process function?"
+            )
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.target: Optional[Event] = _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resumption.
+
+        Interrupting a dead process or a process waiting on itself is an
+        error.  The event the process was waiting on stays subscribed but
+        its eventual firing is ignored (the process has moved on).
+        """
+        if not self.is_alive:
+            raise SchedulingError(f"{self!r} has terminated; cannot interrupt")
+        if self.target is None:
+            raise SchedulingError(f"{self!r} cannot interrupt itself mid-step")
+        interrupt_event = Event(self.sim)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks = [self._resume]
+        self.sim.schedule(interrupt_event, priority=True)
+
+    # -- engine plumbing ---------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        if not self.is_alive:
+            # A stale wakeup (e.g. the original target of an interrupted
+            # process firing later). Ignore.
+            return
+        self.sim._active_process = self
+        # Detach from the previous target so stale events are recognised.
+        previous = self.target
+        self.target = None
+        try:
+            if event._ok:
+                next_target = self.generator.send(event._value)
+            else:
+                # Mark the failure as handled: it is being delivered.
+                event._defused = True
+                next_target = self.generator.throw(event._value)  # type: ignore[arg-type]
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self._terminate_ok(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self._terminate_fail(exc)
+            return
+        self.sim._active_process = None
+
+        if not isinstance(next_target, Event):
+            err = SchedulingError(
+                f"process {self.name!r} yielded non-event {next_target!r}"
+            )
+            self.generator.throw(err)
+            raise err
+        if next_target.sim is not self.sim:
+            raise SchedulingError(
+                f"process {self.name!r} yielded an event from another simulator"
+            )
+        # Subscribe to the new target; if it is already processed, resume
+        # immediately via a zero-delay priority wakeup to preserve ordering.
+        self.target = next_target
+        if next_target.callbacks is not None:
+            next_target.callbacks.append(self._resume)
+        else:
+            wake = Event(self.sim)
+            wake._ok = next_target._ok
+            wake._value = next_target._value
+            if not next_target._ok:
+                wake._defused = True
+            wake.callbacks = [self._resume]
+            self.sim.schedule(wake, priority=True)
+        # Keep a reference so interrupt() can reason about state.
+        del previous
+
+    def _terminate_ok(self, value: object) -> None:
+        self._ok = True
+        self._value = value
+        self.sim.schedule(self, priority=True)
+
+    def _terminate_fail(self, exc: BaseException) -> None:
+        self._ok = False
+        self._value = exc
+        self.sim.schedule(self, priority=True)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,153 @@
+"""Streaming quantile estimation (the P² algorithm).
+
+Simulation runs produce millions of response times; storing them to
+compute percentiles is wasteful.  The P² algorithm (Jain & Chlamtac,
+CACM 1985) tracks a single quantile with five markers updated in O(1)
+per observation and no storage, converging to the true quantile for
+well-behaved distributions.  :class:`QuantileSet` bundles the common
+percentile ladder (P50/P90/P95/P99) used by the metrics layer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["P2Quantile", "QuantileSet"]
+
+
+class P2Quantile:
+    """Single-quantile P² estimator.
+
+    Parameters
+    ----------
+    p:
+        The quantile to track, in (0, 1) — e.g. 0.95.
+
+    Notes
+    -----
+    Exact while fewer than five observations have been seen (it sorts
+    them); afterwards the five-marker parabolic update applies.
+    """
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"p must be in (0,1), got {p!r}")
+        self.p = float(p)
+        self._initial: list[float] = []
+        # Marker heights, positions and desired positions.
+        self._q: list[float] = []
+        self._n: list[int] = []
+        self._np: list[float] = []
+        self._dn = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self.count = 0
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self.count += 1
+        if self.count <= 5:
+            self._initial.append(float(value))
+            if self.count == 5:
+                self._initial.sort()
+                self._q = list(self._initial)
+                self._n = [0, 1, 2, 3, 4]
+                self._np = [0.0, 2 * self.p, 4 * self.p,
+                            2 + 2 * self.p, 4.0]
+            return
+
+        q, n = self._q, self._n
+        # Locate the cell containing the observation; adjust extremes.
+        if value < q[0]:
+            q[0] = value
+            k = 0
+        elif value >= q[4]:
+            q[4] = value
+            k = 3
+        else:
+            k = 0
+            while value >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1
+        for i in range(5):
+            self._np[i] += self._dn[i]
+
+        # Adjust interior markers with the piecewise-parabolic formula.
+        for i in (1, 2, 3):
+            d = self._np[i] - n[i]
+            if (d >= 1 and n[i + 1] - n[i] > 1) or (
+                    d <= -1 and n[i - 1] - n[i] < -1):
+                d = 1 if d > 0 else -1
+                candidate = self._parabolic(i, d)
+                if not q[i - 1] < candidate < q[i + 1]:
+                    candidate = self._linear(i, d)
+                q[i] = candidate
+                n[i] += d
+
+    def _parabolic(self, i: int, d: int) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: int) -> float:
+        q, n = self._q, self._n
+        return q[i] + d * (q[i + d] - q[i]) / (n[i + d] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (nan when empty)."""
+        if self.count == 0:
+            return math.nan
+        if self.count <= 5 or not self._q:
+            data = sorted(self._initial)
+            idx = min(int(self.p * len(data)), len(data) - 1)
+            return data[idx]
+        return self._q[2]
+
+    def __repr__(self) -> str:
+        return f"<P2Quantile p={self.p} n={self.count} ~{self.value:.6g}>"
+
+
+class QuantileSet:
+    """A ladder of P² estimators sharing the observation stream."""
+
+    DEFAULT_LADDER = (0.5, 0.9, 0.95, 0.99)
+
+    def __init__(self, quantiles: Sequence[float] = DEFAULT_LADDER):
+        if not quantiles:
+            raise ValueError("need at least one quantile")
+        self.estimators = {p: P2Quantile(p) for p in quantiles}
+
+    def record(self, value: float) -> None:
+        """Add one observation to every estimator."""
+        for est in self.estimators.values():
+            est.record(value)
+
+    def record_many(self, values: Iterable[float]) -> None:
+        """Add a sequence of observations."""
+        for v in values:
+            self.record(v)
+
+    def __getitem__(self, p: float) -> float:
+        """Current estimate of quantile ``p``."""
+        return self.estimators[p].value
+
+    def snapshot(self) -> dict[float, float]:
+        """All current estimates, keyed by quantile."""
+        return {p: est.value for p, est in self.estimators.items()}
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        return next(iter(self.estimators.values())).count
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"p{int(p * 100)}={est.value:.4g}"
+            for p, est in sorted(self.estimators.items())
+        )
+        return f"<QuantileSet n={self.count} {inner}>"

@@ -1,0 +1,281 @@
+"""Shared-resource primitives built on the event engine.
+
+Three resource flavours cover the needs of scheduling models:
+
+* :class:`Resource` — a counted resource with FIFO request queue (like a
+  bank of identical servers).  ``request(n)`` returns an event that fires
+  once ``n`` units have been granted; ``release(grant)`` returns them.
+* :class:`Store` — an unbounded (or bounded) FIFO buffer of Python objects
+  with blocking ``get``.
+* :class:`Gate` — a broadcast condition: processes wait until the gate is
+  opened; reopening is allowed (level-triggered latch).
+
+The multicluster model in :mod:`repro.core` manages processor allocation
+itself (placement across clusters is policy logic, not a plain counter),
+but these primitives are used for queue machinery, tests, and example
+models, and make the engine a complete CSIM-class substrate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional
+
+from .errors import SchedulingError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
+
+__all__ = ["Resource", "Grant", "Store", "Gate", "PreemptiveResource"]
+
+
+class Grant(Event):
+    """Pending or satisfied request for units of a :class:`Resource`.
+
+    Fires (with itself as value) once the requested units are allocated.
+    A grant may be cancelled before it is satisfied with :meth:`cancel`.
+    """
+
+    __slots__ = ("resource", "units", "satisfied")
+
+    def __init__(self, resource: "Resource", units: int):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.units = units
+        self.satisfied = False
+
+    def cancel(self) -> None:
+        """Withdraw an unsatisfied request (no-op if already satisfied)."""
+        if not self.satisfied:
+            try:
+                self.resource._waiting.remove(self)
+            except ValueError:
+                pass
+
+    def __repr__(self) -> str:
+        state = "satisfied" if self.satisfied else "waiting"
+        return f"<Grant {self.units} units {state}>"
+
+
+class Resource:
+    """Counted resource with FIFO granting.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Total number of units.
+
+    Notes
+    -----
+    Granting is strict FIFO: a large request at the head blocks smaller
+    requests behind it, exactly like FCFS space sharing without
+    backfilling.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self._available = int(capacity)
+        self._waiting: Deque[Grant] = deque()
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self._available
+
+    @property
+    def in_use(self) -> int:
+        """Units currently allocated."""
+        return self.capacity - self._available
+
+    @property
+    def queue_length(self) -> int:
+        """Number of unsatisfied requests."""
+        return len(self._waiting)
+
+    def request(self, units: int = 1) -> Grant:
+        """Request ``units``; returns an event firing when granted."""
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units!r}")
+        if units > self.capacity:
+            raise SchedulingError(
+                f"request of {units} exceeds capacity {self.capacity}"
+            )
+        grant = Grant(self, units)
+        self._waiting.append(grant)
+        self._dispatch()
+        return grant
+
+    def release(self, grant: Grant) -> None:
+        """Return the units of a satisfied grant."""
+        if not grant.satisfied:
+            raise SchedulingError("cannot release an unsatisfied grant")
+        grant.satisfied = False
+        self._available += grant.units
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._waiting and self._waiting[0].units <= self._available:
+            grant = self._waiting.popleft()
+            self._available -= grant.units
+            grant.satisfied = True
+            grant.succeed(grant)
+
+
+class PreemptiveResource:
+    """Single-unit resource with priority preemption.
+
+    Requests carry a priority (lower number = more important).  A more
+    important request preempts the current holder: the holder's process
+    is interrupted (:class:`~repro.sim.errors.Interrupt` with the
+    preempting grant as cause) and must re-request if it wants the
+    resource back.  Waiting requests are served in (priority, FIFO)
+    order.
+
+    This is the CSIM-style preemptive facility; the space-sharing
+    multicluster model never preempts (jobs run to completion, paper
+    §1), so this class serves tests, examples and derived models.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._holder: Optional[tuple["Event", int, object]] = None
+        self._waiting: list[tuple[int, int, "Event", object]] = []
+        self._seq = 0
+        self.preemptions = 0
+
+    @property
+    def busy(self) -> bool:
+        """Whether some process currently holds the resource."""
+        return self._holder is not None
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting (not counting the holder)."""
+        return len(self._waiting)
+
+    def request(self, priority: int = 0,
+                owner: object = None) -> Event:
+        """Request the resource; the event fires when acquired.
+
+        ``owner`` (typically the requesting :class:`Process`) is the
+        target interrupted on preemption.
+        """
+        grant = Event(self.sim)
+        if self._holder is None:
+            self._holder = (grant, priority, owner)
+            grant.succeed(grant)
+            return grant
+        _, holder_priority, holder_owner = self._holder
+        if priority < holder_priority:
+            # Preempt: interrupt the current owner, hand over.
+            self.preemptions += 1
+            victim = holder_owner
+            self._holder = (grant, priority, owner)
+            grant.succeed(grant)
+            if victim is not None and getattr(victim, "is_alive", False):
+                victim.interrupt(cause=grant)
+            return grant
+        self._seq += 1
+        self._waiting.append((priority, self._seq, grant, owner))
+        self._waiting.sort(key=lambda item: (item[0], item[1]))
+        return grant
+
+    def release(self, grant: Event) -> None:
+        """Release the resource (only the holder may release)."""
+        if self._holder is None or self._holder[0] is not grant:
+            raise SchedulingError(
+                "release by a grant that does not hold the resource"
+            )
+        self._holder = None
+        if self._waiting:
+            priority, _, next_grant, owner = self._waiting.pop(0)
+            self._holder = (next_grant, priority, owner)
+            next_grant.succeed(next_grant)
+
+    def __repr__(self) -> str:
+        state = "busy" if self.busy else "idle"
+        return (
+            f"<PreemptiveResource {state} queue={self.queue_length} "
+            f"preemptions={self.preemptions}>"
+        )
+
+
+class Store:
+    """FIFO buffer of objects with blocking ``get`` and optional bound.
+
+    ``put`` never blocks for unbounded stores; for bounded stores a full
+    ``put`` raises (models here never need blocking puts).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None):
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[object] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple[object, ...]:
+        """Snapshot of buffered items (FIFO order)."""
+        return tuple(self._items)
+
+    def put(self, item: object) -> None:
+        """Insert an item, waking the oldest waiting getter if any."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise SchedulingError(f"store full (capacity {self.capacity})")
+        self._items.append(item)
+        self._dispatch()
+
+    def get(self) -> Event:
+        """Return an event that fires with the oldest item."""
+        ev = Event(self.sim)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        while self._items and self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(self._items.popleft())
+
+
+class Gate:
+    """Broadcast latch: waiters block while closed, all wake on open."""
+
+    def __init__(self, sim: "Simulator", open_: bool = False):
+        self.sim = sim
+        self._open = bool(open_)
+        self._waiters: list[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the gate currently lets waiters pass immediately."""
+        return self._open
+
+    def wait(self) -> Event:
+        """Event that fires immediately if open, else when next opened."""
+        ev = Event(self.sim)
+        if self._open:
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def open(self) -> None:
+        """Open the gate and release every waiter."""
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    def close(self) -> None:
+        """Close the gate; subsequent waiters block."""
+        self._open = False

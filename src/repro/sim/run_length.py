@@ -1,0 +1,146 @@
+"""Sequential run-length control.
+
+Fixed-length runs either waste time (low load: the CI is tight long
+before the job budget ends) or mislead (near saturation: the CI is still
+wide when the budget ends).  The standard remedy (Law & Kelton §9.4) is
+*sequential* control: keep extending the run until the confidence
+interval on the target mean is narrower than a requested relative
+width, up to a hard budget.
+
+:class:`RunLengthController` wraps a :class:`~repro.sim.stats.BatchMeans`
+collector with that stopping rule; :func:`run_to_precision` applies it
+to the multicluster open-system driver.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .stats import BatchMeans, ConfidenceInterval
+
+__all__ = ["RunLengthController", "StoppingDecision", "run_to_precision"]
+
+
+@dataclass(frozen=True)
+class StoppingDecision:
+    """Why a sequential run ended."""
+
+    reason: str               # "precision" | "budget"
+    observations: int
+    ci: ConfidenceInterval
+
+    @property
+    def converged(self) -> bool:
+        """Whether the precision target was met."""
+        return self.reason == "precision"
+
+
+class RunLengthController:
+    """Stopping rule: CI relative half-width below a target.
+
+    Parameters
+    ----------
+    relative_width:
+        Target for ``ci.half_width / |mean|`` (e.g. 0.05 for ±5%).
+    min_batches:
+        Batches required before the rule may fire (guards against
+        lucky early narrow CIs).
+    max_observations:
+        Hard budget; the run stops "budget" when reached.
+    confidence:
+        CI level.
+    """
+
+    def __init__(self, batch_size: int, relative_width: float = 0.05,
+                 min_batches: int = 10,
+                 max_observations: int = 1_000_000,
+                 confidence: float = 0.95):
+        if relative_width <= 0:
+            raise ValueError(
+                f"relative_width must be positive, got {relative_width!r}"
+            )
+        if min_batches < 2:
+            raise ValueError(
+                f"min_batches must be >= 2, got {min_batches!r}"
+            )
+        self.collector = BatchMeans(batch_size)
+        self.relative_width = float(relative_width)
+        self.min_batches = int(min_batches)
+        self.max_observations = int(max_observations)
+        self.confidence = float(confidence)
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self.collector.record(value)
+
+    def should_stop(self) -> Optional[StoppingDecision]:
+        """The stopping decision, or ``None`` to continue."""
+        n = self.collector.count
+        if n >= self.max_observations:
+            return StoppingDecision(
+                "budget", n,
+                self.collector.confidence_interval(self.confidence),
+            )
+        if self.collector.num_batches < self.min_batches:
+            return None
+        # Only check at batch boundaries: the CI changes there.
+        if n % self.collector.batch_size != 0:
+            return None
+        ci = self.collector.confidence_interval(self.confidence)
+        if math.isnan(ci.mean) or ci.mean == 0:
+            return None
+        if ci.relative_width <= self.relative_width:
+            return StoppingDecision("precision", n, ci)
+        return None
+
+
+def run_to_precision(config, size_distribution, service_distribution,
+                     arrival_rate: float, *,
+                     relative_width: float = 0.05,
+                     min_batches: int = 10,
+                     max_jobs: int = 200_000):
+    """Open-system run extended until the response-time CI converges.
+
+    Returns ``(report, decision)``: the metrics report over the whole
+    measurement window and the stopping decision.  Saturated systems
+    never converge, so they stop on budget with ``converged == False``
+    — a statistically explicit version of the saturation flag.
+    """
+    from repro.core.system import _build
+    from repro.sim.rng import StreamFactory
+    from repro.workload.generator import ArrivalProcess
+
+    system, factory = _build(config, size_distribution,
+                             service_distribution)
+    sim = system.sim
+    ArrivalProcess(sim, factory, arrival_rate, system.submit,
+                   limit=None,
+                   rng=StreamFactory(config.seed).get("arrivals.iat"))
+
+    while system.jobs_finished < config.warmup_jobs:
+        sim.step()
+    system.metrics.reset(sim.now)
+
+    controller = RunLengthController(
+        batch_size=config.batch_size,
+        relative_width=relative_width,
+        min_batches=min_batches,
+        max_observations=max_jobs,
+    )
+    decision: Optional[StoppingDecision] = None
+    finished_at_reset = system.jobs_finished
+
+    def on_finish(job) -> None:
+        nonlocal decision
+        if decision is None:
+            controller.record(job.response_time)
+            decision = controller.should_stop()
+
+    system.on_departure_hook = on_finish
+    while decision is None:
+        sim.step()
+    # Run metrics report over exactly the controlled window.
+    del finished_at_reset
+    return system.metrics.report(sim.now), decision

@@ -1,0 +1,103 @@
+"""Lightweight structured tracing for simulation runs.
+
+A :class:`Tracer` collects ``(time, kind, payload)`` records emitted by the
+model (arrivals, starts, departures, queue enable/disable, ...).  Tracing
+is opt-in and costs one predicate call when disabled, so production sweeps
+leave it off while tests and debugging sessions use it to assert event
+orderings precisely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, NamedTuple, Optional
+
+__all__ = ["TraceRecord", "Tracer", "NullTracer"]
+
+
+class TraceRecord(NamedTuple):
+    """One trace entry: simulation time, event kind, free-form payload."""
+
+    time: float
+    kind: str
+    payload: dict
+
+
+class Tracer:
+    """Collects trace records, optionally filtered by kind.
+
+    Parameters
+    ----------
+    kinds:
+        If given, only records whose kind is in this set are kept.
+    limit:
+        Optional hard cap on stored records (oldest kept); protects tests
+        against runaway memory in long runs.
+    """
+
+    def __init__(self, kinds: Optional[Iterable[str]] = None,
+                 limit: Optional[int] = None):
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.limit = limit
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Tracers are always on; :class:`NullTracer` overrides this."""
+        return True
+
+    def emit(self, time: float, kind: str, **payload: object) -> None:
+        """Record one event if it passes the kind filter and cap."""
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if self.limit is not None and len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, kind, payload))
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All stored records of one kind, in time order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def kinds_seen(self) -> set[str]:
+        """Distinct kinds recorded."""
+        return {r.kind for r in self.records}
+
+    def clear(self) -> None:
+        """Drop all stored records."""
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __repr__(self) -> str:
+        return f"<Tracer records={len(self.records)} dropped={self.dropped}>"
+
+
+class NullTracer(Tracer):
+    """A tracer that ignores everything (zero storage, near-zero cost)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    @property
+    def enabled(self) -> bool:
+        """Always false: models may skip payload construction entirely."""
+        return False
+
+    def emit(self, time: float, kind: str, **payload: object) -> None:
+        """Discard the record."""
+
+    def __repr__(self) -> str:
+        return "<NullTracer>"
+
+
+def filter_records(records: Iterable[TraceRecord],
+                   predicate: Callable[[TraceRecord], bool]
+                   ) -> list[TraceRecord]:
+    """Convenience: records satisfying ``predicate``, preserving order."""
+    return [r for r in records if predicate(r)]

@@ -1,0 +1,152 @@
+"""Job reshaping: the user-side cost of a total-size cap.
+
+The paper's §3.2 recommends capping the total job size (DAS-s-64) and
+notes the users' side of the bargain: *"complying to this restriction
+translates into reconfiguring their jobs to use fewer processors and
+accepting the consequence of having longer service times."*  The
+DAS-s-64 experiments drop the large jobs; this module instead *reshapes*
+them, conserving their work:
+
+a job of size s > cap becomes size cap with service time scaled by
+``(s / cap) / efficiency`` — perfect speedup at ``efficiency = 1``,
+sublinear below (the reshaped job needs *more* total processor-seconds,
+modelling parallel inefficiency at the original scale persisting as
+overhead).
+
+:class:`ReshapingJobFactory` wraps any job factory and applies the cap
+on the fly, so every driver and sweep works unchanged; the companion
+experiment asks whether the §3.2 advice survives when the capped jobs'
+work is kept instead of dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .generator import JobFactory, JobSpec
+from .splitting import split_size
+
+__all__ = ["reshape_spec", "ReshapingJobFactory"]
+
+
+def reshape_spec(spec: JobSpec, cap: int, *, efficiency: float = 1.0,
+                 component_limit: Optional[int] = None,
+                 clusters: int = 4) -> JobSpec:
+    """Reshape one job spec to at most ``cap`` processors.
+
+    Jobs at or below the cap are returned unchanged.  Larger jobs get
+    size ``cap`` and service time scaled by ``(size/cap)/efficiency``
+    (work-conserving at efficiency 1).  Components are re-split under
+    ``component_limit`` (or kept single-component if ``None``).
+    """
+    if cap < 1:
+        raise ValueError(f"cap must be >= 1, got {cap!r}")
+    if not 0.0 < efficiency <= 1.0:
+        raise ValueError(
+            f"efficiency must be in (0, 1], got {efficiency!r}"
+        )
+    if spec.size <= cap:
+        return spec
+    scale = (spec.size / cap) / efficiency
+    components = (
+        split_size(cap, component_limit, clusters)
+        if component_limit is not None else (cap,)
+    )
+    return JobSpec(
+        index=spec.index,
+        size=cap,
+        components=components,
+        service_time=spec.service_time * scale,
+        queue=spec.queue,
+        user=spec.user,
+    )
+
+
+class ReshapingJobFactory:
+    """Wraps a :class:`JobFactory`, capping and reshaping its jobs.
+
+    Exposes the same sampling and load-accounting interface, with the
+    expected-work quantities computed for the *reshaped* stream (the
+    whole point: the offered work changes when large jobs get slower).
+    """
+
+    def __init__(self, inner: JobFactory, cap: int, *,
+                 efficiency: float = 1.0):
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap!r}")
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError(
+                f"efficiency must be in (0, 1], got {efficiency!r}"
+            )
+        self.inner = inner
+        self.cap = int(cap)
+        self.efficiency = float(efficiency)
+        self.reshaped_jobs = 0
+
+    def next_job(self) -> JobSpec:
+        """Sample the next (possibly reshaped) job."""
+        spec = self.inner.next_job()
+        reshaped = reshape_spec(
+            spec, self.cap, efficiency=self.efficiency,
+            component_limit=self.inner.component_limit,
+            clusters=self.inner.clusters,
+        )
+        if reshaped is not spec:
+            self.reshaped_jobs += 1
+        return reshaped
+
+    def jobs(self, n: int) -> list[JobSpec]:
+        """Sample ``n`` jobs."""
+        return [self.next_job() for _ in range(n)]
+
+    # -- load accounting (for the reshaped stream) -----------------------
+
+    def _work_factors(self):
+        import numpy as np
+
+        dist = self.inner.size_distribution
+        ext = self.inner.extension_factor
+        limit = self.inner.component_limit
+        clusters = self.inner.clusters
+        sizes = dist.support
+        net = []
+        gross = []
+        for s in sizes:
+            s = int(s)
+            if s <= self.cap:
+                eff_size, scale = s, 1.0
+            else:
+                eff_size = self.cap
+                scale = (s / self.cap) / self.efficiency
+            if limit is not None:
+                multi = len(split_size(eff_size, limit, clusters)) > 1
+            else:
+                multi = False
+            net.append(eff_size * scale)
+            gross.append(eff_size * scale * (ext if multi else 1.0))
+        probs = dist.probabilities
+        return float(np.dot(net, probs)), float(np.dot(gross, probs))
+
+    def expected_net_work(self) -> float:
+        """Mean net processor-seconds per (reshaped) job."""
+        net, _ = self._work_factors()
+        return net * self.inner.service_distribution.mean
+
+    def expected_gross_work(self) -> float:
+        """Mean gross processor-seconds per (reshaped) job."""
+        _, gross = self._work_factors()
+        return gross * self.inner.service_distribution.mean
+
+    def arrival_rate_for_gross_utilization(self, rho: float,
+                                           capacity: int) -> float:
+        """λ achieving offered gross utilization ``rho``."""
+        if rho <= 0:
+            raise ValueError(f"utilization must be positive, got {rho!r}")
+        return rho * capacity / self.expected_gross_work()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReshapingJobFactory cap={self.cap} "
+            f"efficiency={self.efficiency} "
+            f"reshaped={self.reshaped_jobs}>"
+        )

@@ -1,0 +1,78 @@
+"""Splitting total job sizes into per-cluster components.
+
+The paper's rule (§2.4): given a job-component-size limit L and a system
+of C clusters, a job of total size s is split into the smallest number of
+components n such that no component exceeds L — i.e. n = ceil(s / L) —
+clamped to at most C components; the size is then divided as equally as
+possible (components differ by at most one processor).
+
+Jobs whose size exceeds C·L therefore get C components *larger than L*;
+this is unavoidable (the job must fit in C clusters) and matches the
+paper's workload, where size-128 jobs under L=16 become (32,32,32,32).
+
+Examples (the packing-critical size 64 from §3.3):
+
+>>> split_size(64, 16, 4)
+(16, 16, 16, 16)
+>>> split_size(64, 24, 4)
+(22, 21, 21)
+>>> split_size(64, 32, 4)
+(32, 32)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.distributions import DiscreteEmpirical
+
+__all__ = ["num_components", "split_size", "component_fractions",
+           "multi_component_fraction"]
+
+
+def num_components(size: int, limit: int, clusters: int) -> int:
+    """Number of components for a job of ``size`` under limit ``limit``.
+
+    ``min(ceil(size / limit), clusters)`` per the paper's rule.
+    """
+    if size < 1:
+        raise ValueError(f"job size must be >= 1, got {size!r}")
+    if limit < 1:
+        raise ValueError(f"component-size limit must be >= 1, got {limit!r}")
+    if clusters < 1:
+        raise ValueError(f"cluster count must be >= 1, got {clusters!r}")
+    return min(math.ceil(size / limit), clusters)
+
+
+def split_size(size: int, limit: int, clusters: int) -> tuple[int, ...]:
+    """Split ``size`` into components per the paper's rule.
+
+    Returns component sizes in non-increasing order (sizes differ by at
+    most one).  The sum of the components always equals ``size``.
+    """
+    n = num_components(size, limit, clusters)
+    base, rem = divmod(size, n)
+    return (base + 1,) * rem + (base,) * (n - rem)
+
+
+def component_fractions(size_distribution: "DiscreteEmpirical", limit: int,
+                        clusters: int) -> tuple[float, ...]:
+    """Fraction of jobs with 1..clusters components (Table 2 of the paper).
+
+    Computed exactly from the size distribution's probability masses.
+    """
+    fractions = [0.0] * clusters
+    for size, prob in zip(size_distribution.support,
+                          size_distribution.probabilities):
+        n = num_components(int(size), limit, clusters)
+        fractions[n - 1] += float(prob)
+    return tuple(fractions)
+
+
+def multi_component_fraction(size_distribution: "DiscreteEmpirical",
+                             limit: int, clusters: int) -> float:
+    """Fraction of jobs with more than one component."""
+    fractions = component_fractions(size_distribution, limit, clusters)
+    return 1.0 - fractions[0]

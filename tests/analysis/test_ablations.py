@@ -1,0 +1,74 @@
+"""Small-scale tests for the ablation experiment functions."""
+
+import pytest
+
+from repro.analysis.ablations import (
+    backfilling_ablation,
+    das2_heterogeneous_study,
+    extension_factor_ablation,
+    placement_rule_ablation,
+    request_type_ablation,
+    workload_sensitivity_ablation,
+)
+from repro.analysis.experiments import Scale
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return Scale(
+        name="tiny", warmup_jobs=120, measured_jobs=600,
+        grid_step=0.3, grid_stop=0.6,
+        backlog_warmup=120, backlog_measured=600,
+        log_jobs=2_000, seed=19,
+    )
+
+
+def test_placement_rule_ablation(tiny):
+    data = placement_rule_ablation(tiny)
+    utils = data["max_gross_utilization"]
+    assert set(utils) == {"worst-fit", "first-fit", "best-fit"}
+    assert all(0.3 < v < 1.0 for v in utils.values())
+
+
+def test_extension_factor_ablation(tiny):
+    data = extension_factor_ablation(tiny, net_rho=0.35,
+                                     factors=(1.0, 1.25))
+    assert [r["factor"] for r in data["rows"]] == [1.0, 1.25]
+    assert data["sc_response"] > 0
+    for r in data["rows"]:
+        assert r["ls_response"] > 0
+        assert r["ratio_vs_sc"] > 0
+
+
+def test_request_type_ablation(tiny):
+    data = request_type_ablation(tiny)
+    utils = data["max_gross_utilization"]
+    assert set(utils) == {"unordered", "ordered", "flexible",
+                          "total (SC)"}
+    # Dominance holds even at tiny scale (generous slack).
+    assert utils["flexible"] >= utils["ordered"] - 0.05
+
+
+def test_backfilling_ablation(tiny):
+    data = backfilling_ablation(tiny)
+    utils = data["max_gross_utilization"]
+    assert "GS-EASY (reservation)" in utils
+    assert utils["GS-EASY (reservation)"] >= utils["GS (no backfill)"]
+
+
+def test_workload_sensitivity_ablation(tiny):
+    data = workload_sensitivity_ablation(tiny)
+    table = data["max_gross_utilization"]
+    assert set(table) == {"DAS-s-128 (trace)", "log-uniform p2=0.75",
+                          "harmonic"}
+    for row in table.values():
+        assert set(row) == {16, 24, 32}
+
+
+def test_das2_heterogeneous_study(tiny):
+    data = das2_heterogeneous_study(tiny, utilization=0.4)
+    assert data["capacities"] == (72, 32, 32, 32, 32)
+    assert set(data["results"]) == {"GS", "LS", "LP", "SC"}
+    for r in data["results"].values():
+        assert r["mean_response"] > 0
+        assert 0.2 < r["gross_utilization"] < 0.6

@@ -1,0 +1,63 @@
+"""Tests for terminal plotting."""
+
+import math
+
+from repro.analysis import bar_chart, line_plot
+
+
+class TestLinePlot:
+    def test_basic_render(self):
+        out = line_plot(
+            {"a": ([0, 1, 2], [0, 1, 4])},
+            width=20, height=5, title="demo",
+        )
+        assert "demo" in out
+        assert "o=a" in out
+        assert out.count("\n") >= 7
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_plot({
+            "first": ([0, 1], [0, 1]),
+            "second": ([0, 1], [1, 0]),
+        }, width=10, height=4)
+        assert "o=first" in out
+        assert "x=second" in out
+
+    def test_empty_series(self):
+        assert "(no data)" in line_plot({"a": ([], [])})
+
+    def test_nan_points_skipped(self):
+        out = line_plot({"a": ([0, 1], [math.nan, 2.0])}, width=10,
+                        height=4)
+        assert out.count("o") >= 1  # only the valid point plotted
+
+    def test_explicit_ranges_clip(self):
+        out = line_plot(
+            {"a": ([0, 100], [0, 100])},
+            width=10, height=4, x_range=(0, 1), y_range=(0, 1),
+        )
+        assert "o" in out  # the in-range point survives
+
+    def test_degenerate_range(self):
+        out = line_plot({"a": ([1, 1], [5, 5])}, width=10, height=4)
+        assert "o" in out
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        out = bar_chart({"a": 10, "b": 5}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title_and_labels(self):
+        out = bar_chart({"x": 1}, title="chart")
+        assert out.startswith("chart")
+        assert "x |" in out
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart({})
+
+    def test_sorted_keys(self):
+        out = bar_chart({"b": 1, "a": 2})
+        assert out.index("a |") < out.index("b |")

@@ -1,0 +1,95 @@
+"""Tests for curve interpolation and crossover detection."""
+
+import math
+
+import pytest
+
+from repro.analysis.crossings import (
+    crossover_utilization,
+    dominance_interval,
+    interpolate_response,
+)
+from repro.analysis.sweeps import SweepPoint, SweepResult
+from repro.core import SimulationConfig
+
+
+def curve(label, pairs, saturate_last=False):
+    points = []
+    for i, (u, r) in enumerate(pairs):
+        points.append(SweepPoint(
+            offered_gross=u, gross_utilization=u,
+            net_utilization=u * 0.85, mean_response=r,
+            ci_half_width=1.0,
+            saturated=saturate_last and i == len(pairs) - 1,
+        ))
+    return SweepResult(label=label, config=SimulationConfig(),
+                       points=tuple(points))
+
+
+class TestInterpolation:
+    def test_exact_points(self):
+        c = curve("A", [(0.2, 100.0), (0.4, 300.0)])
+        assert interpolate_response(c, 0.2) == 100.0
+        assert interpolate_response(c, 0.4) == 300.0
+
+    def test_midpoint(self):
+        c = curve("A", [(0.2, 100.0), (0.4, 300.0)])
+        assert interpolate_response(c, 0.3) == pytest.approx(200.0)
+
+    def test_no_extrapolation(self):
+        c = curve("A", [(0.2, 100.0), (0.4, 300.0)])
+        assert interpolate_response(c, 0.1) is None
+        assert interpolate_response(c, 0.5) is None
+
+    def test_saturated_points_excluded(self):
+        c = curve("A", [(0.2, 100.0), (0.4, 300.0), (0.6, 9000.0)],
+                  saturate_last=True)
+        assert interpolate_response(c, 0.5) is None
+
+    def test_single_point_returns_none(self):
+        c = curve("A", [(0.3, 100.0)])
+        assert interpolate_response(c, 0.3) is None
+
+
+class TestCrossover:
+    def test_crossing_curves(self):
+        # A: 100 + 1000(u-0.2); B: 200 + 250(u-0.2) — equal at
+        # u = 0.2 + 100/750 = 1/3.
+        a = curve("A", [(0.2, 100.0), (0.6, 500.0)])
+        b = curve("B", [(0.2, 200.0), (0.6, 300.0)])
+        cross = crossover_utilization(a, b)
+        assert cross == pytest.approx(1.0 / 3.0, abs=0.01)
+
+    def test_dominating_curve_no_crossover(self):
+        a = curve("A", [(0.2, 100.0), (0.6, 200.0)])
+        b = curve("B", [(0.2, 300.0), (0.6, 700.0)])
+        assert crossover_utilization(a, b) is None
+
+    def test_disjoint_ranges(self):
+        a = curve("A", [(0.1, 100.0), (0.2, 150.0)])
+        b = curve("B", [(0.5, 300.0), (0.6, 400.0)])
+        assert crossover_utilization(a, b) is None
+
+
+class TestDominance:
+    def test_full_dominance(self):
+        a = curve("A", [(0.2, 100.0), (0.6, 200.0)])
+        b = curve("B", [(0.2, 300.0), (0.6, 700.0)])
+        fraction, cross = dominance_interval(a, b)
+        assert fraction == pytest.approx(1.0)
+        assert cross is None
+
+    def test_partial_dominance(self):
+        # A is faster on [0.2, 1/3) of the [0.2, 0.6] range: 1/3 of it.
+        a = curve("A", [(0.2, 100.0), (0.6, 500.0)])
+        b = curve("B", [(0.2, 200.0), (0.6, 300.0)])
+        fraction, cross = dominance_interval(a, b)
+        assert fraction == pytest.approx(1.0 / 3.0, abs=0.02)
+        assert cross == pytest.approx(1.0 / 3.0, abs=0.01)
+
+    def test_no_overlap_is_nan(self):
+        a = curve("A", [(0.1, 100.0), (0.2, 150.0)])
+        b = curve("B", [(0.5, 300.0), (0.6, 400.0)])
+        fraction, cross = dominance_interval(a, b)
+        assert math.isnan(fraction)
+        assert cross is None

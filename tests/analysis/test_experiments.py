@@ -1,0 +1,125 @@
+"""Tests for the experiment definitions (small scales only)."""
+
+import pytest
+
+from repro.analysis import experiments, tables
+from repro.analysis.experiments import Scale, get_scale
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return Scale(
+        name="tiny", warmup_jobs=150, measured_jobs=800,
+        grid_step=0.2, grid_stop=0.6,
+        backlog_warmup=150, backlog_measured=800,
+        log_jobs=5_000, seed=11,
+    )
+
+
+class TestScale:
+    def test_get_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert get_scale().name == "quick"
+
+    def test_get_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert get_scale().name == "full"
+
+    def test_get_scale_unknown(self):
+        with pytest.raises(ValueError):
+            get_scale("huge")
+
+    def test_registered_scales(self):
+        from repro.analysis.experiments import SCALES
+
+        assert set(SCALES) == {"smoke", "quick", "full"}
+        assert (SCALES["smoke"].measured_jobs
+                < SCALES["quick"].measured_jobs
+                < SCALES["full"].measured_jobs)
+
+    def test_grid(self, tiny):
+        assert tiny.grid() == (0.2, 0.4, 0.6)
+
+    def test_config_sc_overrides(self, tiny):
+        cfg = tiny.config("SC", 16)
+        assert cfg.capacities == (128,)
+        assert cfg.component_limit is None
+
+    def test_config_unbalanced(self, tiny):
+        cfg = tiny.config("LS", 16, balanced=False)
+        assert cfg.routing_weights[0] == 0.40
+
+
+class TestWorkloadExhibits:
+    def test_table1(self, tiny):
+        data = experiments.table1_power_of_two_fractions(tiny)
+        assert len(data["rows"]) == 8
+        for row in data["rows"]:
+            assert row["model"] == pytest.approx(row["paper"], abs=1e-12)
+            assert row["log"] == pytest.approx(row["paper"], abs=0.02)
+        text = tables.render_table1(data)
+        assert "Table 1" in text and "64" in text
+
+    def test_fig1(self, tiny):
+        data = experiments.fig1_size_density(tiny)
+        assert set(data["powers"]) <= {1, 2, 4, 8, 16, 32, 64, 128}
+        assert data["total"] == tiny.log_jobs
+        assert data["distinct_sizes"] > 40
+
+    def test_fig2(self, tiny):
+        data = experiments.fig2_service_density(tiny)
+        assert 0.8 < data["fraction_below_cutoff"] <= 1.0
+        assert 100 < data["mean"] < 500
+        assert all(b < 900 for b in data["bins"])
+
+    def test_table2(self):
+        data = experiments.table2_component_fractions()
+        for row in data["rows"]:
+            assert row["model"] == pytest.approx(row["paper"], abs=1e-9)
+        text = tables.render_table2(data)
+        assert "0.009" in text
+
+
+class TestSimulationExhibits:
+    def test_fig3_returns_four_policies(self, tiny):
+        sweeps = experiments.fig3_policy_comparison(16, scale=tiny)
+        assert [s.label for s in sweeps] == ["LS", "SC", "GS", "LP"]
+        for s in sweeps:
+            assert len(s.points) >= 2
+        text = tables.render_sweeps(sweeps, title="t")
+        assert "performance ranking" in text
+
+    def test_fig4_panels(self, tiny):
+        data = experiments.fig4_lp_saturation(scale=tiny)
+        assert [p["limit"] for p in data["panels"]] == [16, 24, 32]
+        for panel in data["panels"]:
+            assert set(panel["bars"]) == {"GS", "LS", "LP", "SC"}
+            assert panel["net_utilization"] < panel["gross_utilization"]
+        assert "Figure 4" in tables.render_fig4(data)
+
+    def test_fig6_labels(self, tiny):
+        sweeps = experiments.fig6_component_size_limits("LS", scale=tiny)
+        assert [s.label for s in sweeps] == ["LS 16", "LS 24", "LS 32"]
+
+    def test_fig7_ratio_consistency(self, tiny):
+        data = experiments.fig7_gross_vs_net("GS", 16, scale=tiny)
+        sweep_points = data["sweep"].points
+        for p in sweep_points:
+            if p.net_utilization > 0:
+                measured = p.gross_utilization / p.net_utilization
+                assert measured == pytest.approx(
+                    data["theoretical_ratio"], rel=0.02
+                )
+        assert "gross/net ratio" in tables.render_fig7(data)
+
+    def test_table3(self, tiny):
+        data = experiments.table3_maximal_utilization(
+            scale=tiny, include_reference_policies=False,
+        )
+        assert len(data["gs_rows"]) == 3
+        for row in data["gs_rows"]:
+            assert 0.3 < row.gross < 1.0
+            assert row.net == pytest.approx(
+                row.gross / row.gross_net_ratio
+            )
+        assert "Table 3" in tables.render_table3(data)

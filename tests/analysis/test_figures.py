@@ -1,0 +1,93 @@
+"""Tests for multi-panel figure rendering."""
+
+import pytest
+
+from repro.analysis.experiments import Scale
+from repro.analysis.figures import (
+    figure6_grid,
+    figure7_grid,
+    render_panel,
+    side_by_side,
+)
+from repro.analysis.sweeps import SweepPoint, SweepResult
+from repro.core import SimulationConfig
+
+
+def sweep(label, pairs):
+    points = tuple(
+        SweepPoint(offered_gross=u, gross_utilization=u,
+                   net_utilization=u * 0.85, mean_response=r,
+                   ci_half_width=1.0, saturated=False)
+        for u, r in pairs
+    )
+    return SweepResult(label=label, config=SimulationConfig(),
+                       points=points)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return Scale(
+        name="tiny", warmup_jobs=100, measured_jobs=400,
+        grid_step=0.3, grid_stop=0.5,
+        backlog_warmup=100, backlog_measured=400,
+        log_jobs=2_000, seed=23,
+    )
+
+
+class TestSideBySide:
+    def test_joins_horizontally(self):
+        out = side_by_side(["a\nb", "XX\nYY\nZZ"])
+        lines = out.splitlines()
+        assert lines[0] == "a   XX"
+        assert lines[1] == "b   YY"
+        assert lines[2].strip() == "ZZ"
+
+    def test_empty(self):
+        assert side_by_side([]) == ""
+
+    def test_single_panel(self):
+        assert side_by_side(["one\ntwo"]) == "one\ntwo"
+
+
+class TestRenderPanel:
+    def test_contains_series_and_title(self):
+        s1 = sweep("LS", [(0.3, 500), (0.6, 2000)])
+        s2 = sweep("GS", [(0.3, 550), (0.6, 4000)])
+        out = render_panel([s1, s2], title="demo")
+        assert out.startswith("demo")
+        assert "o=LS" in out and "x=GS" in out
+
+    def test_net_axis(self):
+        s = sweep("LS", [(0.4, 700)])
+        out = render_panel([s], title="t", x="net_utilization")
+        assert "o=LS" in out
+
+
+class TestGrids:
+    @pytest.mark.slow
+    def test_figure3_grid_runs(self):
+        from repro.analysis.figures import figure3_grid
+
+        micro = Scale(
+            name="micro", warmup_jobs=60, measured_jobs=250,
+            grid_step=0.3, grid_stop=0.3,
+            backlog_warmup=60, backlog_measured=250,
+            log_jobs=1_000, seed=29,
+        )
+        out = figure3_grid(micro)
+        assert "Figure 3" in out
+        # Six panels: three limits x two balance modes.
+        assert out.count("L=16") == 2
+        assert out.count("L=24") == 2
+        assert out.count("L=32") == 2
+        assert "balanced" in out and "unbalanced" in out
+
+    def test_figure6_grid_shape(self, tiny):
+        out = figure6_grid(tiny, policies=("LS",))
+        assert "Figure 6" in out
+        assert "LS 16" in out or "o=LS 16" in out
+
+    def test_figure7_grid_shape(self, tiny):
+        out = figure7_grid(tiny, policies=("GS",))
+        assert "Figure 7" in out
+        assert "gross" in out and "net" in out

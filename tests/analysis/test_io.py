@@ -1,0 +1,91 @@
+"""Tests for JSON result serialisation."""
+
+import io as stdio
+import json
+
+import pytest
+
+from repro.analysis.io import (
+    FORMAT_VERSION,
+    load_report,
+    load_sweep,
+    save_report,
+    save_sweep,
+)
+from repro.analysis.sweeps import sweep
+from repro.core import SimulationConfig, run_open_system
+from repro.workload import das_s_128, das_t_900
+
+SIZES = das_s_128()
+SERVICE = das_t_900()
+
+
+@pytest.fixture(scope="module")
+def sample_sweep():
+    config = SimulationConfig(policy="GS", component_limit=16,
+                              warmup_jobs=100, measured_jobs=500,
+                              seed=3, batch_size=100)
+    return sweep("GS", config, SIZES, SERVICE, utilizations=(0.3, 0.5))
+
+
+@pytest.fixture(scope="module")
+def sample_report():
+    config = SimulationConfig(policy="GS", component_limit=16,
+                              warmup_jobs=100, measured_jobs=500,
+                              seed=3, batch_size=100)
+    return run_open_system(config, SIZES, SERVICE, 0.005).report
+
+
+class TestSweepRoundtrip:
+    def test_file_roundtrip(self, tmp_path, sample_sweep):
+        path = tmp_path / "sweep.json"
+        save_sweep(sample_sweep, path)
+        back = load_sweep(path)
+        assert back.label == sample_sweep.label
+        assert back.config == sample_sweep.config
+        assert back.points == sample_sweep.points
+
+    def test_stream_roundtrip(self, sample_sweep):
+        buf = stdio.StringIO()
+        save_sweep(sample_sweep, buf)
+        buf.seek(0)
+        back = load_sweep(buf)
+        assert back.points == sample_sweep.points
+
+    def test_json_is_flat_and_versioned(self, sample_sweep):
+        buf = stdio.StringIO()
+        save_sweep(sample_sweep, buf)
+        payload = json.loads(buf.getvalue())
+        assert payload["version"] == FORMAT_VERSION
+        assert payload["format"] == "repro.sweep"
+        assert isinstance(payload["points"][0]["mean_response"], float)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "other", "version": 1}')
+        with pytest.raises(ValueError, match="not a repro sweep"):
+            load_sweep(path)
+
+    def test_wrong_version_rejected(self, tmp_path, sample_sweep):
+        path = tmp_path / "sweep.json"
+        save_sweep(sample_sweep, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_sweep(path)
+
+
+class TestReportRoundtrip:
+    def test_file_roundtrip(self, tmp_path, sample_report):
+        path = tmp_path / "report.json"
+        save_report(sample_report, path)
+        back = load_report(path)
+        assert back.as_dict() == pytest.approx(sample_report.as_dict(),
+                                               nan_ok=True)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "other", "version": 1}')
+        with pytest.raises(ValueError, match="not a repro report"):
+            load_report(path)

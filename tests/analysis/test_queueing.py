@@ -1,0 +1,114 @@
+"""Queueing formulas + end-to-end engine validation against them."""
+
+import pytest
+
+from repro.analysis.queueing import (
+    erlang_c,
+    mean_queue_length,
+    mg1_mean_response,
+    mm1_mean_response,
+    mmc_mean_response,
+    mmc_mean_wait,
+)
+from repro.core import SimulationConfig, run_open_system
+from repro.sim import (
+    Deterministic,
+    DiscreteEmpirical,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+)
+
+
+class TestFormulas:
+    def test_erlang_c_single_server_equals_rho(self):
+        # For c = 1, P(wait) = rho.
+        assert erlang_c(0.6, 1.0, 1) == pytest.approx(0.6)
+
+    def test_erlang_c_known_value(self):
+        # Classic reference: a = 8 Erlangs on c = 10 servers →
+        # Erlang-C ≈ 0.409.
+        assert erlang_c(8.0, 1.0, 10) == pytest.approx(0.409, abs=0.005)
+
+    def test_mmc_reduces_to_mm1(self):
+        assert mmc_mean_response(0.5, 1.0, 1) == pytest.approx(
+            mm1_mean_response(0.5, 1.0)
+        )
+
+    def test_mg1_with_cv1_is_mm1(self):
+        assert mg1_mean_response(0.35, 2.0, 1.0) == pytest.approx(
+            mm1_mean_response(0.35, 2.0)
+        )
+
+    def test_mg1_deterministic_halves_wait(self):
+        # M/D/1 waits half as long as M/M/1.
+        mm1_wait = mg1_mean_response(0.4, 1.0, 1.0) - 1.0
+        md1_wait = mg1_mean_response(0.4, 1.0, 0.0) - 1.0
+        assert md1_wait == pytest.approx(mm1_wait / 2.0)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            mm1_mean_response(1.0, 1.0)
+        with pytest.raises(ValueError):
+            mmc_mean_wait(5.0, 1.0, 4)
+
+    def test_littles_law(self):
+        assert mean_queue_length(2.0, 3.0) == pytest.approx(6.0)
+        with pytest.raises(ValueError):
+            mean_queue_length(0.0, 3.0)
+
+
+def run_degenerate(servers, service_dist, rate, seed=17,
+                   measured=30_000):
+    """Single cluster of `servers` processors, size-1 jobs: an M/G/c."""
+    ones = DiscreteEmpirical([1], [1.0])
+    cfg = SimulationConfig(
+        policy="SC", capacities=(servers,), component_limit=None,
+        warmup_jobs=3_000, measured_jobs=measured, seed=seed,
+    )
+    return run_open_system(cfg, ones, service_dist, rate)
+
+
+class TestEngineAgainstTheory:
+    """The full engine+policy+metrics stack must reproduce closed forms."""
+
+    def test_mm1(self):
+        result = run_degenerate(1, Exponential(1.0), 0.7)
+        assert result.mean_response == pytest.approx(
+            mm1_mean_response(0.7, 1.0), rel=0.06
+        )
+
+    def test_mmc(self):
+        result = run_degenerate(4, Exponential(1.0), 3.0)
+        assert result.mean_response == pytest.approx(
+            mmc_mean_response(3.0, 1.0, 4), rel=0.06
+        )
+
+    def test_md1(self):
+        result = run_degenerate(1, Deterministic(1.0), 0.7)
+        assert result.mean_response == pytest.approx(
+            mg1_mean_response(0.7, 1.0, 0.0), rel=0.06
+        )
+
+    def test_me2_1_low_variability(self):
+        dist = Erlang(2, 1.0)
+        result = run_degenerate(1, dist, 0.7)
+        assert result.mean_response == pytest.approx(
+            mg1_mean_response(0.7, 1.0, dist.cv), rel=0.06
+        )
+
+    def test_mh2_1_high_variability(self):
+        dist = Hyperexponential(0.9, 0.5, 5.5)
+        result = run_degenerate(1, dist, 0.5 / dist.mean, measured=60_000)
+        assert result.mean_response == pytest.approx(
+            mg1_mean_response(0.5 / dist.mean, dist.mean, dist.cv),
+            rel=0.10
+        )
+
+    def test_littles_law_holds_in_simulation(self):
+        rate = 0.6
+        result = run_degenerate(1, Exponential(1.0), rate)
+        expected_l = mean_queue_length(rate, result.mean_response)
+        assert result.report.mean_jobs_in_system == pytest.approx(
+            expected_l, rel=0.08
+        )

@@ -1,0 +1,98 @@
+"""Tests for the replication harness."""
+
+import math
+
+import pytest
+
+from repro.analysis.replications import (
+    paired_comparison,
+    replicate_sweep,
+)
+from repro.core import SimulationConfig
+from repro.workload import das_s_128, das_t_900
+
+SIZES = das_s_128()
+SERVICE = das_t_900()
+
+
+def small_config(policy="GS", **kw):
+    base = dict(policy=policy, component_limit=16, warmup_jobs=150,
+                measured_jobs=800, seed=3, batch_size=100)
+    if policy == "SC":
+        base.update(capacities=(128,), component_limit=None)
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+class TestReplicateSweep:
+    def test_aggregates_each_point(self):
+        rs = replicate_sweep("GS", small_config(), SIZES, SERVICE,
+                             utilizations=(0.3, 0.5), replications=3)
+        assert len(rs.points) == 2
+        for p in rs.points:
+            assert p.replications == 3
+            assert p.mean_response > 0
+            assert not math.isinf(p.response_ci.half_width)
+            assert p.mean_net_utilization < p.mean_gross_utilization
+
+    def test_distinct_seeds(self):
+        rs = replicate_sweep("GS", small_config(), SIZES, SERVICE,
+                             utilizations=(0.3,), replications=3)
+        assert len(set(rs.seeds)) == 3
+
+    def test_ci_narrows_with_more_replications(self):
+        few = replicate_sweep("GS", small_config(), SIZES, SERVICE,
+                              utilizations=(0.4,), replications=2)
+        many = replicate_sweep("GS", small_config(), SIZES, SERVICE,
+                               utilizations=(0.4,), replications=6)
+        assert (many.points[0].response_ci.half_width
+                < few.points[0].response_ci.half_width)
+
+    def test_single_replication_infinite_ci(self):
+        rs = replicate_sweep("GS", small_config(), SIZES, SERVICE,
+                             utilizations=(0.3,), replications=1)
+        assert math.isinf(rs.points[0].response_ci.half_width)
+
+    def test_invalid_replications(self):
+        with pytest.raises(ValueError):
+            replicate_sweep("GS", small_config(), SIZES, SERVICE,
+                            utilizations=(0.3,), replications=0)
+
+    def test_series_shape(self):
+        rs = replicate_sweep("GS", small_config(), SIZES, SERVICE,
+                             utilizations=(0.3, 0.5), replications=2)
+        xs, ys = rs.series()
+        assert len(xs) == len(ys) == 2
+
+    def test_ci_covers_long_run_mean(self):
+        # A long single run's mean must fall inside the replicated CI.
+        from repro.analysis.sweeps import sweep
+
+        rs = replicate_sweep("GS", small_config(), SIZES, SERVICE,
+                             utilizations=(0.4,), replications=6)
+        long_run = sweep(
+            "GS", small_config(measured_jobs=8_000, seed=777),
+            SIZES, SERVICE, utilizations=(0.4,),
+        )
+        point = rs.points[0]
+        long_mean = long_run.points[0].mean_response
+        slack = 3.0 * point.response_ci.half_width
+        assert abs(long_mean - point.mean_response) <= max(slack, 100.0)
+
+
+class TestPairedComparison:
+    def test_lp_worse_than_ls_at_high_load(self):
+        ci = paired_comparison(
+            small_config("LP"), small_config("LS"),
+            SIZES, SERVICE, utilization=0.6, replications=4,
+        )
+        # LP − LS response difference is positive (LP worse).
+        assert ci.mean > 0
+
+    def test_self_comparison_is_zero(self):
+        ci = paired_comparison(
+            small_config("GS"), small_config("GS"),
+            SIZES, SERVICE, utilization=0.4, replications=3,
+        )
+        assert ci.mean == pytest.approx(0.0, abs=1e-9)
+        assert ci.half_width == pytest.approx(0.0, abs=1e-9)

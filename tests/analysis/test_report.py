@@ -1,0 +1,59 @@
+"""Tests for the one-shot report generator (small scale only)."""
+
+import io
+
+import pytest
+
+from repro.analysis.experiments import Scale
+from repro.analysis.report import REPORT_SECTIONS, generate_report
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return Scale(
+        name="tiny", warmup_jobs=100, measured_jobs=500,
+        grid_step=0.3, grid_stop=0.5,
+        backlog_warmup=100, backlog_measured=500,
+        log_jobs=3_000, seed=5,
+    )
+
+
+def test_section_registry_complete():
+    titles = [t for t, _ in REPORT_SECTIONS]
+    assert any("Figure 3" in t for t in titles)
+    assert any("Table 3" in t for t in titles)
+    assert any("Ablations" in t for t in titles)
+
+
+def test_workload_section_only(tiny, tmp_path):
+    out = tmp_path / "report.md"
+    rendered = generate_report(out, scale=tiny,
+                               sections=["workload"])
+    assert rendered == ["Workload validation (Tables 1-2, Figure 2)"]
+    text = out.read_text()
+    assert text.startswith("# Reproduction report")
+    assert "Table 1" in text
+    assert "0.513/0.267/0.009/0.211" in text
+    assert "generated in" in text
+
+
+def test_stream_target(tiny):
+    buf = io.StringIO()
+    generate_report(buf, scale=tiny, sections=["workload"])
+    assert "Table 2" in buf.getvalue()
+
+
+def test_multiple_sections(tiny, tmp_path):
+    out = tmp_path / "r.md"
+    rendered = generate_report(
+        out, scale=tiny, sections=["workload", "table 3"])
+    assert len(rendered) == 2
+    text = out.read_text()
+    assert "maximal utilizations" in text.lower()
+
+
+def test_unknown_section_prefix_renders_nothing(tiny, tmp_path):
+    out = tmp_path / "r.md"
+    rendered = generate_report(out, scale=tiny, sections=["nonexistent"])
+    assert rendered == []
+    assert "# Reproduction report" in out.read_text()

@@ -1,0 +1,67 @@
+"""Tests for the one-factor-at-a-time sensitivity scan."""
+
+import pytest
+
+from repro.analysis.experiments import Scale
+from repro.analysis.sensitivity import (
+    BASE_FACTORS,
+    SensitivityResult,
+    render_tornado,
+    sensitivity_scan,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return Scale(
+        name="tiny", warmup_jobs=150, measured_jobs=800,
+        grid_step=0.2, grid_stop=0.6,
+        backlog_warmup=100, backlog_measured=500,
+        log_jobs=3_000, seed=13,
+    )
+
+
+class TestSensitivityResult:
+    def test_swing(self):
+        r = SensitivityResult("f", (1, 2), (100.0, 250.0), 120.0)
+        assert r.swing == 150.0
+        assert r.relative_swing == pytest.approx(1.25)
+
+
+class TestScan:
+    @pytest.fixture(scope="class")
+    def results(self, tiny):
+        return sensitivity_scan(
+            net_rho=0.35, scale=tiny,
+            factors=["component_limit", "extension_factor",
+                     "size_distribution"],
+        )
+
+    def test_factors_covered(self, results):
+        assert {r.factor for r in results} == {
+            "component_limit", "extension_factor", "size_distribution",
+        }
+
+    def test_sorted_by_swing(self, results):
+        swings = [r.swing for r in results]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_extension_factor_monotone(self, results):
+        ext = next(r for r in results if r.factor == "extension_factor")
+        # Higher extension → no faster responses at fixed net load.
+        assert ext.responses[0] <= ext.responses[-1] * 1.1
+
+    def test_all_responses_positive(self, results):
+        for r in results:
+            assert all(resp > 0 for resp in r.responses)
+            assert r.base_response > 0
+
+    def test_render_tornado(self, results):
+        text = render_tornado(results)
+        assert "Sensitivity scan" in text
+        assert "component_limit" in text
+
+    def test_factor_registry_complete(self):
+        assert {"component_limit", "extension_factor", "routing",
+                "placement", "cluster_shape",
+                "size_distribution"} <= set(BASE_FACTORS)

@@ -1,0 +1,106 @@
+"""Tests for the sweep harness."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    SweepPoint,
+    SweepResult,
+    compare,
+    default_grid,
+    rank_by_performance,
+    sweep,
+    with_seed,
+)
+from repro.core import SimulationConfig
+from repro.workload import das_s_128, das_t_900
+
+
+def make_point(util, resp, saturated=False):
+    return SweepPoint(
+        offered_gross=util, gross_utilization=util, net_utilization=util,
+        mean_response=resp, ci_half_width=resp * 0.1, saturated=saturated,
+    )
+
+
+def make_sweep(label, pairs):
+    points = tuple(make_point(u, r, s) for u, r, s in pairs)
+    return SweepResult(label=label,
+                       config=SimulationConfig(policy="GS"),
+                       points=points)
+
+
+class TestGrid:
+    def test_default_grid(self):
+        grid = default_grid(0.2, 0.4, 0.1)
+        assert grid == (0.2, 0.3, 0.4)
+
+    def test_inclusive_stop(self):
+        assert default_grid(0.1, 0.3, 0.05)[-1] == pytest.approx(0.3)
+
+
+class TestSweepResult:
+    def test_stable_points_and_max(self):
+        s = make_sweep("A", [(0.3, 100, False), (0.5, 200, False),
+                             (0.7, 5000, True)])
+        assert len(s.stable_points) == 2
+        assert s.max_stable_utilization == 0.5
+
+    def test_series_extraction(self):
+        s = make_sweep("A", [(0.3, 100, False), (0.5, 200, False)])
+        xs, ys = s.series()
+        assert xs == [0.3, 0.5]
+        assert ys == [100, 200]
+
+    def test_response_at_nearest(self):
+        s = make_sweep("A", [(0.3, 100, False), (0.5, 200, False)])
+        assert s.response_at(0.31) == 100
+        assert s.response_at(0.8) is None
+
+    def test_compare(self):
+        a = make_sweep("A", [(0.5, 200, False)])
+        b = make_sweep("B", [(0.5, 300, False)])
+        assert compare([a, b], 0.5) == {"A": 200, "B": 300}
+
+
+class TestRanking:
+    def test_higher_stable_utilization_wins(self):
+        good = make_sweep("good", [(0.5, 100, False), (0.7, 200, False)])
+        bad = make_sweep("bad", [(0.5, 100, False), (0.7, 9000, True)])
+        assert rank_by_performance([bad, good]) == ["good", "bad"]
+
+    def test_tiny_utilization_differences_ignored(self):
+        # 0.601 vs 0.603 max-stable must not decide the ranking; the
+        # response at the common point must.
+        a = make_sweep("slow", [(0.601, 900, False)])
+        b = make_sweep("fast", [(0.603, 400, False)])
+        assert rank_by_performance([a, b]) == ["fast", "slow"]
+
+    def test_empty(self):
+        assert rank_by_performance([]) == []
+
+
+class TestRealSweep:
+    def test_short_sweep_end_to_end(self):
+        config = SimulationConfig(policy="GS", component_limit=16,
+                                  warmup_jobs=200, measured_jobs=1000,
+                                  seed=3, batch_size=100)
+        result = sweep("GS", config, das_s_128(), das_t_900(),
+                       utilizations=(0.3, 0.5))
+        assert len(result.points) == 2
+        assert result.points[0].mean_response < result.points[1].mean_response
+        assert result.label == "GS"
+
+    def test_sweep_stops_after_saturation(self):
+        config = SimulationConfig(policy="LP", component_limit=16,
+                                  warmup_jobs=200, measured_jobs=1200,
+                                  seed=3, batch_size=100)
+        result = sweep("LP", config, das_s_128(), das_t_900(),
+                       utilizations=(0.3, 0.95, 0.4, 0.5))
+        # The 0.95 point saturates; the sweep must stop there.
+        assert len(result.points) == 2
+        assert result.points[-1].saturated
+
+    def test_with_seed(self):
+        config = SimulationConfig(policy="GS", seed=1)
+        assert with_seed(config, 9).seed == 9
+        assert config.seed == 1

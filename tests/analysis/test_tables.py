@@ -1,0 +1,66 @@
+"""Direct tests for the text-table renderers."""
+
+import math
+
+from repro.analysis.sweeps import SweepPoint, SweepResult
+from repro.analysis.tables import format_table, render_sweeps
+from repro.core import SimulationConfig
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["name", "value"],
+                           [("a", 1.5), ("long-name", 22.25)],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        assert "long-name" in lines[4]
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [(0.123456,), (1234.5,)])
+        assert "0.123" in out
+        assert "1234" in out and "1234.5" not in out  # >=100 -> no dp
+
+    def test_nan_rendered_as_dash(self):
+        out = format_table(["x"], [(math.nan,)])
+        assert "-" in out.splitlines()[-1]
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_non_numeric_cells(self):
+        out = format_table(["k"], [("plain string",), (42,)])
+        assert "plain string" in out
+        assert "42" in out
+
+
+class TestRenderSweeps:
+    def make(self, label, saturated_last=False):
+        points = [
+            SweepPoint(offered_gross=0.3, gross_utilization=0.31,
+                       net_utilization=0.26, mean_response=400.0,
+                       ci_half_width=20.0, saturated=False),
+            SweepPoint(offered_gross=0.6, gross_utilization=0.58,
+                       net_utilization=0.49, mean_response=2400.0,
+                       ci_half_width=300.0, saturated=saturated_last),
+        ]
+        return SweepResult(label=label, config=SimulationConfig(),
+                           points=tuple(points))
+
+    def test_rows_and_ranking(self):
+        out = render_sweeps([self.make("A"), self.make("B", True)],
+                            title="demo")
+        assert out.startswith("demo")
+        assert out.count("A") >= 2
+        assert "saturated" in out
+        assert "performance ranking" in out
+        # A sustains more load than B (whose last point saturated).
+        assert "A > B" in out
+
+    def test_custom_axis(self):
+        out = render_sweeps([self.make("A")], x="net_utilization")
+        assert "net_utilization" in out
+        assert "0.49" in out

@@ -1,0 +1,78 @@
+"""Tests for the analytic results (gross/net ratios, load algebra)."""
+
+import pytest
+
+from repro.analysis.theory import (
+    arrival_rate_for_utilization,
+    gross_net_ratio,
+    gross_net_ratios_table,
+    mm1_response_time,
+    offered_gross_utilization,
+    weighted_extension,
+)
+from repro.sim.distributions import DiscreteEmpirical
+from repro.workload import das_s_128
+
+
+class TestGrossNetRatio:
+    def test_hand_computable_case(self):
+        # Sizes 10 (single under L=16) and 40 (multi) equally likely:
+        # ratio = (.5*10 + .5*40*1.25) / 25 = 30/25.
+        dist = DiscreteEmpirical([10, 40], [0.5, 0.5])
+        assert gross_net_ratio(dist, 16) == pytest.approx(1.2)
+
+    def test_all_single_component_ratio_one(self):
+        dist = DiscreteEmpirical([4, 8, 16], [1, 1, 1])
+        assert gross_net_ratio(dist, 16) == pytest.approx(1.0)
+
+    def test_paper_figure4_ratios(self):
+        # Figure 4 prints (gross, net) utilization pairs per limit;
+        # their ratios pin the workload's analytic gross/net ratio:
+        # 0.552/0.453=1.219, 0.463/0.395=1.172, 0.544/0.469=1.160.
+        ratios = gross_net_ratios_table(das_s_128())
+        assert ratios[16] == pytest.approx(0.552 / 0.453, abs=0.006)
+        assert ratios[24] == pytest.approx(0.463 / 0.395, abs=0.006)
+        assert ratios[32] == pytest.approx(0.544 / 0.469, abs=0.006)
+
+    def test_ratio_decreases_with_limit(self):
+        # §4: the gross/net gap grows as the limit shrinks.
+        ratios = gross_net_ratios_table(das_s_128())
+        assert ratios[16] > ratios[24] > ratios[32] > 1.0
+
+    def test_weighted_extension_bounds(self):
+        dist = das_s_128()
+        w = weighted_extension(dist, 16)
+        assert dist.mean < w < 1.25 * dist.mean
+
+    def test_extension_factor_parameter(self):
+        dist = DiscreteEmpirical([10, 40], [0.5, 0.5])
+        assert gross_net_ratio(dist, 16, extension_factor=1.0) == (
+            pytest.approx(1.0)
+        )
+        assert gross_net_ratio(dist, 16, extension_factor=1.5) == (
+            pytest.approx((5 + 30) / 25)
+        )
+
+
+class TestLoadAlgebra:
+    def test_rate_utilization_roundtrip(self):
+        rate = arrival_rate_for_utilization(0.6, 30.0, 350.0, 128)
+        assert offered_gross_utilization(rate, 30.0, 350.0, 128) == (
+            pytest.approx(0.6)
+        )
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ValueError):
+            arrival_rate_for_utilization(0.0, 30.0, 350.0, 128)
+
+
+class TestMM1:
+    def test_known_values(self):
+        assert mm1_response_time(0.5, 1.0) == pytest.approx(2.0)
+        assert mm1_response_time(0.9, 2.0) == pytest.approx(20.0)
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            mm1_response_time(1.0)
+        with pytest.raises(ValueError):
+            mm1_response_time(-0.1)

@@ -1,0 +1,117 @@
+"""Unit tests for cluster and multicluster state."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import AllocationError, Cluster, Multicluster
+
+
+class TestCluster:
+    def test_initial_state(self):
+        c = Cluster(0, 32)
+        assert c.free == 32
+        assert c.busy == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Cluster(0, 0)
+
+    def test_allocate_release(self):
+        c = Cluster(0, 32)
+        c.allocate(10)
+        assert c.free == 22
+        assert c.busy == 10
+        c.release(10)
+        assert c.free == 32
+
+    def test_fits(self):
+        c = Cluster(0, 8)
+        c.allocate(5)
+        assert c.fits(3)
+        assert not c.fits(4)
+
+    def test_over_allocation_rejected(self):
+        c = Cluster(0, 8)
+        with pytest.raises(AllocationError):
+            c.allocate(9)
+        c.allocate(8)
+        with pytest.raises(AllocationError):
+            c.allocate(1)
+
+    def test_over_release_rejected(self):
+        c = Cluster(0, 8)
+        c.allocate(3)
+        with pytest.raises(AllocationError):
+            c.release(4)
+
+    def test_nonpositive_amounts_rejected(self):
+        c = Cluster(0, 8)
+        with pytest.raises(AllocationError):
+            c.allocate(0)
+        c.allocate(2)
+        with pytest.raises(AllocationError):
+            c.release(0)
+
+
+class TestMulticluster:
+    def test_paper_system_shape(self):
+        mc = Multicluster.homogeneous(4, 32)
+        assert len(mc) == 4
+        assert mc.total_capacity == 128
+        assert mc.total_free == 128
+        assert mc.free_list() == [32, 32, 32, 32]
+
+    def test_heterogeneous_sizes(self):
+        mc = Multicluster([72, 32, 32, 32, 32])  # the real DAS2 shape
+        assert mc.total_capacity == 200
+        assert mc[0].capacity == 72
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Multicluster([])
+
+    def test_atomic_assignment(self):
+        mc = Multicluster.homogeneous(4, 32)
+        mc.allocate([(0, 16), (2, 16)])
+        assert mc.free_list() == [16, 32, 16, 32]
+        assert mc.total_busy == 32
+        mc.release([(0, 16), (2, 16)])
+        assert mc.total_free == 128
+
+    def test_atomicity_on_failure(self):
+        mc = Multicluster.homogeneous(4, 32)
+        mc.allocate([(1, 30)])
+        with pytest.raises(AllocationError):
+            mc.allocate([(0, 10), (1, 10)])  # cluster 1 can't hold 10
+        # Nothing from the failed assignment may have been applied.
+        assert mc.free_list() == [32, 2, 32, 32]
+
+    def test_distinct_cluster_constraint(self):
+        mc = Multicluster.homogeneous(4, 32)
+        with pytest.raises(AllocationError):
+            mc.allocate([(0, 10), (0, 10)])
+
+    def test_iteration_order(self):
+        mc = Multicluster([8, 16, 24])
+        assert [c.capacity for c in mc] == [8, 16, 24]
+        assert [c.index for c in mc] == [0, 1, 2]
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 3), st.integers(1, 32)),
+        min_size=0, max_size=20,
+    ))
+    def test_conservation_property(self, ops):
+        mc = Multicluster.homogeneous(4, 32)
+        held = []
+        for idx, procs in ops:
+            try:
+                mc.allocate([(idx, procs)])
+                held.append((idx, procs))
+            except AllocationError:
+                pass
+            assert mc.total_busy + mc.total_free == 128
+            assert all(0 <= c.free <= c.capacity for c in mc)
+        for idx, procs in held:
+            mc.release([(idx, procs)])
+        assert mc.total_free == 128

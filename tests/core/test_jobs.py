@@ -1,0 +1,90 @@
+"""Tests for the Job lifecycle object."""
+
+import math
+
+import pytest
+
+from repro.core import Job, JobState
+from repro.workload import JobSpec
+
+
+def spec(size=16, components=(16,), service=100.0, queue=0, index=0):
+    return JobSpec(index=index, size=size, components=components,
+                   service_time=service, queue=queue)
+
+
+class TestExtension:
+    def test_single_component_not_extended(self):
+        job = Job(spec(), arrival_time=0.0, extension_factor=1.25)
+        assert job.extension_factor == 1.0
+        assert job.gross_service_time == 100.0
+        assert job.net_service_time == 100.0
+
+    def test_multi_component_extended(self):
+        job = Job(spec(size=32, components=(16, 16)), 0.0, 1.25)
+        assert job.extension_factor == 1.25
+        assert job.gross_service_time == pytest.approx(125.0)
+        assert job.net_service_time == 100.0
+
+    def test_work_accounting(self):
+        job = Job(spec(size=32, components=(16, 16)), 0.0, 1.25)
+        assert job.net_work == pytest.approx(3200.0)
+        assert job.gross_work == pytest.approx(4000.0)
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        job = Job(spec(), 5.0)
+        assert job.state is JobState.QUEUED
+        assert math.isnan(job.wait_time)
+        assert math.isnan(job.response_time)
+
+    def test_start_finish_times(self):
+        job = Job(spec(size=32, components=(16, 16)), 10.0, 1.25)
+        job.start(25.0, [(0, 16), (2, 16)])
+        assert job.state is JobState.RUNNING
+        assert job.wait_time == 15.0
+        job.finish(150.0)
+        assert job.state is JobState.FINISHED
+        assert job.response_time == 140.0
+
+    def test_placement_must_conserve_size(self):
+        job = Job(spec(size=32, components=(16, 16)), 0.0)
+        with pytest.raises(ValueError):
+            job.start(0.0, [(0, 16), (1, 15)])  # loses a processor
+        with pytest.raises(ValueError):
+            job.start(0.0, [(0, 16), (0, 16)])  # reuses a cluster
+
+    def test_flexible_placement_may_differ_from_components(self):
+        # Flexible requests split at the scheduler's discretion.
+        job = Job(spec(size=32, components=(16, 16)), 0.0)
+        job.start(0.0, [(2, 30), (3, 2)])
+        assert job.placement == ((2, 30), (3, 2))
+
+    def test_placement_order_free(self):
+        job = Job(spec(size=30, components=(20, 10)), 0.0)
+        job.start(0.0, [(3, 10), (1, 20)])
+        assert job.placement == ((3, 10), (1, 20))
+
+    def test_cannot_start_twice(self):
+        job = Job(spec(), 0.0)
+        job.start(1.0, [(0, 16)])
+        with pytest.raises(RuntimeError):
+            job.start(2.0, [(0, 16)])
+
+    def test_cannot_finish_before_start(self):
+        job = Job(spec(), 0.0)
+        with pytest.raises(RuntimeError):
+            job.finish(10.0)
+
+    def test_from_global_queue_default_false(self):
+        assert Job(spec(), 0.0).from_global_queue is False
+
+
+def test_spec_properties_passthrough():
+    job = Job(spec(size=64, components=(22, 21, 21), queue=2, index=7), 0.0)
+    assert job.size == 64
+    assert job.components == (22, 21, 21)
+    assert job.is_multi_component
+    assert job.origin_queue == 2
+    assert "#7" in repr(job)

@@ -1,0 +1,300 @@
+"""Behavioural tests for the GS / LS / LP / SC scheduling policies.
+
+Each test drives a :class:`MulticlusterSimulation` with hand-crafted job
+specs at chosen times and asserts starts, blockings and queue states —
+pinning down the §2.5 protocol decisions one by one.
+"""
+
+import pytest
+
+from repro.core import MulticlusterSimulation
+from repro.workload import JobSpec
+from repro.workload.splitting import split_size
+
+
+class Harness:
+    """Submits hand-crafted jobs into a simulation at chosen times."""
+
+    def __init__(self, policy, capacities=(32, 32, 32, 32), **kwargs):
+        self.system = MulticlusterSimulation(policy, capacities, **kwargs)
+        self.sim = self.system.sim
+        self._index = 0
+        self.jobs = {}
+
+    def submit_at(self, time, size, *, components=None, service=100.0,
+                  queue=0, label=None):
+        if components is None:
+            components = (size,)
+        spec = JobSpec(index=self._index, size=size,
+                       components=tuple(components), service_time=service,
+                       queue=queue)
+        label = label if label is not None else self._index
+        self._index += 1
+
+        def do_submit():
+            self.jobs[label] = self.system.submit(spec)
+
+        self.sim.call_at(time, do_submit)
+        return label
+
+    def run(self, until=None):
+        self.sim.run(until=until)
+
+    def started(self, label):
+        return self.jobs[label].start_time
+
+    def placement(self, label):
+        return dict(self.jobs[label].placement or ())
+
+
+class TestGS:
+    def test_fcfs_no_backfilling(self):
+        h = Harness("GS")
+        big = h.submit_at(0.0, 120, components=(30, 30, 30, 30),
+                          service=50.0)
+        blocker = h.submit_at(1.0, 64, components=(16, 16, 16, 16),
+                              service=50.0)
+        small = h.submit_at(2.0, 1, service=10.0)
+        h.run()
+        # The small job fits at t=2 (2 processors free per cluster) but
+        # must wait behind the blocked 64-job (FCFS, no backfilling).
+        # The 120-job is multi-component: gross service 50 * 1.25 = 62.5.
+        assert h.started(big) == 0.0
+        assert h.started(blocker) == pytest.approx(62.5)
+        assert h.started(small) == pytest.approx(62.5)
+
+    def test_single_component_worst_fit_cluster_choice(self):
+        h = Harness("GS")
+        a = h.submit_at(0.0, 20, service=1000.0)   # -> cluster 0 (tie)
+        b = h.submit_at(1.0, 20, service=1000.0)   # -> cluster 1 (emptiest)
+        h.run(until=10.0)
+        assert h.placement(a) == {0: 20}
+        assert h.placement(b) == {1: 20}
+
+    def test_multi_component_distinct_clusters(self):
+        h = Harness("GS")
+        job = h.submit_at(0.0, 64, components=(16, 16, 16, 16),
+                          service=10.0)
+        h.run()
+        assert sorted(h.placement(job)) == [0, 1, 2, 3]
+
+    def test_departure_unblocks_head(self):
+        h = Harness("GS")
+        filler = h.submit_at(0.0, 120, components=(30, 30, 30, 30),
+                             service=100.0)
+        waiter = h.submit_at(1.0, 64, components=(16, 16, 16, 16),
+                             service=10.0)
+        h.run()
+        assert h.started(filler) == 0.0
+        # Multi-component job: gross service = 100 * 1.25 = 125.
+        assert h.started(waiter) == pytest.approx(125.0)
+
+    def test_extension_factor_applied_to_multi_only(self):
+        h = Harness("GS")
+        multi = h.submit_at(0.0, 32, components=(16, 16), service=100.0)
+        single = h.submit_at(0.0, 16, service=100.0)
+        h.run()
+        assert h.jobs[multi].response_time == pytest.approx(125.0)
+        assert h.jobs[single].response_time == pytest.approx(100.0)
+
+
+class TestSC:
+    def test_total_request_single_cluster(self):
+        h = Harness("SC", capacities=(128,))
+        job = h.submit_at(0.0, 100, service=10.0)
+        h.run()
+        assert h.placement(job) == {0: 100}
+
+    def test_full_system_job_forces_drain(self):
+        h = Harness("SC", capacities=(128,))
+        a = h.submit_at(0.0, 60, service=100.0)
+        b = h.submit_at(1.0, 60, service=200.0)
+        monster = h.submit_at(2.0, 128, service=10.0)
+        late = h.submit_at(3.0, 1, service=1.0)
+        h.run()
+        # The 128-job waits for the entire system to empty (t=201) even
+        # though 8 processors idle meanwhile; the trailing size-1 job
+        # waits behind it (§3.2).
+        assert h.started(a) == 0.0
+        assert h.started(b) == 1.0
+        assert h.started(monster) == pytest.approx(201.0)
+        assert h.started(late) == pytest.approx(211.0)
+
+    def test_never_extended(self):
+        h = Harness("SC", capacities=(128,))
+        job = h.submit_at(0.0, 64, service=100.0)
+        h.run()
+        assert h.jobs[job].response_time == pytest.approx(100.0)
+
+
+class TestLS:
+    def test_single_component_restricted_to_local_cluster(self):
+        h = Harness("LS")
+        filler = h.submit_at(0.0, 30, queue=1, service=100.0)
+        local = h.submit_at(1.0, 10, queue=1, service=10.0)
+        h.run()
+        # Cluster 1 has only 2 free; clusters 0,2,3 are empty, but the
+        # single-component job may only use its local cluster 1.
+        assert h.started(filler) == 0.0
+        assert h.started(local) == pytest.approx(100.0)
+        assert h.placement(local) == {1: 10}
+
+    def test_multi_component_spread_from_any_queue(self):
+        h = Harness("LS")
+        job = h.submit_at(0.0, 64, components=(16, 16, 16, 16), queue=2,
+                          service=10.0)
+        h.run()
+        assert sorted(h.placement(job)) == [0, 1, 2, 3]
+
+    def test_blocked_queue_does_not_block_other_queues(self):
+        # The multi-queue structure acts as a backfilling window (§3.1.1).
+        h = Harness("LS")
+        filler = h.submit_at(0.0, 30, queue=0, service=100.0)
+        blocked = h.submit_at(1.0, 10, queue=0, service=10.0)
+        other = h.submit_at(2.0, 10, queue=1, service=10.0)
+        h.run()
+        assert h.started(blocked) == pytest.approx(100.0)
+        assert h.started(other) == 2.0  # queue 1 unaffected
+
+    def test_fcfs_within_queue(self):
+        h = Harness("LS")
+        filler = h.submit_at(0.0, 30, queue=0, service=100.0)
+        first = h.submit_at(1.0, 10, queue=0, service=10.0)
+        second = h.submit_at(2.0, 1, queue=0, service=1.0)
+        h.run()
+        # The size-1 job fits cluster 0 at t=2 but is behind the blocked
+        # head of its own queue.
+        assert h.started(first) == pytest.approx(100.0)
+        assert h.started(second) == pytest.approx(100.0)
+
+    def test_disabled_queue_ignores_arrivals_until_departure(self):
+        h = Harness("LS")
+        filler = h.submit_at(0.0, 32, queue=0, service=50.0)
+        blocked = h.submit_at(1.0, 5, queue=0, service=10.0)  # disables q0
+        # At t=2 cluster 0 is still full; the arrival must not start
+        # anything, and at t=50 the departure re-enables the queue —
+        # then both waiting jobs start in the same visiting rounds.
+        also_blocked = h.submit_at(2.0, 1, queue=0, service=10.0)
+        h.run()
+        assert h.started(filler) == 0.0
+        assert h.started(blocked) == pytest.approx(50.0)
+        assert h.started(also_blocked) == pytest.approx(50.0)
+
+    def test_starvation_of_whole_system_job(self):
+        # A (32,32,32,32) job at one queue's head starves while other
+        # queues keep their clusters busy (§3.2's large-job effect).
+        h = Harness("LS")
+        monster = h.submit_at(0.0, 128, components=(32, 32, 32, 32),
+                              queue=0, service=10.0)
+        h.run(until=0.5)
+        assert h.started(monster) == 0.0  # empty system: starts at once
+
+        h2 = Harness("LS")
+        filler = h2.submit_at(0.0, 30, queue=1, service=100.0)
+        monster2 = h2.submit_at(1.0, 128, components=(32, 32, 32, 32),
+                                queue=0, service=10.0)
+        stream = h2.submit_at(2.0, 10, queue=2, service=30.0)
+        h2.run()
+        # The monster needs all four clusters empty: waits for the
+        # filler (t=100) and the queue-2 job (t=32) to finish.
+        assert h2.started(stream) == 2.0
+        assert h2.started(monster2) == pytest.approx(100.0)
+
+
+class TestLP:
+    def test_routing_single_local_multi_global(self):
+        h = Harness("LP")
+        single = h.submit_at(0.0, 10, queue=3, service=1000.0)
+        multi = h.submit_at(0.0, 32, components=(16, 16), service=1000.0)
+        h.run(until=1.0)
+        policy = h.system.policy
+        assert policy.local_queues[3].total_enqueued == 1
+        assert policy.global_queue.total_enqueued == 1
+        assert h.placement(single) == {3: 10}
+
+    def test_global_queue_needs_an_empty_local_queue(self):
+        h = Harness("LP")
+        # Each cluster runs a size-30 filler (2 processors spare) and
+        # each local queue holds a blocked size-30 waiter, so no local
+        # queue is empty.  The (2,2) multi-component job *fits* in the
+        # spare processors at t=2, but the global queue is ineligible
+        # while every local queue is nonempty (§2.5 LP).
+        for i in range(4):
+            h.submit_at(0.0, 30, queue=i, service=100.0)
+        waiters = [h.submit_at(1.0, 30, queue=i, service=10.0)
+                   for i in range(4)]
+        multi = h.submit_at(2.0, 4, components=(2, 2), service=10.0)
+        h.run()
+        # At t=100 the fillers depart, the waiters start (emptying the
+        # local queues) and the global job finally starts.
+        assert all(h.started(w) == pytest.approx(100.0) for w in waiters)
+        assert h.started(multi) == pytest.approx(100.0)
+
+    def test_global_blocked_while_locals_nonempty(self):
+        h = Harness("LP")
+        # Keep cluster 0 busy and queue 0 nonempty; clusters 1..3 idle.
+        filler = h.submit_at(0.0, 32, queue=0, service=100.0)
+        waiter = h.submit_at(1.0, 32, queue=0, service=5.0)
+        # Give the other locals a job to occupy their queues briefly:
+        # they start immediately (clusters empty), so their queues
+        # empty and the global queue is eligible.
+        multi = h.submit_at(2.0, 8, components=(4, 4), service=10.0)
+        h.run()
+        # Locals 1..3 are empty at t=2 -> global starts immediately.
+        assert h.started(multi) == 2.0
+
+    def test_eligibility_is_queue_emptiness_not_cluster_idleness(self):
+        h = Harness("LP")
+        # Only queue 0 is nonempty (blocked waiter); queues 1-3 are
+        # empty, so the global queue IS eligible even though cluster 0
+        # is saturated.
+        h.submit_at(0.0, 32, queue=0, service=100.0)
+        h.submit_at(1.0, 32, queue=0, service=10.0)  # blocked waiter
+        multi = h.submit_at(2.0, 8, components=(4, 4), service=10.0)
+        h.run()
+        # Clusters 1-3 are idle and some local queue is empty: the
+        # global job starts immediately on two of them.
+        assert h.started(multi) == 2.0
+        assert 0 not in dict(h.jobs[multi].placement)
+
+    def test_global_fifo_order(self):
+        h = Harness("LP")
+        first = h.submit_at(0.0, 64, components=(32, 32), service=50.0)
+        second = h.submit_at(1.0, 64, components=(32, 32), service=50.0)
+        third = h.submit_at(2.0, 64, components=(32, 32), service=50.0)
+        h.run()
+        assert h.started(first) == 0.0
+        assert h.started(second) == 1.0  # two clusters still free
+        # The third waits for the first departure (t = 0 + 50 * 1.25).
+        assert h.started(third) == pytest.approx(62.5)
+
+    def test_from_global_queue_tagging(self):
+        h = Harness("LP")
+        single = h.submit_at(0.0, 10, queue=0, service=10.0)
+        multi = h.submit_at(0.0, 8, components=(4, 4), service=10.0)
+        h.run()
+        assert h.jobs[single].from_global_queue is False
+        assert h.jobs[multi].from_global_queue is True
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("policy,caps", [
+        ("GS", (32, 32, 32, 32)),
+        ("LS", (32, 32, 32, 32)),
+        ("LP", (32, 32, 32, 32)),
+        ("SC", (128,)),
+    ])
+    def test_all_jobs_complete_and_processors_return(self, policy, caps):
+        h = Harness(policy, capacities=caps)
+        sizes = [1, 16, 24, 64, 128, 32, 8, 5, 64, 2]
+        for i, size in enumerate(sizes):
+            comps = (split_size(size, 16, 4) if policy != "SC"
+                     else (size,))
+            h.submit_at(float(i), size, components=comps,
+                        service=20.0 + i, queue=i % 4)
+        h.run()
+        assert h.system.jobs_finished == len(sizes)
+        assert h.system.multicluster.total_free == sum(caps)
+        assert h.system.invariants_ok()
+        for job in h.jobs.values():
+            assert job.response_time >= job.gross_service_time - 1e-9

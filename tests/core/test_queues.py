@@ -1,0 +1,123 @@
+"""Tests for FCFS queues and the enable/disable visiting protocol."""
+
+import pytest
+
+from repro.core import JobQueue, QueueRing
+
+
+def q(name, **kw):
+    return JobQueue(name, **kw)
+
+
+class TestJobQueue:
+    def test_fifo(self):
+        queue = q("local-0")
+        queue.push("a")
+        queue.push("b")
+        assert queue.head == "a"
+        assert queue.pop() == "a"
+        assert queue.head == "b"
+
+    def test_empty_head_none(self):
+        assert q("x").head is None
+
+    def test_truthiness_and_len(self):
+        queue = q("x")
+        assert not queue
+        queue.push(1)
+        assert queue
+        assert len(queue) == 1
+
+    def test_total_enqueued_counter(self):
+        queue = q("x")
+        for i in range(5):
+            queue.push(i)
+        queue.pop()
+        assert queue.total_enqueued == 5
+
+    def test_global_flag(self):
+        assert q("global", is_global=True).is_global
+        assert not q("local-0").is_global
+
+
+class TestQueueRing:
+    def setup_method(self):
+        self.locals = [q(f"local-{i}") for i in range(3)]
+        self.glob = q("global", is_global=True)
+
+    def test_needs_queues(self):
+        with pytest.raises(ValueError):
+            QueueRing([])
+
+    def test_initial_visit_order(self):
+        ring = QueueRing(self.locals)
+        assert ring.visit() == tuple(self.locals)
+
+    def test_disable_removes_from_rotation(self):
+        ring = QueueRing(self.locals)
+        ring.disable(self.locals[1])
+        assert not self.locals[1].enabled
+        assert ring.visit() == (self.locals[0], self.locals[2])
+        assert ring.disabled_queues == (self.locals[1],)
+
+    def test_disable_idempotent(self):
+        ring = QueueRing(self.locals)
+        ring.disable(self.locals[0])
+        ring.disable(self.locals[0])
+        assert ring.disabled_queues == (self.locals[0],)
+
+    def test_reenable_in_disablement_order(self):
+        # §2.5: "At each job departure the queues are enabled in the
+        # same order in which they were disabled."
+        ring = QueueRing(self.locals)
+        ring.disable(self.locals[2])
+        ring.disable(self.locals[0])
+        ring.enable_all()
+        assert ring.visit() == (
+            self.locals[1], self.locals[2], self.locals[0]
+        )
+        assert all(queue.enabled for queue in self.locals)
+
+    def test_enable_all_global_first(self):
+        # LP rule: "they are always enabled starting with the global
+        # queue."
+        ring = QueueRing([self.glob] + self.locals)
+        ring.disable(self.locals[1])
+        ring.disable(self.glob)
+        ring.disable(self.locals[0])
+        ring.enable_all(global_first=True)
+        assert ring.visit() == (
+            self.locals[2], self.glob, self.locals[1], self.locals[0]
+        )
+
+    def test_enable_all_skip_global(self):
+        # LP rule: with no empty local queue, only locals re-enable.
+        ring = QueueRing([self.glob] + self.locals)
+        ring.disable(self.glob)
+        ring.disable(self.locals[1])
+        ring.enable_all(skip_global=True)
+        assert self.locals[1].enabled
+        assert not self.glob.enabled
+        assert ring.disabled_queues == (self.glob,)
+        # The skipped global queue re-enables at the next opportunity.
+        ring.enable_all(global_first=True)
+        assert self.glob.enabled
+
+    def test_reenable_single_queue(self):
+        ring = QueueRing([self.glob] + self.locals)
+        ring.disable(self.glob)
+        ring.reenable(self.glob)
+        assert self.glob.enabled
+        assert ring.visit()[-1] is self.glob
+
+    def test_reenable_enabled_queue_noop(self):
+        ring = QueueRing(self.locals)
+        ring.reenable(self.locals[0])
+        assert ring.visit() == tuple(self.locals)
+
+    def test_total_jobs(self):
+        ring = QueueRing(self.locals)
+        self.locals[0].push("a")
+        self.locals[2].push("b")
+        self.locals[2].push("c")
+        assert ring.total_jobs() == 3

@@ -1,0 +1,94 @@
+"""Tests for the request-type taxonomy (unordered/ordered/flexible/total)."""
+
+import pytest
+
+from repro.core import RequestType, try_place
+
+
+class TestUnordered:
+    def test_scheduler_chooses_clusters(self):
+        asg = try_place(RequestType.UNORDERED, (16, 8), [10, 32, 20, 5])
+        assert dict(asg) == {1: 16, 2: 8}
+
+    def test_no_fit(self):
+        assert try_place(RequestType.UNORDERED, (16, 16),
+                         [15, 15, 15, 15]) is None
+
+
+class TestOrdered:
+    def test_component_i_to_cluster_i(self):
+        asg = try_place(RequestType.ORDERED, (10, 20), [10, 32, 5, 5])
+        assert asg == ((0, 10), (1, 20))
+
+    def test_fails_if_any_position_lacks_space(self):
+        # Unordered would fit this by swapping; ordered must not.
+        assert try_place(RequestType.ORDERED, (20, 10), [10, 32]) is None
+        assert try_place(RequestType.UNORDERED, (20, 10),
+                         [10, 32]) is not None
+
+    def test_zero_components_skipped(self):
+        asg = try_place(RequestType.ORDERED, (0, 12, 0, 4), [0, 32, 0, 8])
+        assert asg == ((1, 12), (3, 4))
+
+    def test_too_many_components(self):
+        assert try_place(RequestType.ORDERED, (1, 1, 1), [4, 4]) is None
+
+
+class TestFlexible:
+    def test_splits_arbitrarily(self):
+        asg = try_place(RequestType.FLEXIBLE, (50,), [32, 20, 10, 5])
+        assert sum(p for _, p in asg) == 50
+        placed = dict(asg)
+        for idx, procs in placed.items():
+            assert procs <= [32, 20, 10, 5][idx]
+
+    def test_uses_emptiest_first(self):
+        asg = try_place(RequestType.FLEXIBLE, (30,), [10, 32, 20, 5])
+        assert asg[0] == (1, 30)
+
+    def test_fits_anything_up_to_total_free(self):
+        assert try_place(RequestType.FLEXIBLE, (67,),
+                         [32, 20, 10, 5]) is not None
+        assert try_place(RequestType.FLEXIBLE, (68,),
+                         [32, 20, 10, 5]) is None
+
+    def test_distinct_clusters_in_assignment(self):
+        asg = try_place(RequestType.FLEXIBLE, (60,), [32, 32, 32, 32])
+        clusters = [i for i, _ in asg]
+        assert len(set(clusters)) == len(clusters)
+
+
+class TestTotal:
+    def test_single_cluster_only(self):
+        asg = try_place(RequestType.TOTAL, (40,), [32, 64])
+        assert asg == ((1, 40),)
+
+    def test_total_exceeding_every_cluster_fails(self):
+        # 50 free in total but no single cluster holds 40.
+        assert try_place(RequestType.TOTAL, (40,), [30, 20]) is None
+
+    def test_worst_fit_among_clusters(self):
+        asg = try_place(RequestType.TOTAL, (10,), [20, 30, 25])
+        assert asg == ((1, 10),)
+
+    def test_multi_component_tuple_uses_sum(self):
+        asg = try_place(RequestType.TOTAL, (10, 10), [32])
+        assert asg == ((0, 20),)
+
+
+def test_request_type_hierarchy():
+    # Flexible fits whenever unordered does; unordered whenever total
+    # does (on the same free vector) — the taxonomy's dominance order.
+    cases = [
+        ((16, 16), [20, 20, 5, 5]),
+        ((32,), [31, 31, 31, 31]),
+        ((22, 21, 21), [32, 32, 11, 10]),
+    ]
+    for comps, free in cases:
+        total = try_place(RequestType.TOTAL, comps, free)
+        unordered = try_place(RequestType.UNORDERED, comps, free)
+        flexible = try_place(RequestType.FLEXIBLE, comps, free)
+        if total is not None:
+            assert unordered is not None or len(comps) > len(free)
+        if unordered is not None:
+            assert flexible is not None

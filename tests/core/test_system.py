@@ -1,0 +1,183 @@
+"""Integration tests: full simulation runs with realistic workloads."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    MulticlusterSimulation,
+    SimulationConfig,
+    run_constant_backlog,
+    run_open_system,
+)
+from repro.sim import Deterministic, StreamFactory, Tracer
+from repro.workload import JobFactory, das_s_128, das_t_900
+
+SIZES = das_s_128()
+SERVICE = das_t_900()
+
+
+def quick_config(policy="GS", **overrides):
+    defaults = dict(
+        policy=policy,
+        warmup_jobs=300,
+        measured_jobs=1500,
+        seed=42,
+        batch_size=100,
+    )
+    if policy == "SC":
+        defaults.update(capacities=(128,), component_limit=None)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def rate_for(util, limit, capacity=128, weights=(0.25,) * 4):
+    factory = JobFactory(SIZES, SERVICE, limit,
+                         routing_weights=weights,
+                         streams=StreamFactory(0))
+    return factory.arrival_rate_for_gross_utilization(util, capacity)
+
+
+class TestRunOpenSystem:
+    @pytest.mark.parametrize("policy", ["GS", "LS", "LP", "SC"])
+    def test_low_load_matches_offered_utilization(self, policy):
+        cfg = quick_config(policy)
+        limit = cfg.component_limit
+        result = run_open_system(cfg, SIZES, SERVICE,
+                                 rate_for(0.3, limit))
+        assert result.gross_utilization == pytest.approx(0.3, abs=0.05)
+        assert not result.saturated
+        assert result.report.completed_jobs == cfg.measured_jobs
+
+    def test_response_time_at_least_service_time(self):
+        cfg = quick_config("GS")
+        result = run_open_system(cfg, SIZES, SERVICE, rate_for(0.3, 16))
+        # Mean response >= mean gross service (queueing only adds).
+        assert result.mean_response >= SERVICE.mean
+
+    def test_net_below_gross_for_multicluster(self):
+        result = run_open_system(quick_config("GS"), SIZES, SERVICE,
+                                 rate_for(0.4, 16))
+        assert result.net_utilization < result.gross_utilization
+
+    def test_net_equals_gross_for_single_cluster(self):
+        result = run_open_system(quick_config("SC"), SIZES, SERVICE,
+                                 rate_for(0.4, None))
+        assert result.net_utilization == pytest.approx(
+            result.gross_utilization, rel=1e-9
+        )
+
+    def test_determinism_same_seed(self):
+        a = run_open_system(quick_config("LS"), SIZES, SERVICE,
+                            rate_for(0.4, 16))
+        b = run_open_system(quick_config("LS"), SIZES, SERVICE,
+                            rate_for(0.4, 16))
+        assert a.mean_response == b.mean_response
+        assert a.gross_utilization == b.gross_utilization
+
+    def test_different_seed_differs(self):
+        a = run_open_system(quick_config("LS"), SIZES, SERVICE,
+                            rate_for(0.4, 16))
+        b = run_open_system(quick_config("LS", seed=43), SIZES, SERVICE,
+                            rate_for(0.4, 16))
+        assert a.mean_response != b.mean_response
+
+    def test_saturation_flag_at_overload(self):
+        cfg = quick_config("LP", measured_jobs=2500)
+        result = run_open_system(cfg, SIZES, SERVICE, rate_for(0.9, 16))
+        assert result.saturated
+
+    def test_higher_load_higher_response(self):
+        lo = run_open_system(quick_config("GS"), SIZES, SERVICE,
+                             rate_for(0.2, 16))
+        hi = run_open_system(quick_config("GS"), SIZES, SERVICE,
+                             rate_for(0.55, 16))
+        assert hi.mean_response > lo.mean_response
+
+    def test_offered_utilizations_recorded(self):
+        result = run_open_system(quick_config("GS"), SIZES, SERVICE,
+                                 rate_for(0.4, 16))
+        assert result.offered_gross_utilization == pytest.approx(0.4)
+        assert result.offered_net_utilization < 0.4
+
+
+class TestRunConstantBacklog:
+    def test_gs_maximal_utilization_plausible(self):
+        report = run_constant_backlog(
+            quick_config("GS"), SIZES, SERVICE,
+            backlog=40, warmup_jobs=300, measured_jobs=2000,
+        )
+        assert 0.5 < report.gross_utilization < 0.95
+        assert report.net_utilization < report.gross_utilization
+
+    def test_l24_packs_worse_than_l16_and_l32(self):
+        # The paper's central size-limit finding (§3.3).
+        utils = {}
+        for limit in (16, 24, 32):
+            report = run_constant_backlog(
+                quick_config("GS", component_limit=limit), SIZES, SERVICE,
+                backlog=40, warmup_jobs=300, measured_jobs=2000,
+            )
+            utils[limit] = report.gross_utilization
+        assert utils[24] < utils[16]
+        assert utils[24] < utils[32]
+
+    def test_deterministic_saturation(self):
+        kw = dict(backlog=30, warmup_jobs=200, measured_jobs=1000)
+        a = run_constant_backlog(quick_config("GS"), SIZES, SERVICE, **kw)
+        b = run_constant_backlog(quick_config("GS"), SIZES, SERVICE, **kw)
+        assert a.gross_utilization == b.gross_utilization
+
+
+class TestSystemDirect:
+    def test_tracer_records_lifecycle(self):
+        tracer = Tracer()
+        system = MulticlusterSimulation("GS", tracer=tracer)
+        factory = JobFactory(SIZES, Deterministic(10.0), 16,
+                             streams=StreamFactory(0))
+        for _ in range(20):
+            system.submit(factory.next_job())
+        system.sim.run()
+        kinds = tracer.kinds_seen()
+        assert kinds == {"arrival", "start", "departure"}
+        assert len(tracer.of_kind("departure")) == 20
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            MulticlusterSimulation("XYZ")
+
+    def test_policy_name_lookup_case_insensitive(self):
+        system = MulticlusterSimulation("ls")
+        assert system.policy.name == "LS"
+
+    def test_default_capacities_are_paper_system(self):
+        system = MulticlusterSimulation("GS")
+        assert [c.capacity for c in system.multicluster] == [32] * 4
+
+    def test_config_single_cluster_helper(self):
+        cfg = SimulationConfig.single_cluster(seed=9)
+        assert cfg.policy == "SC"
+        assert cfg.capacities == (128,)
+        assert cfg.component_limit is None
+        assert cfg.seed == 9
+        assert cfg.capacity == 128
+
+
+class TestMeanValueSanity:
+    def test_mm1_like_sanity_check(self):
+        # Cross-validate engine + policy + metrics against M/M/1 theory:
+        # one cluster of 1 processor, size-1 jobs, exponential service.
+        from repro.sim import DiscreteEmpirical, Exponential
+
+        ones = DiscreteEmpirical([1], [1.0])
+        service = Exponential(mean=1.0)
+        cfg = SimulationConfig(
+            policy="SC", capacities=(1,), component_limit=None,
+            warmup_jobs=2_000, measured_jobs=30_000, seed=7,
+        )
+        rho = 0.6
+        result = run_open_system(cfg, ones, service, rho)
+        # M/M/1: E[T] = 1 / (1 - rho) = 2.5.
+        expected = 1.0 / (1.0 - rho)
+        assert result.mean_response == pytest.approx(expected, rel=0.08)
+        assert result.gross_utilization == pytest.approx(rho, abs=0.02)

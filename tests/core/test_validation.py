@@ -1,0 +1,110 @@
+"""Failure-injection tests: the invariant monitor must catch corruption."""
+
+import pytest
+
+from repro.core import MulticlusterSimulation
+from repro.core.validation import InvariantMonitor, InvariantViolation
+from repro.sim import Deterministic, StreamFactory
+from repro.workload import JobFactory, das_s_128
+
+
+def build(policy="LS"):
+    system = MulticlusterSimulation(policy)
+    monitor = InvariantMonitor(system)
+    factory = JobFactory(das_s_128(), Deterministic(50.0), 16,
+                         streams=StreamFactory(6))
+    return system, monitor, factory
+
+
+class TestCleanRunsPass:
+    @pytest.mark.parametrize("policy", ["GS", "LS", "LP"])
+    def test_monitor_silent_on_healthy_run(self, policy):
+        system, monitor, factory = build(policy)
+        for _ in range(200):
+            system.submit(factory.next_job())
+        system.sim.run()
+        monitor.check()
+        assert monitor.checks >= 200
+        assert len(monitor.running) == 0
+
+
+class TestFailureInjection:
+    def test_detects_leaked_allocation(self):
+        system, monitor, factory = build()
+        for _ in range(10):
+            system.submit(factory.next_job())
+        # Steal processors behind the scheduler's back.
+        system.multicluster[0].allocate(1)
+        with pytest.raises(InvariantViolation, match="busy=.*hold"):
+            monitor.check()
+
+    def test_detects_double_release(self):
+        system, monitor, factory = build()
+        for _ in range(10):
+            system.submit(factory.next_job())
+        cluster = system.multicluster[1]
+        if cluster.busy == 0:
+            system.multicluster[0].release(1)  # corrupt another way
+            with pytest.raises(Exception):
+                monitor.check()
+            return
+        cluster.release(1)
+        with pytest.raises(InvariantViolation):
+            monitor.check()
+
+    def test_detects_counter_drift(self):
+        system, monitor, factory = build()
+        for _ in range(5):
+            system.submit(factory.next_job())
+        system.jobs_started += 1  # phantom job
+        with pytest.raises(InvariantViolation, match="ledger"):
+            monitor.check()
+
+    def test_detects_state_corruption_in_queue(self):
+        system, monitor, factory = build("GS")
+        # Fill the machine so subsequent jobs queue.
+        from repro.workload import JobSpec
+
+        big = JobSpec(index=0, size=128, components=(32, 32, 32, 32),
+                      service_time=1000.0, queue=0)
+        waiting = JobSpec(index=1, size=128,
+                          components=(32, 32, 32, 32),
+                          service_time=10.0, queue=0)
+        system.submit(big)
+        queued_job = system.submit(waiting)
+        # Corrupt the queued job's state.
+        from repro.core.jobs import JobState
+
+        queued_job.state = JobState.FINISHED
+        with pytest.raises(InvariantViolation, match="queued"):
+            monitor.check()
+
+    def test_detects_fcfs_violation(self):
+        system, monitor, factory = build("GS")
+        from repro.workload import JobSpec
+
+        big = JobSpec(index=0, size=128, components=(32, 32, 32, 32),
+                      service_time=1000.0, queue=0)
+        system.submit(big)
+        a = system.submit(JobSpec(index=1, size=128,
+                                  components=(32, 32, 32, 32),
+                                  service_time=10.0, queue=0))
+        b = system.submit(JobSpec(index=2, size=128,
+                                  components=(32, 32, 32, 32),
+                                  service_time=10.0, queue=0))
+        # Swap arrival stamps to fake an out-of-order queue.
+        a.arrival_time, b.arrival_time = 5.0, 1.0
+        with pytest.raises(InvariantViolation, match="FCFS"):
+            monitor.check()
+
+    def test_monitor_preserves_existing_hook(self):
+        system = MulticlusterSimulation("GS")
+        calls = []
+        system.on_departure_hook = lambda job: calls.append(job)
+        InvariantMonitor(system)
+        factory = JobFactory(das_s_128(), Deterministic(5.0), 16,
+                             streams=StreamFactory(1))
+        for _ in range(5):
+            system.submit(factory.next_job())
+        system.sim.run()
+        assert len(calls) == 5

@@ -1,0 +1,113 @@
+"""Tests for per-user/per-class fairness metrics."""
+
+import pytest
+
+from repro.core import Job
+from repro.metrics.fairness import FairnessTracker, jain_index
+from repro.workload import JobSpec
+
+
+def finished(size, response, service=100.0, user=0):
+    spec = JobSpec(index=0, size=size, components=(size,),
+                   service_time=service, queue=0, user=user)
+    job = Job(spec, 0.0, 1.25)
+    job.start(response - service, [(0, size)])
+    job.finish(response)
+    return job
+
+
+class TestJainIndex:
+    def test_perfect_equality(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_total_concentration(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([-1.0, 2.0])
+
+    def test_nan_values_skipped(self):
+        assert jain_index([5.0, float("nan"), 5.0]) == pytest.approx(1.0)
+
+
+class TestFairnessTracker:
+    def test_metric_validation(self):
+        with pytest.raises(ValueError):
+            FairnessTracker(metric="latency")
+
+    def test_by_user_aggregation(self):
+        tr = FairnessTracker(metric="response")
+        tr.record_job(finished(8, 100.0, user=0))
+        tr.record_job(finished(8, 300.0, user=0))
+        tr.record_job(finished(8, 100.0, user=1))
+        means = tr.user_means()
+        assert means[0] == pytest.approx(200.0)
+        assert means[1] == pytest.approx(100.0)
+
+    def test_size_class_assignment(self):
+        tr = FairnessTracker(metric="response")
+        tr.record_job(finished(2, 50.0))
+        tr.record_job(finished(16, 60.0))
+        tr.record_job(finished(64, 70.0))
+        tr.record_job(finished(128, 80.0))
+        means = tr.class_means()
+        assert means["tiny (1-4)"] == 50.0
+        assert means["small (5-16)"] == 60.0
+        assert means["large (33-64)"] == 70.0
+        assert means["huge (65-128)"] == 80.0
+        assert "medium (17-32)" not in means  # no data
+
+    def test_fairness_indices(self):
+        tr = FairnessTracker(metric="response")
+        for user in range(4):
+            tr.record_job(finished(8, 100.0, user=user))
+        assert tr.user_fairness() == pytest.approx(1.0)
+        tr.record_job(finished(8, 10_000.0, user=4))
+        assert tr.user_fairness() < 0.6
+
+    def test_worst_best_ratio(self):
+        tr = FairnessTracker(metric="response")
+        tr.record_job(finished(2, 100.0))
+        tr.record_job(finished(64, 400.0))
+        assert tr.worst_best_ratio() == pytest.approx(4.0)
+
+    def test_bounded_slowdown_metric(self):
+        tr = FairnessTracker(metric="bounded_slowdown")
+        # service 100 (single comp, gross=100), response 250: sd 2.5
+        tr.record_job(finished(8, 250.0))
+        assert tr.class_means()["small (5-16)"] == pytest.approx(2.5)
+
+
+class TestEndToEndFairness:
+    def test_large_jobs_pay_more_under_fcfs(self):
+        from repro.core import MulticlusterSimulation
+        from repro.sim import StreamFactory
+        from repro.workload import (
+            ArrivalProcess,
+            JobFactory,
+            das_s_128,
+            das_t_900,
+        )
+
+        system = MulticlusterSimulation("LS")
+        tracker = FairnessTracker(metric="bounded_slowdown")
+        system.on_departure_hook = tracker.record_job
+        factory = JobFactory(das_s_128(), das_t_900(), 16,
+                             streams=StreamFactory(12), num_users=20)
+        rate = factory.arrival_rate_for_gross_utilization(0.6, 128)
+        ArrivalProcess(system.sim, factory, rate, system.submit,
+                       limit=4_000,
+                       rng=StreamFactory(12).get("iat"))
+        system.sim.run()
+        means = tracker.class_means()
+        # Whole-machine jobs suffer more than tiny ones under
+        # space-sharing FCFS with co-allocation.
+        assert means["huge (65-128)"] > means["tiny (1-4)"]
+        assert 0.0 < tracker.user_fairness() <= 1.0
+        assert len(tracker.by_user) == 20

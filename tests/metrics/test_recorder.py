@@ -1,0 +1,145 @@
+"""Unit tests for the metrics recorder (utilization and response)."""
+
+import math
+
+import pytest
+
+from repro.core import Job
+from repro.metrics import MetricsRecorder
+from repro.workload import JobSpec
+
+
+def job(size=16, components=(16,), service=100.0, arrival=0.0):
+    spec = JobSpec(index=0, size=size, components=tuple(components),
+                   service_time=service, queue=0)
+    return Job(spec, arrival, 1.25)
+
+
+class TestLifecycleAccounting:
+    def test_single_job_utilization_exact(self):
+        rec = MetricsRecorder(capacity=128)
+        j = job(size=64, service=100.0)
+        rec.on_arrival(j, 0.0)
+        j.start(0.0, [(0, 64)])
+        rec.on_start(j, 0.0)
+        j.finish(100.0)
+        rec.on_finish(j, 100.0)
+        report = rec.report(100.0)
+        # 64 processors busy for 100 of 100 s on 128: exactly 0.5.
+        assert report.gross_utilization == pytest.approx(0.5)
+        assert report.net_utilization == pytest.approx(0.5)
+        assert report.mean_response == pytest.approx(100.0)
+
+    def test_multi_component_gross_vs_net(self):
+        rec = MetricsRecorder(capacity=128)
+        j = job(size=64, components=(32, 32), service=100.0)
+        rec.on_arrival(j, 0.0)
+        j.start(0.0, [(0, 32), (1, 32)])
+        rec.on_start(j, 0.0)
+        j.finish(125.0)  # extended by 1.25
+        rec.on_finish(j, 125.0)
+        report = rec.report(125.0)
+        # Gross: 64 busy for 125 s; net: the same work at rate 64/1.25.
+        assert report.gross_utilization == pytest.approx(
+            64 * 125 / (128 * 125)
+        )
+        assert report.net_utilization == pytest.approx(
+            64 * 100 / (128 * 125)
+        )
+
+    def test_partial_inflight_job_counted(self):
+        # A job still running at the report time contributes its
+        # elapsed busy time exactly.
+        rec = MetricsRecorder(capacity=128)
+        j = job(size=32, service=1000.0)
+        rec.on_arrival(j, 0.0)
+        j.start(0.0, [(0, 32)])
+        rec.on_start(j, 0.0)
+        assert rec.gross_utilization(50.0) == pytest.approx(
+            32 * 50 / (128 * 50)
+        )
+
+    def test_local_vs_global_breakdown(self):
+        rec = MetricsRecorder(capacity=128)
+        a, b = job(service=10.0), job(service=30.0)
+        for x, t, is_global in ((a, 0.0, False), (b, 0.0, True)):
+            rec.on_arrival(x, t)
+            x.start(t, [(0, 16)])
+            rec.on_start(x, t)
+        a.finish(10.0)
+        rec.on_finish(a, 10.0, global_queue=False)
+        b.finish(30.0)
+        rec.on_finish(b, 30.0, global_queue=True)
+        report = rec.report(30.0)
+        assert report.mean_response_local == pytest.approx(10.0)
+        assert report.mean_response_global == pytest.approx(30.0)
+        assert report.mean_response == pytest.approx(20.0)
+
+    def test_queue_population_signals(self):
+        rec = MetricsRecorder(capacity=4)
+        j = job(size=4, components=(4,), service=10.0)
+        rec.on_arrival(j, 0.0)
+        j.start(5.0, [(0, 4)])
+        rec.on_start(j, 5.0)
+        j.finish(15.0)
+        rec.on_finish(j, 15.0)
+        report = rec.report(20.0)
+        # Waiting 5 of 20 s; in system 15 of 20 s.
+        assert report.mean_jobs_waiting == pytest.approx(5 / 20)
+        assert report.mean_jobs_in_system == pytest.approx(15 / 20)
+
+
+class TestWindows:
+    def test_reset_discards_history(self):
+        rec = MetricsRecorder(capacity=128)
+        j = job(size=128, service=100.0)
+        rec.on_arrival(j, 0.0)
+        j.start(0.0, [(0, 128)])
+        rec.on_start(j, 0.0)
+        j.finish(100.0)
+        rec.on_finish(j, 100.0)
+        rec.reset(100.0)
+        assert rec.completions == 0
+        report = rec.report(200.0)
+        assert report.gross_utilization == pytest.approx(0.0)
+        assert math.isnan(report.mean_response)
+
+    def test_reset_preserves_levels(self):
+        rec = MetricsRecorder(capacity=128)
+        j = job(size=64, service=1000.0)
+        rec.on_arrival(j, 0.0)
+        j.start(0.0, [(0, 64)])
+        rec.on_start(j, 0.0)
+        rec.reset(10.0)
+        # Still busy after the reset.
+        assert rec.gross_utilization(20.0) == pytest.approx(0.5)
+
+    def test_empty_window_rejected(self):
+        rec = MetricsRecorder(capacity=8)
+        with pytest.raises(ValueError):
+            rec.report(0.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MetricsRecorder(capacity=0)
+
+
+class TestReport:
+    def test_as_dict_roundtrip(self):
+        rec = MetricsRecorder(capacity=8)
+        j = job(size=8, components=(8,), service=5.0)
+        rec.on_arrival(j, 0.0)
+        j.start(0.0, [(0, 8)])
+        rec.on_start(j, 0.0)
+        j.finish(5.0)
+        rec.on_finish(j, 5.0)
+        d = rec.report(10.0).as_dict()
+        assert d["completed_jobs"] == 1
+        assert set(d) >= {"gross_utilization", "net_utilization",
+                          "mean_response", "elapsed"}
+
+    def test_unknown_report_fields_rejected(self):
+        from repro.metrics import UtilizationReport
+
+        with pytest.raises(TypeError):
+            UtilizationReport(bogus=1.0)

@@ -1,0 +1,85 @@
+"""Tests for slowdown metrics."""
+
+import pytest
+
+from repro.core import Job
+from repro.metrics import SlowdownTracker, bounded_slowdown
+from repro.workload import JobSpec
+
+
+def finished_job(response, service, multi=False):
+    components = (8, 8) if multi else (16,)
+    spec = JobSpec(index=0, size=16, components=components,
+                   service_time=service, queue=0)
+    job = Job(spec, 0.0, 1.25)
+    job.start(response - job.gross_service_time, [(0, 8), (1, 8)]
+              if multi else [(0, 16)])
+    job.finish(response)
+    return job
+
+
+class TestBoundedSlowdown:
+    def test_basic(self):
+        assert bounded_slowdown(100.0, 50.0) == pytest.approx(2.0)
+
+    def test_threshold_floors_both_sides(self):
+        # A 1-second job waiting 9 seconds: raw slowdown 10, bounded 1.
+        assert bounded_slowdown(10.0, 1.0) == pytest.approx(1.0)
+        assert bounded_slowdown(100.0, 1.0) == pytest.approx(10.0)
+
+    def test_no_queueing_means_one(self):
+        assert bounded_slowdown(50.0, 50.0) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bounded_slowdown(-1.0, 5.0)
+
+
+class TestSlowdownTracker:
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SlowdownTracker(threshold=0.0)
+
+    def test_record_pairs(self):
+        tr = SlowdownTracker()
+        tr.record(200.0, 100.0)
+        tr.record(100.0, 100.0)
+        assert tr.mean_slowdown == pytest.approx(1.5)
+        assert tr.mean_bounded_slowdown == pytest.approx(1.5)
+
+    def test_record_job_uses_gross_service(self):
+        tr = SlowdownTracker()
+        # Multi-component job: service 100, gross 125, response 250.
+        job = finished_job(250.0, 100.0, multi=True)
+        tr.record_job(job)
+        assert tr.mean_slowdown == pytest.approx(250.0 / 125.0)
+
+    def test_percentiles(self):
+        tr = SlowdownTracker()
+        for r in range(1, 101):
+            tr.record(float(r * 100), 100.0)
+        assert tr.percentile(0.5) == pytest.approx(50.0, rel=0.1)
+        assert tr.percentile(0.95) == pytest.approx(95.0, rel=0.1)
+
+    def test_reset(self):
+        tr = SlowdownTracker()
+        tr.record(200.0, 100.0)
+        tr.reset()
+        assert tr.bounded.count == 0
+
+
+class TestRecorderIntegration:
+    def test_report_carries_slowdown_and_percentiles(self):
+        from repro.core import SimulationConfig, run_open_system
+        from repro.workload import das_s_128, das_t_900
+
+        cfg = SimulationConfig(policy="GS", component_limit=16,
+                               warmup_jobs=100, measured_jobs=800,
+                               seed=5, batch_size=100)
+        result = run_open_system(cfg, das_s_128(), das_t_900(), 0.005)
+        r = result.report
+        assert r.mean_bounded_slowdown >= 1.0
+        assert r.response_p50 <= r.response_p95
+        assert r.response_p50 > 0
+        d = r.as_dict()
+        assert "response_p95" in d and "mean_bounded_slowdown" in d

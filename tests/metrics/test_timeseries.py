@@ -1,0 +1,79 @@
+"""Tests for trajectory sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core import MulticlusterSimulation
+from repro.metrics.timeseries import TimeSeriesProbe, TrajectoryRecorder
+from repro.sim import Simulator, StreamFactory
+from repro.workload import JobFactory, das_s_128
+from repro.sim.distributions import Deterministic
+
+
+class TestTimeSeriesProbe:
+    def test_samples_at_period(self):
+        sim = Simulator()
+        counter = {"v": 0.0}
+
+        def bump(sim):
+            while True:
+                yield sim.timeout(1.0)
+                counter["v"] += 1.0
+
+        sim.process(bump(sim))
+        probe = TimeSeriesProbe(sim, {"v": lambda: counter["v"]},
+                                period=2.0)
+        sim.run(until=10.5)
+        times, values = probe.series("v")
+        assert list(times) == [2.0, 4.0, 6.0, 8.0, 10.0]
+        # Tie order: the bump process (created first) runs before the
+        # probe at even times.
+        assert values[0] in (1.0, 2.0)
+        assert len(probe) == 5
+
+    def test_stop(self):
+        sim = Simulator()
+        probe = TimeSeriesProbe(sim, {"x": lambda: 1.0}, period=1.0)
+        sim.call_at(3.5, probe.stop)
+        sim.run(until=10.0)
+        assert len(probe) <= 4
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            TimeSeriesProbe(sim, {"x": lambda: 1.0}, period=0.0)
+        with pytest.raises(ValueError):
+            TimeSeriesProbe(sim, {}, period=1.0)
+
+    def test_last_empty_is_nan(self):
+        sim = Simulator()
+        probe = TimeSeriesProbe(sim, {"x": lambda: 1.0}, period=1.0)
+        assert np.isnan(probe.last("x"))
+
+
+class TestTrajectoryRecorder:
+    def test_multicluster_signals(self):
+        system = MulticlusterSimulation("LS")
+        recorder = TrajectoryRecorder(system, period=50.0)
+        factory = JobFactory(das_s_128(), Deterministic(100.0), 16,
+                             streams=StreamFactory(2))
+        for _ in range(60):
+            system.submit(factory.next_job())
+        system.sim.run(until=600.0)
+        # Signals exist for every queue and cluster.
+        names = set(recorder.probe.signals)
+        assert {"backlog", "busy"} <= names
+        assert sum(1 for n in names if n.startswith("queue:")) == 4
+        assert sum(1 for n in names if n.startswith("cluster:")) == 4
+        # The sampled busy average is within capacity.
+        assert 0.0 <= recorder.mean_busy() <= 128.0
+        # Busiest queue resolves to a real queue name.
+        assert recorder.busiest_queue().startswith("local-")
+
+    def test_queue_series_shape(self):
+        system = MulticlusterSimulation("GS")
+        recorder = TrajectoryRecorder(system, period=10.0)
+        system.sim.run(until=55.0)
+        times, values = recorder.queue_series("global")
+        assert len(times) == len(values) == 5
+        assert np.all(values == 0.0)

@@ -1,0 +1,126 @@
+"""Tests for the calendar-queue event list (equivalence with the heap)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CalendarQueue, HeapEventList, Simulator
+
+
+def entries_from(times):
+    return [(float(t), 1, i, f"payload-{i}") for i, t in enumerate(times)]
+
+
+class TestCalendarQueueBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(initial_buckets=0)
+        with pytest.raises(ValueError):
+            CalendarQueue(initial_width=0.0)
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            CalendarQueue().pop()
+
+    def test_peek_empty(self):
+        assert CalendarQueue().peek_time() is None
+        assert HeapEventList().peek_time() is None
+
+    def test_orders_simple_sequence(self):
+        cq = CalendarQueue()
+        for e in entries_from([5.0, 1.0, 3.0]):
+            cq.push(e)
+        times = [cq.pop()[0] for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_len_tracks_population(self):
+        cq = CalendarQueue()
+        for e in entries_from([1, 2, 3]):
+            cq.push(e)
+        assert len(cq) == 3
+        cq.pop()
+        assert len(cq) == 2
+
+    def test_resize_preserves_order(self):
+        cq = CalendarQueue(initial_buckets=4)
+        times = list(np.random.default_rng(0).exponential(10.0, 500))
+        for e in entries_from(times):
+            cq.push(e)
+        popped = [cq.pop()[0] for _ in range(500)]
+        assert popped == sorted(popped)
+
+    def test_clustered_times(self):
+        # Many events at nearly the same time stress one bucket.
+        cq = CalendarQueue(initial_width=100.0)
+        times = [1000.0 + i * 1e-6 for i in range(200)]
+        np.random.default_rng(1).shuffle(times)
+        for e in entries_from(times):
+            cq.push(e)
+        popped = [cq.pop()[0] for _ in range(200)]
+        assert popped == sorted(popped)
+
+    def test_sparse_times_trigger_year_scan(self):
+        # Huge gaps force the full-year-scan fallback.
+        cq = CalendarQueue(initial_buckets=4, initial_width=0.001)
+        times = [0.0, 1e6, 2e6, 5e6]
+        for e in entries_from(times):
+            cq.push(e)
+        popped = [cq.pop()[0] for _ in range(4)]
+        assert popped == times
+
+
+@given(st.lists(
+    st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    min_size=1, max_size=200,
+))
+@settings(max_examples=60)
+def test_calendar_equals_heap_order(times):
+    heap, cal = HeapEventList(), CalendarQueue()
+    for e in entries_from(times):
+        heap.push(e)
+        cal.push(e)
+    out_heap = [heap.pop() for _ in range(len(times))]
+    out_cal = [cal.pop() for _ in range(len(times))]
+    assert out_heap == out_cal
+
+
+@given(st.lists(
+    st.tuples(st.booleans(),
+              st.floats(min_value=0.0, max_value=100.0,
+                        allow_nan=False)),
+    min_size=1, max_size=120,
+))
+@settings(max_examples=40)
+def test_interleaved_push_pop_equivalence(ops):
+    heap, cal = HeapEventList(), CalendarQueue()
+    seq = 0
+    for is_push, t in ops:
+        if is_push or len(heap) == 0:
+            seq += 1
+            entry = (t, 1, seq, None)
+            heap.push(entry)
+            cal.push(entry)
+        else:
+            assert heap.pop() == cal.pop()
+    while len(heap):
+        assert heap.pop() == cal.pop()
+
+
+def test_simulator_runs_identically_on_both_event_lists():
+    def run(event_list):
+        sim = Simulator(event_list=event_list)
+        rng = np.random.default_rng(9)
+        order = []
+
+        def proc(sim, label):
+            for _ in range(20):
+                yield sim.timeout(float(rng.exponential(3.0)))
+                order.append((sim.now, label))
+
+        for label in range(5):
+            sim.process(proc(sim, label))
+        sim.run()
+        return order
+
+    assert run(HeapEventList()) == run(CalendarQueue())

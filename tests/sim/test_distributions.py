@@ -1,0 +1,326 @@
+"""Unit and statistical tests for the input distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    ContinuousEmpirical,
+    Deterministic,
+    DiscreteEmpirical,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    Lognormal,
+    Mixture,
+    Scaled,
+    TruncatedLognormal,
+    Uniform,
+)
+
+RNG = np.random.default_rng(12345)
+N = 50_000
+
+
+def check_moments(dist, n=N, rel_tol=0.05):
+    """Sample mean/std must match the analytic moments within tolerance."""
+    draws = dist.sample_array(np.random.default_rng(7), n)
+    assert abs(draws.mean() - dist.mean) <= rel_tol * max(dist.mean, 1e-12)
+    if dist.variance > 0:
+        assert abs(draws.std() - math.sqrt(dist.variance)) <= (
+            2 * rel_tol * math.sqrt(dist.variance)
+        )
+
+
+class TestDeterministic:
+    def test_constant(self):
+        d = Deterministic(7.5)
+        assert d.sample(RNG) == 7.5
+        assert d.mean == 7.5
+        assert d.variance == 0.0
+        assert np.all(d.sample_array(RNG, 10) == 7.5)
+
+
+class TestExponential:
+    def test_moments(self):
+        check_moments(Exponential(3.0))
+
+    def test_cv_is_one(self):
+        assert Exponential(5.0).cv == pytest.approx(1.0)
+
+    def test_rate(self):
+        assert Exponential(4.0).rate == 0.25
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    def test_nonnegative(self):
+        draws = Exponential(1.0).sample_array(RNG, 1000)
+        assert np.all(draws >= 0)
+
+
+class TestUniform:
+    def test_moments(self):
+        check_moments(Uniform(2.0, 8.0))
+
+    def test_support(self):
+        draws = Uniform(2.0, 8.0).sample_array(RNG, 1000)
+        assert np.all((draws >= 2.0) & (draws < 8.0))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(3.0, 3.0)
+
+
+class TestErlang:
+    def test_moments(self):
+        check_moments(Erlang(4, 10.0))
+
+    def test_cv_below_one(self):
+        assert Erlang(4, 10.0).cv == pytest.approx(0.5)
+
+    def test_k_one_is_exponential(self):
+        e = Erlang(1, 2.0)
+        assert e.cv == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Erlang(0, 1.0)
+
+
+class TestHyperexponential:
+    def test_moments(self):
+        check_moments(Hyperexponential(0.3, 1.0, 10.0))
+
+    def test_cv_above_one(self):
+        assert Hyperexponential(0.3, 1.0, 10.0).cv > 1.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Hyperexponential(1.5, 1.0, 2.0)
+
+
+class TestLognormal:
+    def test_moments(self):
+        check_moments(Lognormal(mean=100.0, cv=1.5), rel_tol=0.08)
+
+    def test_mean_cv_parameterisation(self):
+        d = Lognormal(mean=50.0, cv=0.8)
+        assert d.mean == pytest.approx(50.0)
+        assert d.cv == pytest.approx(0.8)
+
+    def test_positive(self):
+        draws = Lognormal(10.0, 2.0).sample_array(RNG, 1000)
+        assert np.all(draws > 0)
+
+
+class TestTruncatedLognormal:
+    def test_support_respected(self):
+        base = Lognormal(mean=300.0, cv=1.5)
+        d = TruncatedLognormal(base, low=1.0, high=900.0)
+        draws = d.sample_array(np.random.default_rng(3), 5000)
+        assert np.all((draws >= 1.0) & (draws <= 900.0))
+
+    def test_scalar_sample_in_support(self):
+        base = Lognormal(mean=300.0, cv=1.5)
+        d = TruncatedLognormal(base, low=1.0, high=900.0)
+        for _ in range(50):
+            assert 1.0 <= d.sample(RNG) <= 900.0
+
+    def test_moments_match_samples(self):
+        base = Lognormal(mean=300.0, cv=1.0)
+        d = TruncatedLognormal(base, high=900.0)
+        check_moments(d, rel_tol=0.05)
+
+    def test_mean_below_cutoff(self):
+        base = Lognormal(mean=300.0, cv=1.5)
+        d = TruncatedLognormal(base, high=900.0)
+        assert d.mean < 900.0
+        assert d.mean < base.mean  # truncation removes the upper tail
+
+    def test_negligible_mass_rejected(self):
+        base = Lognormal(mean=1.0, cv=0.1)
+        with pytest.raises(ValueError):
+            TruncatedLognormal(base, low=1e6, high=2e6)
+
+
+class TestDiscreteEmpirical:
+    def test_probabilities_normalised(self):
+        d = DiscreteEmpirical([1, 2, 4], [2.0, 2.0, 4.0])
+        assert d.probabilities.sum() == pytest.approx(1.0)
+        assert d.prob(4) == pytest.approx(0.5)
+        assert d.prob(3) == 0.0
+
+    def test_mean_and_variance(self):
+        d = DiscreteEmpirical([0, 10], [0.5, 0.5])
+        assert d.mean == pytest.approx(5.0)
+        assert d.variance == pytest.approx(25.0)
+
+    def test_sampling_frequencies(self):
+        d = DiscreteEmpirical([1, 2, 3], [0.2, 0.3, 0.5])
+        draws = d.sample_array(np.random.default_rng(1), 100_000)
+        for value, p in zip([1, 2, 3], [0.2, 0.3, 0.5]):
+            freq = np.mean(draws == value)
+            assert abs(freq - p) < 0.01
+
+    def test_cdf(self):
+        d = DiscreteEmpirical([1, 2, 4], [0.25, 0.25, 0.5])
+        assert d.cdf(0.5) == 0.0
+        assert d.cdf(1) == pytest.approx(0.25)
+        assert d.cdf(3) == pytest.approx(0.5)
+        assert d.cdf(4) == pytest.approx(1.0)
+
+    def test_truncate(self):
+        d = DiscreteEmpirical([1, 2, 4, 8], [0.25] * 4)
+        cut = d.truncate(4)
+        assert list(cut.support) == [1, 2, 4]
+        assert cut.probabilities.sum() == pytest.approx(1.0)
+        assert cut.prob(2) == pytest.approx(1 / 3)
+
+    def test_truncate_below_support_rejected(self):
+        d = DiscreteEmpirical([5, 6], [1, 1])
+        with pytest.raises(ValueError):
+            d.truncate(4)
+
+    def test_from_samples(self):
+        d = DiscreteEmpirical.from_samples([1, 1, 2, 2, 2, 5])
+        assert d.prob(2) == pytest.approx(0.5)
+        assert d.mean == pytest.approx(13 / 6)
+
+    def test_expectation(self):
+        d = DiscreteEmpirical([1, 2], [0.5, 0.5])
+        assert d.expectation(lambda x: x * x) == pytest.approx(2.5)
+
+    def test_unsorted_input_sorted(self):
+        d = DiscreteEmpirical([4, 1, 2], [0.5, 0.25, 0.25])
+        assert list(d.support) == [1, 2, 4]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteEmpirical([], [])
+        with pytest.raises(ValueError):
+            DiscreteEmpirical([1], [-1.0])
+        with pytest.raises(ValueError):
+            DiscreteEmpirical([1, 2], [0.0, 0.0])
+
+
+class TestContinuousEmpirical:
+    def test_from_samples_roundtrip(self):
+        src = np.random.default_rng(2).exponential(100.0, 20_000)
+        d = ContinuousEmpirical.from_samples(src, bins=200)
+        assert d.mean == pytest.approx(src.mean(), rel=0.05)
+        draws = d.sample_array(np.random.default_rng(3), 20_000)
+        assert draws.mean() == pytest.approx(src.mean(), rel=0.05)
+
+    def test_support_within_edges(self):
+        d = ContinuousEmpirical([0.0, 1.0, 2.0], [1.0, 1.0])
+        draws = d.sample_array(RNG, 1000)
+        assert np.all((draws >= 0.0) & (draws <= 2.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContinuousEmpirical([0, 1], [1, 2])  # edge/count mismatch
+        with pytest.raises(ValueError):
+            ContinuousEmpirical([0, 0, 1], [1, 1])  # non-increasing
+        with pytest.raises(ValueError):
+            ContinuousEmpirical([0, 1, 2], [0, 0])  # zero mass
+
+
+class TestWeibull:
+    def test_shape_one_is_exponential(self):
+        from repro.sim import Weibull
+
+        w = Weibull(scale=5.0, shape=1.0)
+        assert w.mean == pytest.approx(5.0)
+        assert w.cv == pytest.approx(1.0)
+
+    def test_moments(self):
+        from repro.sim import Weibull
+
+        check_moments(Weibull(scale=10.0, shape=0.7), rel_tol=0.08)
+
+    def test_heavy_tail_below_one_shape(self):
+        from repro.sim import Weibull
+
+        assert Weibull(1.0, 0.5).cv > 1.0
+        assert Weibull(1.0, 2.0).cv < 1.0
+
+    def test_validation(self):
+        from repro.sim import Weibull
+
+        with pytest.raises(ValueError):
+            Weibull(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Weibull(1.0, -1.0)
+
+
+class TestBoundedPareto:
+    def test_support(self):
+        from repro.sim import BoundedPareto
+
+        d = BoundedPareto(alpha=1.1, low=1.0, high=1000.0)
+        draws = d.sample_array(np.random.default_rng(5), 5000)
+        assert np.all((draws >= 1.0) & (draws <= 1000.0))
+
+    def test_moments_match_samples(self):
+        from repro.sim import BoundedPareto
+
+        d = BoundedPareto(alpha=1.5, low=1.0, high=500.0)
+        check_moments(d, n=200_000, rel_tol=0.05)
+
+    def test_alpha_equal_moment_degenerate_case(self):
+        from repro.sim import BoundedPareto
+
+        # alpha == 1: the mean integral has a log form; must still be
+        # finite and bracketed by the support.
+        d = BoundedPareto(alpha=1.0, low=1.0, high=100.0)
+        assert 1.0 < d.mean < 100.0
+        draws = d.sample_array(np.random.default_rng(6), 200_000)
+        assert d.mean == pytest.approx(draws.mean(), rel=0.05)
+
+    def test_heavier_tail_with_smaller_alpha(self):
+        from repro.sim import BoundedPareto
+
+        heavy = BoundedPareto(0.9, 1.0, 10_000.0)
+        light = BoundedPareto(2.5, 1.0, 10_000.0)
+        assert heavy.cv > light.cv
+
+    def test_validation(self):
+        from repro.sim import BoundedPareto
+
+        with pytest.raises(ValueError):
+            BoundedPareto(0.0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            BoundedPareto(1.0, 5.0, 5.0)
+        with pytest.raises(ValueError):
+            BoundedPareto(1.0, 0.0, 5.0)
+
+
+class TestMixtureAndScaled:
+    def test_mixture_mean(self):
+        m = Mixture([Deterministic(0.0), Deterministic(10.0)], [0.5, 0.5])
+        assert m.mean == pytest.approx(5.0)
+        assert m.variance == pytest.approx(25.0)
+
+    def test_mixture_sampling(self):
+        m = Mixture([Deterministic(1.0), Deterministic(2.0)], [0.25, 0.75])
+        draws = [m.sample(np.random.default_rng(i)) for i in range(2000)]
+        assert abs(np.mean(draws) - 1.75) < 0.05
+
+    def test_scaled_models_extension_factor(self):
+        base = Exponential(100.0)
+        scaled = Scaled(base, 1.25)
+        assert scaled.mean == pytest.approx(125.0)
+        assert scaled.cv == pytest.approx(base.cv)
+
+    def test_scaled_sampling(self):
+        d = Scaled(Deterministic(4.0), 1.25)
+        assert d.sample(RNG) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mixture([], [])
+        with pytest.raises(ValueError):
+            Scaled(Deterministic(1.0), 0.0)

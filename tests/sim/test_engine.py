@@ -1,0 +1,163 @@
+"""Unit tests for the event calendar and run control."""
+
+import pytest
+
+from repro.sim import (
+    EmptySchedule,
+    Event,
+    SchedulingError,
+    Simulator,
+    Timeout,
+)
+
+
+def test_clock_starts_at_initial_time():
+    assert Simulator().now == 0.0
+    assert Simulator(initial_time=5.5).now == 5.5
+
+
+def test_run_until_time_advances_clock_exactly():
+    sim = Simulator()
+    sim.timeout(3.0)
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulator(initial_time=5.0)
+    with pytest.raises(SchedulingError):
+        sim.run(until=1.0)
+
+
+def test_run_drains_calendar_when_until_none():
+    sim = Simulator()
+    sim.timeout(1.0)
+    sim.timeout(7.0)
+    sim.run()
+    assert sim.now == 7.0
+
+
+def test_step_raises_on_empty_calendar():
+    with pytest.raises(EmptySchedule):
+        Simulator().step()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(4.0)
+    sim.timeout(2.0)
+    assert sim.peek() == 2.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    for delay in (5.0, 1.0, 3.0):
+        ev = sim.timeout(delay, value=delay)
+        ev.callbacks.append(lambda e: fired.append(e.value))
+    sim.run()
+    assert fired == [1.0, 3.0, 5.0]
+
+
+def test_simultaneous_events_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for tag in "abc":
+        ev = sim.timeout(1.0, value=tag)
+        ev.callbacks.append(lambda e: fired.append(e.value))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.timeout(-1.0)
+    with pytest.raises(SchedulingError):
+        sim.schedule(Event(sim), delay=-0.5)
+
+
+def test_run_until_event_returns_its_value():
+    sim = Simulator()
+    ev = sim.event()
+    sim.call_at(4.0, lambda: ev.succeed("payload"))
+    assert sim.run(until=ev) == "payload"
+    assert sim.now == 4.0
+
+
+def test_run_until_already_processed_event():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(11)
+    sim.run()
+    assert sim.run(until=ev) == 11
+
+
+def test_run_until_event_that_never_fires_raises():
+    sim = Simulator()
+    ev = sim.event()
+    sim.timeout(1.0)
+    with pytest.raises(SchedulingError):
+        sim.run(until=ev)
+
+
+def test_run_until_failed_event_raises_its_exception():
+    sim = Simulator()
+    ev = sim.event()
+    sim.call_at(2.0, lambda: ev.fail(RuntimeError("boom")))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run(until=ev)
+
+
+def test_call_at_runs_function_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(6.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [6.0]
+
+
+def test_call_at_in_past_rejected():
+    sim = Simulator(initial_time=3.0)
+    with pytest.raises(SchedulingError):
+        sim.call_at(2.0, lambda: None)
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    sim.timeout(1.0)
+    sim.timeout(2.0)
+    sim.run()
+    assert sim.events_processed == 2
+
+
+def test_unhandled_failed_event_crashes_run():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(ValueError("unnoticed"))
+    with pytest.raises(ValueError, match="unnoticed"):
+        sim.run()
+
+
+def test_defused_failed_event_does_not_crash():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(ValueError("handled"))
+    ev.defuse()
+    sim.run()  # must not raise
+    assert sim.events_processed == 1
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    ev = sim.timeout(1.0, value="v")
+    sim.run()
+    assert ev.value == "v"
+    assert ev.ok
+
+
+def test_repr_smoke():
+    sim = Simulator()
+    sim.timeout(1.0)
+    assert "pending=1" in repr(sim)

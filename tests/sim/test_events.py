@@ -1,0 +1,142 @@
+"""Unit tests for Event state machine and condition events."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, SchedulingError, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEventLifecycle:
+    def test_fresh_event_is_untriggered(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.event().value
+
+    def test_ok_before_trigger_raises(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.event().ok
+
+    def test_succeed_sets_value_and_ok(self, sim):
+        ev = sim.event().succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_succeed_twice_rejected(self, sim):
+        ev = sim.event().succeed()
+        with pytest.raises(SchedulingError):
+            ev.succeed()
+
+    def test_fail_then_succeed_rejected(self, sim):
+        ev = sim.event().fail(RuntimeError())
+        ev.defuse()
+        with pytest.raises(SchedulingError):
+            ev.succeed()
+
+    def test_fail_requires_exception_instance(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_callbacks_receive_event(self, sim):
+        ev = sim.event()
+        got = []
+        ev.callbacks.append(got.append)
+        ev.succeed("x")
+        sim.run()
+        assert got == [ev]
+        assert ev.processed
+
+    def test_succeed_with_delay(self, sim):
+        ev = sim.event()
+        times = []
+        ev.callbacks.append(lambda e: times.append(sim.now))
+        ev.succeed(delay=4.0)
+        sim.run()
+        assert times == [4.0]
+
+    def test_trigger_from_copies_success(self, sim):
+        src = sim.event().succeed("payload")
+        dst = sim.event()
+        dst.trigger_from(src)
+        assert dst.ok and dst.value == "payload"
+
+    def test_trigger_from_copies_failure(self, sim):
+        exc = RuntimeError("x")
+        src = sim.event().fail(exc)
+        src.defuse()
+        dst = sim.event()
+        dst.trigger_from(src)
+        dst.defuse()
+        assert not dst.ok and dst.value is exc
+
+
+class TestAnyOf:
+    def test_fires_on_first_child(self, sim):
+        a, b = sim.timeout(2.0, "a"), sim.timeout(5.0, "b")
+        cond = AnyOf(sim, [a, b])
+        sim.run(until=cond)
+        assert sim.now == 2.0
+        assert cond.value == {a: "a"}
+
+    def test_operator_or(self, sim):
+        a, b = sim.timeout(1.0), sim.timeout(2.0)
+        cond = a | b
+        assert isinstance(cond, AnyOf)
+        sim.run(until=cond)
+        assert sim.now == 1.0
+
+    def test_empty_any_of_fires_immediately(self, sim):
+        cond = AnyOf(sim, [])
+        sim.run()
+        assert cond.triggered and cond.value == {}
+
+    def test_already_processed_child_satisfies(self, sim):
+        a = sim.timeout(1.0, "a")
+        sim.run()
+        cond = AnyOf(sim, [a])
+        sim.run()
+        assert cond.triggered
+        assert cond.value == {a: "a"}
+
+    def test_failed_child_fails_condition(self, sim):
+        a = sim.event()
+        b = sim.timeout(10.0)
+        cond = AnyOf(sim, [a, b])
+        sim.call_at(1.0, lambda: a.fail(RuntimeError("child")))
+        with pytest.raises(RuntimeError, match="child"):
+            sim.run(until=cond)
+
+
+class TestAllOf:
+    def test_waits_for_every_child(self, sim):
+        a, b, c = (sim.timeout(t, t) for t in (1.0, 3.0, 2.0))
+        cond = AllOf(sim, [a, b, c])
+        sim.run(until=cond)
+        assert sim.now == 3.0
+        assert set(cond.value.values()) == {1.0, 2.0, 3.0}
+
+    def test_operator_and(self, sim):
+        a, b = sim.timeout(1.0), sim.timeout(2.0)
+        cond = a & b
+        assert isinstance(cond, AllOf)
+        sim.run(until=cond)
+        assert sim.now == 2.0
+
+    def test_value_preserves_child_order(self, sim):
+        a, b = sim.timeout(5.0, "a"), sim.timeout(1.0, "b")
+        cond = AllOf(sim, [a, b])
+        sim.run(until=cond)
+        assert list(cond.value.keys()) == [a, b]
+
+    def test_cross_simulator_condition_rejected(self, sim):
+        other = Simulator()
+        with pytest.raises(SchedulingError):
+            AllOf(sim, [sim.event(), other.event()])

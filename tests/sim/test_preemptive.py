@@ -1,0 +1,101 @@
+"""Tests for the preemptive priority resource."""
+
+import pytest
+
+from repro.sim import (
+    Interrupt,
+    PreemptiveResource,
+    SchedulingError,
+    Simulator,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_idle_acquire_immediate(sim):
+    res = PreemptiveResource(sim)
+    grant = res.request(priority=5)
+    assert grant.triggered
+    assert res.busy
+
+
+def test_equal_priority_waits_fifo(sim):
+    res = PreemptiveResource(sim)
+    first = res.request(priority=1)
+    second = res.request(priority=1)
+    third = res.request(priority=1)
+    assert not second.triggered
+    res.release(first)
+    assert second.triggered
+    assert not third.triggered
+    res.release(second)
+    assert third.triggered
+
+
+def test_higher_priority_jumps_queue(sim):
+    res = PreemptiveResource(sim)
+    holder = res.request(priority=1)
+    low = res.request(priority=5)
+    high = res.request(priority=2)
+    res.release(holder)
+    assert high.triggered
+    assert not low.triggered
+
+
+def test_preemption_interrupts_owner(sim):
+    res = PreemptiveResource(sim)
+    log = []
+
+    def background(sim):
+        grant = res.request(priority=10, owner=sim.active_process)
+        yield grant
+        try:
+            yield sim.timeout(100.0)
+            res.release(grant)
+            log.append(("bg-finished", sim.now))
+        except Interrupt as inter:
+            log.append(("bg-preempted", sim.now, inter.cause.triggered))
+
+    def urgent(sim):
+        yield sim.timeout(10.0)
+        grant = res.request(priority=0, owner=sim.active_process)
+        yield grant
+        yield sim.timeout(5.0)
+        res.release(grant)
+        log.append(("urgent-done", sim.now))
+
+    sim.process(background(sim), name="bg")
+    sim.process(urgent(sim))
+    sim.run()
+    assert ("bg-preempted", 10.0, True) in log
+    assert ("urgent-done", 15.0) in log
+    assert res.preemptions == 1
+
+
+def test_release_by_non_holder_rejected(sim):
+    res = PreemptiveResource(sim)
+    holder = res.request(priority=1)
+    waiter = res.request(priority=1)
+    with pytest.raises(SchedulingError):
+        res.release(waiter)
+    res.release(holder)
+
+
+def test_no_preemption_for_equal_priority(sim):
+    res = PreemptiveResource(sim)
+    res.request(priority=1)
+    second = res.request(priority=1)
+    assert not second.triggered
+    assert res.preemptions == 0
+
+
+def test_queue_length(sim):
+    res = PreemptiveResource(sim)
+    res.request()
+    res.request()
+    res.request()
+    assert res.queue_length == 2
+    assert "busy" in repr(res)

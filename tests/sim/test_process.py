@@ -1,0 +1,224 @@
+"""Unit tests for generator-coroutine processes and interrupts."""
+
+import pytest
+
+from repro.sim import Interrupt, Process, SchedulingError, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_process_advances_through_timeouts(sim):
+    log = []
+
+    def worker(sim):
+        log.append(sim.now)
+        yield sim.timeout(2.0)
+        log.append(sim.now)
+        yield sim.timeout(3.0)
+        log.append(sim.now)
+
+    sim.process(worker(sim))
+    sim.run()
+    assert log == [0.0, 2.0, 5.0]
+
+
+def test_process_return_value_becomes_event_value(sim):
+    def worker(sim):
+        yield sim.timeout(1.0)
+        return "result"
+
+    proc = sim.process(worker(sim))
+    assert sim.run(until=proc) == "result"
+
+
+def test_process_waits_for_child_process(sim):
+    def child(sim):
+        yield sim.timeout(4.0)
+        return 99
+
+    def parent(sim):
+        value = yield sim.process(child(sim))
+        return value + 1
+
+    proc = sim.process(parent(sim))
+    assert sim.run(until=proc) == 100
+    assert sim.now == 4.0
+
+
+def test_timeout_value_is_sent_into_generator(sim):
+    received = []
+
+    def worker(sim):
+        got = yield sim.timeout(1.0, value="hello")
+        received.append(got)
+
+    sim.process(worker(sim))
+    sim.run()
+    assert received == ["hello"]
+
+
+def test_non_generator_rejected(sim):
+    def not_a_generator(sim):
+        return 5
+
+    with pytest.raises(SchedulingError):
+        sim.process(not_a_generator(sim))
+
+
+def test_yielding_non_event_raises(sim):
+    def worker(sim):
+        yield 42
+
+    sim.process(worker(sim))
+    with pytest.raises(SchedulingError):
+        sim.run()
+
+
+def test_unhandled_exception_in_process_crashes_run(sim):
+    def worker(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("model bug")
+
+    sim.process(worker(sim))
+    with pytest.raises(RuntimeError, match="model bug"):
+        sim.run()
+
+
+def test_exception_handled_by_waiting_parent(sim):
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("expected")
+
+    def parent(sim):
+        try:
+            yield sim.process(child(sim))
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    proc = sim.process(parent(sim))
+    assert sim.run(until=proc) == "caught expected"
+
+
+def test_is_alive_transitions(sim):
+    def worker(sim):
+        yield sim.timeout(5.0)
+
+    proc = sim.process(worker(sim))
+    assert proc.is_alive
+    sim.run()
+    assert not proc.is_alive
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, sim):
+        causes = []
+
+        def victim(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as inter:
+                causes.append((sim.now, inter.cause))
+
+        def attacker(sim, target):
+            yield sim.timeout(3.0)
+            target.interrupt(cause="preempted")
+
+        target = sim.process(victim(sim))
+        sim.process(attacker(sim, target))
+        sim.run()
+        assert causes == [(3.0, "preempted")]
+
+    def test_interrupted_process_can_continue(self, sim):
+        log = []
+
+        def victim(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                pass
+            yield sim.timeout(2.0)
+            log.append(sim.now)
+
+        def attacker(sim, target):
+            yield sim.timeout(1.0)
+            target.interrupt()
+
+        target = sim.process(victim(sim))
+        sim.process(attacker(sim, target))
+        sim.run()
+        assert log == [3.0]
+
+    def test_uncaught_interrupt_fails_process(self, sim):
+        def victim(sim):
+            yield sim.timeout(100.0)
+
+        def attacker(sim, target):
+            yield sim.timeout(1.0)
+            target.interrupt()
+
+        target = sim.process(victim(sim))
+        sim.process(attacker(sim, target))
+        with pytest.raises(Interrupt):
+            sim.run()
+
+    def test_interrupting_dead_process_rejected(self, sim):
+        def quick(sim):
+            yield sim.timeout(1.0)
+
+        proc = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(SchedulingError):
+            proc.interrupt()
+
+    def test_stale_target_event_ignored_after_interrupt(self, sim):
+        # The timeout the victim was waiting on fires *after* the
+        # interrupt; the process must not be resumed twice.
+        resumed = []
+
+        def victim(sim):
+            try:
+                yield sim.timeout(5.0)
+            except Interrupt:
+                resumed.append("interrupted")
+            yield sim.timeout(10.0)
+            resumed.append("done")
+
+        def attacker(sim, target):
+            yield sim.timeout(1.0)
+            target.interrupt()
+
+        target = sim.process(victim(sim))
+        sim.process(attacker(sim, target))
+        sim.run()
+        assert resumed == ["interrupted", "done"]
+        assert sim.now == 11.0
+
+
+def test_process_name_defaults(sim):
+    def myproc(sim):
+        yield sim.timeout(1.0)
+
+    proc = sim.process(myproc(sim), name="custom")
+    assert proc.name == "custom"
+    assert "custom" in repr(proc)
+    sim.run()
+    assert "dead" in repr(proc)
+
+
+def test_two_processes_interleave_deterministically(sim):
+    log = []
+
+    def ticker(sim, label, period):
+        while sim.now < 6:
+            yield sim.timeout(period)
+            log.append((sim.now, label))
+
+    sim.process(ticker(sim, "a", 2.0))
+    sim.process(ticker(sim, "b", 3.0))
+    sim.run(until=7.0)
+    # At t=6 both fire; b's timeout was scheduled earlier (at t=3, vs t=4
+    # for a's), so FIFO tie-breaking runs b first.
+    assert log == [(2.0, "a"), (3.0, "b"), (4.0, "a"), (6.0, "b"), (6.0, "a")]

@@ -1,0 +1,93 @@
+"""Tests for the P² streaming quantile estimator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.quantiles import P2Quantile, QuantileSet
+
+
+class TestP2Quantile:
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value)
+
+    def test_exact_for_few_observations(self):
+        est = P2Quantile(0.5)
+        for v in (3.0, 1.0, 2.0):
+            est.record(v)
+        assert est.value == 2.0
+
+    @pytest.mark.parametrize("p", [0.5, 0.9, 0.95, 0.99])
+    def test_converges_on_uniform(self, p):
+        est = P2Quantile(p)
+        rng = np.random.default_rng(0)
+        for v in rng.random(100_000):
+            est.record(v)
+        assert est.value == pytest.approx(p, abs=0.01)
+
+    @pytest.mark.parametrize("p,expected", [(0.5, math.log(2)),
+                                            (0.95, -math.log(0.05))])
+    def test_converges_on_exponential(self, p, expected):
+        est = P2Quantile(p)
+        rng = np.random.default_rng(1)
+        for v in rng.exponential(1.0, 100_000):
+            est.record(v)
+        assert est.value == pytest.approx(expected, rel=0.05)
+
+    def test_matches_numpy_on_normal(self):
+        data = np.random.default_rng(2).normal(100.0, 15.0, 50_000)
+        est = P2Quantile(0.9)
+        for v in data:
+            est.record(v)
+        assert est.value == pytest.approx(np.quantile(data, 0.9),
+                                          rel=0.02)
+
+    @given(st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1, max_size=300,
+    ))
+    @settings(max_examples=50)
+    def test_estimate_within_data_range(self, values):
+        est = P2Quantile(0.75)
+        for v in values:
+            est.record(v)
+        assert min(values) - 1e-9 <= est.value <= max(values) + 1e-9
+
+    def test_count_tracked(self):
+        est = P2Quantile(0.5)
+        for v in range(17):
+            est.record(float(v))
+        assert est.count == 17
+
+
+class TestQuantileSet:
+    def test_default_ladder(self):
+        qs = QuantileSet()
+        assert set(qs.estimators) == {0.5, 0.9, 0.95, 0.99}
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSet([])
+
+    def test_snapshot_and_getitem(self):
+        qs = QuantileSet([0.5])
+        qs.record_many([1.0, 2.0, 3.0])
+        assert qs[0.5] == 2.0
+        assert qs.snapshot() == {0.5: 2.0}
+        assert qs.count == 3
+
+    def test_ladder_is_monotone(self):
+        qs = QuantileSet()
+        rng = np.random.default_rng(3)
+        qs.record_many(rng.exponential(10.0, 20_000))
+        snap = qs.snapshot()
+        assert snap[0.5] <= snap[0.9] <= snap[0.95] <= snap[0.99]

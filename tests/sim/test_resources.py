@@ -1,0 +1,179 @@
+"""Unit tests for Resource, Store and Gate primitives."""
+
+import pytest
+
+from repro.sim import Gate, Resource, SchedulingError, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_initial_state(self, sim):
+        res = Resource(sim, 4)
+        assert res.capacity == 4
+        assert res.available == 4
+        assert res.in_use == 0
+        assert res.queue_length == 0
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, 0)
+        with pytest.raises(ValueError):
+            Resource(sim, -3)
+
+    def test_immediate_grant(self, sim):
+        res = Resource(sim, 4)
+        grant = res.request(3)
+        assert grant.satisfied
+        assert res.available == 1
+
+    def test_oversized_request_rejected(self, sim):
+        res = Resource(sim, 4)
+        with pytest.raises(SchedulingError):
+            res.request(5)
+        with pytest.raises(ValueError):
+            res.request(0)
+
+    def test_fifo_blocking_head_of_line(self, sim):
+        # A big request at the head blocks a small one behind it,
+        # exactly like FCFS space sharing without backfilling.
+        res = Resource(sim, 4)
+        first = res.request(3)
+        big = res.request(4)
+        small = res.request(1)
+        assert first.satisfied
+        assert not big.satisfied
+        assert not small.satisfied  # blocked behind big despite fitting
+        res.release(first)
+        assert big.satisfied
+        assert not small.satisfied
+        res.release(big)
+        assert small.satisfied
+
+    def test_release_unsatisfied_rejected(self, sim):
+        res = Resource(sim, 2)
+        res.request(2)
+        blocked = res.request(1)
+        with pytest.raises(SchedulingError):
+            res.release(blocked)
+
+    def test_grant_event_wakes_process(self, sim):
+        res = Resource(sim, 1)
+        log = []
+
+        def user(sim, res, label, hold):
+            grant = res.request(1)
+            yield grant
+            log.append((label, "start", sim.now))
+            yield sim.timeout(hold)
+            res.release(grant)
+            log.append((label, "end", sim.now))
+
+        sim.process(user(sim, res, "a", 2.0))
+        sim.process(user(sim, res, "b", 1.0))
+        sim.run()
+        assert log == [
+            ("a", "start", 0.0),
+            ("a", "end", 2.0),
+            ("b", "start", 2.0),
+            ("b", "end", 3.0),
+        ]
+
+    def test_cancel_unblocks_queue(self, sim):
+        res = Resource(sim, 2)
+        head = res.request(2)
+        waiting = res.request(2)
+        behind = res.request(1)
+        waiting.cancel()
+        res.release(head)
+        assert behind.satisfied
+        assert not waiting.satisfied
+
+    def test_conservation_invariant(self, sim):
+        res = Resource(sim, 10)
+        grants = [res.request(2) for _ in range(4)]
+        assert res.available + res.in_use == res.capacity
+        for g in grants[:2]:
+            res.release(g)
+        assert res.available + res.in_use == res.capacity
+        assert res.available == 6
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+        ev = store.get()
+        sim.run()
+        assert ev.value == "x"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer(sim):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer(sim):
+            yield sim.timeout(5.0)
+            store.put("late")
+
+        sim.process(consumer(sim))
+        sim.process(producer(sim))
+        sim.run()
+        assert got == [(5.0, "late")]
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        for item in ("a", "b", "c"):
+            store.put(item)
+        events = [store.get() for _ in range(3)]
+        sim.run()
+        assert [e.value for e in events] == ["a", "b", "c"]
+
+    def test_bounded_store_overflow(self, sim):
+        store = Store(sim, capacity=1)
+        store.put(1)
+        with pytest.raises(SchedulingError):
+            store.put(2)
+
+    def test_len_and_items(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.items == (1, 2)
+
+
+class TestGate:
+    def test_open_gate_passes_immediately(self, sim):
+        gate = Gate(sim, open_=True)
+        ev = gate.wait()
+        sim.run()
+        assert ev.processed
+
+    def test_closed_gate_blocks_until_open(self, sim):
+        gate = Gate(sim)
+        woken = []
+
+        def waiter(sim, label):
+            yield gate.wait()
+            woken.append((label, sim.now))
+
+        sim.process(waiter(sim, "a"))
+        sim.process(waiter(sim, "b"))
+        sim.call_at(3.0, gate.open)
+        sim.run()
+        assert woken == [("a", 3.0), ("b", 3.0)]
+
+    def test_close_reblocks(self, sim):
+        gate = Gate(sim, open_=True)
+        gate.close()
+        assert not gate.is_open
+        ev = gate.wait()
+        sim.run()
+        assert not ev.triggered

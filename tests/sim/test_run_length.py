@@ -1,0 +1,98 @@
+"""Tests for sequential run-length control."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationConfig
+from repro.sim.run_length import (
+    RunLengthController,
+    run_to_precision,
+)
+from repro.workload import das_s_128, das_t_900
+
+
+class TestController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunLengthController(10, relative_width=0.0)
+        with pytest.raises(ValueError):
+            RunLengthController(10, min_batches=1)
+
+    def test_stops_on_precision_for_low_variance(self):
+        ctrl = RunLengthController(batch_size=10, relative_width=0.10,
+                                   min_batches=5)
+        rng = np.random.default_rng(0)
+        decision = None
+        for _ in range(100_000):
+            ctrl.record(100.0 + rng.normal(0, 5.0))
+            decision = ctrl.should_stop()
+            if decision:
+                break
+        assert decision is not None
+        assert decision.converged
+        assert decision.ci.relative_width <= 0.10
+        # Low-variance data converges fast.
+        assert decision.observations <= 200
+
+    def test_high_variance_needs_more_observations(self):
+        def observations_needed(sigma):
+            ctrl = RunLengthController(batch_size=10,
+                                       relative_width=0.05,
+                                       min_batches=5,
+                                       max_observations=500_000)
+            rng = np.random.default_rng(1)
+            for _ in range(500_000):
+                ctrl.record(100.0 + rng.normal(0, sigma))
+                decision = ctrl.should_stop()
+                if decision:
+                    return decision.observations
+            raise AssertionError("never stopped")
+
+        assert observations_needed(50.0) > observations_needed(5.0)
+
+    def test_budget_stop(self):
+        ctrl = RunLengthController(batch_size=10, relative_width=1e-9,
+                                   min_batches=5, max_observations=300)
+        rng = np.random.default_rng(2)
+        decision = None
+        for _ in range(301):
+            ctrl.record(rng.normal(100.0, 30.0))
+            decision = ctrl.should_stop()
+            if decision:
+                break
+        assert decision is not None
+        assert decision.reason == "budget"
+        assert not decision.converged
+
+    def test_waits_for_min_batches(self):
+        ctrl = RunLengthController(batch_size=10, relative_width=10.0,
+                                   min_batches=5)
+        for _ in range(40):  # 4 batches < 5 required
+            ctrl.record(100.0)
+            assert ctrl.should_stop() is None
+
+
+class TestRunToPrecision:
+    def test_converges_at_moderate_load(self):
+        cfg = SimulationConfig(policy="GS", component_limit=16,
+                               warmup_jobs=300, measured_jobs=0,
+                               seed=5, batch_size=200)
+        report, decision = run_to_precision(
+            cfg, das_s_128(), das_t_900(), 0.004,
+            relative_width=0.10, min_batches=6, max_jobs=60_000,
+        )
+        assert decision.converged
+        assert decision.ci.relative_width <= 0.10
+        assert report.completed_jobs >= decision.observations
+
+    def test_budget_exhausted_at_overload(self):
+        cfg = SimulationConfig(policy="GS", component_limit=16,
+                               warmup_jobs=200, measured_jobs=0,
+                               seed=5, batch_size=200)
+        # Far beyond the maximal utilization: never converges.
+        report, decision = run_to_precision(
+            cfg, das_s_128(), das_t_900(), 0.02,
+            relative_width=0.02, min_batches=6, max_jobs=4_000,
+        )
+        assert not decision.converged
+        assert decision.reason == "budget"

@@ -1,0 +1,65 @@
+"""Unit tests for the tracing facility."""
+
+from repro.sim import NullTracer, Tracer
+from repro.sim.trace import filter_records
+
+
+def test_emit_and_read_back():
+    tr = Tracer()
+    tr.emit(1.0, "arrival", job=3)
+    tr.emit(2.0, "start", job=3, cluster=0)
+    assert len(tr) == 2
+    assert tr.records[0].time == 1.0
+    assert tr.records[0].kind == "arrival"
+    assert tr.records[0].payload == {"job": 3}
+
+
+def test_kind_filter():
+    tr = Tracer(kinds={"departure"})
+    tr.emit(1.0, "arrival")
+    tr.emit(2.0, "departure")
+    assert [r.kind for r in tr] == ["departure"]
+
+
+def test_of_kind_selection():
+    tr = Tracer()
+    tr.emit(1.0, "a")
+    tr.emit(2.0, "b")
+    tr.emit(3.0, "a")
+    assert [r.time for r in tr.of_kind("a")] == [1.0, 3.0]
+    assert tr.kinds_seen() == {"a", "b"}
+
+
+def test_limit_drops_and_counts():
+    tr = Tracer(limit=2)
+    for t in range(5):
+        tr.emit(float(t), "x")
+    assert len(tr) == 2
+    assert tr.dropped == 3
+
+
+def test_clear():
+    tr = Tracer()
+    tr.emit(0.0, "x")
+    tr.clear()
+    assert len(tr) == 0
+    assert tr.dropped == 0
+
+
+def test_null_tracer_discards_everything():
+    tr = NullTracer()
+    tr.emit(1.0, "anything", heavy="payload")
+    assert len(tr.records) == 0
+    assert not tr.enabled
+
+
+def test_regular_tracer_enabled():
+    assert Tracer().enabled
+
+
+def test_filter_records_helper():
+    tr = Tracer()
+    tr.emit(1.0, "x", v=1)
+    tr.emit(2.0, "x", v=2)
+    late = filter_records(tr.records, lambda r: r.time > 1.5)
+    assert [r.payload["v"] for r in late] == [2]

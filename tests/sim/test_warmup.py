@@ -1,0 +1,106 @@
+"""Tests for MSER initial-transient detection."""
+
+import numpy as np
+import pytest
+
+from repro.sim.warmup import (
+    is_warmup_adequate,
+    mser_statistic,
+    mser_truncation_point,
+)
+
+
+def transient_series(transient_len=200, total=2_000, seed=0):
+    """A decaying transient followed by stationary noise."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(total, dtype=float)
+    drift = 50.0 * np.exp(-t / (transient_len / 3.0))
+    return 100.0 + drift + rng.normal(0, 5.0, total)
+
+
+class TestMserTruncation:
+    def test_detects_transient(self):
+        series = transient_series(transient_len=200)
+        d = mser_truncation_point(series)
+        # Cuts most of the transient but not half the run.
+        assert 50 <= d <= 500
+
+    def test_stationary_series_cuts_little(self):
+        rng = np.random.default_rng(1)
+        series = 100.0 + rng.normal(0, 5.0, 2_000)
+        d = mser_truncation_point(series)
+        assert d <= 200
+
+    def test_longer_transient_larger_cut(self):
+        short = mser_truncation_point(
+            transient_series(transient_len=100, seed=2))
+        long = mser_truncation_point(
+            transient_series(transient_len=600, seed=2))
+        assert long > short
+
+    def test_max_fraction_guard(self):
+        series = transient_series(transient_len=1_900, total=2_000)
+        d = mser_truncation_point(series, max_fraction=0.5)
+        assert d <= 1_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mser_truncation_point([1.0] * 5)
+        with pytest.raises(ValueError):
+            mser_truncation_point([1.0] * 100, max_fraction=0.0)
+
+    def test_truncation_in_group_units(self):
+        series = transient_series()
+        assert mser_truncation_point(series, group=5) % 5 == 0
+
+
+class TestMserStatistic:
+    def test_lower_after_transient_removed(self):
+        series = transient_series(transient_len=300)
+        assert mser_statistic(series, 300) < mser_statistic(series, 0)
+
+    def test_infinite_for_tiny_tail(self):
+        assert mser_statistic([1.0, 2.0, 3.0], 2) == float("inf")
+
+
+class TestWarmupAdequacy:
+    def test_fixed_budget_audit(self):
+        series = transient_series(transient_len=200)
+        assert is_warmup_adequate(series, warmup=600)
+        assert not is_warmup_adequate(series, warmup=0)
+
+    def test_audits_the_actual_simulation_driver(self):
+        # The fixed warmup used by the benchmark harness must cover the
+        # MSER-detected transient of a representative run.
+        from repro.core import SimulationConfig
+        from repro.core.system import _build
+        from repro.sim.rng import StreamFactory
+        from repro.workload import (
+            ArrivalProcess,
+            JobFactory,
+            das_s_128,
+            das_t_900,
+        )
+
+        sizes, service = das_s_128(), das_t_900()
+        config = SimulationConfig(policy="GS", component_limit=16,
+                                  warmup_jobs=1_000,
+                                  measured_jobs=0, seed=8)
+        system, factory = _build(config, sizes, service)
+        rate = JobFactory(
+            sizes, service, 16, streams=StreamFactory(8)
+        ).arrival_rate_for_gross_utilization(0.5, 128)
+        responses = []
+        system.on_departure_hook = (
+            lambda job: responses.append(job.response_time)
+        )
+        ArrivalProcess(system.sim, factory, rate, system.submit,
+                       limit=None,
+                       rng=StreamFactory(8).get("arrivals.iat"))
+        while system.jobs_finished < 6_000:
+            system.sim.step()
+        d = mser_truncation_point(responses)
+        assert d <= config.warmup_jobs, (
+            f"MSER wants {d} but the fixed budget is "
+            f"{config.warmup_jobs}"
+        )

@@ -1,0 +1,190 @@
+"""Tests for the repro-sim command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "GS"
+        assert args.limit == 16
+        assert args.utilization == 0.5
+
+    def test_invalid_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "XYZ"])
+
+    def test_invalid_limit(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--limit", "20"])
+
+
+class TestRunCommand:
+    def test_run_prints_report(self, capsys):
+        rc = main([
+            "run", "--policy", "GS", "--utilization", "0.3",
+            "--warmup", "100", "--measured", "500", "--seed", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean response time" in out
+        assert "measured gross util" in out
+
+    def test_run_sc_forces_single_cluster(self, capsys):
+        rc = main([
+            "run", "--policy", "SC", "--utilization", "0.3",
+            "--warmup", "100", "--measured", "500",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "component-size limit  None" in out
+
+
+class TestSweepCommand:
+    def test_sweep_prints_curve(self, capsys):
+        rc = main([
+            "sweep", "--policy", "LS", "--grid", "0.3:0.5:0.2",
+            "--warmup", "100", "--measured", "400", "--plot",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "performance ranking" in out
+        assert "legend:" in out  # the ASCII plot
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--grid", "nonsense"])
+
+    def test_sweep_json_export(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        rc = main([
+            "sweep", "--policy", "GS", "--grid", "0.3:0.3:0.1",
+            "--warmup", "100", "--measured", "400",
+            "--json", str(out),
+        ])
+        assert rc == 0
+        assert "saved sweep" in capsys.readouterr().out
+        from repro.analysis.io import load_sweep
+
+        back = load_sweep(out)
+        assert back.label == "GS"
+        assert len(back.points) == 1
+
+
+class TestMaxUtilCommand:
+    def test_maxutil_prints_values(self, capsys):
+        rc = main([
+            "maxutil", "--policy", "GS", "--backlog", "30",
+            "--warmup", "100", "--measured", "600",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "maximal gross util" in out
+        assert "gross/net ratio" in out
+
+
+class TestTraceCommands:
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        swf = tmp_path / "log.swf"
+        rc = main(["trace", "--jobs", "400", "--seed", "3",
+                   "--out", str(swf)])
+        assert rc == 0
+        assert swf.exists()
+        rc = main(["trace-info", str(swf)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "400" in out
+        assert "power-of-two sizes" in out
+
+
+class TestCharacterizeCommand:
+    def test_characterize_swf(self, tmp_path, capsys):
+        swf = tmp_path / "log.swf"
+        main(["trace", "--jobs", "600", "--seed", "4",
+              "--out", str(swf)])
+        capsys.readouterr()
+        rc = main(["characterize", str(swf)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Spearman" in out
+        assert "Gini" in out
+
+
+class TestReportCommand:
+    def test_report_sections(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        out_md = tmp_path / "r.md"
+        # Workload section only: fast (no simulations beyond the log).
+        rc = main(["report", "--out", str(out_md),
+                   "--sections", "workload"])
+        assert rc == 0
+        assert "Table 1" in out_md.read_text()
+        assert "wrote 1 sections" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_table2_exact(self, capsys):
+        rc = main(["experiment", "table2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0.513/0.267/0.009/0.211" in out
+
+    def test_table1_smoke_scale(self, capsys):
+        rc = main(["experiment", "table1", "--scale", "smoke"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "0.190" in out
+
+    def test_fig1_smoke_scale(self, capsys):
+        rc = main(["experiment", "fig1", "--scale", "smoke"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "#" in out  # bar chart
+
+    def test_fig2_smoke_scale(self, capsys):
+        rc = main(["experiment", "fig2", "--scale", "smoke"])
+        assert rc == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_table3_smoke_scale(self, capsys):
+        rc = main(["experiment", "table3", "--scale", "smoke"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "maximal gross" in out
+        assert "gross/net ratios (analytic)" in out
+
+    def test_sensitivity_smoke_scale(self, capsys):
+        rc = main(["sensitivity", "--scale", "smoke",
+                   "--net-load", "0.3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Sensitivity scan" in out
+        assert "extension_factor" in out
+
+    @pytest.mark.slow
+    def test_fig4_smoke_scale(self, capsys):
+        rc = main(["experiment", "fig4", "--scale", "smoke"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "global" in out
+
+    @pytest.mark.slow
+    def test_fig7_smoke_scale(self, capsys):
+        rc = main(["experiment", "fig7", "--scale", "smoke"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "gross/net ratio" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

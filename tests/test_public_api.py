@@ -1,0 +1,68 @@
+"""The public API surface: importability, __all__ hygiene, version."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.workload",
+    "repro.core",
+    "repro.metrics",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_imports(package):
+    importlib.import_module(package)
+
+
+@pytest.mark.parametrize("package", PACKAGES[:-1])
+def test_all_entries_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__")
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_quickstart_names():
+    # The names used in the README quickstart must exist at top level.
+    import repro
+
+    for name in ("SimulationConfig", "run_open_system",
+                 "run_constant_backlog", "MulticlusterSimulation"):
+        assert hasattr(repro, name)
+
+
+def test_docstrings_on_public_classes():
+    # Every public class/function in the top-level namespaces carries a
+    # docstring — the documentation contract.
+    import repro
+    import repro.analysis
+    import repro.metrics
+    import repro.sim
+    import repro.workload
+
+    for module in (repro, repro.sim, repro.workload, repro.metrics,
+                   repro.analysis):
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"{module.__name__}.{name} lacks a docstring"
+
+
+def test_policy_registry_is_papers_set():
+    from repro.core import POLICIES
+
+    assert set(POLICIES) == {"GS", "LS", "LP", "SC"}, (
+        "extension policies must not leak into the core registry"
+    )

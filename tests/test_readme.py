@@ -1,0 +1,48 @@
+"""The README's code block and CLI claims must actually work."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def code_blocks(language: str) -> list[str]:
+    text = README.read_text(encoding="utf-8")
+    return re.findall(rf"```{language}\n(.*?)```", text, flags=re.S)
+
+
+@pytest.mark.slow
+def test_quickstart_block_executes():
+    blocks = code_blocks("python")
+    assert blocks, "README lost its quickstart block"
+    namespace: dict = {}
+    exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+    result = namespace["result"]
+    assert result.mean_response > 0
+    assert 0 < result.gross_utilization < 1
+
+
+def test_cli_lines_parse():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    bash = "\n".join(code_blocks("bash"))
+    for line in bash.splitlines():
+        line = line.strip()
+        if not line.startswith("repro-sim "):
+            continue
+        args = line.split()[1:]
+        # Parsing must succeed for every README invocation.
+        parsed = parser.parse_args(args)
+        assert parsed.command
+
+
+def test_example_table_matches_directory():
+    text = README.read_text(encoding="utf-8")
+    examples = Path(__file__).resolve().parent.parent / "examples"
+    for path in examples.glob("*.py"):
+        assert f"`{path.name}`" in text, (
+            f"README example table is missing {path.name}"
+        )

@@ -1,0 +1,117 @@
+"""Tests for workload characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.workload import JobRecord, generate_das_log
+from repro.workload.characterize import (
+    bootstrap_mean_ci,
+    characterize,
+    gini_coefficient,
+    hourly_profile,
+    peak_offpeak_ratio,
+    size_runtime_correlation,
+    user_shares,
+)
+
+
+@pytest.fixture(scope="module")
+def log():
+    return generate_das_log(seed=21, num_jobs=12_000)
+
+
+class TestHourlyProfile:
+    def test_sums_to_one(self, log):
+        profile = hourly_profile(log)
+        assert profile.shape == (24,)
+        assert profile.sum() == pytest.approx(1.0)
+
+    def test_working_hours_dominate(self, log):
+        # The generator puts 75% of arrivals in 9-18h.
+        profile = hourly_profile(log)
+        assert profile[9:18].sum() == pytest.approx(0.75, abs=0.03)
+
+    def test_peak_offpeak_ratio(self, log):
+        ratio = peak_offpeak_ratio(log)
+        assert ratio > 2.0  # strongly diurnal
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hourly_profile([])
+
+
+class TestUserConcentration:
+    def test_shares_sorted_and_normalised(self, log):
+        shares = user_shares(log)
+        assert shares.sum() == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(shares, shares[1:]))
+
+    def test_zipf_mix_concentrated(self, log):
+        shares = user_shares(log)
+        # Zipf over 20 users: the top user holds ~1/H(20) ≈ 28%.
+        assert shares[0] > 0.2
+
+    def test_gini_bounds(self):
+        assert gini_coefficient([1, 1, 1, 1]) == pytest.approx(0.0)
+        concentrated = gini_coefficient([0.97, 0.01, 0.01, 0.01])
+        assert 0.6 < concentrated < 1.0
+
+    def test_gini_validation(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+        with pytest.raises(ValueError):
+            gini_coefficient([0.0, 0.0])
+
+
+class TestSizeRuntimeCorrelation:
+    def test_synthetic_log_near_independent(self, log):
+        # Sizes and runtimes are sampled independently except for the
+        # working-hours kill: correlation must be near zero.
+        rho = size_runtime_correlation(log)
+        assert abs(rho) < 0.05
+
+    def test_detects_strong_dependence(self):
+        records = [
+            JobRecord(i + 1, 0, float(i), size=s, runtime=10.0 * s)
+            for i, s in enumerate(range(1, 101))
+        ]
+        assert size_runtime_correlation(records) == pytest.approx(1.0)
+
+    def test_detects_negative_dependence(self):
+        records = [
+            JobRecord(i + 1, 0, float(i), size=s,
+                      runtime=1000.0 / s)
+            for i, s in enumerate(range(1, 101))
+        ]
+        assert size_runtime_correlation(records) == pytest.approx(-1.0)
+
+    def test_needs_three_records(self):
+        with pytest.raises(ValueError):
+            size_runtime_correlation([
+                JobRecord(1, 0, 0.0, 1, 1.0),
+            ])
+
+
+class TestBootstrap:
+    def test_ci_contains_true_mean(self):
+        data = np.random.default_rng(4).exponential(50.0, 2_000)
+        mean, lo, hi = bootstrap_mean_ci(data, resamples=400)
+        assert lo < 50.0 < hi or abs(mean - 50.0) < 5.0
+        assert lo <= mean <= hi
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+
+class TestCharacterize:
+    def test_full_battery(self, log):
+        c = characterize(log, bootstrap_resamples=100)
+        assert c.num_jobs == 12_000
+        assert c.size_ci[0] <= c.mean_size <= c.size_ci[1]
+        assert c.runtime_ci[0] <= c.mean_runtime <= c.runtime_ci[1]
+        assert abs(c.size_runtime_spearman) < 0.05
+        assert c.peak_offpeak > 2.0
+        assert 0.0 < c.user_gini < 1.0
+        text = c.summary()
+        assert "Spearman" in text and "Gini" in text

@@ -1,0 +1,130 @@
+"""Tests for the synthetic DAS1 log generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    DASLogGenerator,
+    JobRecord,
+    filter_log,
+    generate_das_log,
+    runtime_histogram,
+    size_histogram,
+    summarize_log,
+)
+from repro.workload.stats_model import SERVICE_CUTOFF
+
+
+@pytest.fixture(scope="module")
+def log():
+    return generate_das_log(seed=7, num_jobs=30_000)
+
+
+class TestJobRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobRecord(1, 0, 0.0, 0, 10.0)
+        with pytest.raises(ValueError):
+            JobRecord(1, 0, 0.0, 4, -1.0)
+        with pytest.raises(ValueError):
+            JobRecord(1, 0, -5.0, 4, 10.0)
+
+    def test_frozen(self):
+        r = JobRecord(1, 0, 0.0, 4, 10.0)
+        with pytest.raises(Exception):
+            r.size = 8
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        a = generate_das_log(seed=3, num_jobs=500)
+        b = generate_das_log(seed=3, num_jobs=500)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_das_log(seed=3, num_jobs=500)
+        b = generate_das_log(seed=4, num_jobs=500)
+        assert a != b
+
+    def test_sorted_by_submit_time(self, log):
+        times = [r.submit_time for r in log]
+        assert times == sorted(times)
+
+    def test_job_ids_sequential(self, log):
+        assert [r.job_id for r in log] == list(range(1, len(log) + 1))
+
+    def test_invalid_num_jobs(self):
+        with pytest.raises(ValueError):
+            DASLogGenerator(num_jobs=0)
+
+
+class TestMarginals:
+    def test_summary_matches_paper_scale(self, log):
+        s = summarize_log(log)
+        assert s.num_jobs == 30_000
+        assert s.num_users == 20
+        # All 58 sizes appear in a log this large.
+        assert s.num_distinct_sizes == 58
+        # Mean size ~ canonical 24.04, CV ~ 1.07.
+        assert s.mean_size == pytest.approx(24.04, rel=0.03)
+        assert s.cv_size == pytest.approx(1.07, rel=0.05)
+        # "A large majority of recorded jobs ran below the kill limit."
+        assert s.fraction_below_cutoff > 0.85
+        # Table 1 totals: 70.5% of jobs at power-of-two sizes.
+        assert s.power_of_two_fraction == pytest.approx(0.705, abs=0.01)
+
+    def test_size_frequencies_match_table(self, log):
+        sizes = np.array([r.size for r in log])
+        assert np.mean(sizes == 64) == pytest.approx(0.190, abs=0.01)
+        assert np.mean(sizes == 24) == pytest.approx(0.080, abs=0.01)
+        assert np.mean(sizes == 128) == pytest.approx(0.012, abs=0.005)
+
+    def test_working_hours_jobs_killed_at_limit(self, log):
+        for r in log:
+            hour = (r.submit_time % 86_400.0) / 3600.0
+            if 9.0 <= hour < 18.0:
+                assert r.runtime <= SERVICE_CUTOFF
+
+    def test_some_offhours_jobs_exceed_cutoff(self, log):
+        # The full (uncut) log must have mass above 900 s, otherwise
+        # "cutting at 900" would be vacuous.
+        assert any(r.runtime > SERVICE_CUTOFF for r in log)
+
+
+class TestLogTools:
+    def test_filter_by_size(self, log):
+        cut = filter_log(log, max_size=64)
+        assert all(r.size <= 64 for r in cut)
+        # ~2% of jobs are above 64.
+        assert len(cut) / len(log) == pytest.approx(0.98, abs=0.01)
+
+    def test_filter_by_runtime(self, log):
+        cut = filter_log(log, max_runtime=900.0)
+        assert all(r.runtime <= 900.0 for r in cut)
+
+    def test_size_histogram_counts(self, log):
+        hist = size_histogram(log)
+        assert sum(hist.values()) == len(log)
+        assert list(hist) == sorted(hist)
+        assert hist[64] > hist[32]
+
+    def test_runtime_histogram_respects_cutoff(self, log):
+        hist = runtime_histogram(log, bin_width=50.0)
+        assert all(b < SERVICE_CUTOFF for b in hist)
+        assert sum(hist.values()) == sum(
+            1 for r in log if r.runtime <= SERVICE_CUTOFF
+        )
+
+    def test_runtime_histogram_kill_limit_pileup(self, log):
+        # Jobs killed at exactly 900 s pile into the last bin — the
+        # right-edge spike of the paper's Figure 2.
+        hist = runtime_histogram(log, bin_width=60.0)
+        assert hist[840.0] > hist[780.0]
+
+    def test_runtime_histogram_validation(self, log):
+        with pytest.raises(ValueError):
+            runtime_histogram(log, bin_width=0.0)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_log([])

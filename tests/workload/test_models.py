@@ -1,0 +1,125 @@
+"""Tests for the parametric workload models."""
+
+import numpy as np
+import pytest
+
+from repro.workload.models import (
+    HarmonicSizes,
+    LogUniformSizes,
+    hypergamma_service,
+    powers_of_two_up_to,
+)
+
+
+class TestPowersHelper:
+    def test_basic(self):
+        assert powers_of_two_up_to(128) == [1, 2, 4, 8, 16, 32, 64, 128]
+        assert powers_of_two_up_to(100) == [1, 2, 4, 8, 16, 32, 64]
+        assert powers_of_two_up_to(1) == [1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            powers_of_two_up_to(0)
+
+
+class TestLogUniformSizes:
+    def test_probabilities_normalised(self):
+        d = LogUniformSizes(128, 0.75)
+        assert d.probabilities.sum() == pytest.approx(1.0)
+        assert 1 <= min(d.support) and max(d.support) <= 128
+
+    def test_power_preference(self):
+        d = LogUniformSizes(128, 0.75)
+        powers_mass = sum(
+            d.prob(p) for p in powers_of_two_up_to(128)
+        )
+        assert powers_mass > 0.70
+
+    def test_zero_power_fraction_is_pure_loguniform(self):
+        d = LogUniformSizes(64, 0.0)
+        # Log-uniform: mass of size s is log(1 + 1/s)/log(65);
+        # monotone decreasing in s.
+        probs = [d.prob(s) for s in (1, 2, 10, 50)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_full_power_fraction_only_powers(self):
+        d = LogUniformSizes(64, 1.0)
+        non_power_mass = 1.0 - sum(
+            d.prob(p) for p in powers_of_two_up_to(64)
+        )
+        assert non_power_mass == pytest.approx(0.0, abs=1e-12)
+
+    def test_small_jobs_dominate(self):
+        d = LogUniformSizes(128, 0.75)
+        assert d.cdf(16) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogUniformSizes(1)
+        with pytest.raises(ValueError):
+            LogUniformSizes(64, power_fraction=1.5)
+
+    def test_sampling(self):
+        d = LogUniformSizes(128, 0.5)
+        draws = d.sample_array(np.random.default_rng(0), 5000)
+        assert draws.min() >= 1 and draws.max() <= 128
+
+
+class TestHarmonicSizes:
+    def test_support_structure(self):
+        d = HarmonicSizes(128, step=4)
+        assert 1 in d.support and 2 in d.support
+        assert 124 in d.support and 128 in d.support
+        assert 3 not in d.support
+
+    def test_harmonic_weights(self):
+        d = HarmonicSizes(128, exponent=1.0)
+        assert d.prob(1) / d.prob(2) == pytest.approx(2.0)
+        assert d.prob(4) / d.prob(8) == pytest.approx(2.0)
+
+    def test_steeper_exponent_shrinks_mean(self):
+        assert HarmonicSizes(128, 2.0).mean < HarmonicSizes(128, 1.0).mean
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarmonicSizes(1)
+        with pytest.raises(ValueError):
+            HarmonicSizes(64, step=0)
+
+
+class TestHypergammaService:
+    def test_mean_between_modes(self):
+        d = hypergamma_service(60.0, 600.0, 0.7)
+        assert 60.0 < d.mean < 600.0
+        assert d.mean == pytest.approx(0.7 * 60 + 0.3 * 600)
+
+    def test_cutoff_bounds_support(self):
+        d = hypergamma_service(60.0, 600.0, 0.7, cutoff=900.0)
+        draws = d.sample_array(np.random.default_rng(1), 3000)
+        assert np.all((draws >= 0) & (draws <= 900.0))
+        assert d.mean < 900.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hypergamma_service(short_fraction=0.0)
+        with pytest.raises(ValueError):
+            hypergamma_service(cutoff=-1.0)
+
+
+class TestModelsDriveSimulations:
+    def test_end_to_end_with_parametric_workload(self):
+        from repro.core import SimulationConfig, run_open_system
+        from repro.sim import StreamFactory
+        from repro.workload import JobFactory
+
+        sizes = LogUniformSizes(128, 0.75)
+        service = hypergamma_service(cutoff=900.0)
+        cfg = SimulationConfig(policy="LS", component_limit=16,
+                               warmup_jobs=150, measured_jobs=900,
+                               seed=4, batch_size=100)
+        factory = JobFactory(sizes, service, 16,
+                             streams=StreamFactory(4))
+        rate = factory.arrival_rate_for_gross_utilization(0.4, 128)
+        result = run_open_system(cfg, sizes, service, rate)
+        assert result.report.completed_jobs == 900
+        assert 0.2 < result.gross_utilization < 0.6

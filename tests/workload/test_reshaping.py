@@ -1,0 +1,133 @@
+"""Tests for job reshaping under a total-size cap."""
+
+import pytest
+
+from repro.sim import Deterministic, StreamFactory
+from repro.workload import JobFactory, JobSpec, das_s_128
+from repro.workload.reshaping import ReshapingJobFactory, reshape_spec
+
+
+def spec(size, service=100.0, components=None):
+    return JobSpec(index=0, size=size,
+                   components=components or (size,),
+                   service_time=service, queue=0, user=3)
+
+
+class TestReshapeSpec:
+    def test_small_jobs_unchanged(self):
+        s = spec(32)
+        assert reshape_spec(s, 64) is s
+
+    def test_large_job_capped_work_conserving(self):
+        out = reshape_spec(spec(128, service=100.0), 64)
+        assert out.size == 64
+        assert out.service_time == pytest.approx(200.0)
+        # Work conserved: 128*100 == 64*200.
+        assert out.size * out.service_time == pytest.approx(12_800.0)
+
+    def test_inefficiency_inflates_work(self):
+        out = reshape_spec(spec(128, service=100.0), 64, efficiency=0.8)
+        assert out.service_time == pytest.approx(250.0)
+        assert out.size * out.service_time > 12_800.0
+
+    def test_resplit_under_limit(self):
+        out = reshape_spec(spec(128, service=100.0), 64,
+                           component_limit=16, clusters=4)
+        assert out.components == (16, 16, 16, 16)
+        out2 = reshape_spec(spec(128, service=100.0), 64,
+                            component_limit=None)
+        assert out2.components == (64,)
+
+    def test_metadata_preserved(self):
+        out = reshape_spec(spec(100), 64)
+        assert out.user == 3
+        assert out.queue == 0
+        assert out.index == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reshape_spec(spec(10), 0)
+        with pytest.raises(ValueError):
+            reshape_spec(spec(10), 8, efficiency=0.0)
+        with pytest.raises(ValueError):
+            reshape_spec(spec(10), 8, efficiency=1.5)
+
+
+class TestReshapingFactory:
+    def make(self, efficiency=1.0, cap=64):
+        inner = JobFactory(das_s_128(), Deterministic(100.0), 16,
+                           streams=StreamFactory(7))
+        return ReshapingJobFactory(inner, cap, efficiency=efficiency)
+
+    def test_no_job_exceeds_cap(self):
+        f = self.make()
+        for job in f.jobs(3_000):
+            assert job.size <= 64
+            assert sum(job.components) == job.size
+        # ~2% of jobs are above 64 in DAS-s-128.
+        assert f.reshaped_jobs == pytest.approx(60, abs=35)
+
+    def test_reshaped_jobs_run_longer(self):
+        f = self.make()
+        long_jobs = [j for j in f.jobs(3_000) if j.service_time > 100.0]
+        assert long_jobs
+        assert all(j.size == 64 for j in long_jobs)
+
+    def test_expected_work_exceeds_plain_cut(self):
+        # Reshaping keeps the big jobs' work; cutting drops it.  At the
+        # same arrival rate the reshaped stream carries more work than
+        # the das-s-64 stream (and with efficiency < 1, even more).
+        perfect = self.make(efficiency=1.0)
+        lossy = self.make(efficiency=0.7)
+        assert lossy.expected_net_work() > perfect.expected_net_work()
+
+    def test_work_conservation_at_perfect_efficiency(self):
+        # E[net work] is identical to the uncapped stream when
+        # efficiency is 1 (reshaping conserves processor-seconds).
+        f = self.make(efficiency=1.0)
+        assert f.expected_net_work() == pytest.approx(
+            f.inner.expected_net_work()
+        )
+
+    def test_rate_inversion(self):
+        f = self.make()
+        rate = f.arrival_rate_for_gross_utilization(0.5, 128)
+        assert rate * f.expected_gross_work() / 128 == pytest.approx(0.5)
+
+    def test_validation(self):
+        inner = JobFactory(das_s_128(), Deterministic(1.0), 16,
+                           streams=StreamFactory(1))
+        with pytest.raises(ValueError):
+            ReshapingJobFactory(inner, 0)
+        with pytest.raises(ValueError):
+            ReshapingJobFactory(inner, 64, efficiency=2.0)
+        f = ReshapingJobFactory(inner, 64)
+        with pytest.raises(ValueError):
+            f.arrival_rate_for_gross_utilization(0.0, 128)
+
+
+class TestEndToEnd:
+    def test_reshaped_stream_drives_simulation(self):
+        from repro.core import MulticlusterSimulation
+        from repro.workload import ArrivalProcess, das_t_900
+        import numpy as np
+
+        system = MulticlusterSimulation("LS")
+        inner = JobFactory(das_s_128(), das_t_900(), 16,
+                           streams=StreamFactory(3))
+        f = ReshapingJobFactory(inner, 64, efficiency=0.9)
+        rate = f.arrival_rate_for_gross_utilization(0.45, 128)
+
+        class Adapter:
+            def __init__(self, wrapped):
+                self.wrapped = wrapped
+
+            def next_job(self):
+                return self.wrapped.next_job()
+
+        ArrivalProcess(system.sim, Adapter(f), rate, system.submit,
+                       limit=2_000, rng=np.random.default_rng(4))
+        system.sim.run()
+        assert system.jobs_finished == 2_000
+        util = system.metrics.gross_utilization(system.sim.now)
+        assert 0.3 < util < 0.6

@@ -1,0 +1,49 @@
+"""Property-based tests for job reshaping invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workload import JobSpec
+from repro.workload.reshaping import reshape_spec
+
+
+def spec(size, service):
+    return JobSpec(index=0, size=size, components=(size,),
+                   service_time=service, queue=1, user=2)
+
+
+@given(
+    st.integers(min_value=1, max_value=1024),
+    st.integers(min_value=1, max_value=256),
+    st.floats(min_value=0.01, max_value=1e4, allow_nan=False),
+    st.floats(min_value=0.05, max_value=1.0, exclude_min=False,
+              allow_nan=False),
+)
+def test_reshaping_invariants(size, cap, service, efficiency):
+    original = spec(size, service)
+    out = reshape_spec(original, cap, efficiency=efficiency,
+                       component_limit=16, clusters=4)
+    # Cap respected.
+    assert out.size <= max(cap, size if size <= cap else cap)
+    if size <= cap:
+        assert out is original
+    else:
+        assert out.size == cap
+        # Work never shrinks; conserved exactly at efficiency 1.
+        original_work = size * service
+        new_work = out.size * out.service_time
+        assert new_work >= original_work - 1e-6
+        assert new_work == pytest.approx(original_work / efficiency)
+        # Components conserve the reshaped size.
+        assert sum(out.components) == out.size
+        # Metadata preserved.
+        assert out.queue == original.queue
+        assert out.user == original.user
+        assert out.index == original.index
+
+
+@given(st.integers(min_value=1, max_value=128))
+def test_identity_below_cap_regardless_of_size(size):
+    s = spec(size, 100.0)
+    assert reshape_spec(s, 128) is s

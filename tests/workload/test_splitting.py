@@ -1,0 +1,107 @@
+"""Unit and property tests for the component-splitting rule."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workload import (
+    component_fractions,
+    das_s_128,
+    multi_component_fraction,
+    num_components,
+    split_size,
+)
+from repro.workload.stats_model import (
+    COMPONENT_FRACTION_TARGETS,
+    MULTI_COMPONENT_FRACTIONS,
+)
+
+
+class TestNumComponents:
+    @pytest.mark.parametrize("size,limit,expected", [
+        (1, 16, 1), (16, 16, 1), (17, 16, 2), (32, 16, 2),
+        (33, 16, 3), (48, 16, 3), (49, 16, 4), (64, 16, 4),
+        (24, 24, 1), (25, 24, 2), (48, 24, 2), (49, 24, 3),
+        (64, 24, 3), (72, 24, 3), (73, 24, 4),
+        (32, 32, 1), (33, 32, 2), (64, 32, 2), (65, 32, 3),
+        (96, 32, 3), (97, 32, 4), (128, 32, 4),
+    ])
+    def test_paper_rule(self, size, limit, expected):
+        assert num_components(size, limit, 4) == expected
+
+    def test_clamped_to_cluster_count(self):
+        # ceil(128/16) = 8 but only 4 clusters exist.
+        assert num_components(128, 16, 4) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            num_components(0, 16, 4)
+        with pytest.raises(ValueError):
+            num_components(1, 0, 4)
+        with pytest.raises(ValueError):
+            num_components(1, 16, 0)
+
+
+class TestSplitSize:
+    def test_size_64_the_packing_critical_case(self):
+        # §3.3: the splits of the most popular size decide which limit
+        # packs well into 32-processor clusters.
+        assert split_size(64, 16, 4) == (16, 16, 16, 16)
+        assert split_size(64, 24, 4) == (22, 21, 21)
+        assert split_size(64, 32, 4) == (32, 32)
+
+    def test_size_128_exceeds_limit_when_clamped(self):
+        assert split_size(128, 16, 4) == (32, 32, 32, 32)
+
+    @pytest.mark.parametrize("size", [1, 5, 24, 31, 33, 63, 100, 127])
+    def test_components_sum_to_size(self, size):
+        for limit in (16, 24, 32):
+            assert sum(split_size(size, limit, 4)) == size
+
+    def test_single_component_below_limit(self):
+        assert split_size(10, 16, 4) == (10,)
+
+    def test_nonincreasing_order(self):
+        for size in range(1, 129):
+            comps = split_size(size, 24, 4)
+            assert all(a >= b for a, b in zip(comps, comps[1:]))
+
+    @given(
+        st.integers(min_value=1, max_value=1024),
+        st.integers(min_value=1, max_value=256),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_properties(self, size, limit, clusters):
+        comps = split_size(size, limit, clusters)
+        # Conservation.
+        assert sum(comps) == size
+        # Count matches the rule and the cluster bound.
+        assert len(comps) == min(math.ceil(size / limit), clusters)
+        # As-equal-as-possible: spread at most 1.
+        assert max(comps) - min(comps) <= 1
+        # Components exceed the limit only when the cluster clamp bound.
+        if math.ceil(size / limit) <= clusters:
+            assert max(comps) <= limit
+
+
+class TestComponentFractions:
+    @pytest.mark.parametrize("limit", [16, 24, 32])
+    def test_table2_reproduced_exactly(self, limit):
+        got = component_fractions(das_s_128(), limit, 4)
+        expected = COMPONENT_FRACTION_TARGETS[limit]
+        assert got == pytest.approx(expected, abs=1e-9)
+
+    @pytest.mark.parametrize("limit", [16, 24, 32])
+    def test_multi_component_fractions_match_paper(self, limit):
+        # §3.1.1 quotes 48.7% / 26.2% / 22.0% multi-component jobs.
+        got = multi_component_fraction(das_s_128(), limit, 4)
+        assert got == pytest.approx(MULTI_COMPONENT_FRACTIONS[limit],
+                                    abs=1e-9)
+
+    def test_fractions_sum_to_one(self):
+        for limit in (16, 24, 32):
+            assert sum(component_fractions(das_s_128(), limit, 4)) == (
+                pytest.approx(1.0)
+            )

@@ -1,0 +1,71 @@
+"""The reconstructed size table must satisfy every published constraint."""
+
+import pytest
+
+from repro.workload import stats_model
+
+
+def test_validate_size_table_passes():
+    stats_model.validate_size_table()
+
+
+def test_weights_sum_to_one():
+    assert sum(stats_model.SIZE_TABLE.values()) == 10_000
+
+
+def test_58_distinct_sizes_as_in_the_log():
+    assert len(stats_model.SIZE_TABLE) == 58
+
+
+def test_sizes_within_cluster_bounds():
+    assert min(stats_model.SIZE_TABLE) >= 1
+    assert max(stats_model.SIZE_TABLE) == 128
+
+
+@pytest.mark.parametrize("size,frac", sorted(
+    stats_model.POWER_OF_TWO_FRACTIONS.items()
+))
+def test_table1_power_of_two_fractions_exact(size, frac):
+    assert stats_model.SIZE_TABLE[size] / 10_000 == pytest.approx(frac)
+
+
+@pytest.mark.parametrize("point,frac", sorted(
+    stats_model.CUMULATIVE_TARGETS.items()
+))
+def test_cumulative_targets_exact(point, frac):
+    got = sum(w for s, w in stats_model.SIZE_TABLE.items() if s <= point)
+    assert got / 10_000 == pytest.approx(frac)
+
+
+def test_interval_16_24_mass():
+    # The cumulative constraints put 22.5% of the jobs in (16, 24].
+    mass = sum(w for s, w in stats_model.SIZE_TABLE.items()
+               if 16 < s <= 24)
+    assert mass / 10_000 == pytest.approx(0.225)
+
+
+def test_size_64_is_most_popular():
+    # §3.3: 19% of the jobs have size 64 — more than any other single
+    # size except the size-24 spike.
+    assert stats_model.SIZE_TABLE[64] == 1900
+
+
+def test_jobs_above_64_are_two_percent():
+    above = sum(w for s, w in stats_model.SIZE_TABLE.items() if s > 64)
+    assert above / 10_000 == pytest.approx(0.020)
+
+
+def test_system_constants_match_paper():
+    assert stats_model.NUM_CLUSTERS == 4
+    assert stats_model.CLUSTER_SIZE == 32
+    assert stats_model.SINGLE_CLUSTER_SIZE == 128
+    assert stats_model.SIZE_LIMITS == (16, 24, 32)
+    assert stats_model.EXTENSION_FACTOR == 1.25
+    assert stats_model.SERVICE_CUTOFF == 900.0
+
+
+def test_routing_weights_are_distributions():
+    assert sum(stats_model.BALANCED_WEIGHTS) == pytest.approx(1.0)
+    assert sum(stats_model.UNBALANCED_WEIGHTS) == pytest.approx(1.0)
+    assert len(stats_model.BALANCED_WEIGHTS) == stats_model.NUM_CLUSTERS
+    assert max(stats_model.UNBALANCED_WEIGHTS) == 0.40

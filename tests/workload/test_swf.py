@@ -1,0 +1,117 @@
+"""Tests for Standard Workload Format I/O."""
+
+import io
+
+import pytest
+
+from repro.workload import (
+    JobRecord,
+    SWFFormatError,
+    generate_das_log,
+    read_swf,
+    swf_header,
+    write_swf,
+)
+
+
+@pytest.fixture
+def records():
+    return [
+        JobRecord(1, 0, 0.0, 16, 120.0),
+        JobRecord(2, 3, 60.5, 64, 899.6),
+        JobRecord(3, 1, 61.0, 1, 5.0),
+    ]
+
+
+def test_roundtrip_stream(records):
+    buf = io.StringIO()
+    n = write_swf(records, buf)
+    assert n == 3
+    buf.seek(0)
+    back = read_swf(buf)
+    assert len(back) == 3
+    for orig, rt in zip(records, back):
+        assert rt.job_id == orig.job_id
+        assert rt.user == orig.user
+        assert rt.size == orig.size
+        assert rt.submit_time == pytest.approx(orig.submit_time, abs=1.0)
+        assert rt.runtime == pytest.approx(orig.runtime, abs=1.0)
+
+
+def test_roundtrip_file(tmp_path, records):
+    path = tmp_path / "log.swf"
+    write_swf(records, path)
+    back = read_swf(path)
+    assert [r.size for r in back] == [16, 64, 1]
+
+
+def test_header_lines(records):
+    buf = io.StringIO()
+    write_swf(records, buf, computer="TestBox", max_nodes=256)
+    text = buf.getvalue()
+    assert "; Computer: TestBox" in text
+    assert "; MaxNodes: 256" in text
+    assert text.count("\n") == len(swf_header()) + 3
+
+
+def test_comments_and_blanks_skipped():
+    swf = "; a comment\n\n" + " ".join(["1", "0", "-1", "10", "4"] +
+                                       ["-1"] * 2 + ["4"] + ["-1"] * 2 +
+                                       ["1", "2"] + ["-1"] * 6) + "\n"
+    back = read_swf(io.StringIO(swf))
+    assert len(back) == 1
+    assert back[0].size == 4
+    assert back[0].user == 1
+
+
+def test_requested_processors_fallback():
+    # Allocated processors field may be -1 in archive logs.
+    fields = ["7", "100", "-1", "50", "-1", "-1", "-1", "8", "-1", "-1",
+              "1", "1", "-1", "-1", "-1", "-1", "-1", "-1"]
+    back = read_swf(io.StringIO(" ".join(fields) + "\n"))
+    assert back[0].size == 8
+
+
+def test_wrong_field_count_rejected():
+    with pytest.raises(SWFFormatError, match="18 fields"):
+        read_swf(io.StringIO("1 2 3\n"))
+
+
+def test_non_numeric_rejected():
+    bad = " ".join(["x"] * 18)
+    with pytest.raises(SWFFormatError):
+        read_swf(io.StringIO(bad + "\n"))
+
+
+def test_no_processor_count_rejected():
+    fields = ["7", "100", "-1", "50", "-1", "-1", "-1", "-1", "-1", "-1",
+              "1", "1", "-1", "-1", "-1", "-1", "-1", "-1"]
+    with pytest.raises(SWFFormatError, match="processor"):
+        read_swf(io.StringIO(" ".join(fields) + "\n"))
+
+
+def test_windows_line_endings_and_padding():
+    fields = ["1", "0", "-1", "10", "4", "-1", "-1", "4", "-1", "-1",
+              "1", "2", "-1", "-1", "-1", "-1", "-1", "-1"]
+    swf = "  " + "  ".join(fields) + "  \r\n"
+    back = read_swf(io.StringIO(swf))
+    assert len(back) == 1
+    assert back[0].size == 4
+
+
+def test_negative_runtime_clamped_to_zero():
+    # Cancelled jobs in archive logs carry runtime -1.
+    fields = ["9", "50", "-1", "-1", "4", "-1", "-1", "4", "-1", "-1",
+              "0", "1", "-1", "-1", "-1", "-1", "-1", "-1"]
+    back = read_swf(io.StringIO(" ".join(fields) + "\n"))
+    assert back[0].runtime == 0.0
+
+
+def test_synthetic_log_roundtrip(tmp_path):
+    log = generate_das_log(seed=2, num_jobs=200)
+    path = tmp_path / "das.swf"
+    write_swf(log, path)
+    back = read_swf(path)
+    assert len(back) == 200
+    assert [r.size for r in back] == [r.size for r in log]
+    assert [r.user for r in back] == [r.user for r in log]
