@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# One-command quality gate: simlint -> ruff -> mypy -> pytest.
+#
+# Exits non-zero on the first failing step.  ruff and mypy are optional
+# tooling (install with `pip install -e .[dev]`); when a tool is not on
+# PATH the step is skipped with a notice rather than failing, so the
+# gate stays runnable in minimal environments — simlint and pytest
+# always run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+step() {
+    printf '\n==> %s\n' "$*"
+}
+
+step "simlint (python -m repro.lint src/repro)"
+python -m repro.lint src/repro
+
+if command -v ruff >/dev/null 2>&1; then
+    step "ruff check src tests"
+    ruff check src tests
+else
+    step "ruff not installed — skipping (pip install -e .[dev])"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    step "mypy --strict src/repro/sim src/repro/core"
+    mypy --strict src/repro/sim src/repro/core
+else
+    step "mypy not installed — skipping (pip install -e .[dev])"
+fi
+
+step "pytest"
+python -m pytest -x -q
+
+step "all checks passed"

@@ -14,7 +14,10 @@ Multiclusters* (HPDC 2003), built as four layers:
   co-allocation policies and the SC single-cluster reference;
 * :mod:`repro.metrics` / :mod:`repro.analysis` — utilization accounting,
   saturation estimation, sweeps, and regeneration of every table and
-  figure in the paper.
+  figure in the paper;
+* :mod:`repro.lint` — simlint, the AST-based static-analysis pass that
+  enforces the determinism and common-random-numbers invariants the
+  benchmarks depend on (``python -m repro.lint`` / ``repro-sim lint``).
 
 Quickstart::
 

@@ -14,6 +14,8 @@ Subcommands
     Summarise an SWF trace file.
 ``experiment``
     Regenerate one of the paper's exhibits (table1..table3, fig1..fig7).
+``lint``
+    Run simlint, the simulator-invariant static-analysis pass.
 
 Examples::
 
@@ -22,6 +24,7 @@ Examples::
     repro-sim maxutil --policy GS --limit 16
     repro-sim trace --jobs 30000 --out das1.swf
     repro-sim experiment table2
+    repro-sim lint src/repro
 """
 
 from __future__ import annotations
@@ -134,6 +137,18 @@ def build_parser() -> argparse.ArgumentParser:
         "characterize", help="characterise an SWF trace"
     )
     char_p.add_argument("path", help="SWF file to analyse")
+
+    lint_p = sub.add_parser(
+        "lint", help="simulator-invariant static analysis (simlint)"
+    )
+    lint_p.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories (default: src/repro)")
+    lint_p.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    lint_p.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
     return parser
 
 
@@ -354,6 +369,18 @@ def _cmd_characterize(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import cli as lint_cli
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    argv.extend(["--format", args.format])
+    if args.select:
+        argv.extend(["--select", args.select])
+    return lint_cli.main(argv)
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
@@ -364,6 +391,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "sensitivity": _cmd_sensitivity,
     "characterize": _cmd_characterize,
+    "lint": _cmd_lint,
 }
 
 

@@ -12,7 +12,7 @@ go to is decided by the placement module and the scheduling policies.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 __all__ = ["Cluster", "Multicluster", "AllocationError"]
 
@@ -36,7 +36,7 @@ class Cluster:
 
     __slots__ = ("index", "capacity", "free")
 
-    def __init__(self, index: int, capacity: int):
+    def __init__(self, index: int, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity!r}")
         self.index = index
@@ -80,7 +80,7 @@ class Cluster:
 class Multicluster:
     """An ordered collection of clusters with aggregate accounting."""
 
-    def __init__(self, capacities: Sequence[int]):
+    def __init__(self, capacities: Sequence[int]) -> None:
         if not capacities:
             raise ValueError("need at least one cluster")
         self.clusters = tuple(
@@ -100,7 +100,7 @@ class Multicluster:
     def __getitem__(self, index: int) -> Cluster:
         return self.clusters[index]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Cluster]:
         return iter(self.clusters)
 
     @property

@@ -72,7 +72,7 @@ class BackfillGSPolicy(Policy):
     request_type = RequestType.UNORDERED
 
     def __init__(self, system: "MulticlusterSimulation",
-                 window: Optional[int] = None):
+                 window: Optional[int] = None) -> None:
         super().__init__(system)
         self.queue = JobQueue("global", is_global=True)
         self.window = window if window is not None else len(
@@ -138,7 +138,7 @@ class EasyBackfillGSPolicy(Policy):
     request_type = RequestType.UNORDERED
 
     def __init__(self, system: "MulticlusterSimulation",
-                 estimator: Optional[Callable[["Job"], float]] = None):
+                 estimator: Optional[Callable[["Job"], float]] = None) -> None:
         super().__init__(system)
         self.queue = JobQueue("global", is_global=True)
         self.estimator = estimator
@@ -225,7 +225,9 @@ class EasyBackfillGSPolicy(Policy):
             self.backfills += 1
 
 
-def make_backfill_policy(window: int):
+def make_backfill_policy(
+    window: int,
+) -> Callable[["MulticlusterSimulation"], BackfillGSPolicy]:
     """A policy factory for :class:`BackfillGSPolicy` with a window."""
 
     def factory(system: "MulticlusterSimulation") -> BackfillGSPolicy:

@@ -48,7 +48,7 @@ class Job:
     )
 
     def __init__(self, spec: JobSpec, arrival_time: float,
-                 extension_factor: float = 1.25):
+                 extension_factor: float = 1.25) -> None:
         self.spec = spec
         self.arrival_time = float(arrival_time)
         self.extension_factor = (

@@ -49,7 +49,7 @@ class Policy:
     #: Registry name, set by subclasses.
     name: str = "?"
 
-    def __init__(self, system: "MulticlusterSimulation"):
+    def __init__(self, system: "MulticlusterSimulation") -> None:
         self.system = system
 
     # -- interface -------------------------------------------------------------
@@ -90,7 +90,7 @@ class _SingleQueuePolicy(Policy):
 
     request_type: RequestType = RequestType.UNORDERED
 
-    def __init__(self, system: "MulticlusterSimulation"):
+    def __init__(self, system: "MulticlusterSimulation") -> None:
         super().__init__(system)
         self.queue = JobQueue("global", is_global=True)
 
@@ -154,7 +154,7 @@ class LSPolicy(Policy):
 
     name = "LS"
 
-    def __init__(self, system: "MulticlusterSimulation"):
+    def __init__(self, system: "MulticlusterSimulation") -> None:
         super().__init__(system)
         n = len(system.multicluster)
         self.local_queues = [JobQueue(f"local-{i}") for i in range(n)]
@@ -215,7 +215,7 @@ class LPPolicy(Policy):
 
     name = "LP"
 
-    def __init__(self, system: "MulticlusterSimulation"):
+    def __init__(self, system: "MulticlusterSimulation") -> None:
         super().__init__(system)
         n = len(system.multicluster)
         self.local_queues = [JobQueue(f"local-{i}") for i in range(n)]

@@ -36,7 +36,7 @@ class JobQueue:
 
     __slots__ = ("name", "is_global", "enabled", "_jobs", "total_enqueued")
 
-    def __init__(self, name: str, *, is_global: bool = False):
+    def __init__(self, name: str, *, is_global: bool = False) -> None:
         self.name = name
         self.is_global = is_global
         self.enabled = True
@@ -83,7 +83,7 @@ class QueueRing:
     always enabled starting with the global queue"*).
     """
 
-    def __init__(self, queues: list[JobQueue]):
+    def __init__(self, queues: list[JobQueue]) -> None:
         if not queues:
             raise ValueError("need at least one queue")
         self.queues = list(queues)

@@ -18,9 +18,10 @@ methodologies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.metrics.recorder import MetricsRecorder, UtilizationReport
+from repro.sim.distributions import Distribution
 from repro.sim.engine import Simulator
 from repro.sim.rng import StreamFactory
 from repro.sim.trace import NullTracer, Tracer
@@ -67,7 +68,7 @@ class MulticlusterSimulation:
                  placement: "str | PlacementRule" = "worst-fit",
                  batch_size: int = 500,
                  tracer: Optional[Tracer] = None,
-                 sim: Optional[Simulator] = None):
+                 sim: Optional[Simulator] = None) -> None:
         if capacities is None:
             capacities = [stats_model.CLUSTER_SIZE] * stats_model.NUM_CLUSTERS
         self.sim = sim if sim is not None else Simulator()
@@ -173,9 +174,9 @@ class SimulationConfig:
         return sum(self.capacities)
 
     @classmethod
-    def single_cluster(cls, **overrides) -> "SimulationConfig":
+    def single_cluster(cls, **overrides: Any) -> "SimulationConfig":
         """The paper's SC reference configuration."""
-        defaults = dict(
+        defaults: dict[str, Any] = dict(
             policy="SC",
             capacities=(stats_model.SINGLE_CLUSTER_SIZE,),
             component_limit=None,
@@ -213,8 +214,8 @@ class OpenSystemResult:
         return self.report.net_utilization
 
 
-def _build(config: SimulationConfig, size_distribution,
-           service_distribution,
+def _build(config: SimulationConfig, size_distribution: Distribution,
+           service_distribution: Distribution,
            tracer: Optional[Tracer] = None
            ) -> tuple[MulticlusterSimulation, JobFactory]:
     system = MulticlusterSimulation(
@@ -237,8 +238,8 @@ def _build(config: SimulationConfig, size_distribution,
     return system, factory
 
 
-def run_open_system(config: SimulationConfig, size_distribution,
-                    service_distribution, arrival_rate: float,
+def run_open_system(config: SimulationConfig, size_distribution: Distribution,
+                    service_distribution: Distribution, arrival_rate: float,
                     tracer: Optional[Tracer] = None) -> OpenSystemResult:
     """One open-system run: warmup, then measure a fixed job count.
 
@@ -292,8 +293,10 @@ def run_open_system(config: SimulationConfig, size_distribution,
     )
 
 
-def run_constant_backlog(config: SimulationConfig, size_distribution,
-                         service_distribution, *, backlog: int = 50,
+def run_constant_backlog(config: SimulationConfig,
+                         size_distribution: Distribution,
+                         service_distribution: Distribution, *,
+                         backlog: int = 50,
                          warmup_jobs: int = 2_000,
                          measured_jobs: int = 10_000) -> UtilizationReport:
     """Constant-backlog run measuring the maximal utilization (Table 3).

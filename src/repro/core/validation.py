@@ -42,7 +42,7 @@ class InvariantMonitor:
         ledger of running jobs.
     """
 
-    def __init__(self, system: "MulticlusterSimulation"):
+    def __init__(self, system: "MulticlusterSimulation") -> None:
         self.system = system
         self.running: dict[int, object] = {}
         self.checks = 0

@@ -1,0 +1,55 @@
+"""simlint — simulator-invariant static analysis for this repository.
+
+The scientific claims of the reproduction rest on two disciplines that
+ordinary testing cannot enforce:
+
+* **determinism** — the engine orders events by (time, priority,
+  insertion order) and promises bit-identical replays for one master
+  seed, so any ambient entropy (``random``, ``time.time()``,
+  unseeded ``np.random.*``) silently voids every benchmark;
+* **statistical hygiene** — all stochastic draws flow through named
+  :class:`~repro.sim.rng.StreamFactory` substreams so policy
+  comparisons use common random numbers.
+
+``simlint`` is an AST-based pass that walks the source tree and checks
+those invariants *statically*.  Rules (see :mod:`repro.lint.rules`):
+
+========  ==============================================================
+SIM001    no ambient nondeterminism inside simulation packages
+SIM002    no float ``==``/``!=`` against simulation-time expressions
+SIM003    no re-entrant ``Simulator.run`` inside process generators
+SIM004    complete type annotations on public ``repro.core``/``repro.sim`` API
+SIM005    every ``__all__`` entry resolves to a real module attribute
+========  ==============================================================
+
+Run it as ``python -m repro.lint src/repro`` or ``repro-sim lint``.
+Suppress a finding on one line with ``# simlint: disable=SIM001`` (a
+justification after the rule id is encouraged and enforced by review).
+"""
+
+from __future__ import annotations
+
+from .config import DEFAULT_SCOPE, rule_applies
+from .context import FileContext, build_context
+from .reporters import render_json, render_text
+from .rules import RULES, Rule, all_rule_ids, rule
+from .runner import LintResult, lint_file, lint_paths
+from .types import LintError, Violation
+
+__all__ = [
+    "DEFAULT_SCOPE",
+    "FileContext",
+    "LintError",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "Violation",
+    "all_rule_ids",
+    "build_context",
+    "lint_file",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "rule",
+    "rule_applies",
+]

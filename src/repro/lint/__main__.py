@@ -1,0 +1,17 @@
+"""``python -m repro.lint`` — run the simlint pass."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Report truncated by a closed pipe (`... | head`): exit quietly
+        # with the conventional SIGPIPE status instead of a traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

@@ -1,0 +1,69 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro-sim lint``."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .reporters import render_json, render_text
+from .rules import RULES, all_rule_ids
+from .runner import lint_paths
+
+__all__ = ["build_parser", "main", "run"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser (exposed for the ``repro-sim lint`` subcommand)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="simlint: simulator-invariant static analysis",
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src/repro if it "
+             "exists, else the current directory)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _default_paths() -> list[str]:
+    return ["src/repro"] if Path("src/repro").is_dir() else ["."]
+
+
+def run(paths: Sequence[str], *, fmt: str = "text",
+        select: Optional[Sequence[str]] = None) -> int:
+    """Lint ``paths`` and print a report; returns the process exit code."""
+    result = lint_paths(paths, select=select)
+    print(render_json(result) if fmt == "json" else render_text(result))
+    return result.exit_code()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.lint``."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id in all_rule_ids():
+            print(f"{rule_id}  {RULES[rule_id].summary}")
+        return 0
+    select: Optional[list[str]] = None
+    if args.select is not None:
+        select = [part.strip().upper() for part in args.select.split(",") if part.strip()]
+        unknown = [rule_id for rule_id in select if rule_id not in RULES]
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}; "
+                  f"known: {', '.join(all_rule_ids())}")
+            return 2
+    return run(args.paths or _default_paths(), fmt=args.format, select=select)

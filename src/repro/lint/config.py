@@ -1,0 +1,53 @@
+"""Rule scoping: which packages each rule is enforced in.
+
+The invariants are not uniform across the tree — e.g. the analysis
+layer may legitimately compare report floats, and only ``repro.core`` +
+``repro.sim`` promise complete public annotations (they ship
+``py.typed``).  The table below maps rule id to the ``fnmatch``-style
+module globs it covers; a file whose module name matches none of a
+rule's globs is skipped for that rule.
+
+Files with no recognisable module name (e.g. test fixtures in a temp
+directory) get **every** rule: scoping is a property of the shipped
+package layout, not of the analysis.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["DEFAULT_SCOPE", "rule_applies"]
+
+#: rule id -> module globs the rule is enforced in.
+DEFAULT_SCOPE: Mapping[str, Sequence[str]] = {
+    # Ambient nondeterminism corrupts the engine's replay guarantee and
+    # the CRN discipline, both of which live in these three packages.
+    "SIM001": ("repro.sim*", "repro.core*", "repro.workload*"),
+    # Simulation-time floats circulate through metrics as well.
+    "SIM002": ("repro.sim*", "repro.core*", "repro.workload*", "repro.metrics*"),
+    # Process generators exist wherever a Simulator is driven.
+    "SIM003": ("repro.sim*", "repro.core*", "repro.workload*"),
+    # The typed-API promise (py.typed) is made by core + sim only.
+    "SIM004": ("repro.core*", "repro.sim*"),
+    # Export lists must be truthful everywhere.
+    "SIM005": ("repro*",),
+}
+
+
+def rule_applies(
+    rule_id: str,
+    module: Optional[str],
+    scope: Optional[Mapping[str, Sequence[str]]] = None,
+) -> bool:
+    """Whether ``rule_id`` is in force for ``module`` under ``scope``.
+
+    ``module=None`` (no package root found) enables every rule; a rule
+    absent from the scope table is likewise enforced everywhere.
+    """
+    if module is None:
+        return True
+    patterns = (DEFAULT_SCOPE if scope is None else scope).get(rule_id)
+    if not patterns:
+        return True
+    return any(fnmatchcase(module, pattern) for pattern in patterns)

@@ -1,0 +1,100 @@
+"""Per-file analysis context: source, AST, module name, suppressions.
+
+A :class:`FileContext` is built once per file and handed to every rule,
+so the tree is parsed exactly once and suppression comments are scanned
+exactly once regardless of how many rules run.
+
+Suppression syntax (one line)::
+
+    risky_line()  # simlint: disable=SIM001 -- justification here
+    other_line()  # simlint: disable=SIM002,SIM004
+
+The rule list is comma-separated; anything after the ids (e.g. a
+``--``-introduced justification) is ignored by the parser but expected
+by review policy.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["FileContext", "build_context", "module_name_for", "parse_suppressions"]
+
+#: Matches a suppression comment anywhere in a physical line.
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Matches one rule id inside the captured list.
+_RULE_ID_RE = re.compile(r"[A-Za-z][A-Za-z0-9_]*")
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to analyse one file."""
+
+    path: str
+    #: Dotted module name (``repro.sim.engine``) or ``None`` when the
+    #: file lives outside a recognisable package root — in that case
+    #: every rule applies (useful for fixture files in tests).
+    module: Optional[str]
+    source: str
+    tree: ast.Module
+    #: line number -> frozenset of rule ids disabled on that line.
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is disabled on ``line`` by a comment."""
+        disabled = self.suppressions.get(line)
+        return disabled is not None and rule_id in disabled
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number (1-based) to the rule ids disabled there."""
+    table: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = frozenset(
+            m.group(0).upper() for m in _RULE_ID_RE.finditer(match.group(1))
+        )
+        if ids:
+            table[lineno] = ids
+    return table
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Dotted module name of ``path``, anchored at a ``repro`` component.
+
+    ``src/repro/sim/engine.py`` -> ``repro.sim.engine``;
+    ``/tmp/pytest-x/fixture.py`` -> ``None`` (no package root found), in
+    which case the runner applies every rule regardless of scope.
+    """
+    parts = list(path.resolve().parts)
+    if "repro" not in parts:
+        return None
+    anchor = len(parts) - 1 - parts[::-1].index("repro")
+    module_parts = list(parts[anchor:])
+    leaf = module_parts[-1]
+    if leaf.endswith(".py"):
+        module_parts[-1] = leaf[: -len(".py")]
+    if module_parts[-1] == "__init__":
+        module_parts.pop()
+    return ".".join(module_parts)
+
+
+def build_context(path: Path, source: Optional[str] = None) -> FileContext:
+    """Parse ``path`` (raising ``SyntaxError``/``OSError`` on failure)."""
+    if source is None:
+        source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return FileContext(
+        path=str(path),
+        module=module_name_for(path),
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )

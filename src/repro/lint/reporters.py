@@ -1,0 +1,46 @@
+"""Render a :class:`~repro.lint.runner.LintResult` for humans or tools."""
+
+from __future__ import annotations
+
+import json
+
+from .runner import LintResult
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(result: LintResult) -> str:
+    """GCC-style ``path:line:col: RULE message`` lines plus a summary."""
+    lines = [error.format() for error in result.errors]
+    lines.extend(violation.format() for violation in result.violations)
+    if result.clean:
+        lines.append(
+            f"simlint: {result.files_checked} file(s) checked, no violations"
+        )
+    else:
+        tally = ", ".join(
+            f"{rule_id}: {count}"
+            for rule_id, count in result.counts_by_rule().items()
+        )
+        summary = (
+            f"simlint: {len(result.violations)} violation(s) in "
+            f"{result.files_checked} file(s)"
+        )
+        if tally:
+            summary += f" ({tally})"
+        if result.errors:
+            summary += f"; {len(result.errors)} file(s) unparsable"
+        lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order, sorted findings)."""
+    payload = {
+        "files_checked": result.files_checked,
+        "violations": [violation.to_dict() for violation in result.violations],
+        "errors": [error.to_dict() for error in result.errors],
+        "counts_by_rule": result.counts_by_rule(),
+        "clean": result.clean,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

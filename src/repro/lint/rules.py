@@ -1,0 +1,504 @@
+"""The simlint rule registry and the five shipped rules.
+
+Each rule is a function ``(FileContext) -> Iterator[Violation]``
+registered under a stable id via the :func:`rule` decorator.  Rules
+report *raw* findings; the runner applies scope filtering and
+``# simlint: disable=`` suppressions, so rule code stays focused on the
+AST pattern it detects.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional
+
+from .context import FileContext
+from .types import Violation
+
+__all__ = ["RULES", "Rule", "RuleCheck", "all_rule_ids", "rule"]
+
+RuleCheck = Callable[[FileContext], Iterator[Violation]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: id, one-line summary, check function."""
+
+    id: str
+    summary: str
+    check: RuleCheck
+
+
+#: Registry, id -> Rule, populated by the :func:`rule` decorator.
+RULES: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, summary: str) -> Callable[[RuleCheck], RuleCheck]:
+    """Register ``check`` under ``rule_id`` in :data:`RULES`."""
+
+    def register(check: RuleCheck) -> RuleCheck:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        RULES[rule_id] = Rule(rule_id, summary, check)
+        return check
+
+    return register
+
+
+def all_rule_ids() -> tuple[str, ...]:
+    """Registered rule ids, sorted."""
+    return tuple(sorted(RULES))
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a Name/Attribute (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _violation(ctx: FileContext, rule_id: str, node: ast.AST, message: str) -> Violation:
+    return Violation(
+        path=ctx.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule_id,
+        message=message,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SIM001 — ambient nondeterminism
+# ---------------------------------------------------------------------------
+
+#: Dotted call/attribute chains (or 2-part suffixes of longer chains)
+#: that read wall-clock time or operating-system entropy.
+_BANNED_AMBIENT = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+
+#: Samplers of numpy's *module-level* legacy RNG — global mutable state
+#: seeded from the OS unless someone called ``np.random.seed``; either
+#: way it bypasses the StreamFactory substream discipline.
+_NP_LEGACY_SAMPLERS = frozenset(
+    {
+        "seed",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "rand",
+        "randn",
+        "randint",
+        "random_integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "bytes",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "exponential",
+        "poisson",
+        "binomial",
+        "gamma",
+        "beta",
+        "lognormal",
+        "weibull",
+        "pareto",
+    }
+)
+
+
+def _ambient_message(dotted: str) -> str:
+    return (
+        f"ambient nondeterminism: {dotted!r} reads wall-clock/OS entropy; "
+        "derive all randomness from a named StreamFactory substream"
+    )
+
+
+def _is_banned_ambient(dotted: str) -> bool:
+    parts = dotted.split(".")
+    if dotted in _BANNED_AMBIENT:
+        return True
+    # `datetime.datetime.now` / `dt.datetime.now`: check 2-part suffixes.
+    return len(parts) > 2 and ".".join(parts[-2:]) in _BANNED_AMBIENT
+
+
+def _np_random_tail(dotted: str) -> Optional[str]:
+    """``X`` from ``np.random.X``/``numpy.random.X``, else ``None``."""
+    for prefix in ("np.random.", "numpy.random."):
+        if dotted.startswith(prefix):
+            return dotted[len(prefix):]
+    return None
+
+
+@rule("SIM001", "no ambient nondeterminism (wall clock, OS entropy, global RNG)")
+def check_ambient_nondeterminism(ctx: FileContext) -> Iterator[Violation]:
+    """Forbid entropy sources outside the StreamFactory discipline."""
+    call_funcs = {
+        id(node.func) for node in ast.walk(ctx.tree) if isinstance(node, ast.Call)
+    }
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "random":
+                    yield _violation(
+                        ctx, "SIM001", node,
+                        "'import random' bypasses StreamFactory; use a "
+                        "named np.random.Generator substream",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is not None and node.module.split(".")[0] == "random":
+                yield _violation(
+                    ctx, "SIM001", node,
+                    "'from random import ...' bypasses StreamFactory; use "
+                    "a named np.random.Generator substream",
+                )
+        elif isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            if _is_banned_ambient(dotted):
+                yield _violation(ctx, "SIM001", node, _ambient_message(dotted))
+                continue
+            tail = _np_random_tail(dotted)
+            if tail is None:
+                continue
+            if tail == "default_rng" and not node.args and not node.keywords:
+                yield _violation(
+                    ctx, "SIM001", node,
+                    "unseeded np.random.default_rng() draws OS entropy; "
+                    "pass a seed or a StreamFactory substream",
+                )
+            elif tail == "RandomState" and not node.args and not node.keywords:
+                yield _violation(
+                    ctx, "SIM001", node,
+                    "unseeded np.random.RandomState() draws OS entropy; "
+                    "pass a seed or use a StreamFactory substream",
+                )
+            elif tail in _NP_LEGACY_SAMPLERS:
+                yield _violation(
+                    ctx, "SIM001", node,
+                    f"np.random.{tail} uses numpy's global RNG; draw from "
+                    "a named StreamFactory substream instead",
+                )
+        elif isinstance(node, ast.Attribute) and id(node) not in call_funcs:
+            # A banned function passed around by reference (`key=time.time`)
+            # is just as nondeterministic as calling it.
+            dotted = _dotted_name(node)
+            if dotted is not None and _is_banned_ambient(dotted):
+                yield _violation(ctx, "SIM001", node, _ambient_message(dotted))
+
+
+# ---------------------------------------------------------------------------
+# SIM002 — float equality on simulation-time expressions
+# ---------------------------------------------------------------------------
+
+#: A name denotes simulation time if it matches the issue's pattern
+#: (`now|time|t_*|deadline|arrival`) directly or as a `_`-separated
+#: suffix/prefix compound (`arrival_time`, `submit_deadline`, ...).
+_TIME_NAME_RE = re.compile(
+    r"^(?:now|time|t_\w+|deadline|arrival)$"
+    r"|^\w+_(?:time|deadline|arrival)$"
+    r"|^(?:time|deadline|arrival)_\w+$"
+)
+
+
+def _is_time_expression(node: ast.AST) -> Optional[str]:
+    """The offending name when ``node`` reads like simulation time."""
+    name = _terminal_name(node)
+    if name is not None and _TIME_NAME_RE.match(name):
+        return name
+    return None
+
+
+@rule("SIM002", "no float ==/!= against simulation-time expressions")
+def check_float_time_equality(ctx: FileContext) -> Iterator[Violation]:
+    """Exact equality on accumulated float clocks is order-dependent.
+
+    ``a + b + c == c + b + a`` can be false in IEEE-754, so comparing
+    times with ``==``/``!=`` makes behaviour depend on event-processing
+    order — precisely what the deterministic engine forbids.  Use
+    ``<=``/``>=`` windows or ``math.isclose`` instead.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            name = _is_time_expression(left) or _is_time_expression(right)
+            if name is None:
+                continue
+            symbol = "==" if isinstance(op, ast.Eq) else "!="
+            yield _violation(
+                ctx, "SIM002", left if _is_time_expression(left) else right,
+                f"float {symbol} on simulation-time expression {name!r}; "
+                "use <=/>= windows or math.isclose",
+            )
+
+
+# ---------------------------------------------------------------------------
+# SIM003 — re-entrant Simulator.run inside process generators
+# ---------------------------------------------------------------------------
+
+#: Receiver names that denote the simulation engine by convention.
+_SIM_RECEIVER_RE = re.compile(r"^(?:sim|simulator|env|environment|engine)$")
+
+
+def _own_yield(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """``True`` when the function itself is a generator."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # nested def: its yields belong to it, not to func
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@rule("SIM003", "no re-entrant Simulator.run inside process generators")
+def check_reentrant_run(ctx: FileContext) -> Iterator[Violation]:
+    """Model code runs *inside* ``Simulator.step``; calling ``run`` there
+    re-enters the driver loop and corrupts the clock.  Detection is by
+    convention: a ``.run(...)`` call whose receiver is named like an
+    engine (``sim``, ``simulator``, ``env``, ...) or ends in ``.sim``,
+    appearing in a generator function (a simulation process).
+    """
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _own_yield(func):
+            continue
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr != "run":
+                continue
+            receiver = node.func.value
+            terminal = _terminal_name(receiver)
+            if terminal is not None and _SIM_RECEIVER_RE.match(terminal):
+                yield _violation(
+                    ctx, "SIM003", node,
+                    f"re-entrant call {_dotted_name(node.func) or 'run'}() "
+                    f"inside process generator {func.name!r}; processes "
+                    "must yield events, never drive the engine",
+                )
+
+
+# ---------------------------------------------------------------------------
+# SIM004 — complete public type annotations
+# ---------------------------------------------------------------------------
+
+
+def _decorator_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names = set()
+    for dec in func.decorator_list:
+        name = _terminal_name(dec.func if isinstance(dec, ast.Call) else dec)
+        if name is not None:
+            names.add(name)
+    return names
+
+
+def _missing_annotations(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, *, is_method: bool
+) -> list[str]:
+    """Human-readable names of unannotated parameters / return."""
+    missing: list[str] = []
+    args = func.args
+    positional = args.posonlyargs + args.args
+    skip_first = is_method and "staticmethod" not in _decorator_names(func)
+    for index, arg in enumerate(positional):
+        if index == 0 and skip_first:
+            continue  # self / cls carry no annotation by convention
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if func.returns is None:
+        missing.append("return")
+    return missing
+
+
+def _is_public_name(name: str) -> bool:
+    """Public: no leading underscore, or a dunder (part of the protocol)."""
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return not name.startswith("_")
+
+
+@rule("SIM004", "public core/sim functions carry complete type annotations")
+def check_public_annotations(ctx: FileContext) -> Iterator[Violation]:
+    """The package ships ``py.typed``; unannotated public API breaks it."""
+    module_leaf = (ctx.module or "").rsplit(".", maxsplit=1)[-1]
+    if module_leaf.startswith("_") and module_leaf != "__init__" and ctx.module:
+        return  # private modules make no typed-API promise
+
+    def visit(body: list[ast.stmt], *, in_class: bool, owner: str) -> Iterator[Violation]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if _is_public_name(node.name):
+                    yield from visit(node.body, in_class=True, owner=node.name)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not _is_public_name(node.name):
+                    continue
+                missing = _missing_annotations(node, is_method=in_class)
+                if missing:
+                    qualified = f"{owner}.{node.name}" if owner else node.name
+                    yield _violation(
+                        ctx, "SIM004", node,
+                        f"public {'method' if in_class else 'function'} "
+                        f"{qualified!r} missing annotations: "
+                        f"{', '.join(missing)}",
+                    )
+
+    yield from visit(ctx.tree.body, in_class=False, owner="")
+
+
+# ---------------------------------------------------------------------------
+# SIM005 — __all__ entries resolve
+# ---------------------------------------------------------------------------
+
+
+def _assigned_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _assigned_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _assigned_names(target.value)
+
+
+def _module_level_names(tree: ast.Module) -> tuple[set[str], bool]:
+    """(names bound at module level, saw a ``from x import *``)."""
+    names: set[str] = set()
+    star_import = False
+
+    def visit(body: list[ast.stmt]) -> None:
+        nonlocal star_import
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    names.update(_assigned_names(target))
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                names.update(_assigned_names(node.target))
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        star_import = True
+                    else:
+                        names.add(alias.asname or alias.name)
+            elif isinstance(node, ast.If):
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit(node.body)
+                for handler in node.handlers:
+                    visit(handler.body)
+                visit(node.orelse)
+                visit(node.finalbody)
+            elif isinstance(node, (ast.For, ast.While)):
+                if isinstance(node, ast.For):
+                    names.update(_assigned_names(node.target))
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.With):
+                visit(node.body)
+
+    visit(tree.body)
+    return names, star_import
+
+
+def _all_entries(tree: ast.Module) -> Iterator[tuple[str, ast.expr]]:
+    """(entry, node) for each string literal in ``__all__`` updates."""
+    for node in tree.body:
+        values: list[ast.expr] = []
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            values.append(node.value)
+        elif (
+            isinstance(node, ast.AugAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == "__all__"
+        ):
+            values.append(node.value)
+        for value in values:
+            if isinstance(value, (ast.List, ast.Tuple)):
+                for element in value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        yield element.value, element
+
+
+@rule("SIM005", "__all__ entries resolve to real module attributes")
+def check_all_resolves(ctx: FileContext) -> Iterator[Violation]:
+    """A phantom ``__all__`` entry turns ``import *`` and the public-API
+    tests into runtime errors; keep export lists truthful."""
+    names, star_import = _module_level_names(ctx.tree)
+    if star_import:
+        return  # cannot prove anything once `import *` is in play
+    for entry, node in _all_entries(ctx.tree):
+        if entry not in names:
+            yield _violation(
+                ctx, "SIM005", node,
+                f"__all__ entry {entry!r} does not resolve to a "
+                "module-level attribute",
+            )

@@ -1,0 +1,104 @@
+"""File discovery and rule execution for the simlint pass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from .config import rule_applies
+from .context import build_context
+from .rules import RULES
+from .types import LintError, Violation
+
+__all__ = ["LintResult", "iter_python_files", "lint_file", "lint_paths"]
+
+#: Directories never worth descending into.
+_SKIP_DIRS = frozenset({".git", "__pycache__", ".mypy_cache", ".ruff_cache",
+                        ".pytest_cache", "build", "dist"})
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    violations: list[Violation] = field(default_factory=list)
+    errors: list[LintError] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """No violations and no parse errors."""
+        return not self.violations and not self.errors
+
+    def exit_code(self) -> int:
+        """0 clean, 1 violations, 2 parse/read errors."""
+        if self.errors:
+            return 2
+        return 1 if self.violations else 0
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """Violation tally per rule id (sorted by id)."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not _SKIP_DIRS.intersection(candidate.parts)
+            )
+        else:
+            yield path
+
+
+def lint_file(
+    path: Path,
+    *,
+    select: Optional[Sequence[str]] = None,
+    scope: Optional[Mapping[str, Sequence[str]]] = None,
+) -> list[Violation]:
+    """Run the (selected) rules over one file, honouring scope and
+    suppression comments.  Raises on unreadable/unparsable input."""
+    ctx = build_context(path)
+    wanted = set(select) if select else set(RULES)
+    violations: list[Violation] = []
+    for rule_id in sorted(wanted):
+        registered = RULES.get(rule_id)
+        if registered is None:
+            raise KeyError(f"unknown rule id {rule_id!r}")
+        if not rule_applies(rule_id, ctx.module, scope):
+            continue
+        for violation in registered.check(ctx):
+            if not ctx.is_suppressed(violation.rule, violation.line):
+                violations.append(violation)
+    return sorted(violations)
+
+
+def lint_paths(
+    paths: Iterable["Path | str"],
+    *,
+    select: Optional[Sequence[str]] = None,
+    scope: Optional[Mapping[str, Sequence[str]]] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths``; never raises on bad files."""
+    result = LintResult()
+    for path in iter_python_files(Path(p) for p in paths):
+        try:
+            result.violations.extend(lint_file(path, select=select, scope=scope))
+        except SyntaxError as exc:
+            result.errors.append(
+                LintError(str(path), f"syntax error: {exc.msg} (line {exc.lineno})")
+            )
+        except OSError as exc:
+            result.errors.append(LintError(str(path), f"cannot read: {exc}"))
+        result.files_checked += 1
+    result.violations.sort()
+    result.errors.sort()
+    return result

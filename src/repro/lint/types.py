@@ -1,0 +1,57 @@
+"""Datatypes shared by the simlint pass: findings and errors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LintError", "Violation"]
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule finding, anchored to a source location.
+
+    Ordering is (path, line, col, rule) so reports are stable across
+    runs and dict/set iteration orders.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` — the text-reporter line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form (used by the ``json`` reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True, order=True)
+class LintError:
+    """A file simlint could not analyse (unreadable or unparsable).
+
+    Errors are reported separately from violations and make the CLI
+    exit with status 2: a tree that cannot be parsed cannot be called
+    clean.
+    """
+
+    path: str
+    message: str
+
+    def format(self) -> str:
+        """``path: error: message`` — the text-reporter line."""
+        return f"{self.path}: error: {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form."""
+        return {"path": self.path, "error": self.message}

@@ -85,7 +85,7 @@ class CalendarQueue(EventList):
     _MIN_BUCKETS = 4
 
     def __init__(self, initial_buckets: int = 16,
-                 initial_width: float = 1.0):
+                 initial_width: float = 1.0) -> None:
         if initial_buckets < 1:
             raise ValueError(
                 f"initial_buckets must be >= 1, got {initial_buckets!r}"

@@ -15,7 +15,7 @@ data with within-bin interpolation).
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -70,7 +70,7 @@ class Distribution:
 class Deterministic(Distribution):
     """Always returns ``value`` — handy for tests and sensitivity studies."""
 
-    def __init__(self, value: float):
+    def __init__(self, value: float) -> None:
         self.value = float(value)
 
     def sample(self, rng: np.random.Generator) -> float:
@@ -98,7 +98,7 @@ class Exponential(Distribution):
     ``1 / mean``.
     """
 
-    def __init__(self, mean: float):
+    def __init__(self, mean: float) -> None:
         if mean <= 0:
             raise ValueError(f"mean must be positive, got {mean!r}")
         self._mean = float(mean)
@@ -129,7 +129,7 @@ class Exponential(Distribution):
 class Uniform(Distribution):
     """Continuous uniform on [low, high)."""
 
-    def __init__(self, low: float, high: float):
+    def __init__(self, low: float, high: float) -> None:
         if high <= low:
             raise ValueError(f"need low < high, got [{low!r}, {high!r})")
         self.low = float(low)
@@ -156,7 +156,7 @@ class Uniform(Distribution):
 class Erlang(Distribution):
     """Erlang-k distribution with the given mean (CV = 1/sqrt(k) < 1)."""
 
-    def __init__(self, k: int, mean: float):
+    def __init__(self, k: int, mean: float) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k!r}")
         if mean <= 0:
@@ -185,7 +185,7 @@ class Erlang(Distribution):
 class Hyperexponential(Distribution):
     """Two-phase hyperexponential (CV > 1), phase picked per sample."""
 
-    def __init__(self, p: float, mean1: float, mean2: float):
+    def __init__(self, p: float, mean1: float, mean2: float) -> None:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"p must be in [0,1], got {p!r}")
         if mean1 <= 0 or mean2 <= 0:
@@ -219,7 +219,7 @@ class Hyperexponential(Distribution):
 class Lognormal(Distribution):
     """Lognormal parameterised by its *arithmetic* mean and CV."""
 
-    def __init__(self, mean: float, cv: float):
+    def __init__(self, mean: float, cv: float) -> None:
         if mean <= 0 or cv <= 0:
             raise ValueError("mean and cv must be positive")
         self._mean = float(mean)
@@ -257,7 +257,7 @@ class TruncatedLognormal(Distribution):
     _MOMENT_SAMPLES = 200_000
 
     def __init__(self, base: Lognormal, low: float = 0.0,
-                 high: float = math.inf, moment_seed: int = 0):
+                 high: float = math.inf, moment_seed: int = 0) -> None:
         if high <= low:
             raise ValueError(f"need low < high, got [{low!r}, {high!r}]")
         self.base = base
@@ -312,7 +312,7 @@ class Weibull(Distribution):
     tail studies.
     """
 
-    def __init__(self, scale: float, shape: float):
+    def __init__(self, scale: float, shape: float) -> None:
         if scale <= 0 or shape <= 0:
             raise ValueError("scale and shape must be positive")
         self.scale = float(scale)
@@ -348,7 +348,7 @@ class BoundedPareto(Distribution):
     inverse-CDF; moments in closed form.
     """
 
-    def __init__(self, alpha: float, low: float, high: float):
+    def __init__(self, alpha: float, low: float, high: float) -> None:
         if alpha <= 0:
             raise ValueError(f"alpha must be positive, got {alpha!r}")
         if not 0 < low < high:
@@ -405,7 +405,7 @@ class DiscreteEmpirical(Distribution):
     Sampling uses a precomputed cumulative table with binary search.
     """
 
-    def __init__(self, values: Sequence[float], weights: Sequence[float]):
+    def __init__(self, values: Sequence[float], weights: Sequence[float]) -> None:
         values = np.asarray(values, dtype=float)
         weights = np.asarray(weights, dtype=float)
         if values.shape != weights.shape or values.ndim != 1:
@@ -475,7 +475,7 @@ class DiscreteEmpirical(Distribution):
         m = self.mean
         return float(np.dot((self.values - m) ** 2, self.probabilities))
 
-    def expectation(self, fn) -> float:
+    def expectation(self, fn: Callable[[np.ndarray], np.ndarray]) -> float:
         """E[fn(X)] for a vectorised function ``fn``."""
         return float(np.dot(fn(self.values), self.probabilities))
 
@@ -494,7 +494,7 @@ class ContinuousEmpirical(Distribution):
     histogram from a trace without step artefacts.
     """
 
-    def __init__(self, edges: Sequence[float], counts: Sequence[float]):
+    def __init__(self, edges: Sequence[float], counts: Sequence[float]) -> None:
         edges = np.asarray(edges, dtype=float)
         counts = np.asarray(counts, dtype=float)
         if edges.ndim != 1 or counts.ndim != 1 or edges.size != counts.size + 1:
@@ -551,7 +551,7 @@ class Mixture(Distribution):
     """Finite mixture of component distributions."""
 
     def __init__(self, components: Sequence[Distribution],
-                 weights: Sequence[float]):
+                 weights: Sequence[float]) -> None:
         if len(components) != len(weights) or not components:
             raise ValueError("components and weights must match and be nonempty")
         w = np.asarray(weights, dtype=float)
@@ -593,7 +593,7 @@ class Scaled(Distribution):
     multi-component job is its base service time scaled by 1.25.
     """
 
-    def __init__(self, base: Distribution, factor: float):
+    def __init__(self, base: Distribution, factor: float) -> None:
         if factor <= 0:
             raise ValueError(f"factor must be positive, got {factor!r}")
         self.base = base

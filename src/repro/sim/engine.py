@@ -62,7 +62,7 @@ class Simulator:
     """
 
     def __init__(self, initial_time: float = 0.0,
-                 event_list: Optional[EventList] = None):
+                 event_list: Optional[EventList] = None) -> None:
         self._now = float(initial_time)
         self._queue: EventList = (
             event_list if event_list is not None else HeapEventList()

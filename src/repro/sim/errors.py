@@ -47,7 +47,7 @@ class StopSimulation(Exception):
     needs to raise or catch this.
     """
 
-    def __init__(self, value: object = None):
+    def __init__(self, value: object = None) -> None:
         super().__init__(value)
         self.value = value
 
@@ -62,7 +62,7 @@ class Interrupt(Exception):
         available as :attr:`cause`.
     """
 
-    def __init__(self, cause: object = None):
+    def __init__(self, cause: object = None) -> None:
         super().__init__(cause)
 
     @property

@@ -58,7 +58,7 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: object = PENDING
@@ -173,7 +173,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: object = None):
+    def __init__(self, sim: "Simulator", delay: float, value: object = None) -> None:
         if delay < 0:
             raise SchedulingError(f"negative timeout delay {delay!r}")
         super().__init__(sim)
@@ -199,7 +199,7 @@ class Condition(Event):
 
     __slots__ = ("events", "_count")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self.events: tuple[Event, ...] = tuple(events)
         self._count = 0

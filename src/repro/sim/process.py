@@ -41,7 +41,7 @@ class _Initialize(Event):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", process: "Process"):
+    def __init__(self, sim: "Simulator", process: "Process") -> None:
         super().__init__(sim)
         self._ok = True
         self._value = None
@@ -74,7 +74,7 @@ class Process(Event):
     __slots__ = ("generator", "target", "name")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None) -> None:
         if not hasattr(generator, "throw"):
             raise SchedulingError(
                 f"{generator!r} is not a generator; did you forget to call "

@@ -30,7 +30,7 @@ class P2Quantile:
     them); afterwards the five-marker parabolic update applies.
     """
 
-    def __init__(self, p: float):
+    def __init__(self, p: float) -> None:
         if not 0.0 < p < 1.0:
             raise ValueError(f"p must be in (0,1), got {p!r}")
         self.p = float(p)
@@ -117,7 +117,7 @@ class QuantileSet:
 
     DEFAULT_LADDER = (0.5, 0.9, 0.95, 0.99)
 
-    def __init__(self, quantiles: Sequence[float] = DEFAULT_LADDER):
+    def __init__(self, quantiles: Sequence[float] = DEFAULT_LADDER) -> None:
         if not quantiles:
             raise ValueError("need at least one quantile")
         self.estimators = {p: P2Quantile(p) for p in quantiles}

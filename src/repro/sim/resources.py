@@ -39,7 +39,7 @@ class Grant(Event):
 
     __slots__ = ("resource", "units", "satisfied")
 
-    def __init__(self, resource: "Resource", units: int):
+    def __init__(self, resource: "Resource", units: int) -> None:
         super().__init__(resource.sim)
         self.resource = resource
         self.units = units
@@ -75,7 +75,7 @@ class Resource:
     backfilling.
     """
 
-    def __init__(self, sim: "Simulator", capacity: int):
+    def __init__(self, sim: "Simulator", capacity: int) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity!r}")
         self.sim = sim
@@ -142,7 +142,7 @@ class PreemptiveResource:
     §1), so this class serves tests, examples and derived models.
     """
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self._holder: Optional[tuple["Event", int, object]] = None
         self._waiting: list[tuple[int, int, "Event", object]] = []
@@ -213,7 +213,7 @@ class Store:
     ``put`` raises (models here never need blocking puts).
     """
 
-    def __init__(self, sim: "Simulator", capacity: Optional[int] = None):
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None) -> None:
         self.sim = sim
         self.capacity = capacity
         self._items: Deque[object] = deque()
@@ -250,7 +250,7 @@ class Store:
 class Gate:
     """Broadcast latch: waiters block while closed, all wake on open."""
 
-    def __init__(self, sim: "Simulator", open_: bool = False):
+    def __init__(self, sim: "Simulator", open_: bool = False) -> None:
         self.sim = sim
         self._open = bool(open_)
         self._waiters: list[Event] = []

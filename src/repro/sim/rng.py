@@ -39,7 +39,7 @@ class StreamFactory:
     True
     """
 
-    def __init__(self, master_seed: Optional[int] = None):
+    def __init__(self, master_seed: Optional[int] = None) -> None:
         self.master_seed = master_seed
         self._root = np.random.SeedSequence(master_seed)
         self._streams: Dict[str, np.random.Generator] = {}

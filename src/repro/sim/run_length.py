@@ -16,9 +16,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
+from .distributions import Distribution
 from .stats import BatchMeans, ConfidenceInterval
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from repro.core.system import SimulationConfig
+    from repro.metrics.recorder import UtilizationReport
 
 __all__ = ["RunLengthController", "StoppingDecision", "run_to_precision"]
 
@@ -56,7 +61,7 @@ class RunLengthController:
     def __init__(self, batch_size: int, relative_width: float = 0.05,
                  min_batches: int = 10,
                  max_observations: int = 1_000_000,
-                 confidence: float = 0.95):
+                 confidence: float = 0.95) -> None:
         if relative_width <= 0:
             raise ValueError(
                 f"relative_width must be positive, got {relative_width!r}"
@@ -96,11 +101,14 @@ class RunLengthController:
         return None
 
 
-def run_to_precision(config, size_distribution, service_distribution,
+def run_to_precision(config: "SimulationConfig",
+                     size_distribution: Distribution,
+                     service_distribution: Distribution,
                      arrival_rate: float, *,
                      relative_width: float = 0.05,
                      min_batches: int = 10,
-                     max_jobs: int = 200_000):
+                     max_jobs: int = 200_000,
+                     ) -> tuple["UtilizationReport", StoppingDecision]:
     """Open-system run extended until the response-time CI converges.
 
     Returns ``(report, decision)``: the metrics report over the whole

@@ -40,7 +40,7 @@ class ConfidenceInterval:
 
     __slots__ = ("mean", "half_width", "level")
 
-    def __init__(self, mean: float, half_width: float, level: float):
+    def __init__(self, mean: float, half_width: float, level: float) -> None:
         self.mean = mean
         self.half_width = half_width
         self.level = level
@@ -78,7 +78,7 @@ class Tally:
     runs and never stores the observations.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self.reset()
 
@@ -147,7 +147,7 @@ class TimeWeighted:
     discard a warmup transient.
     """
 
-    def __init__(self, time: float = 0.0, value: float = 0.0, name: str = ""):
+    def __init__(self, time: float = 0.0, value: float = 0.0, name: str = "") -> None:
         self.name = name
         self._last_time = float(time)
         self._value = float(value)
@@ -220,7 +220,7 @@ class BatchMeans:
     to the autocorrelation time (thousands of jobs for queueing sims).
     """
 
-    def __init__(self, batch_size: int, name: str = ""):
+    def __init__(self, batch_size: int, name: str = "") -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
         self.batch_size = int(batch_size)
@@ -278,7 +278,7 @@ class BatchMeans:
 class Histogram:
     """Fixed-bin histogram with under/overflow tracking."""
 
-    def __init__(self, low: float, high: float, bins: int, name: str = ""):
+    def __init__(self, low: float, high: float, bins: int, name: str = "") -> None:
         if bins < 1 or high <= low:
             raise ValueError("need bins >= 1 and low < high")
         self.name = name

@@ -9,7 +9,7 @@ orderings precisely.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, NamedTuple, Optional
+from typing import Callable, Iterable, Iterator, NamedTuple, Optional
 
 __all__ = ["TraceRecord", "Tracer", "NullTracer"]
 
@@ -35,7 +35,7 @@ class Tracer:
     """
 
     def __init__(self, kinds: Optional[Iterable[str]] = None,
-                 limit: Optional[int] = None):
+                 limit: Optional[int] = None) -> None:
         self.kinds = frozenset(kinds) if kinds is not None else None
         self.limit = limit
         self.records: list[TraceRecord] = []
@@ -71,7 +71,7 @@ class Tracer:
     def __len__(self) -> int:
         return len(self.records)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
 
     def __repr__(self) -> str:

@@ -271,7 +271,9 @@ class ArrivalProcess:
         self.rate = float(rate)
         self.submit = submit
         self.limit = limit
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # Seeded fallback: an OS-entropy default would silently break
+        # replayability and common-random-numbers comparisons.
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self.generated = 0
         self.process = sim.process(self._run(), name="arrivals")
 

@@ -1,0 +1,120 @@
+"""Exit codes and report formats of the simlint CLI layers."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _env_with_src() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    return env
+
+
+def write(tmp_path: Path, name: str, code: str) -> Path:
+    path = tmp_path / name
+    path.write_text(code)
+    return path
+
+
+class TestMainFunction:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = write(tmp_path, "ok.py", "def f(x: int) -> int:\n    return x\n")
+        assert main([str(path)]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_rule_and_location(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", "import random\n")
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "SIM001" in out
+        assert f"{path}:1:" in out
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        path = write(tmp_path, "broken.py", "def f(:\n")
+        assert main([str(path)]) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", "import random\n")
+        assert main([str(path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["counts_by_rule"] == {"SIM001": 1}
+        (violation,) = payload["violations"]
+        assert violation["rule"] == "SIM001"
+        assert violation["line"] == 1
+
+    def test_select_is_case_insensitive(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", "import random\n\ndef f(x):\n    return x\n")
+        assert main([str(path), "--select", "sim004"]) == 1
+        out = capsys.readouterr().out
+        assert "SIM004" in out and "SIM001" not in out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        path = write(tmp_path, "ok.py", "x = 1\n")
+        assert main([str(path), "--select", "SIM999"]) == 2
+        assert "unknown rule" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005"):
+            assert rule_id in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_on_shipped_tree(self):
+        # The acceptance gate: `python -m repro.lint src/repro` exits 0.
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src/repro"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env=_env_with_src(),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no violations" in proc.stdout
+
+    def test_python_dash_m_flags_fixture(self, tmp_path):
+        bad = write(tmp_path, "bad.py", "import random\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(bad)],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env=_env_with_src(),
+        )
+        assert proc.returncode == 1
+        assert "SIM001" in proc.stdout
+
+
+class TestReproSimSubcommand:
+    def test_lint_subcommand_clean(self, tmp_path, capsys):
+        from repro.cli import main as repro_main
+
+        path = write(tmp_path, "ok.py", "def f(x: int) -> int:\n    return x\n")
+        assert repro_main(["lint", str(path)]) == 0
+
+    def test_lint_subcommand_violation(self, tmp_path, capsys):
+        from repro.cli import main as repro_main
+
+        path = write(tmp_path, "bad.py", "import random\n")
+        assert repro_main(["lint", str(path)]) == 1
+        assert "SIM001" in capsys.readouterr().out
+
+    def test_lint_subcommand_list_rules(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", "--list-rules"]) == 0
+        assert "SIM003" in capsys.readouterr().out

@@ -1,0 +1,311 @@
+"""Positive/negative/suppression fixtures for every simlint rule.
+
+Each rule gets three kinds of fixture: a violating snippet (reported
+with the right rule id), a clean snippet (silent), and the violating
+snippet carrying a ``# simlint: disable=RULE`` comment (silenced).
+Fixture files live in ``tmp_path``, outside any package root, so every
+rule applies regardless of the scope table.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_file
+
+
+def lint_snippet(tmp_path: Path, code: str, *, select: list[str] | None = None):
+    path = tmp_path / "fixture.py"
+    path.write_text(textwrap.dedent(code))
+    return lint_file(path, select=select)
+
+
+def rule_ids(violations) -> set[str]:
+    return {v.rule for v in violations}
+
+
+# ---------------------------------------------------------------------------
+# SIM001 — ambient nondeterminism
+# ---------------------------------------------------------------------------
+
+
+class TestSIM001:
+    @pytest.mark.parametrize("snippet", [
+        "import random\n",
+        "from random import choice\n",
+        "import time\nt0 = time.time()\n",
+        "import time\nt0 = time.perf_counter()\n",
+        "from datetime import datetime\nstamp = datetime.now()\n",
+        "import datetime\nstamp = datetime.datetime.utcnow()\n",
+        "import os\nnoise = os.urandom(8)\n",
+        "import numpy as np\nrng = np.random.default_rng()\n",
+        "import numpy as np\nx = np.random.rand(3)\n",
+        "import numpy as np\nnp.random.seed(7)\n",
+        "import numpy as np\nrng = np.random.RandomState()\n",
+        # Passing the entropy source by reference is just as bad.
+        "import time\nkey_fn = time.time\n",
+    ])
+    def test_flags_ambient_entropy(self, tmp_path, snippet):
+        violations = lint_snippet(tmp_path, snippet, select=["SIM001"])
+        assert rule_ids(violations) == {"SIM001"}
+
+    @pytest.mark.parametrize("snippet", [
+        # The blessed path: named StreamFactory substreams.
+        "from repro.sim.rng import StreamFactory\n"
+        "rng = StreamFactory(42).get('arrivals')\n",
+        # Seeded generators are reproducible.
+        "import numpy as np\nrng = np.random.default_rng(42)\n",
+        "import numpy as np\nrng = np.random.default_rng(seed)\n",
+        "import numpy as np\nss = np.random.SeedSequence(1)\n",
+        # Annotations mentioning np.random types are not draws.
+        "import numpy as np\n"
+        "def f(rng: np.random.Generator) -> float:\n"
+        "    return float(rng.random())\n",
+        # `time` the module is fine when no wall-clock access is made.
+        "import time\nkind = time.struct_time\n",
+    ])
+    def test_clean_snippets(self, tmp_path, snippet):
+        assert lint_snippet(tmp_path, snippet, select=["SIM001"]) == []
+
+    def test_suppression_silences(self, tmp_path):
+        code = (
+            "import random  # simlint: disable=SIM001 -- fixture generator\n"
+        )
+        assert lint_snippet(tmp_path, code, select=["SIM001"]) == []
+
+    def test_violation_location(self, tmp_path):
+        code = "x = 1\nimport random\n"
+        (violation,) = lint_snippet(tmp_path, code, select=["SIM001"])
+        assert violation.line == 2
+        assert "random" in violation.message
+
+
+# ---------------------------------------------------------------------------
+# SIM002 — float equality on simulation-time expressions
+# ---------------------------------------------------------------------------
+
+
+class TestSIM002:
+    @pytest.mark.parametrize("snippet", [
+        "def f(sim, horizon):\n    return sim.now == horizon\n",
+        "def f(arrival_time, start):\n    return arrival_time == start\n",
+        "def f(t_start, t_end):\n    return t_start != t_end\n",
+        "def f(job, deadline):\n    return job.deadline == 0.0\n",
+        "def f(a, b):\n    return a.finish_time != b.finish_time\n",
+        # Chained comparison: the middle operand is time-like.
+        "def f(a, now, b):\n    return a == now == b\n",
+    ])
+    def test_flags_time_equality(self, tmp_path, snippet):
+        violations = lint_snippet(tmp_path, snippet, select=["SIM002"])
+        assert rule_ids(violations) == {"SIM002"}
+
+    @pytest.mark.parametrize("snippet", [
+        # Ordering comparisons are the prescribed alternative.
+        "def f(sim, horizon):\n    return sim.now >= horizon\n",
+        "def f(t_start, t_end):\n    return t_start < t_end\n",
+        # isclose is the prescribed equality.
+        "import math\n"
+        "def f(sim, horizon):\n    return math.isclose(sim.now, horizon)\n",
+        # Non-time names may use ==.
+        "def f(count, total):\n    return count == total\n",
+        # 'timeout'/'times' do not match the time-name pattern.
+        "def f(timeout):\n    return timeout == 5\n",
+    ])
+    def test_clean_snippets(self, tmp_path, snippet):
+        assert lint_snippet(tmp_path, snippet, select=["SIM002"]) == []
+
+    def test_suppression_silences(self, tmp_path):
+        code = (
+            "def f(sim, horizon):\n"
+            "    return sim.now == horizon  "
+            "# simlint: disable=SIM002 -- exact sentinel comparison\n"
+        )
+        assert lint_snippet(tmp_path, code, select=["SIM002"]) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM003 — re-entrant Simulator.run in process generators
+# ---------------------------------------------------------------------------
+
+
+class TestSIM003:
+    @pytest.mark.parametrize("snippet", [
+        "def source(sim):\n"
+        "    yield sim.timeout(1.0)\n"
+        "    sim.run(until=10.0)\n",
+        "def source(self):\n"
+        "    yield self.sim.timeout(1.0)\n"
+        "    self.sim.run()\n",
+        "def source(env):\n"
+        "    env.run()\n"
+        "    yield env.timeout(1.0)\n",
+    ])
+    def test_flags_reentrant_run(self, tmp_path, snippet):
+        violations = lint_snippet(tmp_path, snippet, select=["SIM003"])
+        assert rule_ids(violations) == {"SIM003"}
+
+    @pytest.mark.parametrize("snippet", [
+        # Driving the engine outside any generator is the normal API.
+        "def main(sim):\n    sim.run(until=10.0)\n",
+        # Generators may yield events freely.
+        "def source(sim):\n"
+        "    while True:\n"
+        "        yield sim.timeout(1.0)\n",
+        # .run on a non-engine receiver is unrelated.
+        "def source(sim, pool):\n"
+        "    yield sim.timeout(1.0)\n"
+        "    pool.run()\n",
+        # A nested non-generator helper may drive a fresh engine.
+        "def source(sim):\n"
+        "    yield sim.timeout(1.0)\n"
+        "    def helper(other):\n"
+        "        other.step()\n",
+    ])
+    def test_clean_snippets(self, tmp_path, snippet):
+        assert lint_snippet(tmp_path, snippet, select=["SIM003"]) == []
+
+    def test_suppression_silences(self, tmp_path):
+        code = (
+            "def source(sim):\n"
+            "    yield sim.timeout(1.0)\n"
+            "    sim.run(until=2.0)  "
+            "# simlint: disable=SIM003 -- fixture exercises the crash\n"
+        )
+        assert lint_snippet(tmp_path, code, select=["SIM003"]) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM004 — complete public annotations
+# ---------------------------------------------------------------------------
+
+
+class TestSIM004:
+    @pytest.mark.parametrize("snippet", [
+        "def f(x):\n    return x\n",
+        "def f(x: int):\n    return x\n",
+        "def f(x: int, *args) -> int:\n    return x\n",
+        "def f(x: int, **kw) -> int:\n    return x\n",
+        "class C:\n    def method(self, x) -> None:\n        pass\n",
+        "class C:\n    def __init__(self, x: int):\n        self.x = x\n",
+        "class C:\n"
+        "    @staticmethod\n"
+        "    def helper(x: int) -> int:\n        return x\n"
+        "    def bad(self, y) -> None:\n        pass\n",
+    ])
+    def test_flags_missing_annotations(self, tmp_path, snippet):
+        violations = lint_snippet(tmp_path, snippet, select=["SIM004"])
+        assert rule_ids(violations) == {"SIM004"}
+
+    @pytest.mark.parametrize("snippet", [
+        "def f(x: int) -> int:\n    return x\n",
+        "def f(x: int, *args: int, **kw: str) -> None:\n    pass\n",
+        "class C:\n    def __init__(self, x: int) -> None:\n        self.x = x\n",
+        # Private helpers make no typed-API promise.
+        "def _helper(x):\n    return x\n",
+        "class C:\n    def _internal(self, x):\n        return x\n",
+        "class _Private:\n    def method(self, x):\n        return x\n",
+        # Nested functions are implementation detail.
+        "def f(x: int) -> int:\n"
+        "    def inner(y):\n        return y\n"
+        "    return inner(x)\n",
+    ])
+    def test_clean_snippets(self, tmp_path, snippet):
+        assert lint_snippet(tmp_path, snippet, select=["SIM004"]) == []
+
+    def test_message_names_the_missing_parts(self, tmp_path):
+        (violation,) = lint_snippet(
+            tmp_path, "def f(x, y: int):\n    return x\n", select=["SIM004"]
+        )
+        assert "x" in violation.message
+        assert "return" in violation.message
+
+    def test_suppression_silences(self, tmp_path):
+        code = (
+            "def f(x):  # simlint: disable=SIM004 -- dynamic shim\n"
+            "    return x\n"
+        )
+        assert lint_snippet(tmp_path, code, select=["SIM004"]) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM005 — __all__ resolves
+# ---------------------------------------------------------------------------
+
+
+class TestSIM005:
+    def test_flags_phantom_entry(self, tmp_path):
+        code = "__all__ = ['real', 'phantom']\n\ndef real() -> None:\n    pass\n"
+        (violation,) = lint_snippet(tmp_path, code, select=["SIM005"])
+        assert violation.rule == "SIM005"
+        assert "phantom" in violation.message
+
+    def test_flags_augmented_assignment(self, tmp_path):
+        code = "__all__ = []\n__all__ += ['ghost']\n"
+        (violation,) = lint_snippet(tmp_path, code, select=["SIM005"])
+        assert "ghost" in violation.message
+
+    @pytest.mark.parametrize("snippet", [
+        "__all__ = ['f', 'C', 'CONST', 'np']\n"
+        "import numpy as np\n"
+        "CONST = 1\n"
+        "def f() -> None:\n    pass\n"
+        "class C:\n    pass\n",
+        # Conditionally-bound names still count.
+        "__all__ = ['impl']\n"
+        "try:\n    import fastimpl as impl\n"
+        "except ImportError:\n    impl = None\n",
+        # A star import makes resolution undecidable: stay silent.
+        "from os.path import *\n__all__ = ['join']\n",
+    ])
+    def test_clean_snippets(self, tmp_path, snippet):
+        assert lint_snippet(tmp_path, snippet, select=["SIM005"]) == []
+
+    def test_suppression_silences(self, tmp_path):
+        code = (
+            "__all__ = [\n"
+            "    'lazy',  # simlint: disable=SIM005 -- bound in __getattr__\n"
+            "]\n"
+        )
+        assert lint_snippet(tmp_path, code, select=["SIM005"]) == []
+
+
+# ---------------------------------------------------------------------------
+# cross-cutting machinery
+# ---------------------------------------------------------------------------
+
+
+class TestMachinery:
+    def test_select_restricts_rules(self, tmp_path):
+        code = "import random\n\ndef f(x):\n    return x\n"
+        only_sim004 = lint_snippet(tmp_path, code, select=["SIM004"])
+        assert rule_ids(only_sim004) == {"SIM004"}
+        everything = lint_snippet(tmp_path, code)
+        assert rule_ids(everything) == {"SIM001", "SIM004"}
+
+    def test_unknown_rule_id_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            lint_snippet(tmp_path, "x = 1\n", select=["SIM999"])
+
+    def test_suppression_is_per_rule(self, tmp_path):
+        # Disabling SIM001 must not hide the SIM004 finding on that line.
+        code = "def f(x): return __import__('x')  # simlint: disable=SIM001\n"
+        violations = lint_snippet(tmp_path, code)
+        assert rule_ids(violations) == {"SIM004"}
+
+    def test_violations_sorted_and_stable(self, tmp_path):
+        code = "import random\nimport random\n"
+        violations = lint_snippet(tmp_path, code, select=["SIM001"])
+        assert [v.line for v in violations] == sorted(v.line for v in violations)
+
+    def test_scope_table_limits_rules_by_package(self, tmp_path):
+        # Under a `repro.analysis` module path, SIM001 (scoped to
+        # sim/core/workload) must not fire, while SIM005 (repro*) must.
+        pkg = tmp_path / "repro" / "analysis"
+        pkg.mkdir(parents=True)
+        path = pkg / "mod.py"
+        path.write_text("import random\n__all__ = ['ghost']\n")
+        violations = lint_file(path)
+        assert rule_ids(violations) == {"SIM005"}

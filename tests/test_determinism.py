@@ -1,0 +1,70 @@
+"""Determinism regression: one master seed => byte-identical runs.
+
+The engine promises fully deterministic event ordering — events are
+processed in (time, priority, insertion order) — and all stochastic
+draws flow through named StreamFactory substreams.  Together these mean
+that two simulations built from the same ``SimulationConfig`` must
+produce *identical* traces and metrics, which is exactly what the
+common-random-numbers policy comparisons rely on.  This test replays a
+GS run twice and compares the full event trace and the report
+byte-for-byte, guarding both contracts at once.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import SimulationConfig, run_open_system
+from repro.sim.trace import Tracer
+from repro.workload import WORKLOADS, das_t_900
+
+
+def _one_run(seed: int) -> tuple[bytes, bytes]:
+    """(trace bytes, report bytes) of one small GS open-system run."""
+    config = SimulationConfig(
+        policy="GS",
+        component_limit=16,
+        seed=seed,
+        warmup_jobs=50,
+        measured_jobs=300,
+        batch_size=25,
+    )
+    tracer = Tracer()
+    result = run_open_system(
+        config,
+        WORKLOADS["das-s-128"](),
+        das_t_900(),
+        arrival_rate=0.02,
+        tracer=tracer,
+    )
+    trace_bytes = "\n".join(
+        repr((record.time, record.kind, sorted(record.payload.items())))
+        for record in tracer
+    ).encode()
+    report = result.report.as_dict()
+    report_bytes = json.dumps(
+        {
+            "report": {key: repr(value) for key, value in sorted(report.items())},
+            "offered_gross": repr(result.offered_gross_utilization),
+            "saturated": result.saturated,
+            "end_time": repr(result.end_time),
+        },
+        sort_keys=True,
+    ).encode()
+    return trace_bytes, report_bytes
+
+
+def test_same_seed_gives_byte_identical_traces_and_metrics() -> None:
+    trace_a, report_a = _one_run(seed=7)
+    trace_b, report_b = _one_run(seed=7)
+    assert trace_a, "tracer recorded nothing; the run did not execute"
+    assert trace_a == trace_b
+    assert report_a == report_b
+
+
+def test_different_seeds_actually_diverge() -> None:
+    # Guards the guard: if the workload ignored the seed, the identity
+    # assertion above would pass vacuously.
+    trace_a, _ = _one_run(seed=7)
+    trace_b, _ = _one_run(seed=8)
+    assert trace_a != trace_b
