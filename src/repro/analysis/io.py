@@ -15,10 +15,13 @@ from typing import TextIO, Union
 
 from repro.core.system import SimulationConfig
 from repro.metrics.recorder import UtilizationReport
+from repro.sim.stats import ConfidenceInterval
 
+from .replications import ReplicatedPoint, ReplicatedSweep
 from .sweeps import SweepPoint, SweepResult
 
 __all__ = ["save_sweep", "load_sweep", "save_report", "load_report",
+           "save_replicated_sweep", "load_replicated_sweep",
            "FORMAT_VERSION"]
 
 #: Bump when the on-disk shape changes incompatibly.
@@ -74,6 +77,65 @@ def load_sweep(source: "PathLike | TextIO") -> SweepResult:
         label=payload["label"],
         config=_config_from_dict(payload["config"]),
         points=tuple(SweepPoint(**p) for p in payload["points"]),
+    )
+
+
+def _replicated_point_to_dict(point: ReplicatedPoint) -> dict:
+    d = asdict(point)
+    ci = point.response_ci
+    d["response_ci"] = {"mean": ci.mean, "half_width": ci.half_width,
+                        "level": ci.level}
+    return d
+
+
+def _replicated_point_from_dict(d: dict) -> ReplicatedPoint:
+    d = dict(d)
+    d["response_ci"] = ConfidenceInterval(**d["response_ci"])
+    return ReplicatedPoint(**d)
+
+
+def save_replicated_sweep(result: ReplicatedSweep,
+                          target: "PathLike | TextIO") -> None:
+    """Write a replicated sweep (curve + CIs + seeds) as JSON.
+
+    The non-finite half widths of single-replication points serialize
+    as JSON ``Infinity`` — Python-readable, by design.
+    """
+    payload = {
+        "format": "repro.replicated_sweep",
+        "version": FORMAT_VERSION,
+        "label": result.label,
+        "config": _config_to_dict(result.config),
+        "seeds": list(result.seeds),
+        "points": [_replicated_point_to_dict(p) for p in result.points],
+    }
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+    else:
+        json.dump(payload, target, indent=2)
+
+
+def load_replicated_sweep(source: "PathLike | TextIO") -> ReplicatedSweep:
+    """Read a replicated sweep written by :func:`save_replicated_sweep`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    else:
+        payload = json.load(source)
+    if payload.get("format") != "repro.replicated_sweep":
+        raise ValueError("not a repro replicated-sweep file")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported replicated-sweep format version "
+            f"{payload.get('version')!r}"
+        )
+    return ReplicatedSweep(
+        label=payload["label"],
+        config=_config_from_dict(payload["config"]),
+        points=tuple(_replicated_point_from_dict(p)
+                     for p in payload["points"]),
+        seeds=tuple(payload["seeds"]),
     )
 
 

@@ -16,9 +16,11 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from repro.core.system import SimulationConfig
+from repro.runner import CacheSpec, RunTask, execute
 from repro.sim.stats import ConfidenceInterval, Tally, student_t_quantile
 
-from .sweeps import SweepResult, sweep
+from .points import SweepPoint
+from .sweeps import SweepResult
 
 __all__ = [
     "ReplicatedPoint",
@@ -91,12 +93,22 @@ def replicate_sweep(label: str, config: SimulationConfig,
                     utilizations: Sequence[float],
                     replications: int = 5,
                     confidence: float = 0.95,
-                    base_seed: Optional[int] = None) -> ReplicatedSweep:
+                    base_seed: Optional[int] = None,
+                    *,
+                    workers: Optional[int] = None,
+                    cache: CacheSpec = None) -> ReplicatedSweep:
     """Run ``replications`` sweeps with distinct seeds and aggregate.
 
     Points are aligned by *offered* utilization; a point missing from a
     replication (the sweep stopped after saturating) is aggregated over
     the replications that reached it.
+
+    With ``workers > 1`` the replications advance in lock-step waves:
+    each wave runs the next grid point of every still-active seed in
+    parallel (independent runs, one task each), so exactly the same set
+    of simulations executes as in a serial run — each seed still stops
+    at its own saturation point — and the aggregated sweep is
+    byte-identical at every worker count.
     """
     if replications < 1:
         raise ValueError(
@@ -104,11 +116,9 @@ def replicate_sweep(label: str, config: SimulationConfig,
         )
     base = config.seed if base_seed is None else base_seed
     seeds = tuple(base + 1_000 * i for i in range(replications))
-    runs: list[SweepResult] = [
-        sweep(label, replace(config, seed=seed), size_distribution,
-              service_distribution, utilizations=utilizations)
-        for seed in seeds
-    ]
+    runs = _replicated_runs(label, config, seeds, size_distribution,
+                            service_distribution, tuple(utilizations),
+                            workers=workers, cache=cache)
     points = []
     for offered in utilizations:
         matched = []
@@ -124,41 +134,71 @@ def replicate_sweep(label: str, config: SimulationConfig,
                            points=tuple(points), seeds=seeds)
 
 
+def _replicated_runs(label: str, config: SimulationConfig,
+                     seeds: Sequence[int], size_distribution,
+                     service_distribution,
+                     utilizations: tuple[float, ...],
+                     *, workers: Optional[int],
+                     cache: CacheSpec) -> list[SweepResult]:
+    """One sweep per seed, advanced in parallel waves.
+
+    Wave *w* submits grid point ``cursor[s]`` for every seed *s* whose
+    sweep has neither exhausted the grid nor saturated — the exact task
+    set a serial loop of :func:`~repro.analysis.sweeps.sweep` calls
+    would run, independent of ``workers``.
+    """
+    configs = [replace(config, seed=seed) for seed in seeds]
+    collected: list[list[SweepPoint]] = [[] for _ in seeds]
+    active = list(range(len(seeds)))
+    cursor = [0] * len(seeds)
+    while active:
+        tasks = [
+            RunTask(configs[i], size_distribution, service_distribution,
+                    utilizations[cursor[i]])
+            for i in active
+        ]
+        wave = execute(tasks, workers=workers, cache=cache)
+        still_active = []
+        for i, point in zip(active, wave):
+            collected[i].append(point)
+            cursor[i] += 1
+            if not point.saturated and cursor[i] < len(utilizations):
+                still_active.append(i)
+        active = still_active
+    return [
+        SweepResult(label=label, config=configs[i],
+                    points=tuple(collected[i]))
+        for i in range(len(seeds))
+    ]
+
+
 def paired_comparison(config_a: SimulationConfig,
                       config_b: SimulationConfig,
                       size_distribution, service_distribution,
                       utilization: float, replications: int = 5,
                       confidence: float = 0.95,
-                      ) -> ConfidenceInterval:
+                      *,
+                      workers: Optional[int] = None,
+                      cache: CacheSpec = None) -> ConfidenceInterval:
     """CI on the response-time difference A − B at one utilization.
 
     Uses common random numbers: replication *i* of both configurations
     shares a seed, so the per-seed differences cancel workload noise —
-    the standard paired-t design for policy comparison.
+    the standard paired-t design for policy comparison.  All
+    ``2 × replications`` runs are independent, so they fan out over
+    ``workers`` processes in one batch.
     """
-    from repro.core.system import run_open_system
-    from repro.sim.rng import StreamFactory
-    from repro.workload.generator import JobFactory
-
+    tasks = [
+        RunTask(replace(config, seed=config.seed + 1_000 * i),
+                size_distribution, service_distribution, utilization)
+        for i in range(replications)
+        for config in (config_a, config_b)
+    ]
+    results = execute(tasks, workers=workers, cache=cache)
     diffs = Tally()
     for i in range(replications):
-        pair = []
-        for config in (config_a, config_b):
-            seeded = replace(config, seed=config.seed + 1_000 * i)
-            factory = JobFactory(
-                size_distribution, service_distribution,
-                seeded.component_limit,
-                clusters=len(seeded.capacities),
-                extension_factor=seeded.extension_factor,
-                routing_weights=seeded.routing_weights,
-                streams=StreamFactory(seeded.seed),
-            )
-            rate = factory.arrival_rate_for_gross_utilization(
-                utilization, seeded.capacity
-            )
-            pair.append(run_open_system(seeded, size_distribution,
-                                        service_distribution, rate))
-        diffs.record(pair[0].mean_response - pair[1].mean_response)
+        a, b = results[2 * i], results[2 * i + 1]
+        diffs.record(a.mean_response - b.mean_response)
     if diffs.count >= 2:
         t = student_t_quantile(0.5 + confidence / 2.0, diffs.count - 1)
         half = t * diffs.std / math.sqrt(diffs.count)

@@ -6,56 +6,53 @@ of the paper's Figures 3, 5, 6 and 7.  Sweeps stop early once a run
 saturates (the paper's curves end at the policy's maximal utilization;
 points beyond it are meaningless for FCFS queues whose backlog grows
 without bound).
+
+Grid points are independent simulations, so a sweep can fan them out
+over worker processes (``workers=N``) and/or fetch them from the
+on-disk result cache (``cache=True``); see :mod:`repro.runner` and
+``docs/parallel.md``.  Parallel execution proceeds in chunks of
+``workers`` grid points so the early-stop-on-saturation behaviour — and
+therefore the returned curve — is byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
-from repro.core.system import (
-    OpenSystemResult,
-    SimulationConfig,
-    run_open_system,
-)
-from repro.sim.rng import StreamFactory
-from repro.workload.generator import JobFactory
+from repro.core.system import SimulationConfig
+from repro.runner import CacheSpec, RunTask, execute, resolve_workers
 
-__all__ = ["SweepPoint", "SweepResult", "sweep", "default_grid"]
+from .points import SweepPoint
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "sweep",
+    "default_grid",
+    "utilization_grid",
+]
+
+
+def utilization_grid(start: float, stop: float,
+                     step: float) -> tuple[float, ...]:
+    """An inclusive arithmetic grid computed by index.
+
+    ``start + i*step`` avoids the float-accumulation drift of repeated
+    ``u += step`` (which can drop or duplicate the endpoint); the
+    tolerance for including ``stop`` is relative to the step size.
+    """
+    if step <= 0:
+        raise ValueError(f"step must be > 0, got {step!r}")
+    count = int(math.floor((stop - start) / step + 1e-9)) + 1
+    return tuple(round(start + i * step, 10) for i in range(max(count, 0)))
 
 
 def default_grid(start: float = 0.2, stop: float = 0.85,
                  step: float = 0.05) -> tuple[float, ...]:
     """The default offered-gross-utilization grid."""
-    points = []
-    u = start
-    while u <= stop + 1e-9:
-        points.append(round(u, 10))
-        u += step
-    return tuple(points)
-
-
-@dataclass(frozen=True)
-class SweepPoint:
-    """One point of a response-time curve."""
-
-    offered_gross: float
-    gross_utilization: float
-    net_utilization: float
-    mean_response: float
-    ci_half_width: float
-    saturated: bool
-
-    @classmethod
-    def from_result(cls, result: OpenSystemResult) -> "SweepPoint":
-        return cls(
-            offered_gross=result.offered_gross_utilization,
-            gross_utilization=result.gross_utilization,
-            net_utilization=result.net_utilization,
-            mean_response=result.mean_response,
-            ci_half_width=result.report.response_ci_half_width,
-            saturated=result.saturated,
-        )
+    return utilization_grid(start, stop, step)
 
 
 @dataclass(frozen=True)
@@ -103,7 +100,10 @@ class SweepResult:
 def sweep(label: str, config: SimulationConfig, size_distribution,
           service_distribution,
           utilizations: Sequence[float] = (),
-          stop_after_saturation: int = 1) -> SweepResult:
+          stop_after_saturation: int = 1,
+          *,
+          workers: Optional[int] = None,
+          cache: CacheSpec = None) -> SweepResult:
     """Run ``config`` across a utilization grid.
 
     Parameters
@@ -111,29 +111,35 @@ def sweep(label: str, config: SimulationConfig, size_distribution,
     stop_after_saturation:
         How many saturated points to keep before stopping the sweep
         (1 reproduces the paper's curves, which end just past the knee).
+    workers:
+        Worker processes to fan grid points out over (default 1, or
+        ``$REPRO_WORKERS``).  The grid is executed in chunks of
+        ``workers`` points; points past the early-stop threshold are
+        discarded, so the curve is identical at every worker count.
+    cache:
+        Result cache: an explicit :class:`~repro.runner.ResultCache`,
+        ``True``/``False`` to force the default cache on or off, or
+        ``None`` to defer to ``$REPRO_CACHE``.
     """
     if not utilizations:
         utilizations = default_grid()
-    factory = JobFactory(
-        size_distribution, service_distribution, config.component_limit,
-        clusters=len(config.capacities),
-        extension_factor=config.extension_factor,
-        routing_weights=config.routing_weights,
-        streams=StreamFactory(config.seed),
-    )
+    workers = resolve_workers(workers)
     points: list[SweepPoint] = []
     saturated_seen = 0
-    for rho in utilizations:
-        rate = factory.arrival_rate_for_gross_utilization(
-            rho, config.capacity
-        )
-        result = run_open_system(config, size_distribution,
-                                 service_distribution, rate)
-        points.append(SweepPoint.from_result(result))
-        if result.saturated:
-            saturated_seen += 1
-            if saturated_seen >= stop_after_saturation:
-                break
+    for chunk_start in range(0, len(utilizations), workers):
+        chunk = utilizations[chunk_start:chunk_start + workers]
+        tasks = [
+            RunTask(config, size_distribution, service_distribution, rho)
+            for rho in chunk
+        ]
+        for point in execute(tasks, workers=workers, cache=cache):
+            points.append(point)
+            if point.saturated:
+                saturated_seen += 1
+                if saturated_seen >= stop_after_saturation:
+                    break
+        if saturated_seen >= stop_after_saturation:
+            break
     return SweepResult(label=label, config=config, points=tuple(points))
 
 

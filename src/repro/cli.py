@@ -21,6 +21,8 @@ Examples::
 
     repro-sim run --policy LS --limit 16 --utilization 0.5
     repro-sim sweep --policy GS --limit 24 --grid 0.2:0.8:0.1
+    repro-sim sweep --policy GS --workers 4 --cache
+    repro-sim experiment fig3 --workers 4 --cache
     repro-sim maxutil --policy GS --limit 16
     repro-sim trace --jobs 30000 --out das1.swf
     repro-sim experiment table2
@@ -30,12 +32,15 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.analysis import experiments, line_plot, tables
-from repro.analysis.sweeps import sweep
+from repro.analysis.sweeps import sweep, utilization_grid
 from repro.core import SimulationConfig, run_open_system
+from repro.runner import CACHE_ENV, WORKERS_ENV
 from repro.metrics.saturation import estimate_maximal_utilization
 from repro.sim import StreamFactory
 from repro.workload import (
@@ -59,6 +64,16 @@ def build_parser() -> argparse.ArgumentParser:
         description="Processor co-allocation simulations (HPDC'03 repro)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_runner_args(p):
+        p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes for independent runs "
+                            "(default $REPRO_WORKERS or 1; results are "
+                            "identical at any worker count)")
+        p.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="reuse/store run results under .repro-cache "
+                            "(default $REPRO_CACHE, off)")
 
     def add_model_args(p):
         p.add_argument("--policy", default="GS",
@@ -85,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_p = sub.add_parser("sweep", help="response-vs-utilization curve")
     add_model_args(sweep_p)
+    add_runner_args(sweep_p)
     sweep_p.add_argument("--grid", default="0.2:0.8:0.1",
                          help="utilization grid start:stop:step")
     sweep_p.add_argument("--plot", action="store_true",
@@ -113,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
     ])
     exp_p.add_argument("--scale", default=None, choices=["smoke", "quick", "full"])
+    add_runner_args(exp_p)
 
     report_p = sub.add_parser(
         "report", help="run the full suite, write a Markdown report"
@@ -122,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["smoke", "quick", "full"])
     report_p.add_argument("--sections", nargs="*", default=None,
                           help="section title prefixes to include")
+    add_runner_args(report_p)
 
     sens_p = sub.add_parser(
         "sensitivity", help="one-factor-at-a-time sensitivity tornado"
@@ -207,18 +225,15 @@ def _parse_grid(text: str) -> tuple[float, ...]:
         start, stop, step = (float(x) for x in text.split(":"))
     except ValueError:
         raise SystemExit(f"bad grid {text!r}; expected start:stop:step")
-    grid, u = [], start
-    while u <= stop + 1e-9:
-        grid.append(round(u, 10))
-        u += step
-    return tuple(grid)
+    return utilization_grid(start, stop, step)
 
 
 def _cmd_sweep(args) -> int:
     config = _config_from_args(args)
     sizes = WORKLOADS[args.workload]()
     result = sweep(args.policy, config, sizes, das_t_900(),
-                   utilizations=_parse_grid(args.grid))
+                   utilizations=_parse_grid(args.grid),
+                   workers=args.workers, cache=args.cache)
     print(tables.render_sweeps(
         [result], title=f"{args.policy} L={args.limit} ({args.workload})"
     ))
@@ -395,10 +410,38 @@ _COMMANDS = {
 }
 
 
+@contextlib.contextmanager
+def _runner_environment(args) -> Iterator[None]:
+    """Export ``--workers`` / ``--cache`` as the runner's env defaults.
+
+    ``experiment`` and ``report`` reach sweeps through the experiment
+    functions, whose ``workers``/``cache`` parameters default to the
+    ``$REPRO_WORKERS`` / ``$REPRO_CACHE`` environment variables — so the
+    flags are bridged through the environment for the duration of one
+    command and restored afterwards (tests call :func:`main` in-process).
+    """
+    updates: dict[str, str] = {}
+    if getattr(args, "workers", None) is not None:
+        updates[WORKERS_ENV] = str(args.workers)
+    if getattr(args, "cache", None) is not None:
+        updates[CACHE_ENV] = "1" if args.cache else "0"
+    saved = {key: os.environ.get(key) for key in updates}
+    os.environ.update(updates)
+    try:
+        yield
+    finally:
+        for key, old in saved.items():
+            if old is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = old
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    with _runner_environment(args):
+        return _COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,47 @@
+"""``repro.runner`` — deterministic parallel execution of simulation runs.
+
+The sweep and replication harnesses fan their independent runs (grid
+points × master seeds × configurations) out over worker processes
+through this package:
+
+* :class:`RunTask` / :func:`task_key` — one run, keyed by a stable
+  content hash of (configuration incl. master seed, offered
+  utilization, workload fingerprints);
+* :func:`execute` — serial or process-pool execution with results
+  collected in task order, so output never depends on scheduling;
+* :class:`ResultCache` — an on-disk JSON cache under ``.repro-cache/``
+  keyed by the same hashes, letting re-runs and aborted sweeps skip
+  completed work;
+* :class:`TaskFailedError` — the typed error a crashing worker surfaces
+  as, naming the failing task.
+
+See ``docs/parallel.md`` for the full determinism argument and cache
+layout.
+"""
+
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    SCHEMA_TAG,
+    CacheIntegrityWarning,
+    ResultCache,
+)
+from .errors import RunnerError, TaskFailedError
+from .pool import (
+    CACHE_ENV,
+    WORKERS_ENV,
+    CacheSpec,
+    execute,
+    resolve_cache,
+    resolve_workers,
+)
+from .task import KEY_VERSION, RunTask, task_key
+from .worker import run_task
+
+__all__ = [
+    "RunTask", "task_key", "KEY_VERSION",
+    "execute", "run_task", "resolve_workers", "resolve_cache",
+    "CacheSpec", "WORKERS_ENV", "CACHE_ENV",
+    "ResultCache", "CacheIntegrityWarning", "SCHEMA_TAG",
+    "DEFAULT_CACHE_DIR",
+    "RunnerError", "TaskFailedError",
+]

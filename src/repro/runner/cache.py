@@ -1,0 +1,137 @@
+"""On-disk result cache keyed by task content hashes.
+
+Layout: one JSON file per task under ``.repro-cache/<key[:2]>/<key>.json``
+(the two-character shard keeps directories small on big sweeps)::
+
+    {
+      "schema": "repro.runner/1",
+      "key": "<64 hex chars>",
+      "task": "<human-readable description>",
+      "point": { ...SweepPoint fields... }
+    }
+
+Integrity rules:
+
+* writes are atomic (temp file + ``os.replace``), so an aborted run can
+  never leave a truncated entry behind;
+* a corrupted, truncated or schema-mismatched entry is *never* fatal —
+  it falls through to recompute, surfacing one
+  :class:`CacheIntegrityWarning` per run (per cache instance);
+* the ``schema`` tag versions the payload shape: bumping
+  :data:`SCHEMA_TAG` invalidates every existing entry at once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.analysis.points import SweepPoint, point_from_dict, point_to_dict
+
+__all__ = [
+    "ResultCache",
+    "CacheIntegrityWarning",
+    "SCHEMA_TAG",
+    "DEFAULT_CACHE_DIR",
+]
+
+#: Versioned payload-shape tag; bump on incompatible changes.
+SCHEMA_TAG = "repro.runner/1"
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class CacheIntegrityWarning(UserWarning):
+    """A cache entry was unreadable and will be recomputed."""
+
+
+class ResultCache:
+    """JSON file cache of completed simulation runs.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on the first store).
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._warned = False
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives on disk."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[SweepPoint]:
+        """The cached point for ``key``, or ``None`` to recompute.
+
+        Any malformed entry (bad JSON, missing fields, wrong schema
+        tag) counts as a miss; the first one per run raises a
+        :class:`CacheIntegrityWarning` so silent corruption is visible
+        without spamming a warning per entry.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._warn_once(path, f"unreadable entry ({exc})")
+            self.misses += 1
+            return None
+        try:
+            if payload["schema"] != SCHEMA_TAG:
+                self._warn_once(
+                    path,
+                    f"schema tag {payload['schema']!r} != {SCHEMA_TAG!r}",
+                )
+                self.misses += 1
+                return None
+            point = point_from_dict(payload["point"])
+        except (KeyError, TypeError) as exc:
+            self._warn_once(path, f"malformed payload ({exc!r})")
+            self.misses += 1
+            return None
+        self.hits += 1
+        return point
+
+    def store(self, key: str, point: SweepPoint,
+              description: str = "") -> None:
+        """Persist ``point`` under ``key`` (atomic write)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SCHEMA_TAG,
+            "key": key,
+            "task": description,
+            "point": point_to_dict(point),
+        }
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def _warn_once(self, path: Path, reason: str) -> None:
+        if self._warned:
+            return
+        self._warned = True
+        warnings.warn(
+            f"result cache: {reason} at {path}; recomputing (further "
+            f"integrity issues this run are silent)",
+            CacheIntegrityWarning,
+            stacklevel=3,
+        )
+
+    def __repr__(self) -> str:
+        return (f"<ResultCache {self.root} hits={self.hits} "
+                f"misses={self.misses} stores={self.stores}>")

@@ -1,0 +1,43 @@
+"""Typed errors raised by the parallel execution backend.
+
+A failing worker must never hang the pool or surface as an anonymous
+``BrokenProcessPool``: every failure is converted into a
+:class:`TaskFailedError` that names the task (policy, seed, offered
+utilization and content-hash key) so an aborted sweep is diagnosable
+from the exception alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["RunnerError", "TaskFailedError"]
+
+
+class RunnerError(Exception):
+    """Base class for execution-backend errors."""
+
+
+class TaskFailedError(RunnerError):
+    """One simulation task raised (or its worker process died).
+
+    Attributes
+    ----------
+    key:
+        The content-hash task key (see :func:`repro.runner.task_key`).
+    description:
+        Human-readable task identity (policy, seed, utilization).
+    cause_repr:
+        ``repr`` of the underlying exception, captured as a string so
+        the error survives pickling across process boundaries.
+    """
+
+    def __init__(self, key: str, description: str,
+                 cause_repr: Optional[str] = None) -> None:
+        self.key = key
+        self.description = description
+        self.cause_repr = cause_repr
+        detail = f": {cause_repr}" if cause_repr else ""
+        super().__init__(
+            f"simulation task {description} (key {key[:12]}…) failed{detail}"
+        )

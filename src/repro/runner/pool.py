@@ -1,0 +1,170 @@
+"""Deterministic fan-out of simulation tasks over worker processes.
+
+:func:`execute` is the single entry point: it takes an ordered list of
+:class:`~repro.runner.task.RunTask` and returns their results *in input
+order*, whatever the completion order — the input order is itself
+derived from the deterministic task-key construction upstream, so a
+parallel run assembles byte-identical output to a serial one.
+
+Backends:
+
+* ``workers == 1`` (the default) — run in-process, no pool, no pickling;
+* ``workers > 1`` — a ``ProcessPoolExecutor``; each task is independent
+  (its RNG streams derive from its own config seed), so scheduling
+  cannot affect results.
+
+A raised exception inside a worker — or the death of the worker process
+itself — is converted into a typed
+:class:`~repro.runner.errors.TaskFailedError` naming the failing task,
+and the remaining futures are cancelled rather than left to hang.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Optional, Sequence, Union
+
+from repro.analysis.points import SweepPoint
+
+from .cache import ResultCache
+from .errors import TaskFailedError
+from .task import RunTask, task_key
+from .worker import run_task
+
+__all__ = [
+    "execute",
+    "resolve_workers",
+    "resolve_cache",
+    "CacheSpec",
+    "WORKERS_ENV",
+    "CACHE_ENV",
+]
+
+#: Environment variable giving the default worker count (default 1).
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variable enabling the default cache: unset/"0"/"off"
+#: disables, "1"/"on" uses ``.repro-cache``, anything else is a path.
+CACHE_ENV = "REPRO_CACHE"
+
+CacheSpec = Union[ResultCache, bool, None]
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count (``None`` → ``$REPRO_WORKERS`` → 1)."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+    return workers
+
+
+def resolve_cache(cache: CacheSpec = None) -> Optional[ResultCache]:
+    """The effective cache: explicit instance, bool switch, or env.
+
+    ``None`` defers to ``$REPRO_CACHE``; ``True``/``False`` force the
+    default cache directory on or off; a :class:`ResultCache` is used
+    as-is.
+    """
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache is True:
+        return ResultCache()
+    if cache is False:
+        return None
+    raw = os.environ.get(CACHE_ENV, "").strip()
+    if not raw or raw.lower() in ("0", "off", "no", "false"):
+        return None
+    if raw.lower() in ("1", "on", "yes", "true"):
+        return ResultCache()
+    return ResultCache(raw)
+
+
+def _run_serial(task: RunTask, key: str,
+                worker: Callable[[RunTask], SweepPoint]) -> SweepPoint:
+    try:
+        return worker(task)
+    except Exception as exc:
+        raise TaskFailedError(key, task.describe(), repr(exc)) from exc
+
+
+def execute(tasks: Sequence[RunTask], *,
+            workers: Optional[int] = None,
+            cache: CacheSpec = None,
+            worker: Callable[[RunTask], SweepPoint] = run_task,
+            ) -> list[SweepPoint]:
+    """Run ``tasks``, returning results in input (task-key) order.
+
+    Cached results are fetched first; only the remainder is executed.
+    Every fresh result is written back to the cache before returning,
+    so an aborted sweep resumes where it stopped.
+
+    ``worker`` is injectable for tests (engine-invocation counters); it
+    must stay the module-level default for multi-process runs to be
+    picklable.
+    """
+    workers = resolve_workers(workers)
+    store = resolve_cache(cache)
+    keys = [task_key(t) for t in tasks]
+    results: list[Optional[SweepPoint]] = [None] * len(tasks)
+    pending: list[int] = []
+    for i, key in enumerate(keys):
+        hit = store.load(key) if store is not None else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            pending.append(i)
+
+    if pending:
+        if workers == 1 or len(pending) == 1:
+            for i in pending:
+                results[i] = _run_serial(tasks[i], keys[i], worker)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))
+            ) as pool:
+                futures = [(i, pool.submit(worker, tasks[i]))
+                           for i in pending]
+                # Collect in submission order: output is a pure function
+                # of the task list, never of completion order.
+                try:
+                    for i, future in futures:
+                        try:
+                            results[i] = future.result()
+                        except BrokenProcessPool as exc:
+                            raise TaskFailedError(
+                                keys[i], tasks[i].describe(),
+                                f"worker process died: {exc!r}",
+                            ) from exc
+                        except Exception as exc:
+                            raise TaskFailedError(
+                                keys[i], tasks[i].describe(), repr(exc)
+                            ) from exc
+                except TaskFailedError:
+                    # Don't drain the queue after a failure: cancel
+                    # everything not yet running and surface the error.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+        if store is not None:
+            for i in pending:
+                point = results[i]
+                if point is not None:
+                    store.store(keys[i], point, tasks[i].describe())
+
+    out: list[SweepPoint] = []
+    for i, point in enumerate(results):
+        if point is None:
+            raise TaskFailedError(keys[i], tasks[i].describe(),
+                                  "worker returned no result")
+        out.append(point)
+    return out

@@ -1,0 +1,73 @@
+"""Task identity: one simulation run, keyed by a stable content hash.
+
+A :class:`RunTask` is the unit the pool fans out: *one* open-system run
+of one :class:`~repro.core.system.SimulationConfig` (which carries the
+master seed) at one offered gross utilization.  Its :func:`task_key` is
+a SHA-256 over a canonical JSON encoding of everything the result
+depends on — the full configuration, the offered load and content
+fingerprints of both workload distributions — so
+
+* the same experiment always maps to the same key (cache hits survive
+  process restarts and re-imports);
+* *any* change to the inputs changes the key (no stale cache reads);
+* results can be collected in task-key order, independent of worker
+  completion order.
+
+Distribution fingerprints hash the pickled object with a pinned pickle
+protocol: the workload distributions are plain frozen tables, so equal
+distributions always pickle to equal bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import asdict, dataclass
+
+from repro.core.system import SimulationConfig
+from repro.sim.distributions import Distribution
+
+__all__ = ["RunTask", "task_key", "KEY_VERSION"]
+
+#: Bump when the key derivation (not the cached payload) changes shape.
+KEY_VERSION = 1
+
+#: Pinned pickle protocol so fingerprints are stable across interpreter
+#: sessions on the same Python major line.
+_PICKLE_PROTOCOL = 4
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One open-system simulation run to execute (or fetch from cache)."""
+
+    config: SimulationConfig
+    size_distribution: Distribution
+    service_distribution: Distribution
+    offered_gross: float
+
+    def describe(self) -> str:
+        """Short human-readable identity (for errors and logs)."""
+        c = self.config
+        return (f"{c.policy} L={c.component_limit} seed={c.seed} "
+                f"rho={self.offered_gross:g}")
+
+
+def _fingerprint(distribution: Distribution) -> str:
+    """Content hash of a distribution (stable across processes)."""
+    blob = pickle.dumps(distribution, protocol=_PICKLE_PROTOCOL)
+    return hashlib.sha256(blob).hexdigest()
+
+
+def task_key(task: RunTask) -> str:
+    """The stable content-hash key of ``task`` (64 hex chars)."""
+    payload = {
+        "key_version": KEY_VERSION,
+        "config": asdict(task.config),
+        "offered_gross": task.offered_gross,
+        "size_distribution": _fingerprint(task.size_distribution),
+        "service_distribution": _fingerprint(task.service_distribution),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,44 @@
+"""The worker-side entry point: run one task to one curve point.
+
+This function is what the process pool pickles and ships to workers, so
+it must be module-level and depend only on the task's own contents.
+Determinism is inherited from the simulation itself: every stochastic
+stream is derived from ``task.config.seed`` via
+:class:`~repro.sim.rng.StreamFactory`, so a task produces bit-identical
+results in any process, on any schedule, at any worker count.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.points import SweepPoint
+from repro.core.system import run_open_system
+from repro.sim.rng import StreamFactory
+from repro.workload.generator import JobFactory
+
+from .task import RunTask
+
+__all__ = ["run_task"]
+
+
+def run_task(task: RunTask) -> SweepPoint:
+    """Execute one open-system run and return its curve point.
+
+    The arrival rate is recomputed from the offered gross utilization —
+    a pure function of the workload distributions and configuration —
+    so a worker needs nothing beyond the (picklable) task itself.
+    """
+    config = task.config
+    factory = JobFactory(
+        task.size_distribution, task.service_distribution,
+        config.component_limit,
+        clusters=len(config.capacities),
+        extension_factor=config.extension_factor,
+        routing_weights=config.routing_weights,
+        streams=StreamFactory(config.seed),
+    )
+    rate = factory.arrival_rate_for_gross_utilization(
+        task.offered_gross, config.capacity
+    )
+    result = run_open_system(config, task.size_distribution,
+                             task.service_distribution, rate)
+    return SweepPoint.from_result(result)

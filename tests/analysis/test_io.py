@@ -7,11 +7,14 @@ import pytest
 
 from repro.analysis.io import (
     FORMAT_VERSION,
+    load_replicated_sweep,
     load_report,
     load_sweep,
+    save_replicated_sweep,
     save_report,
     save_sweep,
 )
+from repro.analysis.replications import replicate_sweep
 from repro.analysis.sweeps import sweep
 from repro.core import SimulationConfig, run_open_system
 from repro.workload import das_s_128, das_t_900
@@ -74,6 +77,54 @@ class TestSweepRoundtrip:
         path.write_text(json.dumps(payload))
         with pytest.raises(ValueError, match="version"):
             load_sweep(path)
+
+
+class TestReplicatedSweepRoundtrip:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        config = SimulationConfig(policy="GS", component_limit=16,
+                                  warmup_jobs=100, measured_jobs=400,
+                                  seed=3, batch_size=100)
+        return replicate_sweep("GS", config, SIZES, SERVICE, (0.3, 0.5),
+                               replications=2)
+
+    def test_file_roundtrip(self, tmp_path, sample):
+        path = tmp_path / "replicated.json"
+        save_replicated_sweep(sample, path)
+        back = load_replicated_sweep(path)
+        assert back.label == sample.label
+        assert back.config == sample.config
+        assert back.seeds == sample.seeds
+        for a, b in zip(back.points, sample.points):
+            assert a.mean_response == b.mean_response
+            assert a.response_ci.mean == b.response_ci.mean
+            assert a.response_ci.half_width == b.response_ci.half_width
+            assert a.replications == b.replications
+
+    def test_save_is_deterministic(self, sample):
+        # Byte-stable serialization underpins the golden-equivalence
+        # suite's payload comparisons.
+        a, b = stdio.StringIO(), stdio.StringIO()
+        save_replicated_sweep(sample, a)
+        save_replicated_sweep(sample, b)
+        assert a.getvalue() == b.getvalue()
+
+    def test_infinite_halfwidth_survives(self, tmp_path):
+        config = SimulationConfig(policy="GS", component_limit=16,
+                                  warmup_jobs=60, measured_jobs=200,
+                                  seed=5, batch_size=50)
+        single = replicate_sweep("GS", config, SIZES, SERVICE, (0.4,),
+                                 replications=1)
+        path = tmp_path / "single.json"
+        save_replicated_sweep(single, path)
+        back = load_replicated_sweep(path)
+        assert back.points[0].response_ci.half_width == float("inf")
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "other", "version": 1}')
+        with pytest.raises(ValueError, match="not a repro replicated"):
+            load_replicated_sweep(path)
 
 
 class TestReportRoundtrip:

@@ -1,0 +1,130 @@
+"""Property-based tests for the replication harness's CI mathematics.
+
+The across-replication confidence interval must be *defined* for any
+replication count (n=1 gives a degenerate mean ± ∞ interval, never a
+``ZeroDivisionError`` from the Student-t machinery), and its expected
+width must shrink monotonically as replications grow.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.replications import (
+    _aggregate,
+    paired_comparison,
+    replicate_sweep,
+)
+from repro.analysis.sweeps import SweepPoint
+from repro.core import SimulationConfig
+from repro.sim.stats import student_t_quantile
+from repro.workload import das_s_128, das_t_900
+
+SIZES = das_s_128()
+SERVICE = das_t_900()
+
+
+def tiny_config(policy="GS", **kw):
+    base = dict(policy=policy, component_limit=16, warmup_jobs=60,
+                measured_jobs=250, seed=11, batch_size=50)
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+def make_point(resp, saturated=False):
+    return SweepPoint(offered_gross=0.4, gross_utilization=0.38,
+                      net_utilization=0.33, mean_response=resp,
+                      ci_half_width=1.0, saturated=saturated)
+
+
+responses = st.floats(min_value=1.0, max_value=1e6,
+                      allow_nan=False, allow_infinity=False)
+
+
+class TestAggregateDefinedForAnyCount:
+    @given(st.lists(responses, min_size=1, max_size=10),
+           st.sampled_from([0.90, 0.95, 0.99]))
+    @settings(max_examples=60, deadline=None)
+    def test_ci_always_defined(self, values, level):
+        point = _aggregate(0.4, [make_point(v) for v in values], level)
+        assert point.replications == len(values)
+        assert not math.isnan(point.mean_response)
+        ci = point.response_ci
+        assert ci.mean == point.mean_response
+        if len(values) < 2:
+            # Degenerate-but-defined: a loud infinite half width.
+            assert math.isinf(ci.half_width)
+        else:
+            assert ci.half_width >= 0.0
+            assert not math.isnan(ci.half_width)
+            assert point.mean_response in ci
+
+    @given(st.lists(responses, min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_nan_responses_excluded_not_fatal(self, values):
+        points = [make_point(v) for v in values]
+        points.append(make_point(float("nan"), saturated=True))
+        aggregated = _aggregate(0.4, points, 0.95)
+        assert aggregated.any_saturated
+        assert not math.isnan(aggregated.mean_response)
+
+
+class TestExpectedShrinkage:
+    @given(st.sampled_from([0.90, 0.95, 0.99]))
+    @settings(max_examples=10, deadline=None)
+    def test_halfwidth_factor_strictly_decreasing(self, level):
+        # E[half width] = E[S] * t_{n-1} / sqrt(n): for a fixed workload
+        # (fixed E[S]) the deterministic factor must fall monotonically,
+        # which is the "CIs shrink in expectation" property.
+        p = 0.5 + level / 2.0
+        factors = [student_t_quantile(p, n - 1) / math.sqrt(n)
+                   for n in range(2, 60)]
+        assert all(a > b for a, b in zip(factors, factors[1:]))
+
+    def test_mean_halfwidth_shrinks_on_fixed_workload(self):
+        # Averaged over several base seeds on one workload: 5
+        # replications must beat 2 on mean CI half width.
+        def mean_halfwidth(reps):
+            widths = []
+            for base in (11, 4011, 9011):
+                rs = replicate_sweep(
+                    "GS", tiny_config(), SIZES, SERVICE, (0.4,),
+                    replications=reps, base_seed=base,
+                )
+                widths.append(rs.points[0].response_ci.half_width)
+            return sum(widths) / len(widths)
+
+        assert mean_halfwidth(5) < mean_halfwidth(2)
+
+
+class TestSeedMatrix:
+    @given(st.integers(min_value=0, max_value=2**31),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_seed_spacing_never_collides(self, base, reps):
+        seeds = tuple(base + 1_000 * i for i in range(reps))
+        assert len(set(seeds)) == reps
+
+    def test_single_replication_ci_defined(self):
+        rs = replicate_sweep("GS", tiny_config(), SIZES, SERVICE, (0.4,),
+                             replications=1)
+        assert rs.seeds == (11,)
+        point = rs.points[0]
+        assert point.replications == 1
+        assert not math.isnan(point.mean_response)
+        assert math.isinf(point.response_ci.half_width)
+
+    def test_single_replication_paired_comparison_defined(self):
+        ci = paired_comparison(tiny_config("GS"), tiny_config("LS"),
+                               SIZES, SERVICE, utilization=0.4,
+                               replications=1)
+        assert not math.isnan(ci.mean)
+        assert math.isinf(ci.half_width)
+
+    def test_base_seed_defaults_to_config_seed(self):
+        rs = replicate_sweep("GS", tiny_config(seed=123), SIZES, SERVICE,
+                             (0.4,), replications=3)
+        assert rs.seeds == (123, 1123, 2123)

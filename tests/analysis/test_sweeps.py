@@ -9,6 +9,7 @@ from repro.analysis.sweeps import (
     default_grid,
     rank_by_performance,
     sweep,
+    utilization_grid,
     with_seed,
 )
 from repro.core import SimulationConfig
@@ -36,6 +37,51 @@ class TestGrid:
 
     def test_inclusive_stop(self):
         assert default_grid(0.1, 0.3, 0.05)[-1] == pytest.approx(0.3)
+
+    def test_paper_default_grid_pinned(self):
+        # Regression for the float-accumulation rewrite: the paper's
+        # default range must produce exactly these 14 points.
+        assert default_grid() == (
+            0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55,
+            0.6, 0.65, 0.7, 0.75, 0.8, 0.85,
+        )
+
+    @pytest.mark.parametrize("start,stop,step", [
+        (0.2, 0.85, 0.05), (0.1, 0.7, 0.1), (0.07, 0.7, 0.07),
+        (0.2, 0.8, 0.1), (0.05, 0.9, 0.05), (0.2, 0.62, 0.06),
+    ])
+    def test_index_based_count_and_endpoint(self, start, stop, step):
+        grid = utilization_grid(start, stop, step)
+        assert len(grid) == round((stop - start) / step) + 1
+        assert grid[0] == pytest.approx(start)
+        assert grid[-1] == pytest.approx(stop)
+        # Points are exactly start + i*step (no accumulated drift).
+        for i, u in enumerate(grid):
+            assert u == round(start + i * step, 10)
+
+    def test_no_spurious_points_from_absolute_epsilon(self):
+        # The old accumulation used an absolute 1e-9 tolerance, which
+        # for sub-1e-9 steps swept far past the endpoint; the tolerance
+        # is now relative to the step.
+        grid = utilization_grid(0.0, 2.5e-9, 5e-10)
+        assert len(grid) == 6
+
+    def test_stop_not_on_grid_truncates(self):
+        assert utilization_grid(0.2, 0.49, 0.1) == (0.2, 0.3, 0.4)
+
+    def test_bad_step_raises(self):
+        with pytest.raises(ValueError):
+            utilization_grid(0.2, 0.8, 0.0)
+
+    def test_scale_grids_pinned(self):
+        # The experiment scales share the same index-based grid.
+        from repro.analysis.experiments import SCALES
+
+        assert SCALES["quick"].grid() == (
+            0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
+        )
+        assert SCALES["full"].grid() == default_grid()
+        assert SCALES["smoke"].grid() == (0.2, 0.4, 0.6)
 
 
 class TestSweepResult:

@@ -1,0 +1,41 @@
+"""Shared fixtures: tiny configs and an engine-invocation counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SimulationConfig
+from repro.workload import das_s_128, das_t_900
+
+SIZES = das_s_128()
+SERVICE = das_t_900()
+
+
+def small_config(policy="GS", **kw) -> SimulationConfig:
+    """A fast-but-nontrivial configuration for equivalence tests."""
+    base = dict(policy=policy, component_limit=16, warmup_jobs=100,
+                measured_jobs=400, seed=7, batch_size=100)
+    if policy == "SC":
+        base.update(capacities=(128,), component_limit=None)
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+@pytest.fixture
+def engine_calls(monkeypatch):
+    """Count engine invocations (in-process runs only, ``workers=1``).
+
+    Wraps :func:`repro.runner.worker.run_open_system`; a cache-warm run
+    must leave the counter untouched.
+    """
+    import repro.runner.worker as worker_module
+
+    calls = {"count": 0}
+    real = worker_module.run_open_system
+
+    def counting(*args, **kwargs):
+        calls["count"] += 1
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(worker_module, "run_open_system", counting)
+    return calls

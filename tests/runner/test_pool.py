@@ -1,0 +1,124 @@
+"""Execution backend: ordering, typed failures, env resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SimulationConfig
+from repro.runner import (
+    CACHE_ENV,
+    WORKERS_ENV,
+    ResultCache,
+    RunTask,
+    TaskFailedError,
+    execute,
+    resolve_cache,
+    resolve_workers,
+    task_key,
+)
+
+from .conftest import SERVICE, SIZES, small_config
+
+
+def broken_task(rho=0.4) -> RunTask:
+    # Zero-capacity cluster: Multicluster construction raises inside the
+    # worker, in-process or in a pool process alike.
+    config = SimulationConfig(policy="GS", capacities=(0,),
+                              warmup_jobs=10, measured_jobs=10)
+    return RunTask(config, SIZES, SERVICE, rho)
+
+
+class TestOrdering:
+    def test_results_in_input_order_despite_uneven_runtimes(self):
+        # First task is ~20x longer than the rest: it is submitted first
+        # and completes last, so any completion-order collection would
+        # misalign the output.
+        configs = [small_config("GS", measured_jobs=2_000),
+                   small_config("GS", measured_jobs=100),
+                   small_config("GS", measured_jobs=100),
+                   small_config("GS", measured_jobs=100)]
+        rhos = (0.30, 0.35, 0.40, 0.45)
+        tasks = [RunTask(c, SIZES, SERVICE, rho)
+                 for c, rho in zip(configs, rhos)]
+        serial = execute(tasks, workers=1)
+        parallel = execute(tasks, workers=4)
+        assert [p.offered_gross for p in parallel] == list(rhos)
+        assert parallel == serial
+
+
+class TestTypedFailures:
+    def test_serial_failure_is_typed_and_named(self):
+        task = broken_task()
+        with pytest.raises(TaskFailedError) as err:
+            execute([task], workers=1)
+        assert err.value.key == task_key(task)
+        assert "GS" in err.value.description
+        assert "rho=0.4" in err.value.description
+
+    def test_pool_failure_is_typed_and_named(self):
+        good = RunTask(small_config("GS", measured_jobs=100),
+                       SIZES, SERVICE, 0.3)
+        bad = broken_task(0.5)
+        with pytest.raises(TaskFailedError) as err:
+            execute([good, bad], workers=2)
+        assert err.value.key == task_key(bad)
+        assert "rho=0.5" in str(err.value)
+
+    def test_failure_does_not_hang_large_queue(self):
+        # A failing first task must not force the pool to drain the
+        # whole queue before surfacing (cancel_futures path).
+        tasks = [broken_task(0.3)] + [
+            RunTask(small_config("GS", measured_jobs=400, seed=s),
+                    SIZES, SERVICE, 0.4)
+            for s in range(1, 9)
+        ]
+        with pytest.raises(TaskFailedError):
+            execute(tasks, workers=2)
+
+    def test_nothing_stored_for_failed_batch_member(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        task = broken_task()
+        with pytest.raises(TaskFailedError):
+            execute([task], workers=1, cache=cache)
+        assert cache.load(task_key(task)) is None
+        assert cache.stores == 0
+
+
+class TestResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_env_sets_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert resolve_workers(None) == 4
+        assert resolve_workers(2) == 2  # explicit beats env
+
+    def test_bad_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+    def test_nonpositive_workers_raise(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+    def test_cache_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+
+    def test_cache_env_switch(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV, "1")
+        assert resolve_cache(None) is not None
+        monkeypatch.setenv(CACHE_ENV, "off")
+        assert resolve_cache(None) is None
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "elsewhere"))
+        cache = resolve_cache(None)
+        assert cache is not None
+        assert cache.root == tmp_path / "elsewhere"
+
+    def test_explicit_instance_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV, "0")
+        cache = ResultCache(tmp_path)
+        assert resolve_cache(cache) is cache
