@@ -45,7 +45,13 @@ def _config_from_dict(d: dict) -> SimulationConfig:
 
 
 def save_sweep(result: SweepResult, target: "PathLike | TextIO") -> None:
-    """Write a sweep result as JSON."""
+    """Write a sweep result as JSON.
+
+    When observability is enabled and ``target`` is a path, a
+    ``<target>.manifest.json`` provenance record is written next to it
+    (side-band only: the sweep JSON itself is byte-identical either
+    way).
+    """
     payload = {
         "format": "repro.sweep",
         "version": FORMAT_VERSION,
@@ -56,8 +62,24 @@ def save_sweep(result: SweepResult, target: "PathLike | TextIO") -> None:
     if isinstance(target, (str, Path)):
         with open(target, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
+        _maybe_write_sweep_manifest(result, Path(target))
     else:
         json.dump(payload, target, indent=2)
+
+
+def _maybe_write_sweep_manifest(result: SweepResult,
+                                target: Path) -> None:
+    from repro.obs.gate import obs_enabled
+
+    if not obs_enabled():
+        return
+    from repro.obs import manifest as obs_manifest
+
+    obs_manifest.write_manifest(
+        obs_manifest.for_sweep(result.label, result.config,
+                               points=len(result.points)),
+        target.with_name(target.name + ".manifest.json"),
+    )
 
 
 def load_sweep(source: "PathLike | TextIO") -> SweepResult:

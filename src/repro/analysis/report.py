@@ -9,10 +9,10 @@ hand-curated EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import time
 from pathlib import Path
 from typing import Callable, Optional, TextIO, Union
 
+from repro.obs.timing import wall_clock
 from repro.workload import stats_model
 
 from . import ablations, experiments, tables
@@ -127,7 +127,7 @@ REPORT_SECTIONS: list[tuple[str, Callable]] = [
 def generate_report(target: Union[str, Path, TextIO],
                     scale=None,
                     sections: Optional[list[str]] = None,
-                    clock: Callable[[], float] = time.perf_counter
+                    clock: Callable[[], float] = wall_clock
                     ) -> list[str]:
     """Run the experiment suite and write the Markdown report.
 

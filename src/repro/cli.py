@@ -16,17 +16,23 @@ Subcommands
     Regenerate one of the paper's exhibits (table1..table3, fig1..fig7).
 ``lint``
     Run simlint, the simulator-invariant static-analysis pass.
+``obs``
+    Inspect observability artifacts: ``summary``, ``tail``,
+    ``manifest``, ``profile`` (see ``docs/observability.md``).
 
 Examples::
 
     repro-sim run --policy LS --limit 16 --utilization 0.5
     repro-sim sweep --policy GS --limit 24 --grid 0.2:0.8:0.1
-    repro-sim sweep --policy GS --workers 4 --cache
+    repro-sim sweep --policy GS --workers 4 --cache --progress
+    repro-sim sweep --policy LS --obs --cache
     repro-sim experiment fig3 --workers 4 --cache
     repro-sim maxutil --policy GS --limit 16
     repro-sim trace --jobs 30000 --out das1.swf
     repro-sim experiment table2
     repro-sim lint src/repro
+    repro-sim obs summary
+    repro-sim obs tail .repro-obs/events/ab/abcd....jsonl -n 5
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ from typing import Iterator, Optional, Sequence
 from repro.analysis import experiments, line_plot, tables
 from repro.analysis.sweeps import sweep, utilization_grid
 from repro.core import SimulationConfig, run_open_system
+from repro.obs.gate import OBS_ENV
 from repro.runner import CACHE_ENV, WORKERS_ENV
 from repro.metrics.saturation import estimate_maximal_utilization
 from repro.sim import StreamFactory
@@ -74,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="reuse/store run results under .repro-cache "
                             "(default $REPRO_CACHE, off)")
+        p.add_argument("--obs", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="write observability artifacts (event logs, "
+                            "manifests) under $REPRO_OBS_DIR or "
+                            ".repro-obs (default $REPRO_OBS, off); "
+                            "results are byte-identical either way")
+        p.add_argument("--progress", action="store_true",
+                       help="render a live per-task progress line on "
+                            "stderr plus phase timers")
 
     def add_model_args(p):
         p.add_argument("--policy", default="GS",
@@ -107,6 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also render an ASCII plot")
     sweep_p.add_argument("--json", metavar="PATH", default=None,
                          help="save the sweep result as JSON")
+    sweep_p.add_argument("--profile", action="store_true",
+                         help="run under cProfile and print the "
+                              "hottest functions afterwards")
 
     max_p = sub.add_parser("maxutil",
                            help="maximal utilization (constant backlog)")
@@ -167,6 +186,40 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated rule ids to run")
     lint_p.add_argument("--list-rules", action="store_true",
                         help="print the registered rules and exit")
+
+    obs_p = sub.add_parser(
+        "obs", help="inspect observability artifacts"
+    )
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    obs_sum = obs_sub.add_parser(
+        "summary", help="aggregate run manifests (or one event log)"
+    )
+    obs_sum.add_argument("--dir", default=None, metavar="PATH",
+                         help="artifact root (default $REPRO_OBS_DIR "
+                              "or .repro-obs)")
+    obs_sum.add_argument("--log", default=None, metavar="PATH",
+                         help="summarise one JSONL event log instead")
+    obs_tail = obs_sub.add_parser(
+        "tail", help="print the last events of a JSONL event log"
+    )
+    obs_tail.add_argument("log", help="event log path")
+    obs_tail.add_argument("-n", "--events", type=int, default=10,
+                          help="number of events (default 10)")
+    obs_man = obs_sub.add_parser(
+        "manifest", help="show one run manifest by task key"
+    )
+    obs_man.add_argument("key", help="task key (or unique prefix)")
+    obs_man.add_argument("--dir", default=None, metavar="PATH",
+                         help="artifact root (default $REPRO_OBS_DIR "
+                              "or .repro-obs)")
+    obs_prof = obs_sub.add_parser(
+        "profile", help="profile one run (cProfile hotspot table)"
+    )
+    add_model_args(obs_prof)
+    obs_prof.add_argument("--utilization", type=float, default=0.5,
+                          help="target offered gross utilization")
+    obs_prof.add_argument("--top", type=int, default=20,
+                          help="hotspot rows to print (default 20)")
     return parser
 
 
@@ -228,25 +281,67 @@ def _parse_grid(text: str) -> tuple[float, ...]:
     return utilization_grid(start, stop, step)
 
 
+@contextlib.contextmanager
+def _progress_display(args, total: Optional[int] = None,
+                      label: str = "") -> Iterator[None]:
+    """Activate the live progress line while ``--progress`` is set."""
+    if not getattr(args, "progress", False):
+        yield
+        return
+    from repro.obs import progress as obs_progress
+
+    display = obs_progress.ProgressDisplay(total=total, label=label)
+    obs_progress.activate(display.on_task_event)
+    try:
+        yield
+    finally:
+        obs_progress.deactivate()
+        display.close()
+
+
 def _cmd_sweep(args) -> int:
+    from repro.obs.timing import PhaseTimer
+
     config = _config_from_args(args)
     sizes = WORKLOADS[args.workload]()
-    result = sweep(args.policy, config, sizes, das_t_900(),
-                   utilizations=_parse_grid(args.grid),
-                   workers=args.workers, cache=args.cache)
-    print(tables.render_sweeps(
-        [result], title=f"{args.policy} L={args.limit} ({args.workload})"
-    ))
-    if args.plot:
-        xs, ys = result.series()
-        print(line_plot({result.label: (xs, ys)},
-                        x_label="gross utilization",
-                        y_label="mean response"))
-    if args.json:
-        from repro.analysis.io import save_sweep
+    grid = _parse_grid(args.grid)
+    timer = PhaseTimer()
 
-        save_sweep(result, args.json)
+    def simulate():
+        with _progress_display(args, total=len(grid),
+                               label=f"sweep {args.policy}"):
+            with timer.phase("simulate"):
+                return sweep(args.policy, config, sizes, das_t_900(),
+                             utilizations=grid,
+                             workers=args.workers, cache=args.cache)
+
+    hotspots = None
+    if args.profile:
+        from repro.obs.profiling import profile_call
+
+        result, hotspots = profile_call(simulate)
+    else:
+        result = simulate()
+    with timer.phase("render"):
+        print(tables.render_sweeps(
+            [result],
+            title=f"{args.policy} L={args.limit} ({args.workload})"
+        ))
+        if args.plot:
+            xs, ys = result.series()
+            print(line_plot({result.label: (xs, ys)},
+                            x_label="gross utilization",
+                            y_label="mean response"))
+    if args.json:
+        with timer.phase("save"):
+            from repro.analysis.io import save_sweep
+
+            save_sweep(result, args.json)
         print(f"saved sweep to {args.json}")
+    if hotspots is not None:
+        print(hotspots)
+    if args.progress:
+        print(timer.render(), file=sys.stderr)
     return 0
 
 
@@ -297,6 +392,11 @@ def _cmd_trace_info(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    with _progress_display(args, label=f"experiment {args.name}"):
+        return _run_experiment(args)
+
+
+def _run_experiment(args) -> int:
     scale = experiments.get_scale(args.scale)
     name = args.name
     if name == "table1":
@@ -355,8 +455,9 @@ def _cmd_report(args) -> int:
     from repro.analysis.report import generate_report
 
     scale = experiments.get_scale(args.scale)
-    rendered = generate_report(args.out, scale=scale,
-                               sections=args.sections)
+    with _progress_display(args, label="report"):
+        rendered = generate_report(args.out, scale=scale,
+                                   sections=args.sections)
     print(f"wrote {len(rendered)} sections to {args.out}:")
     for title in rendered:
         print(f"  - {title}")
@@ -396,6 +497,22 @@ def _cmd_lint(args) -> int:
     return lint_cli.main(argv)
 
 
+def _cmd_obs(args) -> int:
+    from repro.obs import cli as obs_cli
+
+    if args.obs_command == "summary":
+        return obs_cli.summary(directory=args.dir, log=args.log)
+    if args.obs_command == "tail":
+        return obs_cli.tail(args.log, n=args.events)
+    if args.obs_command == "manifest":
+        return obs_cli.show_manifest(args.key, directory=args.dir)
+    config = _config_from_args(args)
+    return obs_cli.profile_run(
+        config, WORKLOADS[args.workload](), das_t_900(),
+        args.utilization, top=args.top,
+    )
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
@@ -407,6 +524,7 @@ _COMMANDS = {
     "sensitivity": _cmd_sensitivity,
     "characterize": _cmd_characterize,
     "lint": _cmd_lint,
+    "obs": _cmd_obs,
 }
 
 
@@ -425,6 +543,8 @@ def _runner_environment(args) -> Iterator[None]:
         updates[WORKERS_ENV] = str(args.workers)
     if getattr(args, "cache", None) is not None:
         updates[CACHE_ENV] = "1" if args.cache else "0"
+    if getattr(args, "obs", None) is not None:
+        updates[OBS_ENV] = "1" if args.obs else "0"
     saved = {key: os.environ.get(key) for key in updates}
     os.environ.update(updates)
     try:

@@ -36,6 +36,11 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Policy", "GSPolicy", "LSPolicy", "LPPolicy", "SCPolicy",
            "POLICIES", "make_policy"]
 
+#: Trace-event kind per :class:`~repro.core.queues.QueueRing` observer
+#: action (precomputed — the observer fires on every state change).
+_QUEUE_KINDS = {"disable": "queue_disable", "enable": "queue_enable",
+                "reenable": "queue_reenable"}
+
 
 class Policy:
     """Base class wiring a policy to its system.
@@ -51,6 +56,10 @@ class Policy:
 
     def __init__(self, system: "MulticlusterSimulation") -> None:
         self.system = system
+        #: Placement decisions taken (head-of-queue fit checks).
+        self.placement_attempts = 0
+        #: Placement decisions where the head did not fit anywhere.
+        self.placement_failures = 0
 
     # -- interface -------------------------------------------------------------
 
@@ -79,6 +88,40 @@ class Policy:
     @property
     def _placement_rule(self) -> PlacementRule:
         return self.system.placement_rule
+
+    def _queue_event(self, action: str, queue: JobQueue,
+                     order: int) -> None:
+        """QueueRing observer: stream disable/enable decisions."""
+        tracer = self.system.tracer
+        if tracer.enabled:
+            tracer.emit_row({"t": self.system.sim.now,
+                             "kind": _QUEUE_KINDS[action],
+                             "queue": queue.name, "order": order})
+
+    def _note_placement(self, job: "Job", queue: JobQueue,
+                        assignment: "Optional[tuple[tuple[int, int], ...]]"
+                        ) -> None:
+        """Count one placement decision and stream it as an event.
+
+        For a fit the assignment *is* the Worst Fit cluster choice; for
+        a no-fit the event names the queue that will be disabled.
+        """
+        self.placement_attempts += 1
+        if assignment is None:
+            self.placement_failures += 1
+        tracer = self.system.tracer
+        if tracer.enabled:
+            if assignment is None:
+                tracer.emit_row({"t": self.system.sim.now,
+                                 "kind": "placement_no_fit",
+                                 "job": job.spec.index,
+                                 "queue": queue.name})
+            else:
+                tracer.emit_row({"t": self.system.sim.now,
+                                 "kind": "placement_fit",
+                                 "job": job.spec.index,
+                                 "queue": queue.name,
+                                 "assignment": tuple(assignment)})
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} pending={self.pending_jobs()}>"
@@ -111,6 +154,7 @@ class _SingleQueuePolicy(Policy):
                 self.request_type, head.components, self._free,
                 rule=self._placement_rule,
             )
+            self._note_placement(head, self.queue, assignment)
             if assignment is None:
                 return
             self.queue.pop()
@@ -158,7 +202,8 @@ class LSPolicy(Policy):
         super().__init__(system)
         n = len(system.multicluster)
         self.local_queues = [JobQueue(f"local-{i}") for i in range(n)]
-        self.ring = QueueRing(self.local_queues)
+        self.ring = QueueRing(self.local_queues,
+                              observer=self._queue_event)
 
     def queues(self) -> Sequence[JobQueue]:
         return tuple(self.local_queues)
@@ -193,6 +238,7 @@ class LSPolicy(Policy):
                 head = queue.head
                 index = self.local_queues.index(queue)
                 assignment = self._try_fit(index, head)
+                self._note_placement(head, queue, assignment)
                 if assignment is None:
                     self.ring.disable(queue)
                 else:
@@ -220,7 +266,8 @@ class LPPolicy(Policy):
         n = len(system.multicluster)
         self.local_queues = [JobQueue(f"local-{i}") for i in range(n)]
         self.global_queue = JobQueue("global", is_global=True)
-        self.ring = QueueRing([self.global_queue] + self.local_queues)
+        self.ring = QueueRing([self.global_queue] + self.local_queues,
+                              observer=self._queue_event)
 
     def queues(self) -> Sequence[JobQueue]:
         return (self.global_queue, *self.local_queues)
@@ -274,6 +321,7 @@ class LPPolicy(Policy):
                     continue
                 head = queue.head
                 assignment = self._try_fit(queue, head)
+                self._note_placement(head, queue, assignment)
                 if assignment is None:
                     self.ring.disable(queue)
                     continue

@@ -14,7 +14,7 @@ the visiting/disable/re-enable machinery shared by LS and LP.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from .jobs import Job
@@ -34,7 +34,8 @@ class JobQueue:
         metric attribution).
     """
 
-    __slots__ = ("name", "is_global", "enabled", "_jobs", "total_enqueued")
+    __slots__ = ("name", "is_global", "enabled", "_jobs", "total_enqueued",
+                 "times_disabled")
 
     def __init__(self, name: str, *, is_global: bool = False) -> None:
         self.name = name
@@ -42,6 +43,8 @@ class JobQueue:
         self.enabled = True
         self._jobs: deque["Job"] = deque()
         self.total_enqueued = 0
+        #: How often this queue was disabled (head did not fit).
+        self.times_disabled = 0
 
     def push(self, job: "Job") -> None:
         """Append a job to the tail."""
@@ -83,12 +86,20 @@ class QueueRing:
     always enabled starting with the global queue"*).
     """
 
-    def __init__(self, queues: list[JobQueue]) -> None:
+    def __init__(self, queues: list[JobQueue],
+                 observer: Optional[Callable[[str, JobQueue, int], None]]
+                 = None) -> None:
         if not queues:
             raise ValueError("need at least one queue")
         self.queues = list(queues)
         self._visit: list[JobQueue] = list(queues)
         self._disabled: list[JobQueue] = []
+        #: Optional ``(action, queue, order)`` callback fired on every
+        #: state change: ``("disable", q, position-in-disabled-list)``,
+        #: ``("enable", q, position-in-re-enable-sequence)`` and
+        #: ``("reenable", q, 0)`` for LP's out-of-order re-enable.  The
+        #: observability layer streams these as decision events.
+        self.observer = observer
 
     # -- state ---------------------------------------------------------------
 
@@ -119,6 +130,9 @@ class QueueRing:
         queue.enabled = False
         self._visit.remove(queue)
         self._disabled.append(queue)
+        queue.times_disabled += 1
+        if self.observer is not None:
+            self.observer("disable", queue, len(self._disabled) - 1)
 
     def enable_all(self, *, global_first: bool = False,
                    skip_global: bool = False) -> None:
@@ -132,12 +146,16 @@ class QueueRing:
         disabled, self._disabled = self._disabled, []
         if global_first:
             disabled.sort(key=lambda q: not q.is_global)
+        order = 0
         for queue in disabled:
             if skip_global and queue.is_global:
                 self._disabled.append(queue)
                 continue
             queue.enabled = True
             self._visit.append(queue)
+            if self.observer is not None:
+                self.observer("enable", queue, order)
+            order += 1
 
     def reenable(self, queue: JobQueue) -> None:
         """Re-enable one specific queue out of departure order.
@@ -150,6 +168,8 @@ class QueueRing:
         self._disabled.remove(queue)
         queue.enabled = True
         self._visit.append(queue)
+        if self.observer is not None:
+            self.observer("reenable", queue, 0)
 
     def total_jobs(self) -> int:
         """Jobs waiting across all queues."""

@@ -94,11 +94,13 @@ class MulticlusterSimulation:
 
     def submit(self, spec: JobSpec) -> Job:
         """A job arrives now; the policy queues (and maybe starts) it."""
-        job = Job(spec, self.sim.now, self.extension_factor)
-        self.metrics.on_arrival(job, self.sim.now)
+        now = self.sim.now
+        job = Job(spec, now, self.extension_factor)
+        self.metrics.on_arrival(job, now)
         if self.tracer.enabled:
-            self.tracer.emit(self.sim.now, "arrival", job=spec.index,
-                             size=spec.size, queue=spec.queue)
+            self.tracer.emit_row({"t": now, "kind": "arrival",
+                                  "job": spec.index, "size": spec.size,
+                                  "queue": spec.queue})
         self.policy.submit(job)
         return job
 
@@ -107,24 +109,28 @@ class MulticlusterSimulation:
         """Begin executing ``job`` on ``assignment`` (policy callback)."""
         job.from_global_queue = from_global_queue
         self.multicluster.allocate(assignment)
-        job.start(self.sim.now, assignment)
-        self.metrics.on_start(job, self.sim.now)
+        now = self.sim.now
+        job.start(now, assignment)
+        self.metrics.on_start(job, now)
         self.jobs_started += 1
         if self.tracer.enabled:
-            self.tracer.emit(self.sim.now, "start", job=job.spec.index,
-                             assignment=tuple(assignment))
+            self.tracer.emit_row({"t": now, "kind": "start",
+                                  "job": job.spec.index,
+                                  "assignment": job.placement})
         departure = self.sim.timeout(job.gross_service_time, value=job)
         departure.callbacks.append(self._departure_callback)
 
     def _departure_callback(self, event) -> None:
         job: Job = event.value
         self.multicluster.release(job.placement)
-        job.finish(self.sim.now)
-        self.metrics.on_finish(job, self.sim.now,
+        now = self.sim.now
+        job.finish(now)
+        self.metrics.on_finish(job, now,
                                global_queue=job.from_global_queue)
         self.jobs_finished += 1
         if self.tracer.enabled:
-            self.tracer.emit(self.sim.now, "departure", job=job.spec.index)
+            self.tracer.emit_row({"t": now, "kind": "departure",
+                                  "job": job.spec.index})
         if self.on_departure_hook is not None:
             self.on_departure_hook(job)
         self.policy.on_departure(job)
@@ -289,7 +295,21 @@ def run_open_system(config: SimulationConfig, size_distribution: Distribution,
         saturated=saturated,
         end_time=sim.now,
         extras={"backlog_end": backlog_at_end,
-                "backlog_reset": backlog_at_reset},
+                "backlog_reset": backlog_at_reset,
+                # Deterministic run counters for the observability
+                # side-band (manifests, metrics snapshots).  They are
+                # maintained unconditionally — plain integer adds — so
+                # results are identical with observability on or off.
+                "events_processed": sim.events_processed,
+                "events_scheduled": sim.events_scheduled,
+                "jobs_started": system.jobs_started,
+                "jobs_finished": system.jobs_finished,
+                "placement_attempts": system.policy.placement_attempts,
+                "placement_failures": system.policy.placement_failures,
+                "queue_disables": {
+                    q.name: q.times_disabled
+                    for q in system.policy.queues()
+                }},
     )
 
 

@@ -10,6 +10,12 @@ rule's globs is skipped for that rule.
 Files with no recognisable module name (e.g. test fixtures in a temp
 directory) get **every** rule: scoping is a property of the shipped
 package layout, not of the analysis.
+
+Globs prefixed with ``!`` are *exclusions*: a module matching any
+negated pattern is out of scope regardless of the positive patterns
+(``("repro*", "!repro.obs*")`` reads "everywhere except the
+observability layer").  A scope of only exclusions covers everything
+not excluded.
 """
 
 from __future__ import annotations
@@ -32,6 +38,11 @@ DEFAULT_SCOPE: Mapping[str, Sequence[str]] = {
     "SIM004": ("repro.core*", "repro.sim*"),
     # Export lists must be truthful everywhere.
     "SIM005": ("repro*",),
+    # Wall-clock access is the observability layer's monopoly: the
+    # simulation packages ban it as entropy (SIM001), and the rest of
+    # the repository must route timing through repro.obs so the
+    # determinism contract meets real time in exactly one place.
+    "SIM006": ("repro*", "!repro.obs*"),
 }
 
 
@@ -44,10 +55,18 @@ def rule_applies(
 
     ``module=None`` (no package root found) enables every rule; a rule
     absent from the scope table is likewise enforced everywhere.
+    Patterns prefixed with ``!`` exclude matching modules (checked
+    before the positive patterns).
     """
     if module is None:
         return True
     patterns = (DEFAULT_SCOPE if scope is None else scope).get(rule_id)
     if not patterns:
         return True
-    return any(fnmatchcase(module, pattern) for pattern in patterns)
+    positive = [p for p in patterns if not p.startswith("!")]
+    for pattern in patterns:
+        if pattern.startswith("!") and fnmatchcase(module, pattern[1:]):
+            return False
+    if not positive:
+        return True
+    return any(fnmatchcase(module, pattern) for pattern in positive)

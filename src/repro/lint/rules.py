@@ -502,3 +502,93 @@ def check_all_resolves(ctx: FileContext) -> Iterator[Violation]:
                 f"__all__ entry {entry!r} does not resolve to a "
                 "module-level attribute",
             )
+
+
+# ---------------------------------------------------------------------------
+# SIM006 — wall-clock reads confined to repro.obs
+# ---------------------------------------------------------------------------
+
+#: Host-clock readers (calls or references); 2-part suffixes of longer
+#: chains match too, as in SIM001.
+_BANNED_CLOCKS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.thread_time",
+        "time.thread_time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+#: ``from time import X`` names that read the host clock.
+_CLOCK_FROM_IMPORTS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "thread_time",
+        "thread_time_ns",
+    }
+)
+
+
+def _is_banned_clock(dotted: str) -> bool:
+    parts = dotted.split(".")
+    if dotted in _BANNED_CLOCKS:
+        return True
+    return len(parts) > 2 and ".".join(parts[-2:]) in _BANNED_CLOCKS
+
+
+def _clock_message(dotted: str) -> str:
+    return (
+        f"wall-clock read {dotted!r} outside repro.obs; route timing "
+        "through repro.obs.timing (wall_clock/process_clock/PhaseTimer)"
+    )
+
+
+@rule("SIM006", "wall-clock reads are confined to repro.obs")
+def check_clock_confinement(ctx: FileContext) -> Iterator[Violation]:
+    """Observability owns the host clock; everything else stays pure.
+
+    SIM001 already bans clocks in the simulation packages as entropy;
+    this rule extends the ban to the rest of the repository (runner,
+    analysis, CLI) so that *every* wall-clock read flows through
+    ``repro.obs`` — the single, auditable place where the determinism
+    contract is allowed to meet real time.
+    """
+    call_funcs = {
+        id(node.func) for node in ast.walk(ctx.tree) if isinstance(node, ast.Call)
+    }
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in _CLOCK_FROM_IMPORTS:
+                        yield _violation(
+                            ctx, "SIM006", node,
+                            _clock_message(f"time.{alias.name}"),
+                        )
+        elif isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            if dotted is not None and _is_banned_clock(dotted):
+                yield _violation(ctx, "SIM006", node, _clock_message(dotted))
+        elif isinstance(node, ast.Attribute) and id(node) not in call_funcs:
+            # A clock passed by reference (`clock=time.perf_counter`)
+            # leaks wall time exactly like calling it.
+            dotted = _dotted_name(node)
+            if dotted is not None and _is_banned_clock(dotted):
+                yield _violation(ctx, "SIM006", node, _clock_message(dotted))

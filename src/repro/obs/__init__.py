@@ -1,0 +1,85 @@
+"""``repro.obs`` — the side-band observability layer.
+
+Everything in this package observes; nothing decides.  The contract
+(enforced by simlint SIM006 and pinned by
+``tests/obs/test_golden_obs.py``): task keys, cached payloads and
+simulation results are byte-identical with observability on or off, and
+every wall-clock read in the repository lives under this package.
+
+Components:
+
+* :mod:`~repro.obs.gate` — the ``REPRO_OBS`` on/off switch and the
+  ``.repro-obs`` artifact root;
+* :mod:`~repro.obs.events` — schema-versioned JSONL event logs with an
+  :class:`~repro.obs.events.ExportTracer` streaming simulator trace
+  records in bounded memory;
+* :mod:`~repro.obs.registry` — process-wide counters, gauges and
+  histograms (:data:`~repro.obs.registry.REGISTRY`);
+* :mod:`~repro.obs.manifest` — :class:`~repro.obs.manifest.RunManifest`
+  provenance records written per task, per cache entry and per saved
+  sweep;
+* :mod:`~repro.obs.progress` — heartbeat hook plus the line-updating
+  :class:`~repro.obs.progress.ProgressDisplay` behind ``--progress``;
+* :mod:`~repro.obs.timing` — sanctioned wall-clock access and
+  :class:`~repro.obs.timing.PhaseTimer`;
+* :mod:`~repro.obs.profiling` — opt-in cProfile hotspot tables;
+* :mod:`~repro.obs.worker` — the instrumented runner worker (imported
+  lazily by :func:`repro.runner.execute`; not re-exported here to keep
+  this package importable from inside ``repro.runner``).
+
+See ``docs/observability.md`` for the event schema, manifest fields and
+the determinism argument.
+"""
+
+from .events import (
+    EVENT_SCHEMA,
+    EventLog,
+    ExportTracer,
+    read_events,
+    read_header,
+    tail_events,
+)
+from .gate import (
+    DEFAULT_OBS_DIR,
+    OBS_DIR_ENV,
+    OBS_ENV,
+    obs_enabled,
+    obs_root,
+    set_enabled,
+)
+from .manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    cache_manifest_path,
+    config_hash,
+    for_sweep,
+    for_task,
+    load_manifest,
+    manifest_path,
+    write_manifest,
+)
+from .profiling import hotspot_table, profile_call
+from .progress import ProgressDisplay, activate, deactivate, notify
+from .registry import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .timing import PhaseTimer, process_clock, wall_clock
+
+__all__ = [
+    "OBS_ENV", "OBS_DIR_ENV", "DEFAULT_OBS_DIR",
+    "obs_enabled", "set_enabled", "obs_root",
+    "EVENT_SCHEMA", "EventLog", "ExportTracer",
+    "read_events", "read_header", "tail_events",
+    "MANIFEST_SCHEMA", "RunManifest", "config_hash",
+    "for_task", "for_sweep",
+    "write_manifest", "load_manifest",
+    "manifest_path", "cache_manifest_path",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
+    "ProgressDisplay", "activate", "deactivate", "notify",
+    "PhaseTimer", "wall_clock", "process_clock",
+    "hotspot_table", "profile_call",
+]

@@ -1,0 +1,173 @@
+"""Implementations behind the ``repro-sim obs`` command group.
+
+Four read-side tools over the artifacts the runner produces:
+
+* :func:`summary` — aggregate every :class:`RunManifest` under an
+  artifact root (task counts by cache status, wall-clock, engine
+  counters);
+* :func:`tail` — the last N events of a JSONL event log;
+* :func:`show_manifest` — one manifest, located by (a prefix of) its
+  task key;
+* :func:`profile_run` — one simulation run under cProfile with a
+  hotspot table.
+
+All functions print to a stream and return a process exit code; the
+argument parsing lives in :mod:`repro.cli`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Optional, TextIO
+
+from .events import read_events, read_header, tail_events
+from .gate import obs_root
+from .manifest import RunManifest, load_manifest
+from .profiling import profile_call
+
+__all__ = ["summary", "tail", "show_manifest", "profile_run"]
+
+
+def _resolve_root(directory: Optional[str]) -> Path:
+    return Path(directory) if directory else obs_root()
+
+
+def _iter_manifests(root: Path):
+    for path in sorted((root / "manifests").glob("*/*.json")):
+        try:
+            yield load_manifest(path)
+        except (ValueError, OSError, json.JSONDecodeError):
+            continue
+
+
+def summary(directory: Optional[str] = None,
+            log: Optional[str] = None,
+            stream: Optional[TextIO] = None) -> int:
+    """Aggregate manifests under an artifact root (or one event log)."""
+    out = stream if stream is not None else sys.stdout
+    if log is not None:
+        return _summarize_log(Path(log), out)
+    root = _resolve_root(directory)
+    manifests = list(_iter_manifests(root))
+    if not manifests:
+        print(f"no manifests under {root}", file=out)
+        return 1
+    statuses: dict[str, int] = {}
+    policies: dict[str, int] = {}
+    wall = 0.0
+    timed = 0
+    counters: dict[str, int] = {}
+    for m in manifests:
+        statuses[m.cache_status] = statuses.get(m.cache_status, 0) + 1
+        policies[m.policy] = policies.get(m.policy, 0) + 1
+        if m.wall_clock_s is not None:
+            wall += m.wall_clock_s
+            timed += 1
+        for name, value in m.metrics.items():
+            if isinstance(value, (int, float)):
+                counters[name] = counters.get(name, 0) + int(value)
+    print(f"artifact root      {root}", file=out)
+    print(f"manifests          {len(manifests)}", file=out)
+    print("by cache status    "
+          + ", ".join(f"{k}={v}" for k, v in sorted(statuses.items())),
+          file=out)
+    print("by policy          "
+          + ", ".join(f"{k}={v}" for k, v in sorted(policies.items())),
+          file=out)
+    if timed:
+        print(f"wall-clock         {wall:.3f} s over {timed} timed runs "
+              f"(mean {wall / timed:.3f} s)", file=out)
+    if counters:
+        print("engine counters:", file=out)
+        width = max(len(name) for name in counters)
+        for name, value in sorted(counters.items()):
+            print(f"  {name:<{width}}  {value}", file=out)
+    return 0
+
+
+def _summarize_log(path: Path, out: TextIO) -> int:
+    try:
+        header = read_header(path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    kinds: dict[str, int] = {}
+    count = 0
+    first = last = None
+    for event in read_events(path):
+        count += 1
+        kinds[event.get("kind", "?")] = kinds.get(
+            event.get("kind", "?"), 0) + 1
+        if first is None:
+            first = event.get("t")
+        last = event.get("t")
+    print(f"event log          {path}", file=out)
+    print(f"schema             {header.get('schema')}", file=out)
+    if header.get("task"):
+        print(f"task               {header['task']}", file=out)
+    print(f"events             {count}", file=out)
+    if count:
+        print(f"sim-time span      {first:g} .. {last:g}", file=out)
+        width = max(len(kind) for kind in kinds)
+        for kind, n in sorted(kinds.items()):
+            print(f"  {kind:<{width}}  {n}", file=out)
+    return 0
+
+
+def tail(log: str, n: int = 10,
+         stream: Optional[TextIO] = None) -> int:
+    """Print the last ``n`` events of a JSONL event log."""
+    out = stream if stream is not None else sys.stdout
+    try:
+        events = tail_events(log, n)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    for event in events:
+        print(json.dumps(event, sort_keys=True), file=out)
+    return 0
+
+
+def _find_manifest(root: Path, key: str) -> Optional[RunManifest]:
+    exact = root / "manifests" / key[:2] / f"{key}.json"
+    if exact.exists():
+        return load_manifest(exact)
+    matches = sorted((root / "manifests").glob(f"*/{key}*.json"))
+    if len(matches) == 1:
+        return load_manifest(matches[0])
+    return None
+
+
+def show_manifest(key: str, directory: Optional[str] = None,
+                  stream: Optional[TextIO] = None) -> int:
+    """Pretty-print the manifest whose task key starts with ``key``."""
+    out = stream if stream is not None else sys.stdout
+    root = _resolve_root(directory)
+    manifest = _find_manifest(root, key)
+    if manifest is None:
+        print(f"no unique manifest for key {key!r} under {root}",
+              file=out)
+        return 1
+    print(json.dumps(manifest.to_dict(), indent=1, sort_keys=True),
+          file=out)
+    return 0
+
+
+def profile_run(config, size_distribution, service_distribution,
+                utilization: float, top: int = 20,
+                stream: Optional[TextIO] = None) -> int:
+    """Profile one open-system run and print the hotspot table."""
+    out = stream if stream is not None else sys.stdout
+    import repro.analysis  # noqa: F401  (runner needs analysis loaded)
+    from repro.runner.task import RunTask
+    from repro.runner.worker import run_task
+
+    task = RunTask(config, size_distribution, service_distribution,
+                   utilization)
+    point, table = profile_call(run_task, task, top=top)
+    print(f"profiled {task.describe()}: "
+          f"mean response {point.mean_response:.1f}", file=out)
+    print(table, file=out)
+    return 0

@@ -1,0 +1,274 @@
+"""Schema-versioned JSONL export of simulation events.
+
+An :class:`EventLog` is a write-once sink: a header line carrying the
+schema tag, then the events.  Writes are batched — each subsequent
+line is a JSON **array** holding one batch of up to
+:data:`~EventLog.batch_size` event objects, encoded in a single codec
+call (per-event encoding is the dominant cost of export; see
+``benchmarks/bench_obs_overhead.py``).  A bare JSON object is also
+accepted by the readers, so hand-written or line-per-event logs parse
+too.  The log is finalized atomically — staged at ``<path>.tmp`` and
+``os.replace``d into place on :meth:`close`, so a crash mid-run never
+leaves a half-written log where readers look.
+
+:class:`ExportTracer` adapts the sink to the simulator's
+:class:`~repro.sim.trace.Tracer` interface with **zero storage**: every
+record passing the kind filter streams straight to the log, so a
+10⁶-event run exports in bounded memory.
+
+Readers (:func:`read_events`, :func:`tail_events`) validate the schema
+header and yield plain dicts ``{"t": time, "kind": ..., **payload}``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from pathlib import Path
+from types import TracebackType
+from typing import Iterable, Iterator, Optional, Type, Union
+
+from repro.sim.trace import Tracer, TraceRecord
+
+__all__ = ["EVENT_SCHEMA", "EventLog", "ExportTracer",
+           "read_events", "read_header", "tail_events"]
+
+
+def _jsonify(value: object) -> object:
+    """Last-resort JSON encoding for free-form trace payloads."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)  # type: ignore[type-var]
+    return repr(value)
+
+
+try:  # batch encoding is the hot path of export; prefer the C codec
+    import orjson as _orjson
+
+    def _encode_batch(batch: list) -> bytes:
+        return _orjson.dumps(batch, option=_orjson.OPT_SORT_KEYS,
+                             default=_jsonify)
+except ImportError:  # pragma: no cover - exercised where orjson is absent
+    _stdlib_encode = json.JSONEncoder(sort_keys=True, separators=(",", ":"),
+                                      default=_jsonify).encode
+
+    def _encode_batch(batch: list) -> bytes:
+        return _stdlib_encode(batch).encode("utf-8")
+
+#: Versioned shape tag of the JSONL event stream; bump on change.
+EVENT_SCHEMA = "repro.obs/events/1"
+
+PathLike = Union[str, Path]
+
+
+class EventLog:
+    """A batched, atomically-finalized JSONL event sink.
+
+    Parameters
+    ----------
+    path:
+        Final location of the log.  Until :meth:`close` the data lives
+        at ``<path>.tmp``; readers never observe a partial log at
+        ``path``.
+    batch_size:
+        Events buffered between writes.
+    meta:
+        Extra JSON-scalar fields merged into the header line (task key,
+        policy, ...).
+    """
+
+    def __init__(self, path: PathLike, *, batch_size: int = 2048,
+                 meta: Optional[dict] = None) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, "
+                             f"got {batch_size!r}")
+        self.path = Path(path)
+        self.batch_size = batch_size
+        self._flushed = 0
+        self._buffer: list[dict] = []
+        self._closed = False
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._staging = self.path.with_name(self.path.name + ".tmp")
+        self._fh = open(self._staging, "wb")
+        header = {"schema": EVENT_SCHEMA}
+        if meta:
+            header.update(meta)
+        self._fh.write(json.dumps(header, sort_keys=True).encode("utf-8")
+                       + b"\n")
+        self._fh.flush()
+
+    @property
+    def events_written(self) -> int:
+        """Total events emitted (flushed plus still buffered)."""
+        return self._flushed + len(self._buffer)
+
+    def emit(self, time: float, kind: str, **payload: object) -> None:
+        """Append one event (buffered)."""
+        if self._closed:
+            raise ValueError(f"event log {self.path} is closed")
+        self._buffer.append({"t": time, "kind": kind, **payload})
+        if len(self._buffer) >= self.batch_size:
+            self.flush()
+
+    def record(self, record: TraceRecord) -> None:
+        """Sink adapter for :class:`~repro.sim.trace.Tracer`."""
+        self.emit(record.time, record.kind, **record.payload)
+
+    def flush(self) -> None:
+        """Write the buffered batch through to the staging file.
+
+        The whole batch is encoded in one codec call as a JSON array
+        and written as one line.
+        """
+        if self._buffer:
+            self._fh.write(_encode_batch(self._buffer) + b"\n")
+            self._flushed += len(self._buffer)
+            self._buffer.clear()
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Flush, close and atomically publish the log at ``path``."""
+        if self._closed:
+            return
+        self.flush()
+        self._fh.close()
+        os.replace(self._staging, self.path)
+        self._closed = True
+
+    def abandon(self) -> None:
+        """Close and delete the staging file without publishing."""
+        if self._closed:
+            return
+        self._fh.close()
+        self._staging.unlink(missing_ok=True)
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether the log has been finalized (or abandoned)."""
+        return self._closed
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abandon()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"<EventLog {self.path} events={self.events_written} "
+                f"{state}>")
+
+
+class ExportTracer(Tracer):
+    """A tracer that streams every record to an :class:`EventLog`.
+
+    Nothing is stored in memory (``records`` stays empty); the kind
+    filter still applies and still counts ``filtered``.
+    """
+
+    def __init__(self, log: EventLog,
+                 kinds: Optional[Iterable[str]] = None) -> None:
+        super().__init__(kinds=kinds)
+        self.log = log
+        if kinds is None:
+            # The common worker path exports every kind.  Shadow the
+            # class method with a closure so the per-event call skips
+            # method binding and every ``self.`` attribute hop — this
+            # runs once per simulation event and the difference is
+            # measurable (benchmarks/bench_obs_overhead.py).  The
+            # log's buffer is cleared in place by flush(), so its
+            # identity is stable and safe to close over.
+            buffer = log._buffer
+            batch_size = log.batch_size
+            flush = log.flush
+
+            def emit_row(row: dict) -> None:
+                # The caller's row dict is buffered as-is; key order
+                # is irrelevant (the encoder sorts).  No closed check
+                # — the tracer only lives inside the log's ``with``
+                # block, and a late write still fails at flush.
+                buffer.append(row)
+                if len(buffer) >= batch_size:
+                    flush()
+
+            self.emit_row = emit_row  # type: ignore[method-assign]
+
+    def emit(self, time: float, kind: str, **payload: object) -> None:
+        """Stream one event to the log (no in-memory storage)."""
+        if self.kinds is not None and kind not in self.kinds:
+            self.filtered += 1
+            return
+        payload["t"] = time
+        payload["kind"] = kind
+        buffer = self.log._buffer
+        buffer.append(payload)
+        if len(buffer) >= self.log.batch_size:
+            self.log.flush()
+
+    def emit_row(self, row: dict) -> None:
+        """Stream one prebuilt row to the log (kind-filtered path)."""
+        if self.kinds is not None and row["kind"] not in self.kinds:
+            self.filtered += 1
+            return
+        buffer = self.log._buffer
+        buffer.append(row)
+        if len(buffer) >= self.log.batch_size:
+            self.log.flush()
+
+    def __repr__(self) -> str:
+        return f"<ExportTracer -> {self.log.path}>"
+
+
+def read_events(path: PathLike) -> Iterator[dict]:
+    """Yield the events of a finalized log, validating the header.
+
+    Raises ``ValueError`` when the file is not a
+    :data:`EVENT_SCHEMA`-tagged log.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not a JSONL event log "
+                             f"({exc})") from None
+        if not isinstance(header, dict) \
+                or header.get("schema") != EVENT_SCHEMA:
+            raise ValueError(
+                f"{path}: schema tag "
+                f"{header.get('schema') if isinstance(header, dict) else header!r} "
+                f"!= {EVENT_SCHEMA!r}"
+            )
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            parsed = json.loads(line)
+            if isinstance(parsed, list):  # one flushed batch per line
+                yield from parsed
+            else:
+                yield parsed
+
+
+def read_header(path: PathLike) -> dict:
+    """The header line of a finalized log (schema + meta fields)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        header = json.loads(fh.readline())
+    if not isinstance(header, dict) \
+            or header.get("schema") != EVENT_SCHEMA:
+        raise ValueError(f"{path}: not a {EVENT_SCHEMA!r} event log")
+    return header
+
+
+def tail_events(path: PathLike, n: int = 10) -> list[dict]:
+    """The last ``n`` events of a finalized log, in order."""
+    window: deque[dict] = deque(maxlen=max(n, 0))
+    for event in read_events(path):
+        window.append(event)
+    return list(window)

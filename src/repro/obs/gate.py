@@ -1,0 +1,57 @@
+"""The observability on/off switch and artifact root.
+
+Observability is strictly **side-band**: enabling it changes which
+artifacts (event logs, manifests, metrics snapshots) are written, never
+a task key, a cached payload or a simulation result.  The gate is an
+environment variable so it reaches worker processes for free::
+
+    REPRO_OBS=1         repro-sim sweep ...     # artifacts on
+    REPRO_OBS_DIR=path  ...                     # artifact root (.repro-obs)
+
+Tests (and embedders) can force the gate with :func:`set_enabled`,
+which overrides the environment until reset with ``set_enabled(None)``.
+Worker processes re-read the environment on import, so the env-var form
+is the one that propagates through a ``ProcessPoolExecutor``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["OBS_ENV", "OBS_DIR_ENV", "DEFAULT_OBS_DIR",
+           "obs_enabled", "set_enabled", "obs_root"]
+
+#: Environment variable enabling observability ("1"/"on"/"true"/"yes").
+OBS_ENV = "REPRO_OBS"
+
+#: Environment variable overriding the artifact root directory.
+OBS_DIR_ENV = "REPRO_OBS_DIR"
+
+#: Default artifact root, relative to the working directory.
+DEFAULT_OBS_DIR = ".repro-obs"
+
+_TRUTHY = frozenset({"1", "on", "yes", "true"})
+
+#: Process-wide override; ``None`` defers to the environment.
+_forced: Optional[bool] = None
+
+
+def obs_enabled() -> bool:
+    """Whether observability artifacts should be produced."""
+    if _forced is not None:
+        return _forced
+    return os.environ.get(OBS_ENV, "").strip().lower() in _TRUTHY
+
+
+def set_enabled(value: Optional[bool]) -> None:
+    """Force the gate on/off (``None`` restores the environment gate)."""
+    global _forced
+    _forced = value
+
+
+def obs_root() -> Path:
+    """The artifact root (``$REPRO_OBS_DIR`` or ``.repro-obs``)."""
+    raw = os.environ.get(OBS_DIR_ENV, "").strip()
+    return Path(raw) if raw else Path(DEFAULT_OBS_DIR)

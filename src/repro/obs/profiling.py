@@ -1,0 +1,44 @@
+"""Opt-in cProfile hooks with top-N hotspot tables.
+
+Profiling answers the ROADMAP question "where does wall-clock go?"
+without touching the simulation: :func:`profile_call` runs any callable
+under :mod:`cProfile` and renders the hottest functions as a compact
+table; the CLI exposes it as ``repro-sim sweep --profile`` and
+``repro-sim obs profile``.
+
+The profiler observes only; results are returned unchanged, so the
+determinism contract holds (profiled runs produce byte-identical
+payloads — merely slower).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Callable, Tuple
+
+__all__ = ["profile_call", "hotspot_table"]
+
+
+def hotspot_table(stats: pstats.Stats, top: int = 20) -> str:
+    """The ``top`` hottest functions by cumulative time, as text."""
+    buf = io.StringIO()
+    stats.stream = buf  # type: ignore[attr-defined]
+    stats.sort_stats("cumulative")
+    stats.print_stats(top)
+    return buf.getvalue().rstrip()
+
+
+def profile_call(fn: Callable[..., Any], *args: Any, top: int = 20,
+                 **kwargs: Any) -> Tuple[Any, str]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, table)`` where ``table`` is the top-``top``
+    hotspot listing.  The call's return value is passed through
+    untouched.
+    """
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    stats = pstats.Stats(profiler)
+    return result, hotspot_table(stats, top=top)

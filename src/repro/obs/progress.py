@@ -1,0 +1,146 @@
+"""Live sweep progress: per-task heartbeats rendered on one line.
+
+The runner (:func:`repro.runner.execute`) emits a heartbeat for every
+task it touches — ``hit`` (served from cache), ``start`` (submitted to
+a worker or begun in-process), ``finish`` (result collected) and
+``fail`` — through a process-global hook installed with
+:func:`activate`.  The hook indirection keeps the runner's signature
+stable while letting the CLI (``--progress``) and tests observe every
+execution backend, including sweeps reached deep inside the experiment
+suite.
+
+:class:`ProgressDisplay` is the standard consumer: a ``\\r``-updating
+status line on stderr, safe for dumb terminals (falls back to one line
+per re-render when the stream is not a TTY is unnecessary — the line is
+short and self-contained).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Optional, TextIO
+
+from .timing import wall_clock
+
+__all__ = ["ProgressDisplay", "activate", "deactivate", "notify",
+           "active_hook"]
+
+#: ``(kind, key, description)`` heartbeat callback type.
+ProgressHook = Callable[[str, str, str], None]
+
+_active: Optional[ProgressHook] = None
+
+
+def activate(hook: ProgressHook) -> None:
+    """Install ``hook`` as the process-wide heartbeat consumer."""
+    global _active
+    _active = hook
+
+
+def deactivate() -> None:
+    """Remove the heartbeat consumer."""
+    global _active
+    _active = None
+
+
+def active_hook() -> Optional[ProgressHook]:
+    """The installed heartbeat consumer, if any."""
+    return _active
+
+
+def notify(kind: str, key: str, description: str) -> None:
+    """Deliver one heartbeat to the active consumer (if any)."""
+    hook = _active
+    if hook is not None:
+        hook(kind, key, description)
+
+
+class ProgressDisplay:
+    """A line-updating task progress renderer.
+
+    Parameters
+    ----------
+    total:
+        Expected number of tasks, when known (sweeps pass the grid
+        size); shown as ``[done/total]``, else ``[done]``.
+    stream:
+        Output stream (default ``sys.stderr``).
+    label:
+        Prefix naming the operation ("sweep GS L=16", ...).
+
+    The instance is itself a valid heartbeat hook::
+
+        display = ProgressDisplay(total=len(grid), label="sweep")
+        progress.activate(display.on_task_event)
+        try: ...
+        finally:
+            progress.deactivate()
+            display.close()
+    """
+
+    def __init__(self, total: Optional[int] = None,
+                 stream: Optional[TextIO] = None,
+                 label: str = "") -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.label = label
+        self.hits = 0
+        self.computed = 0
+        self.failed = 0
+        self.running = 0
+        self._rendered = False
+        self._t0 = wall_clock()
+
+    @property
+    def done(self) -> int:
+        """Tasks resolved so far (cache hits + computed + failed)."""
+        return self.hits + self.computed + self.failed
+
+    def on_task_event(self, kind: str, key: str,
+                      description: str) -> None:
+        """Heartbeat consumer: update counters and re-render."""
+        if kind == "hit":
+            self.hits += 1
+        elif kind == "start":
+            self.running += 1
+        elif kind == "finish":
+            self.running = max(0, self.running - 1)
+            self.computed += 1
+        elif kind == "fail":
+            self.running = max(0, self.running - 1)
+            self.failed += 1
+        self.render(description)
+
+    def render(self, description: str = "") -> None:
+        """Redraw the status line."""
+        elapsed = wall_clock() - self._t0
+        progress = (f"{self.done}/{self.total}" if self.total
+                    else f"{self.done}")
+        parts = [f"[{progress}]",
+                 f"computed {self.computed}",
+                 f"cached {self.hits}"]
+        if self.running:
+            parts.append(f"running {self.running}")
+        if self.failed:
+            parts.append(f"failed {self.failed}")
+        parts.append(f"{elapsed:.1f}s")
+        if description:
+            parts.append(description)
+        line = " ".join(parts)
+        if self.label:
+            line = f"{self.label}: {line}"
+        # Pad so a shorter redraw fully overwrites the previous line.
+        self.stream.write("\r" + line.ljust(78)[:118])
+        self.stream.flush()
+        self._rendered = True
+
+    def close(self) -> None:
+        """Terminate the status line (newline) if anything was drawn."""
+        if self._rendered:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._rendered = False
+
+    def __repr__(self) -> str:
+        return (f"<ProgressDisplay done={self.done} "
+                f"total={self.total} running={self.running}>")

@@ -1,0 +1,100 @@
+"""Wall-clock access and phase timers — the *only* module family that
+may read the host clock.
+
+Simulators must never let wall-clock time influence results (simlint
+SIM001/SIM006 enforce this), but observability *is about* wall-clock:
+where does real time go?  The compromise: every ``time.*`` read in the
+repository flows through ``repro.obs``, which is excluded from SIM006's
+scope, and obs data never feeds back into task keys or payloads.
+"""
+
+from __future__ import annotations
+
+import time
+from types import TracebackType
+from typing import Iterator, Optional, Type
+
+__all__ = ["wall_clock", "process_clock", "PhaseTimer"]
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock seconds (``time.perf_counter``)."""
+    return time.perf_counter()
+
+
+def process_clock() -> float:
+    """CPU seconds of the current process (``time.process_time``)."""
+    return time.process_time()
+
+
+class _Phase:
+    """Context manager timing one phase of a :class:`PhaseTimer`."""
+
+    def __init__(self, timer: "PhaseTimer", name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self._t0 = wall_clock()
+        return self
+
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
+        self._timer.add(self._name, wall_clock() - self._t0)
+
+
+class PhaseTimer:
+    """Accumulates named wall-clock phases for a progress summary.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("simulate"):
+            ...
+        with timer.phase("render"):
+            ...
+        print(timer.render())
+
+    Re-entering a phase name accumulates; insertion order is kept for
+    display.
+    """
+
+    def __init__(self) -> None:
+        self.durations: dict[str, float] = {}
+
+    def phase(self, name: str) -> _Phase:
+        """A context manager timing one (re-enterable) phase."""
+        return _Phase(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into phase ``name``."""
+        self.durations[name] = self.durations.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        """Sum of all phase durations."""
+        return sum(self.durations.values())
+
+    def items(self) -> Iterator[tuple[str, float]]:
+        """(name, seconds) pairs in insertion order."""
+        return iter(self.durations.items())
+
+    def render(self) -> str:
+        """A small fixed-width table of phases and durations."""
+        if not self.durations:
+            return "(no phases timed)"
+        width = max(len(name) for name in self.durations)
+        total = self.total
+        lines = ["phase timers:"]
+        for name, seconds in self.durations.items():
+            share = seconds / total if total > 0 else 0.0
+            lines.append(f"  {name:<{width}}  {seconds:8.3f} s"
+                         f"  {share:6.1%}")
+        lines.append(f"  {'total':<{width}}  {total:8.3f} s")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<PhaseTimer phases={len(self.durations)} " \
+               f"total={self.total:.3f}s>"

@@ -1,0 +1,116 @@
+"""The observability-instrumented worker entry point.
+
+:func:`run_task_observed` is the drop-in replacement for
+:func:`repro.runner.worker.run_task` that the runner selects when the
+obs gate is on.  It produces, for every task it computes:
+
+* a JSONL event log of the full simulation
+  (``<obs-root>/events/<key[:2]>/<key>.jsonl``) streamed through an
+  :class:`~repro.obs.events.ExportTracer` — bounded memory, batched
+  writes, atomic finalization;
+* a :class:`~repro.obs.manifest.RunManifest`
+  (``<obs-root>/manifests/<key[:2]>/<key>.json``) carrying the task
+  key, config hash, seed, versions, wall-clock and the run's engine
+  counters;
+* updates to the process-local :data:`~repro.obs.registry.REGISTRY`.
+
+It returns exactly the :class:`~repro.analysis.points.SweepPoint` the
+plain worker returns: attaching a tracer never touches an RNG stream or
+a scheduling decision, so payloads are byte-identical with obs on or
+off (pinned by ``tests/obs/test_golden_obs.py``).
+
+Like the plain worker, the function is module-level and depends only on
+the task contents plus the inherited environment, so it pickles across
+a ``ProcessPoolExecutor`` — each worker process writes its own logs and
+manifests and folds its own registry.
+"""
+
+from __future__ import annotations
+
+import gc
+from pathlib import Path
+
+from repro.analysis.points import SweepPoint
+from repro.runner.task import RunTask, task_key
+from repro.runner import worker as _plain_worker
+
+from . import manifest as manifest_module
+from .events import EventLog, ExportTracer
+from .gate import obs_root
+from .registry import REGISTRY
+from .timing import wall_clock
+
+__all__ = ["run_task_observed", "event_log_path"]
+
+
+def event_log_path(root: Path, key: str) -> Path:
+    """Where the event log for task ``key`` lives (256-way shard)."""
+    return root / "events" / key[:2] / f"{key}.jsonl"
+
+
+def run_task_observed(task: RunTask) -> SweepPoint:
+    """Execute one run with full observability side-band.
+
+    The simulation itself is delegated to
+    :func:`repro.runner.worker.run_task_result` (so test
+    instrumentation of the plain path keeps working); the side-band —
+    event log, manifest, registry — is assembled around it.
+    """
+    key = task_key(task)
+    root = obs_root()
+    t0 = wall_clock()
+    log = EventLog(event_log_path(root, key),
+                   meta={"key": key, "task": task.describe()})
+    # Exporting allocates roughly one payload dict per simulation
+    # event, which at CPython's default gen-0 threshold (700) triggers
+    # proportionally more young collections than the same run obs-off.
+    # The export buffer is bounded (one batch), so relaxing gen-0 for
+    # the duration of the run trades a negligible amount of memory for
+    # a measurable overhead cut (benchmarks/bench_obs_overhead.py).
+    # A threshold of 0 means collection was deliberately switched off;
+    # leave that alone.
+    thresholds = gc.get_threshold()
+    if thresholds[0]:
+        gc.set_threshold(max(thresholds[0], 20_000), *thresholds[1:])
+    try:
+        with log:
+            tracer = ExportTracer(log)
+            result = _plain_worker.run_task_result(task, tracer=tracer)
+    except Exception:
+        REGISTRY.counter("runner.tasks.failed").inc()
+        raise
+    finally:
+        gc.set_threshold(*thresholds)
+    elapsed = wall_clock() - t0
+
+    extras = result.extras
+    metrics = {
+        "events_processed": extras.get("events_processed", 0),
+        "events_scheduled": extras.get("events_scheduled", 0),
+        "jobs_started": extras.get("jobs_started", 0),
+        "jobs_finished": extras.get("jobs_finished", 0),
+        "placement_attempts": extras.get("placement_attempts", 0),
+        "placement_failures": extras.get("placement_failures", 0),
+        "queue_disables": extras.get("queue_disables", {}),
+        "events_exported": log.events_written,
+    }
+    entry = manifest_module.for_task(
+        task, key, cache_status="computed", wall_clock_s=elapsed,
+        metrics=metrics, event_log=str(log.path),
+    )
+    manifest_module.write_manifest(
+        entry, manifest_module.manifest_path(root, key))
+
+    REGISTRY.counter("runner.tasks.computed").inc()
+    REGISTRY.counter("sim.events.processed").inc(
+        metrics["events_processed"])
+    REGISTRY.counter("sim.events.scheduled").inc(
+        metrics["events_scheduled"])
+    REGISTRY.counter("sim.placement.attempts").inc(
+        metrics["placement_attempts"])
+    REGISTRY.counter("sim.placement.failures").inc(
+        metrics["placement_failures"])
+    REGISTRY.merge_counts(metrics["queue_disables"],
+                          prefix="sim.queue.disables.")
+    REGISTRY.histogram("runner.task.wall_clock_s").observe(elapsed)
+    return SweepPoint.from_result(result)

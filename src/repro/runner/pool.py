@@ -27,6 +27,9 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Optional, Sequence, Union
 
 from repro.analysis.points import SweepPoint
+from repro.obs import progress as _progress
+from repro.obs.gate import obs_enabled
+from repro.obs.registry import REGISTRY
 
 from .cache import ResultCache
 from .errors import TaskFailedError
@@ -98,6 +101,45 @@ def _run_serial(task: RunTask, key: str,
         raise TaskFailedError(key, task.describe(), repr(exc)) from exc
 
 
+def _note_cache_hits(tasks: Sequence[RunTask], keys: Sequence[str],
+                     results: Sequence[Optional[SweepPoint]]) -> None:
+    """Backfill a ``cache_status="hit"`` manifest for served tasks.
+
+    A hit may predate observability (or come from another machine), so
+    the obs root may hold no manifest for it; record the provenance we
+    do know.  Existing "computed" manifests are left untouched — they
+    carry wall-clock and metrics a hit record could not reproduce.
+    """
+    from repro.obs import manifest as _manifest
+    from repro.obs.gate import obs_root
+
+    root = obs_root()
+    for task, key, point in zip(tasks, keys, results):
+        if point is None:
+            continue
+        path = _manifest.manifest_path(root, key)
+        if not path.exists():
+            _manifest.write_manifest(
+                _manifest.for_task(task, key, cache_status="hit"),
+                path)
+
+
+def _copy_manifest_to_cache(store: ResultCache, key: str) -> None:
+    """Mirror the worker's manifest next to the stored cache entry."""
+    import dataclasses
+
+    from repro.obs import manifest as _manifest
+    from repro.obs.gate import obs_root
+
+    source = _manifest.manifest_path(obs_root(), key)
+    if not source.exists():
+        return
+    entry = dataclasses.replace(_manifest.load_manifest(source),
+                                cache_status="stored")
+    _manifest.write_manifest(
+        entry, _manifest.cache_manifest_path(store.path_for(key)))
+
+
 def execute(tasks: Sequence[RunTask], *,
             workers: Optional[int] = None,
             cache: CacheSpec = None,
@@ -115,6 +157,15 @@ def execute(tasks: Sequence[RunTask], *,
     """
     workers = resolve_workers(workers)
     store = resolve_cache(cache)
+    obs_on = obs_enabled()
+    if obs_on and worker is run_task:
+        # The observed worker is a drop-in replacement producing the
+        # same points plus side-band artifacts.  Imported lazily (the
+        # obs worker imports this package) and swapped only for the
+        # default: injected test workers are never wrapped.
+        from repro.obs.worker import run_task_observed
+
+        worker = run_task_observed
     keys = [task_key(t) for t in tasks]
     results: list[Optional[SweepPoint]] = [None] * len(tasks)
     pending: list[int] = []
@@ -122,19 +173,37 @@ def execute(tasks: Sequence[RunTask], *,
         hit = store.load(key) if store is not None else None
         if hit is not None:
             results[i] = hit
+            _progress.notify("hit", key, tasks[i].describe())
         else:
             pending.append(i)
+    if obs_on:
+        REGISTRY.counter("runner.tasks.total").inc(len(tasks))
+        REGISTRY.counter("runner.cache.hits").inc(
+            len(tasks) - len(pending))
+        REGISTRY.counter("runner.cache.misses").inc(len(pending))
+        if store is not None:
+            _note_cache_hits(tasks, keys, results)
 
     if pending:
         if workers == 1 or len(pending) == 1:
             for i in pending:
-                results[i] = _run_serial(tasks[i], keys[i], worker)
+                _progress.notify("start", keys[i], tasks[i].describe())
+                try:
+                    results[i] = _run_serial(tasks[i], keys[i], worker)
+                except TaskFailedError:
+                    _progress.notify("fail", keys[i],
+                                     tasks[i].describe())
+                    raise
+                _progress.notify("finish", keys[i], tasks[i].describe())
         else:
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(pending))
             ) as pool:
-                futures = [(i, pool.submit(worker, tasks[i]))
-                           for i in pending]
+                futures = []
+                for i in pending:
+                    _progress.notify("start", keys[i],
+                                     tasks[i].describe())
+                    futures.append((i, pool.submit(worker, tasks[i])))
                 # Collect in submission order: output is a pure function
                 # of the task list, never of completion order.
                 try:
@@ -142,14 +211,20 @@ def execute(tasks: Sequence[RunTask], *,
                         try:
                             results[i] = future.result()
                         except BrokenProcessPool as exc:
+                            _progress.notify("fail", keys[i],
+                                             tasks[i].describe())
                             raise TaskFailedError(
                                 keys[i], tasks[i].describe(),
                                 f"worker process died: {exc!r}",
                             ) from exc
                         except Exception as exc:
+                            _progress.notify("fail", keys[i],
+                                             tasks[i].describe())
                             raise TaskFailedError(
                                 keys[i], tasks[i].describe(), repr(exc)
                             ) from exc
+                        _progress.notify("finish", keys[i],
+                                         tasks[i].describe())
                 except TaskFailedError:
                     # Don't drain the queue after a failure: cancel
                     # everything not yet running and surface the error.
@@ -160,6 +235,9 @@ def execute(tasks: Sequence[RunTask], *,
                 point = results[i]
                 if point is not None:
                     store.store(keys[i], point, tasks[i].describe())
+                    if obs_on:
+                        _copy_manifest_to_cache(store, keys[i])
+                        REGISTRY.counter("runner.cache.stores").inc()
 
     out: list[SweepPoint] = []
     for i, point in enumerate(results):

@@ -6,26 +6,38 @@ Determinism is inherited from the simulation itself: every stochastic
 stream is derived from ``task.config.seed`` via
 :class:`~repro.sim.rng.StreamFactory`, so a task produces bit-identical
 results in any process, on any schedule, at any worker count.
+
+:func:`run_task_result` is the full-fidelity variant: it returns the
+complete :class:`~repro.core.system.OpenSystemResult` (including the
+``extras`` engine counters) and accepts an optional tracer — the hook
+the observability layer (:mod:`repro.obs.worker`) uses to stream an
+event log without perturbing the run.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.analysis.points import SweepPoint
-from repro.core.system import run_open_system
+from repro.core.system import OpenSystemResult, run_open_system
 from repro.sim.rng import StreamFactory
+from repro.sim.trace import Tracer
 from repro.workload.generator import JobFactory
 
 from .task import RunTask
 
-__all__ = ["run_task"]
+__all__ = ["run_task", "run_task_result"]
 
 
-def run_task(task: RunTask) -> SweepPoint:
-    """Execute one open-system run and return its curve point.
+def run_task_result(task: RunTask,
+                    tracer: Optional[Tracer] = None) -> OpenSystemResult:
+    """Execute one open-system run, returning the full result.
 
     The arrival rate is recomputed from the offered gross utilization —
     a pure function of the workload distributions and configuration —
     so a worker needs nothing beyond the (picklable) task itself.
+    Attaching a ``tracer`` never draws from an RNG stream, so traced
+    and untraced runs are byte-identical.
     """
     config = task.config
     factory = JobFactory(
@@ -39,6 +51,11 @@ def run_task(task: RunTask) -> SweepPoint:
     rate = factory.arrival_rate_for_gross_utilization(
         task.offered_gross, config.capacity
     )
-    result = run_open_system(config, task.size_distribution,
-                             task.service_distribution, rate)
-    return SweepPoint.from_result(result)
+    return run_open_system(config, task.size_distribution,
+                           task.service_distribution, rate,
+                           tracer=tracer)
+
+
+def run_task(task: RunTask) -> SweepPoint:
+    """Execute one open-system run and return its curve point."""
+    return SweepPoint.from_result(run_task_result(task))

@@ -80,6 +80,16 @@ class Simulator:
         return self._now
 
     @property
+    def events_scheduled(self) -> int:
+        """Events placed on the calendar so far (heap pushes).
+
+        Together with :attr:`events_processed` (heap pops) this gives
+        the engine's event-list traffic for diagnostics; the counter is
+        the scheduling sequence number, so it costs nothing extra.
+        """
+        return self._eid
+
+    @property
     def active_process(self) -> Optional[Process]:
         """The process currently being stepped, if any."""
         return self._active_process

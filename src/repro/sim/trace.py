@@ -2,13 +2,22 @@
 
 A :class:`Tracer` collects ``(time, kind, payload)`` records emitted by the
 model (arrivals, starts, departures, queue enable/disable, ...).  Tracing
-is opt-in and costs one predicate call when disabled, so production sweeps
+is opt-in and costs one attribute read when disabled, so production sweeps
 leave it off while tests and debugging sessions use it to assert event
 orderings precisely.
+
+Storage is bounded by ``limit`` in one of two modes: ``"head"`` (the
+default) keeps the *first* ``limit`` records and drops the tail, while
+``"ring"`` keeps the *last* ``limit`` records — the right choice when
+debugging the end of a long run.  Records can additionally be streamed
+to a ``sink`` callable regardless of what is stored; this is how
+:class:`repro.obs.EventLog` exports full event logs without holding
+them in memory.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Iterable, Iterator, NamedTuple, Optional
 
 __all__ = ["TraceRecord", "Tracer", "NullTracer"]
@@ -30,30 +39,83 @@ class Tracer:
     kinds:
         If given, only records whose kind is in this set are kept.
     limit:
-        Optional hard cap on stored records (oldest kept); protects tests
-        against runaway memory in long runs.
+        Optional hard cap on stored records; protects tests against
+        runaway memory in long runs.
+    mode:
+        ``"head"`` (default) keeps the oldest ``limit`` records and
+        drops the tail; ``"ring"`` keeps the newest ``limit`` records,
+        evicting the oldest.
+    sink:
+        Optional callable invoked with every record that passes the
+        kind filter, *before* the storage cap applies — streaming
+        export sees the full record flow even when storage is bounded.
+
+    Attributes
+    ----------
+    dropped:
+        Records lost to the storage cap (tail drops in ``"head"`` mode,
+        oldest-record evictions in ``"ring"`` mode).
+    filtered:
+        Records rejected by the kind filter (never stored, never sunk).
     """
 
+    _MODES = ("head", "ring")
+
+    #: Tracers are always on; :class:`NullTracer` overrides this.  A
+    #: plain class attribute, not a property — model code checks it
+    #: before every emission, and the disabled check is the only
+    #: tracing cost a production sweep pays.
+    enabled: bool = True
+
     def __init__(self, kinds: Optional[Iterable[str]] = None,
-                 limit: Optional[int] = None) -> None:
+                 limit: Optional[int] = None,
+                 mode: str = "head",
+                 sink: Optional[Callable[[TraceRecord], None]] = None
+                 ) -> None:
+        if mode not in self._MODES:
+            raise ValueError(
+                f"mode must be one of {self._MODES}, got {mode!r}"
+            )
         self.kinds = frozenset(kinds) if kinds is not None else None
         self.limit = limit
-        self.records: list[TraceRecord] = []
+        self.mode = mode
+        self.sink = sink
+        self.records: "list[TraceRecord] | deque[TraceRecord]" = (
+            deque() if mode == "ring" else []
+        )
         self.dropped = 0
-
-    @property
-    def enabled(self) -> bool:
-        """Tracers are always on; :class:`NullTracer` overrides this."""
-        return True
+        self.filtered = 0
 
     def emit(self, time: float, kind: str, **payload: object) -> None:
         """Record one event if it passes the kind filter and cap."""
         if self.kinds is not None and kind not in self.kinds:
+            self.filtered += 1
             return
+        record = TraceRecord(time, kind, payload)
+        if self.sink is not None:
+            self.sink(record)
         if self.limit is not None and len(self.records) >= self.limit:
             self.dropped += 1
-            return
-        self.records.append(TraceRecord(time, kind, payload))
+            if self.mode == "head":
+                return
+            self.records.popleft()  # type: ignore[union-attr]
+        self.records.append(record)
+
+    def emit_row(self, row: dict) -> None:
+        """Hot-path variant of :meth:`emit` taking one prebuilt row.
+
+        ``row`` must carry ``"t"`` (time) and ``"kind"`` alongside the
+        payload keys, and the tracer takes ownership of the dict.
+        Model code on per-event paths builds the row once and hands it
+        over whole — a single positional call, no keyword packing.
+        The default implementation unpacks and delegates to
+        :meth:`emit`, so subclasses that override only :meth:`emit`
+        keep working; :class:`repro.obs.ExportTracer` overrides this
+        method to stream the row as-is.
+        """
+        time = row.pop("t")
+        kind = row.pop("kind")
+        self.emit(time, kind, **row)
 
     def of_kind(self, kind: str) -> list[TraceRecord]:
         """All stored records of one kind, in time order."""
@@ -64,9 +126,10 @@ class Tracer:
         return {r.kind for r in self.records}
 
     def clear(self) -> None:
-        """Drop all stored records."""
+        """Drop all stored records and reset the drop/filter counters."""
         self.records.clear()
         self.dropped = 0
+        self.filtered = 0
 
     def __len__(self) -> int:
         return len(self.records)
@@ -75,22 +138,24 @@ class Tracer:
         return iter(self.records)
 
     def __repr__(self) -> str:
-        return f"<Tracer records={len(self.records)} dropped={self.dropped}>"
+        return (f"<Tracer records={len(self.records)} "
+                f"dropped={self.dropped} filtered={self.filtered}>")
 
 
 class NullTracer(Tracer):
     """A tracer that ignores everything (zero storage, near-zero cost)."""
 
+    #: Always false: models may skip payload construction entirely.
+    enabled: bool = False
+
     def __init__(self) -> None:
         super().__init__()
 
-    @property
-    def enabled(self) -> bool:
-        """Always false: models may skip payload construction entirely."""
-        return False
-
     def emit(self, time: float, kind: str, **payload: object) -> None:
         """Discard the record."""
+
+    def emit_row(self, row: dict) -> None:
+        """Discard the row."""
 
     def __repr__(self) -> str:
         return "<NullTracer>"

@@ -139,7 +139,8 @@ class TestSystemDirect:
             system.submit(factory.next_job())
         system.sim.run()
         kinds = tracer.kinds_seen()
-        assert kinds == {"arrival", "start", "departure"}
+        assert kinds == {"arrival", "start", "departure",
+                         "placement_fit", "placement_no_fit"}
         assert len(tracer.of_kind("departure")) == 20
 
     def test_unknown_policy_rejected(self):

@@ -273,6 +273,74 @@ class TestSIM005:
 
 
 # ---------------------------------------------------------------------------
+# SIM006 — wall-clock reads confined to repro.obs
+# ---------------------------------------------------------------------------
+
+
+class TestSIM006:
+    @pytest.mark.parametrize("snippet", [
+        "import time\nt0 = time.time()\n",
+        "import time\nt0 = time.perf_counter()\n",
+        "import time\nt0 = time.monotonic_ns()\n",
+        "import time\ncpu = time.process_time()\n",
+        "from time import perf_counter\n",
+        "from time import process_time as clock\n",
+        "from datetime import datetime\nstamp = datetime.now()\n",
+        "import datetime\nstamp = datetime.datetime.utcnow()\n",
+        "from datetime import date\ntoday = date.today()\n",
+        # Passing the clock by reference leaks wall time the same way.
+        "import time\nclock = time.perf_counter\n",
+    ])
+    def test_flags_wall_clock_reads(self, tmp_path, snippet):
+        violations = lint_snippet(tmp_path, snippet, select=["SIM006"])
+        assert rule_ids(violations) == {"SIM006"}
+
+    @pytest.mark.parametrize("snippet", [
+        # The blessed path: timing flows through repro.obs.
+        "from repro.obs.timing import wall_clock\nt0 = wall_clock()\n",
+        # `time` the module without a clock read is fine.
+        "import time\nkind = time.struct_time\n",
+        "from time import struct_time\n",
+        # Simulation time is not wall time.
+        "def advance(sim):\n    return sim.now + 1.0\n",
+        # datetime *types* (annotations, parsing) are fine.
+        "from datetime import datetime\n"
+        "stamp = datetime.fromisoformat('2003-06-01')\n",
+    ])
+    def test_clean_snippets(self, tmp_path, snippet):
+        assert lint_snippet(tmp_path, snippet, select=["SIM006"]) == []
+
+    def test_suppression_silences(self, tmp_path):
+        code = (
+            "import time\n"
+            "t0 = time.perf_counter()  "
+            "# simlint: disable=SIM006 -- benchmark harness\n"
+        )
+        assert lint_snippet(tmp_path, code, select=["SIM006"]) == []
+
+    def test_violation_location(self, tmp_path):
+        code = "x = 1\nimport time\nt0 = time.time()\n"
+        (violation,) = lint_snippet(tmp_path, code, select=["SIM006"])
+        assert violation.line == 3
+        assert "repro.obs" in violation.message
+
+    def test_obs_package_is_out_of_scope(self, tmp_path):
+        # The observability layer is the one sanctioned clock reader.
+        pkg = tmp_path / "repro" / "obs"
+        pkg.mkdir(parents=True)
+        path = pkg / "timing.py"
+        path.write_text("import time\nt0 = time.perf_counter()\n")
+        assert [v for v in lint_file(path) if v.rule == "SIM006"] == []
+
+    def test_runner_package_is_in_scope(self, tmp_path):
+        pkg = tmp_path / "repro" / "runner"
+        pkg.mkdir(parents=True)
+        path = pkg / "mod.py"
+        path.write_text("import time\nt0 = time.perf_counter()\n")
+        assert "SIM006" in rule_ids(lint_file(path))
+
+
+# ---------------------------------------------------------------------------
 # cross-cutting machinery
 # ---------------------------------------------------------------------------
 
@@ -299,6 +367,19 @@ class TestMachinery:
         code = "import random\nimport random\n"
         violations = lint_snippet(tmp_path, code, select=["SIM001"])
         assert [v.line for v in violations] == sorted(v.line for v in violations)
+
+    def test_scope_negation_semantics(self):
+        from repro.lint.config import rule_applies
+
+        scope = {"SIMX": ("repro*", "!repro.obs*")}
+        assert rule_applies("SIMX", "repro.runner.pool", scope)
+        assert not rule_applies("SIMX", "repro.obs.timing", scope)
+        assert not rule_applies("SIMX", "repro.obs", scope)
+        assert not rule_applies("SIMX", "other.module", scope)
+        # Exclusion-only scopes cover everything not excluded.
+        only_neg = {"SIMX": ("!repro.obs*",)}
+        assert rule_applies("SIMX", "anything.else", only_neg)
+        assert not rule_applies("SIMX", "repro.obs.timing", only_neg)
 
     def test_scope_table_limits_rules_by_package(self, tmp_path):
         # Under a `repro.analysis` module path, SIM001 (scoped to

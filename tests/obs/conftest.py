@@ -1,0 +1,45 @@
+"""Shared fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SimulationConfig
+from repro.obs.gate import OBS_DIR_ENV, OBS_ENV
+from repro.obs.registry import REGISTRY
+from repro.workload import das_s_128, das_t_900
+
+SIZES = das_s_128()
+SERVICE = das_t_900()
+
+
+def tiny_config(policy="LS", **kw) -> SimulationConfig:
+    """A very small configuration: obs tests exercise plumbing, not
+    statistics."""
+    base = dict(policy=policy, component_limit=16, warmup_jobs=50,
+                measured_jobs=100, seed=7, batch_size=25)
+    if policy == "SC":
+        base.update(capacities=(128,), component_limit=None)
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+@pytest.fixture
+def obs_env(monkeypatch, tmp_path):
+    """Enable observability with an isolated artifact root.
+
+    Returns the artifact root path.  The env-var form is used (not
+    ``set_enabled``) so the gate propagates to forked pool workers.
+    """
+    root = tmp_path / "obs"
+    monkeypatch.setenv(OBS_ENV, "1")
+    monkeypatch.setenv(OBS_DIR_ENV, str(root))
+    return root
+
+
+@pytest.fixture
+def fresh_registry():
+    """A clean process-wide registry, restored empty afterwards."""
+    REGISTRY.reset()
+    yield REGISTRY
+    REGISTRY.reset()

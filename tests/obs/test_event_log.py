@@ -1,0 +1,134 @@
+"""Unit tests for the JSONL event log and the export tracer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EventLog,
+    ExportTracer,
+    read_events,
+    read_header,
+    tail_events,
+)
+
+
+class TestEventLog:
+    def test_header_and_events_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with EventLog(path, meta={"key": "abc"}) as log:
+            log.emit(1.0, "arrival", job=0)
+            log.emit(2.5, "departure", job=0)
+        header = read_header(path)
+        assert header["schema"] == EVENT_SCHEMA
+        assert header["key"] == "abc"
+        events = list(read_events(path))
+        assert events == [
+            {"t": 1.0, "kind": "arrival", "job": 0},
+            {"t": 2.5, "kind": "departure", "job": 0},
+        ]
+
+    def test_atomic_finalization(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = EventLog(path)
+        log.emit(1.0, "x")
+        assert not path.exists(), "log visible before close"
+        assert path.with_name("run.jsonl.tmp").exists()
+        log.close()
+        assert path.exists()
+        assert not path.with_name("run.jsonl.tmp").exists()
+
+    def test_exception_abandons_staging(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with pytest.raises(RuntimeError):
+            with EventLog(path) as log:
+                log.emit(1.0, "x")
+                raise RuntimeError("boom")
+        assert not path.exists()
+        assert not path.with_name("run.jsonl.tmp").exists()
+
+    def test_batched_writes(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = EventLog(path, batch_size=3)
+        for t in range(2):
+            log.emit(float(t), "x")
+        staged = path.with_name("run.jsonl.tmp").read_text()
+        assert staged.count("\n") == 1, "events flushed before batch"
+        log.emit(2.0, "x")
+        staged = path.with_name("run.jsonl.tmp").read_text()
+        assert staged.count("\n") == 2, "full batch not flushed as one line"
+        batch = json.loads(staged.splitlines()[1])
+        assert [e["t"] for e in batch] == [0.0, 1.0, 2.0]
+        log.close()
+        assert len(list(read_events(path))) == 3
+        assert log.events_written == 3
+
+    def test_emit_after_close_rejected(self, tmp_path):
+        log = EventLog(tmp_path / "run.jsonl")
+        log.close()
+        with pytest.raises(ValueError, match="closed"):
+            log.emit(1.0, "x")
+
+    def test_bad_batch_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="batch_size"):
+            EventLog(tmp_path / "run.jsonl", batch_size=0)
+
+    def test_nonscalar_payloads_serialized(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with EventLog(path) as log:
+            log.emit(1.0, "fit", assignment=((0, 4), (1, 2)),
+                     clusters={2, 0, 1})
+        (event,) = read_events(path)
+        assert event["assignment"] == [[0, 4], [1, 2]]
+        assert event["clusters"] == [0, 1, 2]
+
+    def test_reader_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text(json.dumps({"schema": "other/1"}) + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            list(read_events(path))
+        with pytest.raises(ValueError):
+            read_header(path)
+
+    def test_reader_rejects_non_json(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ValueError):
+            list(read_events(path))
+
+    def test_tail_events(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with EventLog(path) as log:
+            for t in range(20):
+                log.emit(float(t), "x", n=t)
+        assert [e["n"] for e in tail_events(path, 3)] == [17, 18, 19]
+        assert tail_events(path, 0) == []
+
+
+class TestExportTracer:
+    def test_streams_without_storing(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = EventLog(path)
+        tracer = ExportTracer(log)
+        for t in range(100):
+            tracer.emit(float(t), "x", n=t)
+        assert len(tracer) == 0, "export tracer must not store records"
+        log.close()
+        assert len(list(read_events(path))) == 100
+
+    def test_kind_filter_counts_filtered(self, tmp_path):
+        log = EventLog(tmp_path / "run.jsonl")
+        tracer = ExportTracer(log, kinds={"keep"})
+        tracer.emit(1.0, "skip")
+        tracer.emit(2.0, "keep")
+        assert tracer.filtered == 1
+        assert log.events_written == 1
+        log.close()
+
+    def test_is_enabled_tracer(self, tmp_path):
+        log = EventLog(tmp_path / "run.jsonl")
+        assert ExportTracer(log).enabled
+        log.abandon()

@@ -1,0 +1,189 @@
+"""Acceptance tests: observability is strictly side-band.
+
+The contract this PR ships: with ``REPRO_OBS=1`` the runner emits a
+schema-versioned JSONL event log, a populated metrics snapshot and a
+:class:`RunManifest` for every task — while the sweep payloads, task
+keys and cached entries stay **byte-identical** to an unobserved run,
+at any worker count.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.io import save_sweep
+from repro.analysis.sweeps import sweep
+from repro.obs.events import EVENT_SCHEMA, read_events, read_header
+from repro.obs.gate import OBS_DIR_ENV, OBS_ENV
+from repro.obs.manifest import cache_manifest_path, load_manifest
+from repro.runner import ResultCache, RunTask, task_key
+
+from .conftest import SERVICE, SIZES, tiny_config
+
+GRID = (0.35, 0.55)
+
+
+def sweep_payload(result) -> str:
+    buf = io.StringIO()
+    save_sweep(result, buf)
+    return buf.getvalue()
+
+
+def run_sweep(policy="LS", workers=1, cache=False):
+    return sweep(policy, tiny_config(policy), SIZES, SERVICE, GRID,
+                 workers=workers, cache=cache)
+
+
+def grid_keys(policy="LS") -> list[str]:
+    config = tiny_config(policy)
+    return [task_key(RunTask(config, SIZES, SERVICE, g)) for g in GRID]
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+class TestByteIdentical:
+    def test_payloads_identical_obs_on_vs_off(self, workers,
+                                              monkeypatch, tmp_path):
+        monkeypatch.delenv(OBS_ENV, raising=False)
+        off = sweep_payload(run_sweep(workers=workers))
+        monkeypatch.setenv(OBS_ENV, "1")
+        monkeypatch.setenv(OBS_DIR_ENV, str(tmp_path / "obs"))
+        on = sweep_payload(run_sweep(workers=workers))
+        assert on == off
+
+    def test_task_keys_unaffected_by_gate(self, workers, monkeypatch,
+                                          tmp_path):
+        monkeypatch.delenv(OBS_ENV, raising=False)
+        off = grid_keys()
+        monkeypatch.setenv(OBS_ENV, "1")
+        monkeypatch.setenv(OBS_DIR_ENV, str(tmp_path / "obs"))
+        assert grid_keys() == off
+
+    def test_cache_entries_identical_obs_on_vs_off(self, workers,
+                                                   monkeypatch,
+                                                   tmp_path):
+        monkeypatch.delenv(OBS_ENV, raising=False)
+        cache_off = ResultCache(tmp_path / "off")
+        run_sweep(workers=workers, cache=cache_off)
+        monkeypatch.setenv(OBS_ENV, "1")
+        monkeypatch.setenv(OBS_DIR_ENV, str(tmp_path / "obs"))
+        cache_on = ResultCache(tmp_path / "on")
+        run_sweep(workers=workers, cache=cache_on)
+        for key in grid_keys():
+            off_entry = cache_off.path_for(key).read_text()
+            on_entry = cache_on.path_for(key).read_text()
+            assert on_entry == off_entry
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+class TestArtifactsEmitted:
+    def test_manifest_and_event_log_per_task(self, workers, obs_env):
+        run_sweep(workers=workers)
+        for key in grid_keys():
+            manifest = load_manifest(
+                obs_env / "manifests" / key[:2] / f"{key}.json")
+            assert manifest.key == key
+            assert manifest.cache_status == "computed"
+            assert manifest.policy == "LS"
+            assert manifest.seed == 7
+            assert manifest.wall_clock_s > 0
+            metrics = manifest.metrics
+            assert metrics["events_processed"] > 0
+            assert metrics["placement_attempts"] > 0
+            assert metrics["jobs_finished"] > 0
+            assert metrics["queue_disables"], "per-queue counts missing"
+            assert metrics["events_exported"] > 0
+
+            log_path = obs_env / "events" / key[:2] / f"{key}.jsonl"
+            assert str(log_path) == manifest.event_log
+            assert read_header(log_path)["schema"] == EVENT_SCHEMA
+            events = list(read_events(log_path))
+            assert len(events) == metrics["events_exported"]
+            kinds = {e["kind"] for e in events}
+            assert {"arrival", "start", "departure",
+                    "queue_disable", "queue_enable",
+                    "placement_fit"} <= kinds
+
+    def test_cache_side_band_manifest(self, workers, obs_env,
+                                      tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(workers=workers, cache=cache)
+        for key in grid_keys():
+            side = cache_manifest_path(cache.path_for(key))
+            manifest = load_manifest(side)
+            assert manifest.key == key
+            assert manifest.cache_status == "stored"
+            # The side-band never leaks into the entry itself.
+            entry = json.loads(cache.path_for(key).read_text())
+            assert "manifest" not in entry
+
+
+class TestRegistryAndHits:
+    def test_registry_snapshot_populated(self, obs_env,
+                                         fresh_registry):
+        run_sweep(workers=1)
+        snap = fresh_registry.snapshot()
+        counters = snap["counters"]
+        assert counters["runner.tasks.total"] == len(GRID)
+        assert counters["runner.tasks.computed"] == len(GRID)
+        assert counters["runner.cache.misses"] == len(GRID)
+        assert counters["sim.events.processed"] > 0
+        assert counters["sim.placement.attempts"] > 0
+        assert any(name.startswith("sim.queue.disables.")
+                   for name in counters)
+        wall = snap["histograms"]["runner.task.wall_clock_s"]
+        assert wall["count"] == len(GRID)
+        assert wall["sum"] > 0
+
+    def test_cache_hits_counted_and_backfilled(self, obs_env,
+                                               fresh_registry,
+                                               tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        # Warm the cache with obs off: no manifests exist yet.
+        monkeypatch.setenv(OBS_ENV, "0")
+        run_sweep(workers=1, cache=cache)
+        monkeypatch.setenv(OBS_ENV, "1")
+        run_sweep(workers=1, cache=cache)
+        counters = fresh_registry.snapshot()["counters"]
+        assert counters["runner.cache.hits"] == len(GRID)
+        assert counters.get("runner.tasks.computed", 0) == 0
+        for key in grid_keys():
+            manifest = load_manifest(
+                obs_env / "manifests" / key[:2] / f"{key}.json")
+            assert manifest.cache_status == "hit"
+
+    def test_hit_manifest_does_not_clobber_computed(self, obs_env,
+                                                    fresh_registry,
+                                                    tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(workers=1, cache=cache)  # computes, writes manifests
+        run_sweep(workers=1, cache=cache)  # all hits
+        for key in grid_keys():
+            manifest = load_manifest(
+                obs_env / "manifests" / key[:2] / f"{key}.json")
+            assert manifest.cache_status == "computed", (
+                "hit backfill overwrote the richer computed manifest"
+            )
+
+
+class TestSweepManifest:
+    def test_save_sweep_writes_manifest_when_enabled(self, obs_env,
+                                                     tmp_path):
+        result = run_sweep(workers=1)
+        target = tmp_path / "curve.json"
+        save_sweep(result, target)
+        manifest = load_manifest(
+            target.with_name("curve.json.manifest.json"))
+        assert manifest.kind == "sweep"
+        assert manifest.metrics == {"points": len(result.points)}
+
+    def test_save_sweep_silent_when_disabled(self, monkeypatch,
+                                             tmp_path):
+        monkeypatch.delenv(OBS_ENV, raising=False)
+        result = run_sweep(workers=1)
+        target = tmp_path / "curve.json"
+        save_sweep(result, target)
+        assert not target.with_name(
+            "curve.json.manifest.json").exists()

@@ -1,0 +1,117 @@
+"""Golden test: the exported event log pins the paper's §2.5 queue
+semantics for LS.
+
+From the JSONL log alone — no access to internal state — we replay the
+queue lifecycle and assert the disable/re-enable protocol: a queue is
+disabled when its head does not fit (with its position in the disabled
+list), and at each departure the disabled queues are re-enabled *in the
+order in which they were disabled*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import EventLog, ExportTracer, read_events
+from repro.runner import RunTask
+from repro.runner.worker import run_task_result
+
+from .conftest import SERVICE, SIZES, tiny_config
+
+
+@pytest.fixture(scope="module")
+def ls_events(tmp_path_factory):
+    """Events of one small near-saturation LS run (lots of disabling)."""
+    path = tmp_path_factory.mktemp("ls") / "run.jsonl"
+    task = RunTask(tiny_config("LS"), SIZES, SERVICE, 0.6)
+    with EventLog(path) as log:
+        run_task_result(task, tracer=ExportTracer(log))
+    return list(read_events(path))
+
+
+def test_run_produced_queue_events(ls_events):
+    kinds = {e["kind"] for e in ls_events}
+    assert "queue_disable" in kinds
+    assert "queue_enable" in kinds
+
+
+def test_disable_orders_index_the_disabled_list(ls_events):
+    """Each disable carries its position in the disabled list."""
+    disabled: list[str] = []
+    checked = 0
+    for event in ls_events:
+        if event["kind"] == "queue_disable":
+            assert event["queue"] not in disabled, (
+                "queue disabled twice without re-enable"
+            )
+            assert event["order"] == len(disabled)
+            disabled.append(event["queue"])
+            checked += 1
+        elif event["kind"] == "queue_enable":
+            disabled.remove(event["queue"])
+    assert checked > 10, "run too quiet to pin the protocol"
+
+
+def test_reenable_bursts_follow_disablement_order(ls_events):
+    """Every enable burst replays the disabled list front-to-back.
+
+    LS has no global queue, so ``enable_all`` always flushes the whole
+    disabled list: the contiguous burst of ``queue_enable`` events must
+    name exactly the currently-disabled queues, in disablement order,
+    with orders 0..k-1.
+    """
+    disabled: list[str] = []
+    burst: list[dict] = []
+    bursts_checked = 0
+
+    def check_burst():
+        nonlocal disabled, burst, bursts_checked
+        if not burst:
+            return
+        assert [e["order"] for e in burst] == list(range(len(burst)))
+        assert [e["queue"] for e in burst] == disabled, (
+            "re-enable order differs from disablement order"
+        )
+        disabled = []
+        burst = []
+        bursts_checked += 1
+
+    for event in ls_events:
+        if event["kind"] == "queue_enable":
+            burst.append(event)
+            continue
+        check_burst()
+        if event["kind"] == "queue_disable":
+            disabled.append(event["queue"])
+    check_burst()
+    assert bursts_checked > 10
+
+
+def test_job_lifecycle_ordering(ls_events):
+    """arrival <= start <= departure for every finished job."""
+    arrivals: dict[int, float] = {}
+    starts: dict[int, float] = {}
+    departed = 0
+    for event in ls_events:
+        job = event.get("job")
+        if event["kind"] == "arrival":
+            arrivals[job] = event["t"]
+        elif event["kind"] == "start":
+            assert job in arrivals
+            assert event["t"] >= arrivals[job]
+            starts[job] = event["t"]
+        elif event["kind"] == "departure":
+            assert job in starts
+            assert event["t"] >= starts[job]
+            departed += 1
+    assert departed > 0
+
+
+def test_every_start_was_placed(ls_events):
+    """A job only starts after a placement_fit names its assignment."""
+    placed: set[int] = set()
+    for event in ls_events:
+        if event["kind"] == "placement_fit":
+            placed.add(event["job"])
+        elif event["kind"] == "start":
+            assert event["job"] in placed

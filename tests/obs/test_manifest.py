@@ -1,0 +1,99 @@
+"""Unit tests for run manifests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    cache_manifest_path,
+    config_hash,
+    for_sweep,
+    for_task,
+    load_manifest,
+    manifest_path,
+    write_manifest,
+)
+from repro.runner import RunTask, task_key
+
+from .conftest import SERVICE, SIZES, tiny_config
+
+
+def _task(policy="LS", **kw):
+    return RunTask(tiny_config(policy, **kw), SIZES, SERVICE, 0.4)
+
+
+class TestConfigHash:
+    def test_stable_and_sensitive(self):
+        a = config_hash(tiny_config())
+        assert a == config_hash(tiny_config())
+        assert a != config_hash(tiny_config(seed=8))
+        assert len(a) == 16
+
+
+class TestRunManifest:
+    def test_for_task_fields(self):
+        task = _task()
+        key = task_key(task)
+        m = for_task(task, key, cache_status="computed",
+                     wall_clock_s=1.5, metrics={"events": 10},
+                     event_log="x.jsonl")
+        assert m.key == key
+        assert m.policy == "LS"
+        assert m.seed == 7
+        assert m.offered_gross == 0.4
+        assert m.cache_status == "computed"
+        assert m.kind == "task"
+        assert m.schema == MANIFEST_SCHEMA
+        assert m.metrics == {"events": 10}
+        assert m.repro_version
+        assert m.python_version
+        assert m.platform
+
+    def test_round_trip(self, tmp_path):
+        task = _task()
+        m = for_task(task, task_key(task), cache_status="hit")
+        path = write_manifest(m, tmp_path / "m.json")
+        assert load_manifest(path) == m
+
+    def test_from_dict_rejects_wrong_schema(self):
+        payload = dict(for_task(_task(), "k",
+                                cache_status="hit").to_dict())
+        payload["schema"] = "other/9"
+        with pytest.raises(ValueError, match="schema"):
+            RunManifest.from_dict(payload)
+
+    def test_from_dict_ignores_unknown_fields(self):
+        payload = dict(for_task(_task(), "k",
+                                cache_status="hit").to_dict())
+        payload["future_field"] = 42
+        assert RunManifest.from_dict(payload).key == "k"
+
+    def test_for_sweep(self):
+        config = tiny_config("GS")
+        m = for_sweep("GS L=16", config, points=5, wall_clock_s=2.0)
+        assert m.kind == "sweep"
+        assert m.key == config_hash(config)
+        assert m.metrics == {"points": 5}
+        assert "GS L=16" in m.description
+
+    def test_atomic_write(self, tmp_path):
+        m = for_task(_task(), "k", cache_status="hit")
+        path = write_manifest(m, tmp_path / "deep" / "m.json")
+        assert path.exists()
+        assert not path.with_name("m.json.tmp").exists()
+        assert json.loads(path.read_text())["schema"] == MANIFEST_SCHEMA
+
+
+class TestPaths:
+    def test_manifest_path_sharded(self, tmp_path):
+        p = manifest_path(tmp_path, "abcdef")
+        assert p == tmp_path / "manifests" / "ab" / "abcdef.json"
+
+    def test_cache_manifest_path(self, tmp_path):
+        entry = tmp_path / "ab" / "abcdef.json"
+        assert cache_manifest_path(entry) == (
+            tmp_path / "ab" / "abcdef.manifest.json")

@@ -1,0 +1,55 @@
+"""Unit tests for the cProfile hooks and phase timers."""
+
+from __future__ import annotations
+
+from repro.obs.profiling import profile_call
+from repro.obs.timing import PhaseTimer, process_clock, wall_clock
+
+
+def _work(n):
+    return sum(range(n))
+
+
+class TestProfileCall:
+    def test_returns_result_unchanged(self):
+        result, table = profile_call(_work, 100)
+        assert result == sum(range(100))
+
+    def test_table_names_hot_function(self):
+        _, table = profile_call(_work, 1000, top=5)
+        assert "_work" in table
+        assert "cumulative" in table
+
+    def test_kwargs_pass_through(self):
+        result, _ = profile_call(lambda *, n: n * 2, n=21)
+        assert result == 42
+
+
+class TestTiming:
+    def test_clocks_advance(self):
+        t0 = wall_clock()
+        _work(10_000)
+        assert wall_clock() >= t0
+        assert process_clock() >= 0.0
+
+    def test_phase_timer_accumulates(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        assert set(dict(timer.items())) == {"a", "b"}
+        assert timer.total >= 0.0
+
+    def test_render_lists_phases(self):
+        timer = PhaseTimer()
+        with timer.phase("simulate"):
+            pass
+        text = timer.render()
+        assert "simulate" in text
+        assert "total" in text
+
+    def test_render_empty(self):
+        assert "no phases" in PhaseTimer().render()

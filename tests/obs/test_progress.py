@@ -1,0 +1,75 @@
+"""Unit tests for the progress hook and display."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import progress
+from repro.obs.progress import ProgressDisplay
+
+
+class TestHook:
+    def test_notify_reaches_active_hook(self):
+        seen = []
+        progress.activate(lambda *a: seen.append(a))
+        try:
+            progress.notify("start", "k1", "task one")
+        finally:
+            progress.deactivate()
+        assert seen == [("start", "k1", "task one")]
+
+    def test_notify_without_hook_is_noop(self):
+        assert progress.active_hook() is None
+        progress.notify("start", "k", "d")  # must not raise
+
+    def test_deactivate_clears(self):
+        progress.activate(lambda *a: None)
+        progress.deactivate()
+        assert progress.active_hook() is None
+
+
+class TestProgressDisplay:
+    def test_counters_through_lifecycle(self):
+        d = ProgressDisplay(total=3, stream=io.StringIO())
+        d.on_task_event("hit", "a", "cached task")
+        d.on_task_event("start", "b", "task b")
+        assert d.running == 1
+        d.on_task_event("finish", "b", "task b")
+        d.on_task_event("start", "c", "task c")
+        d.on_task_event("fail", "c", "task c")
+        assert d.hits == 1
+        assert d.computed == 1
+        assert d.failed == 1
+        assert d.running == 0
+        assert d.done == 3
+
+    def test_render_line_content(self):
+        stream = io.StringIO()
+        d = ProgressDisplay(total=2, stream=stream, label="sweep")
+        d.on_task_event("start", "a", "GS rho=0.4")
+        d.on_task_event("finish", "a", "GS rho=0.4")
+        out = stream.getvalue()
+        assert "\r" in out
+        assert "sweep" in out
+        assert "[1/2]" in out
+        assert "computed 1" in out
+        assert "GS rho=0.4" in out
+
+    def test_close_terminates_line_once(self):
+        stream = io.StringIO()
+        d = ProgressDisplay(stream=stream)
+        d.render()
+        d.close()
+        d.close()
+        assert stream.getvalue().count("\n") == 1
+
+    def test_close_without_render_writes_nothing(self):
+        stream = io.StringIO()
+        ProgressDisplay(stream=stream).close()
+        assert stream.getvalue() == ""
+
+    def test_total_unknown_renders_bare_count(self):
+        stream = io.StringIO()
+        d = ProgressDisplay(stream=stream)
+        d.on_task_event("hit", "a", "")
+        assert "[1]" in stream.getvalue()

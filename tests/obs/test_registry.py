@@ -1,0 +1,84 @@
+"""Unit tests for the metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = Gauge("level")
+        g.set(3.5)
+        g.add(-1.0)
+        assert g.value == 2.5
+
+    def test_histogram_aggregates(self):
+        h = Histogram("wall")
+        for v in (2.0, 1.0, 4.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 7.0
+        assert h.minimum == 1.0
+        assert h.maximum == 4.0
+        assert h.mean == pytest.approx(7.0 / 3)
+
+    def test_empty_histogram_summary_is_null(self):
+        s = Histogram("wall").summary()
+        assert s == {"count": 0, "sum": 0.0, "min": None, "max": None,
+                     "mean": None}
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_snapshot_shape_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc(2)
+        reg.counter("a").inc(1)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(2.0)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["counters"] == {"a": 1, "z": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_counts_with_prefix(self):
+        reg = MetricsRegistry()
+        reg.merge_counts({"local-0": 3, "local-1": 1},
+                         prefix="queue.disables.")
+        reg.merge_counts({"local-0": 2}, prefix="queue.disables.")
+        assert reg.counter("queue.disables.local-0").value == 5
+        assert reg.counter("queue.disables.local-1").value == 1
+
+    def test_merge_counts_skips_non_numeric_and_negative(self):
+        reg = MetricsRegistry()
+        reg.merge_counts({"ok": 1, "bad": "x", "neg": -2, "none": None})
+        assert reg.snapshot()["counters"] == {"ok": 1}
+        reg.merge_counts(None)  # no-op
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {},
+                                  "histograms": {}}

@@ -63,3 +63,82 @@ def test_filter_records_helper():
     tr.emit(2.0, "x", v=2)
     late = filter_records(tr.records, lambda r: r.time > 1.5)
     assert [r.payload["v"] for r in late] == [2]
+
+
+def test_ring_mode_keeps_newest():
+    tr = Tracer(limit=2, mode="ring")
+    for t in range(5):
+        tr.emit(float(t), "x", n=t)
+    assert [r.payload["n"] for r in tr] == [3, 4]
+    assert tr.dropped == 3
+
+
+def test_head_mode_keeps_oldest():
+    tr = Tracer(limit=2, mode="head")
+    for t in range(5):
+        tr.emit(float(t), "x", n=t)
+    assert [r.payload["n"] for r in tr] == [0, 1]
+    assert tr.dropped == 3
+
+
+def test_invalid_mode_rejected():
+    import pytest
+
+    with pytest.raises(ValueError, match="mode"):
+        Tracer(mode="tail")
+
+
+def test_filtered_counter_separate_from_dropped():
+    tr = Tracer(kinds={"keep"}, limit=1)
+    tr.emit(1.0, "skip")
+    tr.emit(2.0, "keep")
+    tr.emit(3.0, "keep")
+    tr.emit(4.0, "skip")
+    assert tr.filtered == 2
+    assert tr.dropped == 1
+    assert len(tr) == 1
+
+
+def test_repr_distinguishes_dropped_and_filtered():
+    tr = Tracer(kinds={"keep"}, limit=1)
+    tr.emit(1.0, "skip")
+    tr.emit(2.0, "keep")
+    tr.emit(3.0, "keep")
+    text = repr(tr)
+    assert "dropped=1" in text
+    assert "filtered=1" in text
+
+
+def test_clear_resets_filtered():
+    tr = Tracer(kinds={"keep"})
+    tr.emit(1.0, "skip")
+    assert tr.filtered == 1
+    tr.clear()
+    assert tr.filtered == 0
+
+
+def test_sink_sees_full_flow_past_the_cap():
+    seen = []
+    tr = Tracer(limit=1, sink=seen.append)
+    tr.emit(1.0, "x")
+    tr.emit(2.0, "x")
+    tr.emit(3.0, "x")
+    assert len(tr) == 1
+    assert [r.time for r in seen] == [1.0, 2.0, 3.0]
+
+
+def test_sink_not_called_for_filtered_kinds():
+    seen = []
+    tr = Tracer(kinds={"keep"}, sink=seen.append)
+    tr.emit(1.0, "skip")
+    tr.emit(2.0, "keep")
+    assert [r.kind for r in seen] == ["keep"]
+
+
+def test_null_tracer_zero_storage_and_counters():
+    tr = NullTracer()
+    for t in range(100):
+        tr.emit(float(t), "x", heavy=list(range(10)))
+    assert len(tr) == 0
+    assert tr.dropped == 0
+    assert tr.filtered == 0

@@ -188,3 +188,132 @@ class TestExperimentCommand:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+
+class TestObsFlags:
+    def test_obs_flag_bridges_environment(self, tmp_path, monkeypatch,
+                                          capsys):
+        import os
+
+        from repro.obs.gate import OBS_DIR_ENV, OBS_ENV
+
+        root = tmp_path / "obs"
+        monkeypatch.setenv(OBS_DIR_ENV, str(root))
+        monkeypatch.delenv(OBS_ENV, raising=False)
+        rc = main([
+            "sweep", "--policy", "LS", "--grid", "0.4:0.4:0.1",
+            "--warmup", "50", "--measured", "100", "--obs",
+        ])
+        assert rc == 0
+        assert OBS_ENV not in os.environ, "flag leaked past the command"
+        manifests = list((root / "manifests").glob("*/*.json"))
+        assert len(manifests) == 1
+
+    def test_progress_renders_status_line(self, capsys):
+        rc = main([
+            "sweep", "--policy", "GS", "--grid", "0.3:0.4:0.1",
+            "--warmup", "50", "--measured", "100", "--progress",
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "sweep GS" in err
+        assert "computed" in err
+        assert "phase timers:" in err
+        assert "simulate" in err
+
+    def test_profile_prints_hotspots(self, capsys):
+        rc = main([
+            "sweep", "--policy", "GS", "--grid", "0.3:0.3:0.1",
+            "--warmup", "50", "--measured", "100", "--profile",
+        ])
+        assert rc == 0
+        assert "cumulative time" in capsys.readouterr().out
+
+
+class TestObsCommands:
+    def _sweep_with_obs(self, monkeypatch, root):
+        from repro.obs.gate import OBS_DIR_ENV
+
+        monkeypatch.setenv(OBS_DIR_ENV, str(root))
+        rc = main([
+            "sweep", "--policy", "LS", "--grid", "0.4:0.4:0.1",
+            "--warmup", "50", "--measured", "100", "--obs",
+        ])
+        assert rc == 0
+
+    def test_summary_aggregates_manifests(self, tmp_path, monkeypatch,
+                                          capsys):
+        root = tmp_path / "obs"
+        self._sweep_with_obs(monkeypatch, root)
+        capsys.readouterr()
+        rc = main(["obs", "summary", "--dir", str(root)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "manifests          1" in out
+        assert "computed=1" in out
+        assert "placement_attempts" in out
+
+    def test_summary_empty_root_fails(self, tmp_path, capsys):
+        rc = main(["obs", "summary", "--dir", str(tmp_path / "none")])
+        assert rc == 1
+        assert "no manifests" in capsys.readouterr().out
+
+    def test_summary_of_event_log(self, tmp_path, monkeypatch, capsys):
+        root = tmp_path / "obs"
+        self._sweep_with_obs(monkeypatch, root)
+        capsys.readouterr()
+        (log,) = (root / "events").glob("*/*.jsonl")
+        rc = main(["obs", "summary", "--log", str(log)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro.obs/events/1" in out
+        assert "queue_disable" in out
+
+    def test_tail_prints_last_events(self, tmp_path, monkeypatch,
+                                     capsys):
+        import json
+
+        root = tmp_path / "obs"
+        self._sweep_with_obs(monkeypatch, root)
+        capsys.readouterr()
+        (log,) = (root / "events").glob("*/*.jsonl")
+        rc = main(["obs", "tail", str(log), "-n", "3"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert all("kind" in json.loads(line) for line in lines)
+
+    def test_tail_missing_log_fails(self, tmp_path, capsys):
+        rc = main(["obs", "tail", str(tmp_path / "nope.jsonl")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_manifest_by_key_prefix(self, tmp_path, monkeypatch,
+                                    capsys):
+        import json
+
+        root = tmp_path / "obs"
+        self._sweep_with_obs(monkeypatch, root)
+        capsys.readouterr()
+        (path,) = (root / "manifests").glob("*/*.json")
+        key = path.stem
+        rc = main(["obs", "manifest", key[:10], "--dir", str(root)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["key"] == key
+        assert payload["cache_status"] == "computed"
+
+    def test_manifest_unknown_key_fails(self, tmp_path, capsys):
+        rc = main(["obs", "manifest", "deadbeef",
+                   "--dir", str(tmp_path)])
+        assert rc == 1
+
+    def test_profile_command(self, capsys):
+        rc = main([
+            "obs", "profile", "--policy", "GS", "--warmup", "20",
+            "--measured", "50", "--utilization", "0.3", "--top", "5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profiled GS" in out
+        assert "cumulative time" in out

@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.core",
     "repro.metrics",
     "repro.analysis",
+    "repro.obs",
     "repro.lint",
     "repro.cli",
 ]
