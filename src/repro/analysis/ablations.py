@@ -296,10 +296,10 @@ def _backlog_with_factory(policy_factory, config: SimulationConfig,
     )
     for _ in range(60):
         system.submit(factory.next_job())
-    while system.jobs_finished < scale.backlog_warmup:
-        system.sim.step()
+    system.sim.run_while(
+        lambda: system.jobs_finished < scale.backlog_warmup
+    )
     system.metrics.reset(system.sim.now)
     target = scale.backlog_warmup + scale.backlog_measured
-    while system.jobs_finished < target:
-        system.sim.step()
+    system.sim.run_while(lambda: system.jobs_finished < target)
     return system.metrics.gross_utilization(system.sim.now)

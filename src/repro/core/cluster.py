@@ -12,7 +12,7 @@ go to is decided by the placement module and the scheduling policies.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 __all__ = ["Cluster", "Multicluster", "AllocationError"]
 
@@ -34,7 +34,7 @@ class Cluster:
         Currently idle processors.
     """
 
-    __slots__ = ("index", "capacity", "free")
+    __slots__ = ("index", "capacity", "free", "_view")
 
     def __init__(self, index: int, capacity: int) -> None:
         if capacity < 1:
@@ -42,6 +42,10 @@ class Cluster:
         self.index = index
         self.capacity = capacity
         self.free = capacity
+        #: Back-reference to the owning multicluster's live free array
+        #: (kept in sync by allocate/release); None for a standalone
+        #: cluster.
+        self._view: Optional[list[int]] = None
 
     @property
     def busy(self) -> int:
@@ -61,6 +65,8 @@ class Cluster:
                 f"cluster {self.index}: requested {procs}, free {self.free}"
             )
         self.free -= procs
+        if self._view is not None:
+            self._view[self.index] = self.free
 
     def release(self, procs: int) -> None:
         """Return ``procs`` processors; raises on over-release."""
@@ -72,6 +78,8 @@ class Cluster:
                 f"capacity ({self.free} free of {self.capacity})"
             )
         self.free += procs
+        if self._view is not None:
+            self._view[self.index] = self.free
 
     def __repr__(self) -> str:
         return f"<Cluster {self.index}: {self.busy}/{self.capacity} busy>"
@@ -87,6 +95,11 @@ class Multicluster:
             Cluster(i, c) for i, c in enumerate(capacities)
         )
         self.total_capacity = sum(c.capacity for c in self.clusters)
+        # Incrementally maintained idle counts: every allocate/release
+        # updates one slot, so placement never rebuilds a free list.
+        self._free_view = [c.free for c in self.clusters]
+        for cluster in self.clusters:
+            cluster._view = self._free_view
 
     @classmethod
     def homogeneous(cls, num_clusters: int, cluster_size: int
@@ -106,16 +119,27 @@ class Multicluster:
     @property
     def total_free(self) -> int:
         """Idle processors across all clusters."""
-        return sum(c.free for c in self.clusters)
+        return sum(self._free_view)
 
     @property
     def total_busy(self) -> int:
         """Allocated processors across all clusters."""
         return self.total_capacity - self.total_free
 
+    @property
+    def free_view(self) -> list[int]:
+        """Live per-cluster idle counts (the placement hot-path input).
+
+        Maintained incrementally by :meth:`Cluster.allocate` /
+        :meth:`Cluster.release`.  **Read-only by contract**: callers that
+        want to mutate (e.g. backfilling what-if scans) must copy via
+        :meth:`free_list`.
+        """
+        return self._free_view
+
     def free_list(self) -> list[int]:
         """Idle processor counts per cluster (a placement-input snapshot)."""
-        return [c.free for c in self.clusters]
+        return list(self._free_view)
 
     def allocate(self, assignment: Iterable[tuple[int, int]]) -> None:
         """Allocate an (cluster index, processors) assignment atomically.

@@ -34,11 +34,18 @@ PlacementRule = Callable[
 ]
 
 
-def _greedy(components: Sequence[int], free: Sequence[int],
-            choose: Callable[[list[tuple[int, int]]], tuple[int, int]],
-            ) -> Optional[tuple[tuple[int, int], ...]]:
-    """Greedy placement: components in decreasing size order, each on a
-    distinct cluster selected by ``choose`` from the feasible candidates."""
+def _greedy_reference(
+        components: Sequence[int], free: Sequence[int],
+        choose: Callable[[list[tuple[int, int]]], tuple[int, int]],
+        ) -> Optional[tuple[tuple[int, int], ...]]:
+    """Reference greedy placement, kept as the oracle for the fast kernels.
+
+    Components in decreasing size order, each on a distinct cluster
+    selected by ``choose`` from the feasible candidates.  This is the
+    original (allocating) implementation; the exported rules below are
+    equivalence-tested against it and the hot-path benchmark uses it as
+    the A/B baseline.
+    """
     if len(components) > len(free):
         return None
     ordered = sorted(components, reverse=True)
@@ -54,26 +61,132 @@ def _greedy(components: Sequence[int], free: Sequence[int],
     return tuple(assignment)
 
 
+def _worst_fit_reference(components: Sequence[int], free: Sequence[int]
+                         ) -> Optional[tuple[tuple[int, int], ...]]:
+    return _greedy_reference(
+        components, free,
+        choose=lambda cands: max(cands, key=lambda c: (c[1], -c[0])),
+    )
+
+
+def _first_fit_reference(components: Sequence[int], free: Sequence[int]
+                         ) -> Optional[tuple[tuple[int, int], ...]]:
+    return _greedy_reference(
+        components, free,
+        choose=lambda cands: min(cands, key=lambda c: c[0]),
+    )
+
+
+def _best_fit_reference(components: Sequence[int], free: Sequence[int]
+                        ) -> Optional[tuple[tuple[int, int], ...]]:
+    return _greedy_reference(
+        components, free,
+        choose=lambda cands: min(cands, key=lambda c: (c[1], c[0])),
+    )
+
+
+#: Reference (oracle) implementations by rule name — tests and the
+#: hot-path benchmark compare the fast kernels against these.
+REFERENCE_RULES: dict[str, PlacementRule] = {
+    "worst-fit": _worst_fit_reference,
+    "first-fit": _first_fit_reference,
+    "best-fit": _best_fit_reference,
+}
+
+
+def _ordered(components: Sequence[int]) -> Sequence[int]:
+    """``components`` in non-increasing order, without copying when the
+    input is already sorted (``JobSpec.components`` always is)."""
+    for i in range(len(components) - 1):
+        if components[i] < components[i + 1]:
+            return sorted(components, reverse=True)
+    return components
+
+
+#: Shared scratch for the multi-component kernels (grown on demand).
+#: Placement never re-enters itself and the simulator is single-threaded,
+#: so one module-level buffer removes the per-attempt list allocations of
+#: the reference implementation.
+_scratch: list[int] = []
+
+
+def _fill_scratch(free: Sequence[int], n: int) -> list[int]:
+    scratch = _scratch
+    if len(scratch) < n:
+        scratch.extend(0 for _ in range(n - len(scratch)))
+    for idx in range(n):
+        scratch[idx] = free[idx]
+    return scratch
+
+
 def worst_fit(components: Sequence[int], free: Sequence[int]
               ) -> Optional[tuple[tuple[int, int], ...]]:
     """Worst Fit: each component goes to the emptiest feasible cluster.
 
     Ties break toward the lowest cluster index (deterministic).
     """
-    return _greedy(
-        components, free,
-        choose=lambda cands: max(cands, key=lambda c: (c[1], -c[0])),
-    )
+    n = len(free)
+    k = len(components)
+    if k > n:
+        return None
+    if k == 1:
+        # The dominant case (single-component jobs): one linear scan,
+        # no scratch.  ``f > comp - 1`` folds feasibility (f >= comp)
+        # into the running-maximum test; strict ``>`` keeps the lowest
+        # index on ties, matching max(key=(free, -index)).
+        comp = components[0]
+        best_idx = -1
+        best = comp - 1
+        for idx in range(n):
+            f = free[idx]
+            if f > best:
+                best = f
+                best_idx = idx
+        if best_idx < 0:
+            return None
+        return ((best_idx, comp),)
+    scratch = _fill_scratch(free, n)
+    assignment: list[tuple[int, int]] = []
+    for comp in _ordered(components):
+        best_idx = -1
+        best = comp - 1
+        for idx in range(n):
+            f = scratch[idx]
+            if f > best:
+                best = f
+                best_idx = idx
+        if best_idx < 0:
+            return None
+        scratch[best_idx] = -1  # distinct clusters: mark used
+        assignment.append((best_idx, comp))
+    return tuple(assignment)
 
 
 def first_fit(components: Sequence[int], free: Sequence[int]
               ) -> Optional[tuple[tuple[int, int], ...]]:
     """First Fit: each component goes to the lowest-indexed feasible
     cluster (ablation alternative)."""
-    return _greedy(
-        components, free,
-        choose=lambda cands: min(cands, key=lambda c: c[0]),
-    )
+    n = len(free)
+    k = len(components)
+    if k > n:
+        return None
+    if k == 1:
+        comp = components[0]
+        for idx in range(n):
+            if free[idx] >= comp:
+                return ((idx, comp),)
+        return None
+    scratch = _fill_scratch(free, n)
+    assignment: list[tuple[int, int]] = []
+    for comp in _ordered(components):
+        for idx in range(n):
+            if scratch[idx] >= comp:
+                scratch[idx] = -1  # distinct clusters: mark used
+                assignment.append((idx, comp))
+                break
+        else:
+            return None
+    return tuple(assignment)
 
 
 def best_fit(components: Sequence[int], free: Sequence[int]
@@ -81,10 +194,39 @@ def best_fit(components: Sequence[int], free: Sequence[int]
     """Best Fit: each component goes to the feasible cluster with the
     least free space (ablation alternative).  Ties break toward the
     lowest index."""
-    return _greedy(
-        components, free,
-        choose=lambda cands: min(cands, key=lambda c: (c[1], c[0])),
-    )
+    n = len(free)
+    k = len(components)
+    if k > n:
+        return None
+    if k == 1:
+        comp = components[0]
+        best_idx = -1
+        best = -1
+        for idx in range(n):
+            f = free[idx]
+            # Strict ``<`` keeps the lowest index on ties, matching
+            # min(key=(free, index)).
+            if f >= comp and (best_idx < 0 or f < best):
+                best = f
+                best_idx = idx
+        if best_idx < 0:
+            return None
+        return ((best_idx, comp),)
+    scratch = _fill_scratch(free, n)
+    assignment: list[tuple[int, int]] = []
+    for comp in _ordered(components):
+        best_idx = -1
+        best = -1
+        for idx in range(n):
+            f = scratch[idx]
+            if f >= comp and (best_idx < 0 or f < best):
+                best = f
+                best_idx = idx
+        if best_idx < 0:
+            return None
+        scratch[best_idx] = -1  # distinct clusters: mark used
+        assignment.append((best_idx, comp))
+    return tuple(assignment)
 
 
 #: Registry used by configuration and the ablation benchmark.

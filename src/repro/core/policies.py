@@ -83,7 +83,10 @@ class Policy:
 
     @property
     def _free(self) -> list[int]:
-        return self.system.multicluster.free_list()
+        # The live, incrementally maintained idle-count array — NOT a
+        # snapshot.  Placement rules only read it; anything that wants
+        # to mutate must copy (see Multicluster.free_view).
+        return self.system.multicluster.free_view
 
     @property
     def _placement_rule(self) -> PlacementRule:
@@ -201,7 +204,8 @@ class LSPolicy(Policy):
     def __init__(self, system: "MulticlusterSimulation") -> None:
         super().__init__(system)
         n = len(system.multicluster)
-        self.local_queues = [JobQueue(f"local-{i}") for i in range(n)]
+        self.local_queues = [JobQueue(f"local-{i}", index=i)
+                             for i in range(n)]
         self.ring = QueueRing(self.local_queues,
                               observer=self._queue_event)
 
@@ -236,8 +240,7 @@ class LSPolicy(Policy):
                 if not queue.enabled or not queue:
                     continue
                 head = queue.head
-                index = self.local_queues.index(queue)
-                assignment = self._try_fit(index, head)
+                assignment = self._try_fit(queue.index, head)
                 self._note_placement(head, queue, assignment)
                 if assignment is None:
                     self.ring.disable(queue)
@@ -264,7 +267,8 @@ class LPPolicy(Policy):
     def __init__(self, system: "MulticlusterSimulation") -> None:
         super().__init__(system)
         n = len(system.multicluster)
-        self.local_queues = [JobQueue(f"local-{i}") for i in range(n)]
+        self.local_queues = [JobQueue(f"local-{i}", index=i)
+                             for i in range(n)]
         self.global_queue = JobQueue("global", is_global=True)
         self.ring = QueueRing([self.global_queue] + self.local_queues,
                               observer=self._queue_event)
@@ -303,7 +307,7 @@ class LPPolicy(Policy):
         if queue.is_global:
             return place_components(job.components, self._free,
                                     self._placement_rule)
-        index = self.local_queues.index(queue)
+        index = queue.index
         if self.system.multicluster[index].free >= job.size:
             return ((index, job.size),)
         return None

@@ -32,14 +32,20 @@ class JobQueue:
     is_global:
         Marks the global queue of the LP policy (affects eligibility and
         metric attribution).
+    index:
+        Position of this queue in its policy's local-queue list (0 for
+        global/standalone queues).  Precomputed so the scheduling hot
+        path never scans ``local_queues.index(queue)``.
     """
 
-    __slots__ = ("name", "is_global", "enabled", "_jobs", "total_enqueued",
-                 "times_disabled")
+    __slots__ = ("name", "is_global", "index", "enabled", "_jobs",
+                 "total_enqueued", "times_disabled")
 
-    def __init__(self, name: str, *, is_global: bool = False) -> None:
+    def __init__(self, name: str, *, is_global: bool = False,
+                 index: int = 0) -> None:
         self.name = name
         self.is_global = is_global
+        self.index = index
         self.enabled = True
         self._jobs: deque["Job"] = deque()
         self.total_enqueued = 0

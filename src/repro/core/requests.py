@@ -69,12 +69,19 @@ def _place_flexible(total: int, free: Sequence[int]
 
 def _place_total(total: int, free: Sequence[int]
                  ) -> Optional[tuple[tuple[int, int], ...]]:
-    candidates = [i for i, f in enumerate(free) if f >= total]
-    if not candidates:
+    # Worst Fit among single clusters: one scan, feasibility folded into
+    # the running maximum (f > total - 1 == f >= total); strict ``>``
+    # keeps the lowest index on ties, matching max(key=(free, -index)).
+    best_idx = -1
+    best = total - 1
+    for idx in range(len(free)):
+        f = free[idx]
+        if f > best:
+            best = f
+            best_idx = idx
+    if best_idx < 0:
         return None
-    # Worst Fit among single clusters.
-    idx = max(candidates, key=lambda i: (free[i], -i))
-    return ((idx, total),)
+    return ((best_idx, total),)
 
 
 def try_place(request_type: RequestType, components: Sequence[int],

@@ -59,6 +59,12 @@ class MulticlusterSimulation:
         Placement-rule name or callable (default Worst Fit).
     tracer:
         Optional event tracer for debugging/tests.
+    direct_departures:
+        When True (default) departures are scheduled as lightweight
+        :meth:`~repro.sim.engine.Simulator.defer` callbacks; False uses
+        the original per-job ``Timeout`` event.  Both paths are
+        event-sequence identical — the flag exists so the equivalence
+        tests and the hot-path benchmark can compare them.
     """
 
     def __init__(self,
@@ -68,7 +74,8 @@ class MulticlusterSimulation:
                  placement: "str | PlacementRule" = "worst-fit",
                  batch_size: int = 500,
                  tracer: Optional[Tracer] = None,
-                 sim: Optional[Simulator] = None) -> None:
+                 sim: Optional[Simulator] = None,
+                 direct_departures: bool = True) -> None:
         if capacities is None:
             capacities = [stats_model.CLUSTER_SIZE] * stats_model.NUM_CLUSTERS
         self.sim = sim if sim is not None else Simulator()
@@ -89,6 +96,9 @@ class MulticlusterSimulation:
         self.on_departure_hook: Optional[Callable[[Job], None]] = None
         self.jobs_started = 0
         self.jobs_finished = 0
+        self._direct_departures = direct_departures
+        # One tuple shared by every deferred departure (see start_job).
+        self._departure_callbacks = (self._departure_callback,)
 
     # -- job flow ---------------------------------------------------------------
 
@@ -117,8 +127,16 @@ class MulticlusterSimulation:
             self.tracer.emit_row({"t": now, "kind": "start",
                                   "job": job.spec.index,
                                   "assignment": job.placement})
-        departure = self.sim.timeout(job.gross_service_time, value=job)
-        departure.callbacks.append(self._departure_callback)
+        if self._direct_departures:
+            # Fast path: one calendar push carrying the job, no Timeout
+            # object or per-job callback list.  Same scheduling sequence
+            # number and rank as the Timeout below, so event order and
+            # the events_scheduled counter are unchanged.
+            self.sim.defer(job.gross_service_time,
+                           self._departure_callbacks, job)
+        else:
+            departure = self.sim.timeout(job.gross_service_time, value=job)
+            departure.callbacks.append(self._departure_callback)
 
     def _departure_callback(self, event) -> None:
         job: Job = event.value
@@ -269,15 +287,16 @@ def run_open_system(config: SimulationConfig, size_distribution: Distribution,
     )
 
     # Warmup: run until `warmup_jobs` completions, then reset statistics.
+    # run_while fuses the predicate check and the heap pop into one
+    # loop (and stops cleanly if the calendar ever drains), replacing
+    # the per-event peek()-against-inf guard.
     warmup_target = config.warmup_jobs
-    while system.jobs_finished < warmup_target and sim.peek() != float("inf"):
-        sim.step()
+    sim.run_while(lambda: system.jobs_finished < warmup_target)
     system.metrics.reset(sim.now)
     backlog_at_reset = system.policy.pending_jobs()
 
     total_target = config.warmup_jobs + config.measured_jobs
-    while system.jobs_finished < total_target and sim.peek() != float("inf"):
-        sim.step()
+    sim.run_while(lambda: system.jobs_finished < total_target)
 
     backlog_at_end = system.policy.pending_jobs()
     saturated = backlog_at_end > max(50, 3 * backlog_at_reset + 20)
@@ -338,10 +357,11 @@ def run_constant_backlog(config: SimulationConfig,
     for _ in range(backlog):
         system.submit(factory.next_job())
 
-    while system.jobs_finished < warmup_jobs:
-        sim.step()
+    # run_while stops cleanly when the calendar drains, so a model bug
+    # (refill failing to keep the schedule populated) ends the run with
+    # a truncated report instead of an EmptySchedule crash mid-loop.
+    sim.run_while(lambda: system.jobs_finished < warmup_jobs)
     system.metrics.reset(sim.now)
     target = warmup_jobs + measured_jobs
-    while system.jobs_finished < target:
-        sim.step()
+    sim.run_while(lambda: system.jobs_finished < target)
     return system.metrics.report(sim.now)

@@ -99,6 +99,11 @@ class CalendarQueue(EventList):
         self._buckets: list[list[Entry]] = [
             [] for _ in range(self._nbuckets)
         ]
+        # Per-bucket head cursor: bucket[i] entries before _heads[i] have
+        # already been dequeued.  Popping advances the cursor instead of
+        # shifting the whole list (the old ``bucket.pop(0)`` was O(n) per
+        # dequeue); the dead prefix is compacted once it dominates.
+        self._heads: list[int] = [0] * self._nbuckets
         self._size = 0
         self._last_time = 0.0      # dequeue clock (monotone)
         self._current = 0          # bucket cursor
@@ -109,11 +114,27 @@ class CalendarQueue(EventList):
     def _bucket_of(self, t: float) -> int:
         return int(t / self._width) % self._nbuckets
 
+    def _take(self, index: int, head: int) -> Entry:
+        """Dequeue the head entry of bucket ``index`` (cursor at ``head``)."""
+        bucket = self._buckets[index]
+        entry = bucket[head]
+        head += 1
+        if head >= 16 and head * 2 >= len(bucket):
+            # Amortised O(1): each compaction moves at most as many
+            # live entries as were dequeued since the last one.
+            del bucket[:head]
+            head = 0
+        self._heads[index] = head
+        self._size -= 1
+        self._last_time = entry[0]
+        return entry
+
     def push(self, entry: Entry) -> None:
-        bucket = self._buckets[self._bucket_of(entry[0])]
-        # Insertion keeps each bucket sorted (buckets stay short when
-        # the width is right, so linear insertion is cheap).
-        lo, hi = 0, len(bucket)
+        index = self._bucket_of(entry[0])
+        bucket = self._buckets[index]
+        # Insertion keeps the live tail of each bucket sorted (buckets
+        # stay short when the width is right, so insertion is cheap).
+        lo, hi = self._heads[index], len(bucket)
         while lo < hi:
             mid = (lo + hi) // 2
             if bucket[mid] < entry:
@@ -138,11 +159,11 @@ class CalendarQueue(EventList):
         # falls inside the current "year"; wrap with year advance.
         scanned = 0
         while True:
-            bucket = self._buckets[self._current]
-            if bucket and bucket[0][0] < self._bucket_top:
-                entry = bucket.pop(0)
-                self._size -= 1
-                self._last_time = entry[0]
+            index = self._current
+            bucket = self._buckets[index]
+            head = self._heads[index]
+            if head < len(bucket) and bucket[head][0] < self._bucket_top:
+                entry = self._take(index, head)
                 if (self._size < self._nbuckets // 2
                         and self._nbuckets > self._MIN_BUCKETS):
                     self._resize(self._nbuckets // 2)
@@ -154,19 +175,21 @@ class CalendarQueue(EventList):
                 # A full year without a hit: jump straight to the
                 # earliest event (direct search), then realign.
                 entry = min(
-                    (b[0] for b in self._buckets if b),
+                    b[h] for b, h in zip(self._buckets, self._heads)
+                    if h < len(b)
                 )
-                bucket = self._buckets[self._bucket_of(entry[0])]
-                bucket.pop(0)
-                self._size -= 1
-                self._last_time = entry[0]
+                index = self._bucket_of(entry[0])
+                self._take(index, self._heads[index])
                 self._realign(entry[0])
                 return entry
 
     def peek_time(self) -> Optional[float]:
         if self._size == 0:
             return None
-        return min(b[0][0] for b in self._buckets if b)
+        return min(
+            b[h][0] for b, h in zip(self._buckets, self._heads)
+            if h < len(b)
+        )
 
     def _realign(self, time: float) -> None:
         self._current = self._bucket_of(time)
@@ -175,7 +198,9 @@ class CalendarQueue(EventList):
         )
 
     def _resize(self, nbuckets: int) -> None:
-        entries = [e for b in self._buckets for e in b]
+        entries = [
+            e for b, h in zip(self._buckets, self._heads) for e in b[h:]
+        ]
         entries.sort()
         # Re-estimate the width from the spacing of the next events.
         if len(entries) >= 2:
@@ -188,6 +213,7 @@ class CalendarQueue(EventList):
                 self._width = max(3.0 * sum(gaps) / len(gaps), 1e-9)
         self._nbuckets = max(self._MIN_BUCKETS, nbuckets)
         self._buckets = [[] for _ in range(self._nbuckets)]
+        self._heads = [0] * self._nbuckets
         self._size = 0
         for e in entries:
             self.push(e)

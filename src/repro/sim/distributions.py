@@ -40,6 +40,14 @@ __all__ = [
 class Distribution:
     """Interface for one-dimensional random variates."""
 
+    #: True when ``sample_array(rng, n)`` consumes the generator's bit
+    #: stream exactly like ``n`` successive ``sample(rng)`` calls, so
+    #: callers may prefetch blocks without changing the draw sequence.
+    #: Conservatively False by default: rejection sampling, interleaved
+    #: multi-draw schemes (mixtures, hyperexponentials) and any
+    #: vectorisation that reorders consumption must not be batched.
+    block_equivalent: bool = False
+
     def sample(self, rng: np.random.Generator) -> float:
         """Draw one variate."""
         raise NotImplementedError
@@ -70,6 +78,8 @@ class Distribution:
 class Deterministic(Distribution):
     """Always returns ``value`` — handy for tests and sensitivity studies."""
 
+    block_equivalent = True
+
     def __init__(self, value: float) -> None:
         self.value = float(value)
 
@@ -97,6 +107,8 @@ class Exponential(Distribution):
     The paper uses exponential interarrival times; the arrival rate is
     ``1 / mean``.
     """
+
+    block_equivalent = True
 
     def __init__(self, mean: float) -> None:
         if mean <= 0:
@@ -129,6 +141,8 @@ class Exponential(Distribution):
 class Uniform(Distribution):
     """Continuous uniform on [low, high)."""
 
+    block_equivalent = True
+
     def __init__(self, low: float, high: float) -> None:
         if high <= low:
             raise ValueError(f"need low < high, got [{low!r}, {high!r})")
@@ -155,6 +169,8 @@ class Uniform(Distribution):
 
 class Erlang(Distribution):
     """Erlang-k distribution with the given mean (CV = 1/sqrt(k) < 1)."""
+
+    block_equivalent = True
 
     def __init__(self, k: int, mean: float) -> None:
         if k < 1:
@@ -218,6 +234,8 @@ class Hyperexponential(Distribution):
 
 class Lognormal(Distribution):
     """Lognormal parameterised by its *arithmetic* mean and CV."""
+
+    block_equivalent = True
 
     def __init__(self, mean: float, cv: float) -> None:
         if mean <= 0 or cv <= 0:
@@ -312,6 +330,8 @@ class Weibull(Distribution):
     tail studies.
     """
 
+    block_equivalent = True
+
     def __init__(self, scale: float, shape: float) -> None:
         if scale <= 0 or shape <= 0:
             raise ValueError("scale and shape must be positive")
@@ -347,6 +367,8 @@ class BoundedPareto(Distribution):
     Downey): P(X > x) ∝ x^-alpha on the bounded support.  Sampling by
     inverse-CDF; moments in closed form.
     """
+
+    block_equivalent = True
 
     def __init__(self, alpha: float, low: float, high: float) -> None:
         if alpha <= 0:
@@ -404,6 +426,8 @@ class DiscreteEmpirical(Distribution):
     values are the observed sizes, weights their observed frequencies.
     Sampling uses a precomputed cumulative table with binary search.
     """
+
+    block_equivalent = True
 
     def __init__(self, values: Sequence[float], weights: Sequence[float]) -> None:
         values = np.asarray(values, dtype=float)
@@ -598,6 +622,9 @@ class Scaled(Distribution):
             raise ValueError(f"factor must be positive, got {factor!r}")
         self.base = base
         self.factor = float(factor)
+        # Scaling is a pure post-transform, so batchability follows the
+        # base distribution.
+        self.block_equivalent = base.block_equivalent
 
     def sample(self, rng: np.random.Generator) -> float:
         return self.factor * self.base.sample(rng)

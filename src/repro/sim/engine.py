@@ -25,11 +25,12 @@ discipline for process-oriented simulation kernels (CSIM, SimPy).
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Iterable, Optional
 
 from .calendar import EventList, HeapEventList
 from .errors import EmptySchedule, SchedulingError, StopSimulation
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import AllOf, AnyOf, Callback, Event, Timeout
 from .process import Process, ProcessGenerator
 
 __all__ = ["Simulator", "Infinity"]
@@ -132,6 +133,27 @@ class Simulator:
         rank = _URGENT if priority else _NORMAL
         self._queue.push((self._now + delay, rank, self._eid, event))
 
+    def defer(self, delay: float,
+              callbacks: "tuple[Callable[[Callback], None], ...]",
+              value: object = None, *, priority: bool = False) -> None:
+        """Schedule a lightweight :class:`Callback` ``delay`` from now.
+
+        The fast path for hot loops that fire a known, fixed set of
+        callbacks (job departures, arrival ticks): one calendar push,
+        no per-occurrence callback-list or event-state allocation.
+        Callers share a single ``callbacks`` tuple across all their
+        occurrences.  Consumes exactly one scheduling sequence number,
+        so event ordering and the :attr:`events_scheduled` counter are
+        identical to scheduling a triggered :class:`Event`.
+        """
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule into the past ({delay!r})")
+        self._eid += 1
+        rank = _URGENT if priority else _NORMAL
+        self._queue.push(
+            (self._now + delay, rank, self._eid, Callback(callbacks, value))
+        )
+
     def call_at(self, time: float, fn: Callable[[], None]) -> Event:
         """Invoke ``fn()`` at absolute simulation time ``time``.
 
@@ -175,6 +197,45 @@ class Simulator:
             # Nobody handled the failure: crash loudly.
             raise event._value  # type: ignore[misc]
 
+    def run_while(self, predicate: Callable[[], bool]) -> bool:
+        """Process events while ``predicate()`` holds and events remain.
+
+        The fused drive loop for count-based stop conditions: instead of
+        the per-event ``while pred() and sim.peek() != inf: sim.step()``
+        pattern — two method calls and a float comparison of bookkeeping
+        per event — the engine checks the predicate and pops the next
+        entry in one flat loop.  For the default :class:`HeapEventList`
+        the heap pop is inlined, skipping the virtual ``EventList.pop``
+        dispatch; any other event list falls back to :meth:`step`.
+
+        ``predicate`` is evaluated *before* each event, exactly like the
+        classic guarded loop, so the processed-event sequence is
+        identical.  Returns ``True`` if the loop stopped because the
+        predicate went false, ``False`` if the calendar drained first.
+        Failed events propagate exactly as from :meth:`step`.
+        """
+        queue = self._queue
+        if type(queue) is HeapEventList:
+            heap = queue._heap
+            pop = heapq.heappop
+            while heap:
+                if not predicate():
+                    return True
+                self._now, _, _, event = pop(heap)
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                self.events_processed += 1
+                for callback in callbacks:  # type: ignore[union-attr]
+                    callback(event)
+                if event._ok is False and not event._defused:
+                    raise event._value  # type: ignore[misc]
+            return False
+        while len(queue):
+            if not predicate():
+                return True
+            self.step()
+        return False
+
     def run(self, until: "float | Event | None" = None) -> object:
         """Run the simulation.
 
@@ -211,8 +272,26 @@ class Simulator:
             self.schedule(stop, delay=horizon - self._now, priority=True)
 
         try:
-            while True:
-                self.step()
+            queue = self._queue
+            if type(queue) is HeapEventList:
+                # Same fused loop as run_while: inline the heap pop and
+                # the step() body for the default event list.
+                heap = queue._heap
+                pop = heapq.heappop
+                while True:
+                    if not heap:
+                        raise EmptySchedule("no more events scheduled")
+                    self._now, _, _, event = pop(heap)
+                    callbacks = event.callbacks
+                    event.callbacks = None  # mark processed
+                    self.events_processed += 1
+                    for callback in callbacks:  # type: ignore[union-attr]
+                        callback(event)
+                    if event._ok is False and not event._defused:
+                        raise event._value  # type: ignore[misc]
+            else:
+                while True:
+                    self.step()
         except StopSimulation as signal:
             return signal.value
         except EmptySchedule:

@@ -25,7 +25,8 @@ from .errors import SchedulingError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .engine import Simulator
 
-__all__ = ["Event", "Timeout", "Condition", "AnyOf", "AllOf", "PENDING"]
+__all__ = ["Event", "Timeout", "Callback", "Condition", "AnyOf", "AllOf",
+           "PENDING"]
 
 
 class _PendingType:
@@ -184,6 +185,44 @@ class Timeout(Event):
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r}>"
+
+
+class Callback:
+    """A pre-armed, always-successful occurrence on the calendar.
+
+    Hot paths (job departures, arrival ticks) schedule hundreds of
+    thousands of one-shot occurrences whose callbacks are fully known at
+    creation time.  A full :class:`Event` pays for a fresh callback
+    list, state flags and triggering machinery per instance; ``Callback``
+    carries a *shared* callback tuple and a value through the engine's
+    ``(time, rank, seq, event)`` calendar protocol with nothing else.
+
+    The engine only requires ``callbacks`` (set to ``None`` after
+    processing), ``_ok`` and ``_defused``; the latter two are class
+    attributes here because a ``Callback`` always succeeds.  Schedule
+    instances with :meth:`repro.sim.engine.Simulator.defer`, which
+    constructs them directly.
+
+    The shared tuple is safe: processing an event replaces only the
+    *instance* ``callbacks`` slot with ``None``, never mutating the
+    tuple itself.
+    """
+
+    __slots__ = ("callbacks", "value")
+
+    _ok = True
+    _defused = False
+
+    def __init__(self,
+                 callbacks: "tuple[Callable[[Callback], None], ...]",
+                 value: object = None) -> None:
+        self.callbacks: "Optional[tuple[Callable[[Callback], None], ...]]" \
+            = callbacks
+        self.value = value
+
+    def __repr__(self) -> str:
+        state = "processed" if self.callbacks is None else "scheduled"
+        return f"<Callback {state} at {id(self):#x}>"
 
 
 class Condition(Event):

@@ -127,8 +127,7 @@ def run_to_precision(config: "SimulationConfig",
                    limit=None,
                    rng=StreamFactory(config.seed).get("arrivals.iat"))
 
-    while system.jobs_finished < config.warmup_jobs:
-        sim.step()
+    sim.run_while(lambda: system.jobs_finished < config.warmup_jobs)
     system.metrics.reset(sim.now)
 
     controller = RunLengthController(
@@ -147,8 +146,7 @@ def run_to_precision(config: "SimulationConfig",
             decision = controller.should_stop()
 
     system.on_departure_hook = on_finish
-    while decision is None:
-        sim.step()
+    sim.run_while(lambda: decision is None)
     # Run metrics report over exactly the controlled window.
     del finished_at_reset
     return system.metrics.report(sim.now), decision

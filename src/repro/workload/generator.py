@@ -33,7 +33,15 @@ from .splitting import split_size
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
 
-__all__ = ["JobSpec", "JobFactory", "ArrivalProcess", "QueueRouter"]
+__all__ = ["JobSpec", "JobFactory", "ArrivalProcess", "QueueRouter",
+           "DEFAULT_DRAW_BATCH"]
+
+#: Default block size for prefetching random draws.  Block draws from a
+#: ``block_equivalent`` distribution consume the generator's bit stream
+#: exactly like successive scalar draws, so any batch size (including 1,
+#: which disables prefetching) yields byte-identical workloads — pinned
+#: by tests/test_determinism.py.
+DEFAULT_DRAW_BATCH = 256
 
 
 @dataclass(frozen=True)
@@ -80,7 +88,8 @@ class QueueRouter:
     """
 
     def __init__(self, weights: Sequence[float],
-                 rng: np.random.Generator):
+                 rng: np.random.Generator,
+                 batch: Optional[int] = None):
         w = np.asarray(weights, dtype=float)
         if w.ndim != 1 or w.size == 0:
             raise ValueError("weights must be a non-empty 1-D sequence")
@@ -90,11 +99,27 @@ class QueueRouter:
         self._cdf = np.cumsum(self.weights)
         self._cdf[-1] = 1.0
         self._rng = rng
+        if batch is None:
+            batch = DEFAULT_DRAW_BATCH
+        self._batch = max(1, int(batch))
+        self._buf = np.empty(0)
+        self._pos = 0
 
     def route(self) -> int:
-        """Pick a queue index."""
-        u = self._rng.random()
-        return int(np.searchsorted(self._cdf, u, side="right"))
+        """Pick a queue index.
+
+        Uniform draws are prefetched in blocks; ``rng.random(n)``
+        consumes the bit stream exactly like ``n`` scalar
+        ``rng.random()`` calls, so the routed sequence is identical for
+        any batch size.
+        """
+        pos = self._pos
+        buf = self._buf
+        if pos >= len(buf):
+            buf = self._buf = self._rng.random(self._batch)
+            pos = 0
+        self._pos = pos + 1
+        return int(np.searchsorted(self._cdf, buf[pos], side="right"))
 
     @property
     def num_queues(self) -> int:
@@ -126,6 +151,11 @@ class JobFactory:
         Size of the submitting-user population; users are assigned with
         Zipf-like activity shares (0 disables the user model — every
         job gets user 0).
+    batch:
+        Block size for prefetched random draws (default
+        :data:`DEFAULT_DRAW_BATCH`); 1 disables prefetching.  Only
+        ``block_equivalent`` distributions are ever batched, so the job
+        stream is byte-identical for every batch size.
     """
 
     def __init__(self,
@@ -136,7 +166,8 @@ class JobFactory:
                  extension_factor: float = stats_model.EXTENSION_FACTOR,
                  routing_weights: Sequence[float] = stats_model.BALANCED_WEIGHTS,
                  streams: Optional[StreamFactory] = None,
-                 num_users: int = 0):
+                 num_users: int = 0,
+                 batch: Optional[int] = None):
         if extension_factor < 1.0:
             raise ValueError(
                 f"extension factor must be >= 1, got {extension_factor!r}"
@@ -149,8 +180,23 @@ class JobFactory:
         streams = streams or StreamFactory(None)
         self._size_rng = streams.get("workload.sizes")
         self._service_rng = streams.get("workload.services")
+        if batch is None:
+            batch = DEFAULT_DRAW_BATCH
+        self._batch = max(1, int(batch))
+        # Prefetch blocks only from distributions whose block draws are
+        # provably stream-equivalent to scalar draws; everything else
+        # (rejection samplers, mixtures) keeps the scalar path.
+        self._batch_sizes = (self._batch > 1
+                             and size_distribution.block_equivalent)
+        self._batch_services = (self._batch > 1
+                                and service_distribution.block_equivalent)
+        self._size_buf = np.empty(0)
+        self._size_pos = 0
+        self._service_buf = np.empty(0)
+        self._service_pos = 0
         self.router = QueueRouter(routing_weights,
-                                  streams.get("workload.routing"))
+                                  streams.get("workload.routing"),
+                                  batch=self._batch)
         self.num_users = int(num_users)
         if self.num_users > 0:
             ranks = np.arange(1, self.num_users + 1, dtype=float)
@@ -176,8 +222,34 @@ class JobFactory:
 
     def next_job(self) -> JobSpec:
         """Sample the next job spec."""
-        size = int(self.size_distribution.sample(self._size_rng))
-        service = float(self.service_distribution.sample(self._service_rng))
+        if self._batch_sizes:
+            pos = self._size_pos
+            buf = self._size_buf
+            if pos >= len(buf):
+                buf = self._size_buf = self.size_distribution.sample_array(
+                    self._size_rng, self._batch
+                )
+                pos = 0
+            self._size_pos = pos + 1
+            size = int(buf[pos])
+        else:
+            size = int(self.size_distribution.sample(self._size_rng))
+        if self._batch_services:
+            pos = self._service_pos
+            buf = self._service_buf
+            if pos >= len(buf):
+                buf = self._service_buf = (
+                    self.service_distribution.sample_array(
+                        self._service_rng, self._batch
+                    )
+                )
+                pos = 0
+            self._service_pos = pos + 1
+            service = float(buf[pos])
+        else:
+            service = float(
+                self.service_distribution.sample(self._service_rng)
+            )
         spec = JobSpec(
             index=self._count,
             size=size,
@@ -242,6 +314,16 @@ class JobFactory:
 class ArrivalProcess:
     """Poisson job source driving a submit callback inside a simulation.
 
+    The source is direct-scheduled: each arrival is one lightweight
+    deferred callback on the calendar, with no generator-process
+    machinery per tick.  The event sequence matches the classic
+    process-based formulation exactly — one urgent initialisation event
+    at time 0, then per tick the job is submitted *before* the next
+    arrival is scheduled.  Interarrival draws are prefetched in blocks
+    (``rng.exponential(mean, n)`` consumes the bit stream exactly like
+    ``n`` scalar draws), so arrival times are byte-identical for any
+    batch size.
+
     Parameters
     ----------
     sim:
@@ -258,12 +340,16 @@ class ArrivalProcess:
         simulation ends).
     rng:
         Random generator for interarrival times.
+    batch:
+        Block size for prefetched interarrival draws (default
+        :data:`DEFAULT_DRAW_BATCH`); 1 disables prefetching.
     """
 
     def __init__(self, sim: "Simulator", factory: JobFactory, rate: float,
                  submit: Callable[[JobSpec], None],
                  limit: Optional[int] = None,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 batch: Optional[int] = None):
         if rate <= 0:
             raise ValueError(f"arrival rate must be positive, got {rate!r}")
         self.sim = sim
@@ -275,11 +361,35 @@ class ArrivalProcess:
         # replayability and common-random-numbers comparisons.
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self.generated = 0
-        self.process = sim.process(self._run(), name="arrivals")
+        self._mean_iat = 1.0 / self.rate
+        if batch is None:
+            batch = DEFAULT_DRAW_BATCH
+        self._batch = max(1, int(batch))
+        self._iat_buf = np.empty(0)
+        self._iat_pos = 0
+        self._tick_callbacks = (self._tick,)
+        # Urgent init event at t=0, mirroring the initialisation event a
+        # process-based source would schedule — the scheduling sequence
+        # numbers of everything that follows are unchanged.
+        sim.defer(0.0, (self._arm,), priority=True)
 
-    def _run(self):
-        mean_iat = 1.0 / self.rate
-        while self.limit is None or self.generated < self.limit:
-            yield self.sim.timeout(float(self._rng.exponential(mean_iat)))
-            self.submit(self.factory.next_job())
-            self.generated += 1
+    def _next_iat(self) -> float:
+        pos = self._iat_pos
+        buf = self._iat_buf
+        if pos >= len(buf):
+            buf = self._iat_buf = self._rng.exponential(
+                self._mean_iat, self._batch
+            )
+            pos = 0
+        self._iat_pos = pos + 1
+        return float(buf[pos])
+
+    def _arm(self, _event: object) -> None:
+        if self.limit is None or self.generated < self.limit:
+            self.sim.defer(self._next_iat(), self._tick_callbacks)
+
+    def _tick(self, _event: object) -> None:
+        self.submit(self.factory.next_job())
+        self.generated += 1
+        if self.limit is None or self.generated < self.limit:
+            self.sim.defer(self._next_iat(), self._tick_callbacks)

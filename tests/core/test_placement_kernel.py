@@ -1,0 +1,75 @@
+"""The allocation-free placement kernels vs the reference greedy.
+
+The hot-path kernels in :mod:`repro.core.placement` (single linear scan
+over a reused scratch array, folded feasibility tests, single-component
+fast path) must make *exactly* the decisions of the original allocating
+implementation — assignments feed the obs event stream and the extras
+counters, so any divergence breaks byte-identity of runs.  Hypothesis
+drives both implementations through the same inputs, including unsorted
+component lists (the kernels skip re-sorting pre-sorted input),
+infeasible requests and degenerate shapes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import PLACEMENT_RULES, REFERENCE_RULES
+
+RULES = sorted(PLACEMENT_RULES)
+
+
+def test_reference_registry_mirrors_rules() -> None:
+    assert sorted(REFERENCE_RULES) == RULES
+
+
+@given(
+    components=st.lists(st.integers(min_value=1, max_value=40),
+                        min_size=0, max_size=6),
+    free=st.lists(st.integers(min_value=0, max_value=40),
+                  min_size=1, max_size=6),
+    rule=st.sampled_from(RULES),
+    presorted=st.booleans(),
+)
+@settings(max_examples=400, deadline=None)
+def test_fast_kernels_match_reference(components, free, rule, presorted):
+    if presorted:
+        components = sorted(components, reverse=True)
+    fast = PLACEMENT_RULES[rule](components, free)
+    reference = REFERENCE_RULES[rule](components, free)
+    assert fast == reference
+
+
+@given(
+    free=st.lists(st.integers(min_value=0, max_value=40),
+                  min_size=1, max_size=6),
+    rule=st.sampled_from(RULES),
+)
+@settings(max_examples=100, deadline=None)
+def test_kernels_do_not_mutate_free(free, rule):
+    # The kernels read the policy's *live* free array; writing to it
+    # would corrupt cluster state.
+    snapshot = list(free)
+    PLACEMENT_RULES[rule]([3, 2], free)
+    PLACEMENT_RULES[rule]([1], free)
+    assert free == snapshot
+
+
+@given(
+    a=st.lists(st.integers(min_value=1, max_value=40),
+               min_size=1, max_size=6),
+    b=st.lists(st.integers(min_value=1, max_value=40),
+               min_size=1, max_size=6),
+    free=st.lists(st.integers(min_value=0, max_value=40),
+                  min_size=1, max_size=6),
+    rule=st.sampled_from(RULES),
+)
+@settings(max_examples=100, deadline=None)
+def test_scratch_reuse_is_stateless_across_calls(a, b, free, rule):
+    # Back-to-back calls share one module-level scratch buffer; the
+    # second call must see none of the first call's markings.
+    fn = PLACEMENT_RULES[rule]
+    expected_b = REFERENCE_RULES[rule](b, free)
+    fn(a, free)
+    assert fn(b, free) == expected_b

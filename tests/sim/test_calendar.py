@@ -124,3 +124,44 @@ def test_simulator_runs_identically_on_both_event_lists():
         return order
 
     assert run(HeapEventList()) == run(CalendarQueue())
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),   # 3 = pop, else push
+            # Coarse grid => many exact time collisions, plus a far
+            # outlier to force year-advance scans and realignment.
+            st.sampled_from([0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 7.25, 1000.0]),
+            st.integers(min_value=0, max_value=1),   # priority rank
+        ),
+        min_size=1, max_size=150,
+    ),
+    width=st.sampled_from([0.25, 1.0, 64.0]),
+    buckets=st.sampled_from([4, 16]),
+)
+@settings(max_examples=120, deadline=None)
+def test_pop_order_matches_heap_under_adversarial_ties(ops, width, buckets):
+    """Same-time/same-rank storms: pop order must equal the heap's.
+
+    The engine's determinism contract is (time, rank, insertion seq)
+    FIFO tie-breaking; this drives both event lists through identical
+    adversarial schedules — heavy timestamp collisions, mixed priority
+    ranks, pushes behind the dequeue clock, resize-triggering bursts —
+    and requires bit-identical pop sequences and peek times throughout.
+    """
+    cal = CalendarQueue(initial_buckets=buckets, initial_width=width)
+    heap = HeapEventList()
+    seq = 0
+    for op, t, rank in ops:
+        if op == 3 and len(heap):
+            assert cal.pop() == heap.pop()
+        else:
+            seq += 1
+            entry = (float(t), rank, seq, f"payload-{seq}")
+            cal.push(entry)
+            heap.push(entry)
+        assert len(cal) == len(heap)
+        assert cal.peek_time() == heap.peek_time()
+    while len(heap):
+        assert cal.pop() == heap.pop()

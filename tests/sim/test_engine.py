@@ -161,3 +161,98 @@ def test_repr_smoke():
     sim = Simulator()
     sim.timeout(1.0)
     assert "pending=1" in repr(sim)
+
+
+def test_run_while_stops_on_predicate():
+    sim = Simulator()
+    seen = []
+    for t in (1.0, 2.0, 3.0, 4.0):
+        ev = sim.timeout(t, value=t)
+        ev.callbacks.append(lambda e: seen.append(e.value))
+    stopped = sim.run_while(lambda: len(seen) < 2)
+    assert stopped is True
+    assert seen == [1.0, 2.0]
+    assert sim.now == 2.0
+    # Remaining events stay on the calendar, resumable.
+    assert sim.run_while(lambda: True) is False
+    assert seen == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_run_while_returns_false_when_calendar_drains():
+    sim = Simulator()
+    sim.timeout(1.0)
+    assert sim.run_while(lambda: True) is False
+    assert sim.events_processed == 1
+    # Draining never raises EmptySchedule, even on an empty calendar.
+    assert sim.run_while(lambda: True) is False
+
+
+def test_run_while_checks_predicate_before_each_event():
+    # Exactly like `while pred() and peek() != inf: step()` — an
+    # already-false predicate processes nothing.
+    sim = Simulator()
+    sim.timeout(1.0)
+    assert sim.run_while(lambda: False) is True
+    assert sim.events_processed == 0
+
+
+def test_run_while_propagates_failed_events():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        sim.run_while(lambda: True)
+
+
+def test_run_while_generic_event_list_fallback():
+    from repro.sim import CalendarQueue
+
+    sim = Simulator(event_list=CalendarQueue())
+    seen = []
+    for t in (1.0, 2.0, 3.0):
+        ev = sim.timeout(t, value=t)
+        ev.callbacks.append(lambda e: seen.append(e.value))
+    assert sim.run_while(lambda: len(seen) < 2) is True
+    assert seen == [1.0, 2.0]
+    assert sim.run_while(lambda: True) is False
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_defer_interleaves_with_timeouts_in_fifo_order():
+    sim = Simulator()
+    order = []
+    sim.timeout(1.0).callbacks.append(lambda e: order.append("timeout"))
+    sim.defer(1.0, (lambda e: order.append("defer"),))
+    sim.timeout(1.0).callbacks.append(lambda e: order.append("timeout2"))
+    sim.run()
+    # Same time, same rank: insertion order decides.
+    assert order == ["timeout", "defer", "timeout2"]
+    assert sim.events_scheduled == 3
+    assert sim.events_processed == 3
+
+
+def test_defer_value_and_priority():
+    sim = Simulator()
+    order = []
+    sim.defer(0.0, (lambda e: order.append(("normal", e.value)),), value=1)
+    sim.defer(0.0, (lambda e: order.append(("urgent", e.value)),), value=2,
+              priority=True)
+    sim.run()
+    assert order == [("urgent", 2), ("normal", 1)]
+
+
+def test_defer_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.defer(-1.0, (lambda e: None,))
+
+
+def test_defer_shared_callback_tuple_is_not_consumed():
+    sim = Simulator()
+    hits = []
+    shared = (lambda e: hits.append(e.value),)
+    for i in range(3):
+        sim.defer(float(i), shared, value=i)
+    sim.run()
+    assert hits == [0, 1, 2]
+    assert shared  # the tuple itself is untouched

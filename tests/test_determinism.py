@@ -15,8 +15,12 @@ from __future__ import annotations
 import json
 
 from repro.core import SimulationConfig, run_open_system
+from repro.core.system import MulticlusterSimulation
+from repro.sim.rng import StreamFactory
 from repro.sim.trace import Tracer
 from repro.workload import WORKLOADS, das_t_900
+from repro.workload import generator as generator_module
+from repro.workload.generator import ArrivalProcess, JobFactory
 
 
 def _one_run(seed: int) -> tuple[bytes, bytes]:
@@ -68,3 +72,93 @@ def test_different_seeds_actually_diverge() -> None:
     trace_a, _ = _one_run(seed=7)
     trace_b, _ = _one_run(seed=8)
     assert trace_a != trace_b
+
+
+def _policy_run(policy: str) -> tuple[bytes, str, bytes]:
+    """(trace, extras, report) bytes of one small run of ``policy``."""
+    if policy == "SC":
+        config = SimulationConfig.single_cluster(
+            seed=5, warmup_jobs=50, measured_jobs=250, batch_size=25,
+        )
+    else:
+        config = SimulationConfig(
+            policy=policy, component_limit=16, seed=5,
+            warmup_jobs=50, measured_jobs=250, batch_size=25,
+        )
+    tracer = Tracer()
+    result = run_open_system(
+        config,
+        WORKLOADS["das-s-128"](),
+        das_t_900(),
+        arrival_rate=0.02,
+        tracer=tracer,
+    )
+    trace_bytes = "\n".join(
+        repr((record.time, record.kind, sorted(record.payload.items())))
+        for record in tracer
+    ).encode()
+    extras = repr(sorted(result.extras.items()))
+    report_bytes = json.dumps(
+        {key: repr(value) for key, value in sorted(result.report.as_dict().items())},
+        sort_keys=True,
+    ).encode()
+    return trace_bytes, extras, report_bytes
+
+
+def test_batched_rng_byte_identical_to_scalar_draws(monkeypatch) -> None:
+    """Block-drawn workloads == the scalar draw path, all four policies.
+
+    The workload layer prefetches interarrival, size and routing draws
+    in blocks (see ``DEFAULT_DRAW_BATCH``); batch size 1 is the seed
+    scalar-draw sequence.  Block draws from the same per-stream
+    generator must consume the bit stream identically, so traces,
+    extras counters and reports must match byte for byte — for every
+    policy and for a batch size chosen to not divide the job count
+    evenly (exercising block-boundary refills).
+    """
+
+    def all_runs(batch: int) -> dict[str, tuple[bytes, str, bytes]]:
+        monkeypatch.setattr(generator_module, "DEFAULT_DRAW_BATCH", batch)
+        return {policy: _policy_run(policy)
+                for policy in ("GS", "LS", "LP", "SC")}
+
+    scalar = all_runs(1)
+    batched = all_runs(257)
+    assert scalar["GS"][0], "tracer recorded nothing; the runs did not execute"
+    assert scalar == batched
+
+
+def test_direct_departures_byte_identical_to_timeout_events() -> None:
+    """defer()-scheduled departures == the Timeout/callback-list path.
+
+    ``MulticlusterSimulation(direct_departures=...)`` switches between
+    the lightweight deferred departure and the original per-job Timeout
+    event; both must produce the same event sequence, counters and
+    trace bytes.
+    """
+
+    def run(direct: bool) -> tuple[bytes, int, int]:
+        tracer = Tracer()
+        system = MulticlusterSimulation(
+            "LS", tracer=tracer, direct_departures=direct,
+        )
+        factory = JobFactory(
+            WORKLOADS["das-s-128"](), das_t_900(), 16,
+            streams=StreamFactory(3),
+        )
+        ArrivalProcess(
+            system.sim, factory, 0.02, system.submit, limit=400,
+            rng=StreamFactory(3).get("arrivals.iat"),
+        )
+        system.sim.run()  # drains once the arrival limit is reached
+        trace_bytes = "\n".join(
+            repr((record.time, record.kind, sorted(record.payload.items())))
+            for record in tracer
+        ).encode()
+        return (trace_bytes, system.sim.events_processed,
+                system.sim.events_scheduled)
+
+    fast = run(True)
+    reference = run(False)
+    assert fast[0], "tracer recorded nothing; the runs did not execute"
+    assert fast == reference
