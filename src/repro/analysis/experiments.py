@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.system import SimulationConfig
 from repro.metrics.saturation import (
@@ -48,7 +48,11 @@ from repro.workload import (
 from repro.workload import stats_model
 from repro.workload.splitting import component_fractions
 
-from repro.runner import CacheSpec
+if TYPE_CHECKING:  # pragma: no cover - break the import cycle with
+    # repro.runner, whose cache module needs repro.analysis.points (and
+    # therefore this package's __init__) at import time.  CacheSpec is
+    # only ever used in (string-evaluated) annotations here.
+    from repro.runner import CacheSpec
 
 from .sweeps import SweepResult, sweep, utilization_grid
 from .theory import gross_net_ratios_table

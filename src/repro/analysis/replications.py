@@ -16,7 +16,15 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from repro.core.system import SimulationConfig
-from repro.runner import CacheSpec, RunTask, execute
+from repro.runner import (
+    CacheSpec,
+    RetryPolicy,
+    RunTask,
+    begin_campaign,
+    execute,
+    finish_campaign,
+    resolve_cache,
+)
 from repro.sim.stats import ConfidenceInterval, Tally, student_t_quantile
 
 from .points import SweepPoint
@@ -96,7 +104,9 @@ def replicate_sweep(label: str, config: SimulationConfig,
                     base_seed: Optional[int] = None,
                     *,
                     workers: Optional[int] = None,
-                    cache: CacheSpec = None) -> ReplicatedSweep:
+                    cache: CacheSpec = None,
+                    retry: Optional[RetryPolicy] = None
+                    ) -> ReplicatedSweep:
     """Run ``replications`` sweeps with distinct seeds and aggregate.
 
     Points are aligned by *offered* utilization; a point missing from a
@@ -118,7 +128,7 @@ def replicate_sweep(label: str, config: SimulationConfig,
     seeds = tuple(base + 1_000 * i for i in range(replications))
     runs = _replicated_runs(label, config, seeds, size_distribution,
                             service_distribution, tuple(utilizations),
-                            workers=workers, cache=cache)
+                            workers=workers, cache=cache, retry=retry)
     points = []
     for offered in utilizations:
         matched = []
@@ -139,15 +149,27 @@ def _replicated_runs(label: str, config: SimulationConfig,
                      service_distribution,
                      utilizations: tuple[float, ...],
                      *, workers: Optional[int],
-                     cache: CacheSpec) -> list[SweepResult]:
+                     cache: CacheSpec,
+                     retry: Optional[RetryPolicy] = None
+                     ) -> list[SweepResult]:
     """One sweep per seed, advanced in parallel waves.
 
     Wave *w* submits grid point ``cursor[s]`` for every seed *s* whose
     sweep has neither exhausted the grid nor saturated — the exact task
     set a serial loop of :func:`~repro.analysis.sweeps.sweep` calls
-    would run, independent of ``workers``.
+    would run, independent of ``workers``.  With a cache active the
+    full seeds × grid plan is recorded as a campaign manifest so an
+    interrupted replication study resumes from its last completed run.
     """
     configs = [replace(config, seed=seed) for seed in seeds]
+    store = resolve_cache(cache)
+    cache_arg: CacheSpec = store if store is not None else False
+    planned = [
+        RunTask(c, size_distribution, service_distribution, rho)
+        for c in configs
+        for rho in utilizations
+    ]
+    manifest = begin_campaign("replicated-sweep", label, planned, store)
     collected: list[list[SweepPoint]] = [[] for _ in seeds]
     active = list(range(len(seeds)))
     cursor = [0] * len(seeds)
@@ -157,7 +179,8 @@ def _replicated_runs(label: str, config: SimulationConfig,
                     utilizations[cursor[i]])
             for i in active
         ]
-        wave = execute(tasks, workers=workers, cache=cache)
+        wave = execute(tasks, workers=workers, cache=cache_arg,
+                       retry=retry)
         still_active = []
         for i, point in zip(active, wave):
             collected[i].append(point)
@@ -165,6 +188,8 @@ def _replicated_runs(label: str, config: SimulationConfig,
             if not point.saturated and cursor[i] < len(utilizations):
                 still_active.append(i)
         active = still_active
+    finish_campaign(manifest, store,
+                    points=sum(len(c) for c in collected))
     return [
         SweepResult(label=label, config=configs[i],
                     points=tuple(collected[i]))
@@ -179,14 +204,17 @@ def paired_comparison(config_a: SimulationConfig,
                       confidence: float = 0.95,
                       *,
                       workers: Optional[int] = None,
-                      cache: CacheSpec = None) -> ConfidenceInterval:
+                      cache: CacheSpec = None,
+                      retry: Optional[RetryPolicy] = None
+                      ) -> ConfidenceInterval:
     """CI on the response-time difference A − B at one utilization.
 
     Uses common random numbers: replication *i* of both configurations
     shares a seed, so the per-seed differences cancel workload noise —
     the standard paired-t design for policy comparison.  All
     ``2 × replications`` runs are independent, so they fan out over
-    ``workers`` processes in one batch.
+    ``workers`` processes in one batch (resumable mid-batch when a
+    cache is active, like any other campaign).
     """
     tasks = [
         RunTask(replace(config, seed=config.seed + 1_000 * i),
@@ -194,7 +222,13 @@ def paired_comparison(config_a: SimulationConfig,
         for i in range(replications)
         for config in (config_a, config_b)
     ]
-    results = execute(tasks, workers=workers, cache=cache)
+    store = resolve_cache(cache)
+    label = f"{config_a.policy}-vs-{config_b.policy}"
+    manifest = begin_campaign("paired-comparison", label, tasks, store)
+    results = execute(tasks, workers=workers,
+                      cache=store if store is not None else False,
+                      retry=retry)
+    finish_campaign(manifest, store, points=len(results))
     diffs = Tally()
     for i in range(replications):
         a, b = results[2 * i], results[2 * i + 1]

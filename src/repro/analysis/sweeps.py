@@ -22,7 +22,16 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from repro.core.system import SimulationConfig
-from repro.runner import CacheSpec, RunTask, execute, resolve_workers
+from repro.runner import (
+    CacheSpec,
+    RetryPolicy,
+    RunTask,
+    begin_campaign,
+    execute,
+    finish_campaign,
+    resolve_cache,
+    resolve_workers,
+)
 
 from .points import SweepPoint
 
@@ -30,6 +39,7 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "sweep",
+    "sweep_tasks",
     "default_grid",
     "utilization_grid",
 ]
@@ -97,13 +107,28 @@ class SweepResult:
         return best.mean_response if best else None
 
 
+def sweep_tasks(config: SimulationConfig, size_distribution,
+                service_distribution,
+                utilizations: Sequence[float]) -> list[RunTask]:
+    """The full planned task list of a sweep, in grid order.
+
+    Shared by :func:`sweep` and the CLI's ``--resume`` reporting so
+    both derive the identical campaign identity.
+    """
+    return [
+        RunTask(config, size_distribution, service_distribution, rho)
+        for rho in utilizations
+    ]
+
+
 def sweep(label: str, config: SimulationConfig, size_distribution,
           service_distribution,
           utilizations: Sequence[float] = (),
           stop_after_saturation: int = 1,
           *,
           workers: Optional[int] = None,
-          cache: CacheSpec = None) -> SweepResult:
+          cache: CacheSpec = None,
+          retry: Optional[RetryPolicy] = None) -> SweepResult:
     """Run ``config`` across a utilization grid.
 
     Parameters
@@ -119,20 +144,33 @@ def sweep(label: str, config: SimulationConfig, size_distribution,
     cache:
         Result cache: an explicit :class:`~repro.runner.ResultCache`,
         ``True``/``False`` to force the default cache on or off, or
-        ``None`` to defer to ``$REPRO_CACHE``.
+        ``None`` to defer to ``$REPRO_CACHE``.  With a cache active the
+        sweep also maintains a campaign manifest
+        (:mod:`repro.runner.campaign`), so an interrupted run resumes
+        from the last completed grid point when re-invoked.
+    retry:
+        Fault-tolerance posture for the underlying tasks (default:
+        fail fast, or the ``$REPRO_RETRIES`` / ``$REPRO_TASK_TIMEOUT``
+        environment defaults).  Retries, timeouts and worker
+        replacement never change the curve — a re-executed task is the
+        same pure function of the same inputs.
     """
     if not utilizations:
         utilizations = default_grid()
     workers = resolve_workers(workers)
+    store = resolve_cache(cache)
+    planned = sweep_tasks(config, size_distribution,
+                          service_distribution, utilizations)
+    manifest = begin_campaign("sweep", label, planned, store)
     points: list[SweepPoint] = []
     saturated_seen = 0
-    for chunk_start in range(0, len(utilizations), workers):
-        chunk = utilizations[chunk_start:chunk_start + workers]
-        tasks = [
-            RunTask(config, size_distribution, service_distribution, rho)
-            for rho in chunk
-        ]
-        for point in execute(tasks, workers=workers, cache=cache):
+    for chunk_start in range(0, len(planned), workers):
+        chunk = planned[chunk_start:chunk_start + workers]
+        # resolve_cache(None) would re-read the environment, so a
+        # resolved "no cache" is forwarded as an explicit False.
+        for point in execute(chunk, workers=workers,
+                             cache=store if store is not None else False,
+                             retry=retry):
             points.append(point)
             if point.saturated:
                 saturated_seen += 1
@@ -140,6 +178,7 @@ def sweep(label: str, config: SimulationConfig, size_distribution,
                     break
         if saturated_seen >= stop_after_saturation:
             break
+    finish_campaign(manifest, store, points=len(points))
     return SweepResult(label=label, config=config, points=tuple(points))
 
 

@@ -25,6 +25,8 @@ Examples::
     repro-sim run --policy LS --limit 16 --utilization 0.5
     repro-sim sweep --policy GS --limit 24 --grid 0.2:0.8:0.1
     repro-sim sweep --policy GS --workers 4 --cache --progress
+    repro-sim sweep --policy GS --workers 4 --cache --retries 2 --task-timeout 300
+    repro-sim sweep --policy GS --workers 4 --resume
     repro-sim sweep --policy LS --obs --cache
     repro-sim experiment fig3 --workers 4 --cache
     repro-sim maxutil --policy GS --limit 16
@@ -47,7 +49,13 @@ from repro.analysis import experiments, line_plot, tables
 from repro.analysis.sweeps import sweep, utilization_grid
 from repro.core import SimulationConfig, run_open_system
 from repro.obs.gate import OBS_ENV
-from repro.runner import CACHE_ENV, WORKERS_ENV
+from repro.runner import (
+    CACHE_ENV,
+    RETRIES_ENV,
+    TIMEOUT_ENV,
+    WORKERS_ENV,
+    CacheSpec,
+)
 from repro.metrics.saturation import estimate_maximal_utilization
 from repro.sim import StreamFactory
 from repro.workload import (
@@ -87,6 +95,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "manifests) under $REPRO_OBS_DIR or "
                             ".repro-obs (default $REPRO_OBS, off); "
                             "results are byte-identical either way")
+        p.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="re-execute a failing/crashing/timed-out "
+                            "task up to N extra times with deterministic "
+                            "backoff (default $REPRO_RETRIES or 0; "
+                            "results are byte-identical regardless)")
+        p.add_argument("--task-timeout", type=float, default=None,
+                       metavar="S",
+                       help="per-task wall-clock limit in seconds; a "
+                            "stuck worker is terminated, replaced and "
+                            "the task retried (default "
+                            "$REPRO_TASK_TIMEOUT, none)")
         p.add_argument("--progress", action="store_true",
                        help="render a live per-task progress line on "
                             "stderr plus phase timers")
@@ -126,6 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--profile", action="store_true",
                          help="run under cProfile and print the "
                               "hottest functions afterwards")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="resume an interrupted sweep: forces the "
+                              "result cache on, reports how many grid "
+                              "points the previous run completed, and "
+                              "re-executes only the remainder (output "
+                              "is byte-identical to an uninterrupted "
+                              "run)")
 
     max_p = sub.add_parser("maxutil",
                            help="maximal utilization (constant backlog)")
@@ -299,6 +325,45 @@ def _progress_display(args, total: Optional[int] = None,
         display.close()
 
 
+def _report_resume(args, config, sizes, grid) -> CacheSpec:
+    """Handle ``sweep --resume``: force the cache on, report progress.
+
+    Returns the cache spec the sweep should run with.  The campaign
+    identity is recomputed from the command's own arguments, so
+    ``--resume`` can never mix state across different sweeps — a
+    changed grid, seed or policy is simply a fresh campaign.
+    """
+    from repro.analysis.sweeps import sweep_tasks
+    from repro.runner import (
+        campaign_key,
+        campaign_progress,
+        load_campaign,
+        resolve_cache,
+        task_keys,
+    )
+
+    if args.cache is False:
+        raise SystemExit("--resume requires the result cache "
+                         "(drop --no-cache)")
+    # Honour an explicit $REPRO_CACHE directory; only when the
+    # environment leaves the cache off is it forced to the default
+    # location (resume without a cache is meaningless).
+    store = resolve_cache(args.cache) or resolve_cache(True)
+    tasks = sweep_tasks(config, sizes, das_t_900(), grid)
+    keys = task_keys(tasks)
+    manifest = load_campaign(store,
+                             campaign_key("sweep", args.policy, keys))
+    if manifest is None:
+        print("resume: no previous state for this sweep; "
+              "starting fresh")
+        return store
+    done = sum(1 for key in keys if store.contains(key))
+    _, total = campaign_progress(store, manifest)
+    print(f"resume: {done}/{total} grid points already completed; "
+          f"re-executing {total - done}")
+    return store
+
+
 def _cmd_sweep(args) -> int:
     from repro.obs.timing import PhaseTimer
 
@@ -306,6 +371,9 @@ def _cmd_sweep(args) -> int:
     sizes = WORKLOADS[args.workload]()
     grid = _parse_grid(args.grid)
     timer = PhaseTimer()
+    cache: CacheSpec = args.cache
+    if args.resume:
+        cache = _report_resume(args, config, sizes, grid)
 
     def simulate():
         with _progress_display(args, total=len(grid),
@@ -313,7 +381,7 @@ def _cmd_sweep(args) -> int:
             with timer.phase("simulate"):
                 return sweep(args.policy, config, sizes, das_t_900(),
                              utilizations=grid,
-                             workers=args.workers, cache=args.cache)
+                             workers=args.workers, cache=cache)
 
     hotspots = None
     if args.profile:
@@ -545,6 +613,10 @@ def _runner_environment(args) -> Iterator[None]:
         updates[CACHE_ENV] = "1" if args.cache else "0"
     if getattr(args, "obs", None) is not None:
         updates[OBS_ENV] = "1" if args.obs else "0"
+    if getattr(args, "retries", None) is not None:
+        updates[RETRIES_ENV] = str(args.retries)
+    if getattr(args, "task_timeout", None) is not None:
+        updates[TIMEOUT_ENV] = str(args.task_timeout)
     saved = {key: os.environ.get(key) for key in updates}
     os.environ.update(updates)
     try:

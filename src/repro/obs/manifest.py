@@ -68,6 +68,10 @@ class RunManifest:
     kind: str = "task"  # "task" | "sweep"
     offered_gross: Optional[float] = None
     wall_clock_s: Optional[float] = None
+    #: Executions the runner made before this result existed (retries
+    #: and crash/timeout replacements count; 1 = first try succeeded).
+    #: Backfilled by the retry layer, parent-side, after a recovery.
+    attempts: int = 1
     repro_version: str = field(default_factory=_repro_version)
     python_version: str = field(
         default_factory=lambda: platform_module.python_version())

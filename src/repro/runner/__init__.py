@@ -1,4 +1,4 @@
-"""``repro.runner`` — deterministic parallel execution of simulation runs.
+"""``repro.runner`` — deterministic, fault-tolerant parallel execution.
 
 The sweep and replication harnesses fan their independent runs (grid
 points × master seeds × configurations) out over worker processes
@@ -9,14 +9,24 @@ through this package:
   utilization, workload fingerprints);
 * :func:`execute` — serial or process-pool execution with results
   collected in task order, so output never depends on scheduling;
+* :class:`RetryPolicy` — per-task retries with deterministic
+  exponential backoff, a call-wide retry budget and per-task wall-clock
+  timeouts with worker replacement;
 * :class:`ResultCache` — an on-disk JSON cache under ``.repro-cache/``
   keyed by the same hashes, letting re-runs and aborted sweeps skip
   completed work;
-* :class:`TaskFailedError` — the typed error a crashing worker surfaces
-  as, naming the failing task.
+* :class:`SweepManifest` (:mod:`repro.runner.campaign`) — the planned
+  task set of a whole campaign, making interrupted sweeps resumable
+  (``repro-sim sweep --resume``) with byte-identical output;
+* :mod:`repro.runner.faults` — the deterministic fault-injection
+  harness (worker crashes, hangs, transient exceptions, poisoned cache
+  shards) that proves all of the above in ``tests/runner/chaos/``;
+* :class:`TaskFailedError` — the typed error a task out of attempts
+  surfaces as, naming the failing task.
 
-See ``docs/parallel.md`` for the full determinism argument and cache
-layout.
+See ``docs/parallel.md`` for the determinism argument and cache
+layout, and ``docs/robustness.md`` for the failure model and the
+retry/timeout/resume semantics.
 """
 
 from .cache import (
@@ -25,7 +35,22 @@ from .cache import (
     CacheIntegrityWarning,
     ResultCache,
 )
-from .errors import RunnerError, TaskFailedError
+from .campaign import (
+    SWEEP_MANIFEST_SCHEMA,
+    SweepManifest,
+    begin_campaign,
+    campaign_key,
+    campaign_progress,
+    finish_campaign,
+    load_campaign,
+    sweep_manifest_path,
+)
+from .errors import (
+    RunnerError,
+    TaskFailedError,
+    TaskTimeoutError,
+    TransientWorkerError,
+)
 from .pool import (
     CACHE_ENV,
     WORKERS_ENV,
@@ -34,14 +59,29 @@ from .pool import (
     resolve_cache,
     resolve_workers,
 )
-from .task import KEY_VERSION, RunTask, task_key
+from .retry import (
+    BACKOFF_ENV,
+    BUDGET_ENV,
+    RETRIES_ENV,
+    TIMEOUT_ENV,
+    RetryPolicy,
+    backoff_delay,
+    resolve_retry,
+)
+from .task import KEY_VERSION, RunTask, task_key, task_keys
 from .worker import run_task
 
 __all__ = [
-    "RunTask", "task_key", "KEY_VERSION",
+    "RunTask", "task_key", "task_keys", "KEY_VERSION",
     "execute", "run_task", "resolve_workers", "resolve_cache",
     "CacheSpec", "WORKERS_ENV", "CACHE_ENV",
+    "RetryPolicy", "resolve_retry", "backoff_delay",
+    "RETRIES_ENV", "TIMEOUT_ENV", "BACKOFF_ENV", "BUDGET_ENV",
     "ResultCache", "CacheIntegrityWarning", "SCHEMA_TAG",
     "DEFAULT_CACHE_DIR",
-    "RunnerError", "TaskFailedError",
+    "SweepManifest", "SWEEP_MANIFEST_SCHEMA", "campaign_key",
+    "sweep_manifest_path", "begin_campaign", "finish_campaign",
+    "load_campaign", "campaign_progress",
+    "RunnerError", "TaskFailedError", "TaskTimeoutError",
+    "TransientWorkerError",
 ]

@@ -27,9 +27,13 @@ import json
 import os
 import warnings
 from pathlib import Path
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
-from repro.analysis.points import SweepPoint, point_from_dict, point_to_dict
+if TYPE_CHECKING:  # pragma: no cover - importing repro.analysis here at
+    # module scope would cycle: its package __init__ pulls in the sweep
+    # harness, which imports this package.  The point (de)serializers
+    # are imported lazily at call time instead.
+    from repro.analysis.points import SweepPoint
 
 __all__ = [
     "ResultCache",
@@ -69,6 +73,16 @@ class ResultCache:
         """Where the entry for ``key`` lives on disk."""
         return self.root / key[:2] / f"{key}.json"
 
+    def contains(self, key: str) -> bool:
+        """Whether an entry file exists for ``key`` (no validation).
+
+        A cheap existence probe for progress accounting (campaign
+        resume reports); a present-but-corrupt entry still counts here
+        and is handled — warn once, recompute — on the actual
+        :meth:`load`.
+        """
+        return self.path_for(key).exists()
+
     def load(self, key: str) -> Optional[SweepPoint]:
         """The cached point for ``key``, or ``None`` to recompute.
 
@@ -77,6 +91,8 @@ class ResultCache:
         :class:`CacheIntegrityWarning` so silent corruption is visible
         without spamming a warning per entry.
         """
+        from repro.analysis.points import point_from_dict
+
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
@@ -107,6 +123,8 @@ class ResultCache:
     def store(self, key: str, point: SweepPoint,
               description: str = "") -> None:
         """Persist ``point`` under ``key`` (atomic write)."""
+        from repro.analysis.points import point_to_dict
+
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {

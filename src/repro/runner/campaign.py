@@ -1,0 +1,197 @@
+"""Sweep manifests: checkpoint/resume state for whole campaigns.
+
+The result cache already checkpoints *tasks* — every completed run is
+written (atomically) under its content-hash key the moment it finishes.
+What the cache alone cannot answer is "what was I doing?": which tasks
+a campaign (a sweep, a replicated sweep, a paired comparison) planned,
+and how far it got.  A :class:`SweepManifest` records exactly that,
+next to the cache under ``<cache-root>/sweeps/<campaign>.json``:
+
+* the campaign key — a content hash of the campaign kind, label and the
+  full planned task-key list, so the same command always maps to the
+  same manifest and *any* change to the inputs starts a fresh one;
+* the planned task keys and human-readable descriptions, in execution
+  order;
+* a status: ``"running"`` from first submission until the campaign's
+  final artifact is assembled, then ``"complete"``.
+
+Recovery needs no replay log: a campaign interrupted at any point
+(SIGINT, OOM kill, machine reboot) is resumed by *re-running the same
+command with the cache enabled* — completed tasks are cache hits,
+unfinished ones re-execute, and the output is byte-identical to an
+uninterrupted run because every task is a pure function of its
+contents.  The manifest makes the resumption visible (``repro-sim
+sweep --resume`` reports done/remaining counts before running) and
+records campaign provenance for audits.
+
+Like everything under :mod:`repro.obs`, manifests are side-band:
+derived from the plan, never fed back into task keys or payloads.
+Deleting ``sweeps/`` changes nothing about any result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.obs.registry import REGISTRY
+
+from .cache import ResultCache
+from .task import RunTask, task_key
+
+__all__ = [
+    "SweepManifest",
+    "SWEEP_MANIFEST_SCHEMA",
+    "campaign_key",
+    "sweep_manifest_path",
+    "begin_campaign",
+    "finish_campaign",
+    "load_campaign",
+    "campaign_progress",
+]
+
+#: Versioned shape tag of the sweep-manifest payload; bump on change.
+SWEEP_MANIFEST_SCHEMA = "repro.runner/sweep-manifest/1"
+
+
+@dataclass(frozen=True)
+class SweepManifest:
+    """The planned task set and status of one campaign."""
+
+    campaign: str
+    kind: str  # "sweep" | "replicated-sweep" | "paired-comparison"
+    label: str
+    task_keys: tuple[str, ...]
+    descriptions: tuple[str, ...]
+    status: str = "running"  # "running" | "complete"
+    completed_points: Optional[int] = None
+    schema: str = SWEEP_MANIFEST_SCHEMA
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict form."""
+        payload = asdict(self)
+        payload["task_keys"] = list(self.task_keys)
+        payload["descriptions"] = list(self.descriptions)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepManifest":
+        """Rebuild a manifest, rejecting unknown schema tags."""
+        if payload.get("schema") != SWEEP_MANIFEST_SCHEMA:
+            raise ValueError(
+                f"sweep manifest schema {payload.get('schema')!r} != "
+                f"{SWEEP_MANIFEST_SCHEMA!r}")
+        data = {k: payload[k] for k in cls.__dataclass_fields__
+                if k in payload}
+        data["task_keys"] = tuple(data.get("task_keys", ()))
+        data["descriptions"] = tuple(data.get("descriptions", ()))
+        return cls(**data)
+
+
+def campaign_key(kind: str, label: str,
+                 task_keys: Sequence[str]) -> str:
+    """Content-hash identity of a campaign (64 hex chars).
+
+    Hashing the planned task keys (themselves content hashes of the
+    full configuration, seed, load and workload fingerprints) means any
+    change to any input — grid, seeds, policy, workload — yields a new
+    campaign, so resume can never mix state across campaigns.
+    """
+    payload = {
+        "schema": SWEEP_MANIFEST_SCHEMA,
+        "kind": kind,
+        "label": label,
+        "task_keys": list(task_keys),
+    }
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def sweep_manifest_path(cache_root: Path, campaign: str) -> Path:
+    """Where the manifest for ``campaign`` lives under a cache root."""
+    return Path(cache_root) / "sweeps" / f"{campaign}.json"
+
+
+def _write(manifest: SweepManifest, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".json.tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(manifest.to_dict(), fh, indent=1, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def load_campaign(store: ResultCache,
+                  campaign: str) -> Optional[SweepManifest]:
+    """The stored manifest for ``campaign``, or ``None``.
+
+    Malformed manifests (torn writes predate the atomic-replace era,
+    schema bumps) read as absent: the campaign restarts cleanly and the
+    manifest is rewritten — resume state is an optimization, never a
+    correctness dependency.
+    """
+    path = sweep_manifest_path(store.root, campaign)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return SweepManifest.from_dict(json.load(fh))
+    except (OSError, json.JSONDecodeError, ValueError, TypeError):
+        return None
+
+
+def campaign_progress(store: ResultCache,
+                      manifest: SweepManifest) -> tuple[int, int]:
+    """``(completed, planned)`` task counts judged by cache presence."""
+    done = sum(1 for key in manifest.task_keys if store.contains(key))
+    return done, len(manifest.task_keys)
+
+
+def begin_campaign(kind: str, label: str, tasks: Sequence[RunTask],
+                   store: Optional[ResultCache]) -> Optional[SweepManifest]:
+    """Record the planned task set before the first submission.
+
+    Returns ``None`` when no cache is active (a campaign without a
+    cache has no state worth resuming).  When a manifest for the same
+    campaign key already exists, this *is* a resumption: the
+    ``runner.resume.campaigns`` counter is bumped and the
+    ``runner.resume.completed`` / ``runner.resume.remaining`` gauges
+    are set from the cache, so observability shows exactly how much
+    work the restart skipped.
+    """
+    if store is None:
+        return None
+    keys = [task_key(t) for t in tasks]
+    manifest = SweepManifest(
+        campaign=campaign_key(kind, label, keys),
+        kind=kind,
+        label=label,
+        task_keys=tuple(keys),
+        descriptions=tuple(t.describe() for t in tasks),
+    )
+    prior = load_campaign(store, manifest.campaign)
+    if prior is not None:
+        done, total = campaign_progress(store, manifest)
+        REGISTRY.counter("runner.resume.campaigns").inc()
+        REGISTRY.gauge("runner.resume.completed").set(done)
+        REGISTRY.gauge("runner.resume.remaining").set(total - done)
+    _write(manifest, sweep_manifest_path(store.root, manifest.campaign))
+    return manifest
+
+
+def finish_campaign(manifest: Optional[SweepManifest],
+                    store: Optional[ResultCache],
+                    points: int) -> Optional[SweepManifest]:
+    """Mark a campaign complete once its final artifact is assembled.
+
+    ``points`` records how many curve points the campaign produced —
+    for early-stopping sweeps this is legitimately smaller than the
+    planned task count (the saturated tail is never simulated).
+    """
+    if manifest is None or store is None:
+        return manifest
+    done = replace(manifest, status="complete", completed_points=points)
+    _write(done, sweep_manifest_path(store.root, done.campaign))
+    return done

@@ -11,15 +11,32 @@ from __future__ import annotations
 
 from typing import Optional
 
-__all__ = ["RunnerError", "TaskFailedError"]
+__all__ = [
+    "RunnerError",
+    "TaskFailedError",
+    "TaskTimeoutError",
+    "TransientWorkerError",
+]
 
 
 class RunnerError(Exception):
     """Base class for execution-backend errors."""
 
 
+class TransientWorkerError(RunnerError):
+    """A retryable failure raised inside a worker.
+
+    The retry layer treats *every* worker exception as potentially
+    transient (it cannot tell a cosmic ray from a bug; the retry budget
+    bounds the damage either way), so this class adds no special
+    handling — it exists as the canonical exception for the
+    fault-injection harness (:mod:`repro.runner.faults`) and for
+    embedders whose workers want to signal "try again" explicitly.
+    """
+
+
 class TaskFailedError(RunnerError):
-    """One simulation task raised (or its worker process died).
+    """One simulation task failed for good (out of attempts).
 
     Attributes
     ----------
@@ -30,14 +47,31 @@ class TaskFailedError(RunnerError):
     cause_repr:
         ``repr`` of the underlying exception, captured as a string so
         the error survives pickling across process boundaries.
+    attempts:
+        How many executions were made before giving up (1 under the
+        default fail-fast policy).
     """
 
     def __init__(self, key: str, description: str,
-                 cause_repr: Optional[str] = None) -> None:
+                 cause_repr: Optional[str] = None, *,
+                 attempts: int = 1) -> None:
         self.key = key
         self.description = description
         self.cause_repr = cause_repr
+        self.attempts = attempts
         detail = f": {cause_repr}" if cause_repr else ""
+        tries = f" after {attempts} attempts" if attempts > 1 else ""
         super().__init__(
-            f"simulation task {description} (key {key[:12]}…) failed{detail}"
+            f"simulation task {description} (key {key[:12]}…) "
+            f"failed{tries}{detail}"
         )
+
+
+class TaskTimeoutError(TaskFailedError):
+    """A task exceeded its per-task wall-clock timeout on every attempt.
+
+    Raised only once the retry policy is exhausted; individual timeouts
+    within the attempt budget are survived by terminating and replacing
+    the stuck worker process.
+    """
+

@@ -1,0 +1,235 @@
+"""Deterministic fault injection for the execution backend.
+
+The fault-tolerance layer is only trustworthy if its failure paths are
+exercised *deterministically* — "kill a random worker and hope" proves
+nothing.  This module injects failures at **chosen tasks** with
+exactly-once semantics:
+
+* a *fault plan* is a directory of armed fault files, one per planned
+  failure, named ``<task-key>-<seq>.fault``;
+* the plan directory is advertised to workers through the
+  ``$REPRO_FAULTS_DIR`` environment variable (inherited by pool worker
+  processes for free);
+* before executing a task, the (wrapped) worker *claims* the
+  lowest-sequence armed fault for its task key by atomically renaming
+  the file to ``.fired`` — a claim succeeds exactly once, so each
+  planned fault fires on exactly one attempt, and the n-th armed fault
+  for a key fires on the task's n-th execution;
+* a claimed fault then misbehaves on cue: ``crash`` hard-kills the
+  worker process (``os._exit``), ``hang`` sleeps far past any sane
+  per-task timeout, ``transient`` raises
+  :class:`~repro.runner.errors.TransientWorkerError`.
+
+:func:`poison_cache_entry` covers the fourth failure class — a
+corrupted result-cache shard — by overwriting an entry with garbage
+(the cache must recover by recomputing, surfacing one
+:class:`~repro.runner.cache.CacheIntegrityWarning`).
+
+The invariant the chaos suite (``tests/runner/chaos/``) pins: **any
+fault schedule the runner survives yields results byte-identical to a
+fault-free run**, because a retried task is the same pure function of
+the same task contents.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only; a module-scope
+    # import of repro.analysis would cycle back into this package.
+    from repro.analysis.points import SweepPoint
+
+from .errors import TransientWorkerError
+from .task import RunTask, task_key
+
+__all__ = [
+    "Fault",
+    "FaultInjectingWorker",
+    "FAULT_KINDS",
+    "FAULTS_ENV",
+    "faults_root",
+    "plan_fault",
+    "clear_plan",
+    "armed_faults",
+    "fired_faults",
+    "maybe_fire",
+    "poison_cache_entry",
+]
+
+#: Environment variable pointing at the fault-plan directory.  Unset
+#: (the normal case) disables injection entirely — the worker wrapper
+#: is never installed and production runs carry zero overhead.
+FAULTS_ENV = "REPRO_FAULTS_DIR"
+
+#: Supported worker-side failure classes.
+FAULT_KINDS = ("crash", "hang", "transient")
+
+#: Exit code of an injected worker crash (distinctive in core dumps
+#: and process tables; anything non-zero works).
+CRASH_EXIT_CODE = 41
+
+#: Default injected hang duration.  Long enough that any reasonable
+#: per-task timeout fires first; short enough that a worker leaked by a
+#: failed termination cannot outlive a CI job.
+DEFAULT_HANG_SECONDS = 300.0
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned failure: task key, failure class and payload."""
+
+    key: str
+    kind: str
+    seq: int = 0
+    hang_seconds: float = DEFAULT_HANG_SECONDS
+    message: str = "injected transient fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}")
+        if self.seq < 0:
+            raise ValueError(f"seq must be >= 0, got {self.seq!r}")
+
+
+def faults_root() -> Optional[Path]:
+    """The active fault-plan directory, or ``None`` (injection off)."""
+    raw = os.environ.get(FAULTS_ENV, "").strip()
+    return Path(raw) if raw else None
+
+
+def _fault_path(root: Path, key: str, seq: int) -> Path:
+    return root / f"{key}-{seq:03d}.fault"
+
+
+def plan_fault(root: Union[str, Path], fault: Fault) -> Path:
+    """Arm ``fault`` in the plan directory ``root``.
+
+    Returns the armed fault file; renamed to ``.fired`` when claimed.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    path = _fault_path(root, fault.key, fault.seq)
+    payload = {
+        "key": fault.key,
+        "kind": fault.kind,
+        "seq": fault.seq,
+        "hang_seconds": fault.hang_seconds,
+        "message": fault.message,
+    }
+    tmp = path.with_suffix(".fault.tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+    os.replace(tmp, path)
+    return path
+
+
+def clear_plan(root: Union[str, Path]) -> None:
+    """Disarm every remaining fault under ``root``."""
+    root = Path(root)
+    if not root.is_dir():
+        return
+    for path in root.glob("*.fault"):
+        path.unlink(missing_ok=True)
+
+
+def armed_faults(root: Union[str, Path]) -> list[Path]:
+    """Fault files not yet claimed, in firing order."""
+    return sorted(Path(root).glob("*.fault"))
+
+
+def fired_faults(root: Union[str, Path]) -> list[Path]:
+    """Fault files already claimed by a worker, in firing order."""
+    return sorted(Path(root).glob("*.fired"))
+
+
+def _claim(path: Path) -> Optional[dict]:
+    """Atomically claim one armed fault; ``None`` if already claimed.
+
+    ``os.rename`` is atomic on POSIX, so even two racing processes (or
+    a worker re-executed after a crash mid-claim) resolve to exactly
+    one firing per armed fault.
+    """
+    fired = path.with_suffix(".fired")
+    try:
+        os.rename(path, fired)
+    except FileNotFoundError:
+        return None
+    with open(fired, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def maybe_fire(key: str) -> None:
+    """Fire the next armed fault for task ``key``, if any.
+
+    Called by :class:`FaultInjectingWorker` before each execution
+    attempt.  At most one fault fires per call, so ``n`` armed faults
+    for a key misbehave on the task's first ``n`` attempts and attempt
+    ``n + 1`` runs clean.
+    """
+    root = faults_root()
+    if root is None:
+        return
+    for path in sorted(root.glob(f"{key}-*.fault")):
+        payload = _claim(path)
+        if payload is None:
+            continue
+        _execute_fault(payload)
+        return
+
+
+def _execute_fault(payload: dict) -> None:
+    kind = payload.get("kind")
+    if kind == "crash":
+        # A hard kill: no exception propagation, no cleanup, no pickled
+        # result — exactly what an OOM kill or segfault looks like to
+        # the parent (BrokenProcessPool).
+        os._exit(CRASH_EXIT_CODE)
+    if kind == "hang":
+        time.sleep(float(payload.get("hang_seconds",
+                                     DEFAULT_HANG_SECONDS)))
+        return
+    if kind == "transient":
+        raise TransientWorkerError(
+            payload.get("message", "injected transient fault"))
+    raise ValueError(f"unknown fault kind {kind!r} in plan entry")
+
+
+class FaultInjectingWorker:
+    """Picklable wrapper firing planned faults before the real worker.
+
+    Installed by :func:`repro.runner.execute` only when
+    ``$REPRO_FAULTS_DIR`` is set; holds a module-level worker function,
+    so it pickles across a ``ProcessPoolExecutor`` like the plain
+    worker does.
+    """
+
+    def __init__(self, inner: Callable[[RunTask], SweepPoint]) -> None:
+        self.inner = inner
+
+    def __call__(self, task: RunTask) -> SweepPoint:
+        maybe_fire(task_key(task))
+        return self.inner(task)
+
+    def __repr__(self) -> str:
+        return f"<FaultInjectingWorker inner={self.inner!r}>"
+
+
+def poison_cache_entry(cache, key: str) -> Path:
+    """Overwrite the cache entry for ``key`` with garbage bytes.
+
+    Models a torn write or disk corruption on one shard; the cache
+    contract is to warn once and recompute, never to crash or serve the
+    poisoned payload.  Returns the poisoned path (which must exist).
+    """
+    path = cache.path_for(key)
+    if not path.exists():
+        raise FileNotFoundError(f"no cache entry to poison at {path}")
+    path.write_bytes(b'{"schema": "repro.runner/1", "point": {CORRUPT')
+    return path

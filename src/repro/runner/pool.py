@@ -1,4 +1,4 @@
-"""Deterministic fan-out of simulation tasks over worker processes.
+"""Deterministic, fault-tolerant fan-out of simulation tasks.
 
 :func:`execute` is the single entry point: it takes an ordered list of
 :class:`~repro.runner.task.RunTask` and returns their results *in input
@@ -13,8 +13,26 @@ Backends:
   (its RNG streams derive from its own config seed), so scheduling
   cannot affect results.
 
-A raised exception inside a worker — or the death of the worker process
-itself — is converted into a typed
+Fault tolerance (``docs/robustness.md``) is layered on top without
+touching a single result byte, because a retried task is the same pure
+function of the same task contents:
+
+* a worker exception consumes one of the task's
+  :class:`~repro.runner.retry.RetryPolicy` attempts and the task is
+  re-executed after a deterministic backoff;
+* a task exceeding the per-task ``timeout`` is abandoned, its worker
+  processes are terminated and replaced by a fresh pool, and the task
+  retries (consuming an attempt);
+* a hard worker crash (``BrokenProcessPool``) fails only the task that
+  crashed; sibling tasks lost with the pool are *rescheduled* to a
+  replacement pool without consuming their own attempts;
+* every fresh result is written to the cache the moment it is
+  collected, so an interrupted campaign (SIGINT, OOM kill, reboot)
+  resumes from the last completed task (see
+  :mod:`repro.runner.campaign`).
+
+Under the default fail-fast policy (one attempt, no timeout) any
+failure still surfaces as a typed
 :class:`~repro.runner.errors.TaskFailedError` naming the failing task,
 and the remaining futures are cancelled rather than left to hang.
 """
@@ -22,17 +40,24 @@ and the remaining futures are cancelled rather than left to hang.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
-from repro.analysis.points import SweepPoint
+if TYPE_CHECKING:  # pragma: no cover - annotation-only; a module-scope
+    # import of repro.analysis would cycle back into this package.
+    from repro.analysis.points import SweepPoint
+
 from repro.obs import progress as _progress
 from repro.obs.gate import obs_enabled
 from repro.obs.registry import REGISTRY
 
 from .cache import ResultCache
-from .errors import TaskFailedError
+from .errors import TaskFailedError, TaskTimeoutError
+from .faults import FaultInjectingWorker, faults_root
+from .retry import RetryPolicy, resolve_retry
 from .task import RunTask, task_key
 from .worker import run_task
 
@@ -53,6 +78,10 @@ WORKERS_ENV = "REPRO_WORKERS"
 CACHE_ENV = "REPRO_CACHE"
 
 CacheSpec = Union[ResultCache, bool, None]
+
+#: Injectable sleep for the backoff delays (tests patch this to keep
+#: chaos suites fast; sleeping never influences results).
+_sleep = time.sleep
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -91,14 +120,6 @@ def resolve_cache(cache: CacheSpec = None) -> Optional[ResultCache]:
     if raw.lower() in ("1", "on", "yes", "true"):
         return ResultCache()
     return ResultCache(raw)
-
-
-def _run_serial(task: RunTask, key: str,
-                worker: Callable[[RunTask], SweepPoint]) -> SweepPoint:
-    try:
-        return worker(task)
-    except Exception as exc:
-        raise TaskFailedError(key, task.describe(), repr(exc)) from exc
 
 
 def _note_cache_hits(tasks: Sequence[RunTask], keys: Sequence[str],
@@ -140,16 +161,276 @@ def _copy_manifest_to_cache(store: ResultCache, key: str) -> None:
         entry, _manifest.cache_manifest_path(store.path_for(key)))
 
 
+def _note_attempts(key: str, attempts: int) -> None:
+    """Record the final attempt count in the task's obs manifest.
+
+    Best-effort side-band: a crashed worker may never have written a
+    manifest for an earlier attempt, and a missing or stale manifest
+    must not fail the run.
+    """
+    import dataclasses
+
+    from repro.obs import manifest as _manifest
+    from repro.obs.gate import obs_root
+
+    path = _manifest.manifest_path(obs_root(), key)
+    try:
+        entry = _manifest.load_manifest(path)
+    except (OSError, ValueError):
+        return
+    _manifest.write_manifest(
+        dataclasses.replace(entry, attempts=attempts), path)
+
+
+class _Execution:
+    """Shared state of one :func:`execute` call's fresh-task phase."""
+
+    def __init__(self, tasks: Sequence[RunTask], keys: Sequence[str],
+                 results: "list[Optional[SweepPoint]]",
+                 worker: Callable[[RunTask], SweepPoint],
+                 policy: RetryPolicy, store: Optional[ResultCache],
+                 obs_on: bool) -> None:
+        self.tasks = tasks
+        self.keys = keys
+        self.results = results
+        self.worker = worker
+        self.policy = policy
+        self.store = store
+        self.obs_on = obs_on
+        self.attempts: dict[int, int] = {}
+        self.started: set[int] = set()
+        self.budget = (policy.retry_budget
+                       if policy.retry_budget is not None else None)
+
+    def announce_start(self, i: int) -> None:
+        """Emit the ``start`` heartbeat once per task, ever — a task
+        rescheduled onto a replacement pool is still the same task."""
+        if i not in self.started:
+            self.started.add(i)
+            _progress.notify("start", self.keys[i],
+                             self.tasks[i].describe())
+
+    def collect(self, i: int, point: SweepPoint) -> None:
+        """Record, checkpoint and announce one finished task."""
+        self.results[i] = point
+        if self.store is not None:
+            self.store.store(self.keys[i], point,
+                             self.tasks[i].describe())
+            if self.obs_on:
+                _copy_manifest_to_cache(self.store, self.keys[i])
+                REGISTRY.counter("runner.cache.stores").inc()
+        made = self.attempts.get(i, 0) + 1
+        if made > 1:
+            REGISTRY.counter("runner.tasks.recovered").inc()
+            if self.obs_on:
+                _note_attempts(self.keys[i], made)
+        _progress.notify("finish", self.keys[i],
+                         self.tasks[i].describe())
+
+    def register_failure(self, i: int, cause: str, *,
+                         timeout: bool = False) -> None:
+        """Consume an attempt for task ``i`` or give up with a typed
+        error.
+
+        Raises when the task is out of attempts or the call-wide retry
+        budget is spent; otherwise sleeps the deterministic backoff so
+        the caller can resubmit.
+        """
+        made = self.attempts.get(i, 0) + 1
+        self.attempts[i] = made
+        error_cls = TaskTimeoutError if timeout else TaskFailedError
+        if made >= self.policy.max_attempts:
+            _progress.notify("fail", self.keys[i],
+                             self.tasks[i].describe())
+            raise error_cls(self.keys[i], self.tasks[i].describe(),
+                            cause, attempts=made)
+        if self.budget is not None:
+            if self.budget <= 0:
+                _progress.notify("fail", self.keys[i],
+                                 self.tasks[i].describe())
+                raise error_cls(
+                    self.keys[i], self.tasks[i].describe(),
+                    f"{cause} [retry budget exhausted]", attempts=made)
+            self.budget -= 1
+        REGISTRY.counter("runner.retries").inc()
+        if timeout:
+            REGISTRY.counter("runner.timeouts").inc()
+        _progress.notify("retry", self.keys[i],
+                         self.tasks[i].describe())
+        _sleep(self.policy.backoff(self.keys[i], made))
+
+
+def _run_serial(run: _Execution, pending: Sequence[int]) -> None:
+    """In-process execution with retry (no preemption: timeouts and
+    crash survival need the pool backend)."""
+    for i in pending:
+        run.announce_start(i)
+        while True:
+            try:
+                point = run.worker(run.tasks[i])
+            except Exception as exc:
+                run.register_failure(i, repr(exc))
+                continue
+            run.collect(i, point)
+            break
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> int:
+    """Abandon ``pool``, killing its worker processes.
+
+    Replacing workers (rather than waiting on them) is what makes hung
+    tasks survivable: a worker stuck in an infinite loop or an injected
+    ``hang`` fault would otherwise pin the pool forever.  Returns the
+    number of processes terminated (the ``_processes`` peek degrades to
+    0 gracefully if the executor internals ever change).
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None) or {}
+    killed = 0
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+            killed += 1
+        except Exception:
+            pass
+    return killed
+
+
+def _harvest_round(run: _Execution,
+                   inflight: "list[tuple[int, object]]") -> list[int]:
+    """Salvage a broken round: keep done results, reschedule the rest.
+
+    Tasks that finished before the pool died keep their results (and
+    their checkpoint); ones that finished by *raising* consume a retry
+    attempt like any other failure; tasks merely in flight are victims
+    of a sibling failure and re-run on the replacement pool without
+    consuming their own attempts.
+    """
+    carry: list[int] = []
+    rescheduled = 0
+    for i, future in inflight:
+        exc = None
+        if future.done() and not future.cancelled():
+            exc = future.exception()
+            if exc is None:
+                run.collect(i, future.result())
+                continue
+        if exc is None or isinstance(exc, BrokenProcessPool):
+            # Not finished, cancelled, or marked broken wholesale when
+            # a sibling killed the pool: the task itself never failed.
+            rescheduled += 1
+        else:
+            run.register_failure(i, repr(exc))
+        carry.append(i)
+    if rescheduled:
+        REGISTRY.counter("runner.tasks.rescheduled").inc(rescheduled)
+    return carry
+
+
+def _retry_in_round(run: _Execution, pool: ProcessPoolExecutor,
+                    inflight: "list[tuple[int, object]]", i: int,
+                    cause: str) -> None:
+    """Retry a transiently failed task on the (healthy) pool — or give
+    up with the pool's queue cancelled, never left to drain."""
+    try:
+        run.register_failure(i, cause)
+    except TaskFailedError:
+        _terminate_pool(pool)
+        raise
+    inflight.append((i, pool.submit(run.worker, run.tasks[i])))
+
+
+def _run_pool(run: _Execution, pending: Sequence[int],
+              workers: int) -> None:
+    """Process-pool execution in rounds, replacing broken pools.
+
+    One round submits every queued task to a fresh pool and collects in
+    submission order.  A transient worker exception is retried within
+    the round (the pool is still healthy); a timeout or worker crash
+    ends the round — already-finished siblings are harvested, the pool
+    is terminated, and the failed task plus any lost siblings carry
+    over to the next round.  The per-task ``timeout`` is measured while
+    the runner waits on the task at collection, which upper-bounds its
+    execution time once scheduled; waits absorbed by earlier tasks in
+    the same round never count against later ones.
+    """
+    queue: list[int] = list(pending)
+    first_round = True
+    while queue:
+        if not first_round:
+            REGISTRY.counter("runner.workers.replaced").inc()
+        first_round = False
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(queue))
+        ) as pool:
+            inflight: list[tuple[int, object]] = []
+            for i in queue:
+                run.announce_start(i)
+                inflight.append((i, pool.submit(run.worker,
+                                                run.tasks[i])))
+            queue = []
+            while inflight:
+                i, future = inflight.pop(0)
+                try:
+                    point = future.result(timeout=run.policy.timeout)
+                except FutureTimeoutError as exc:
+                    # On 3.11+ this class aliases builtins.TimeoutError,
+                    # so a TimeoutError raised *inside* a worker lands
+                    # here too; only a set policy timeout with a still-
+                    # running future is a collection timeout.
+                    if run.policy.timeout is None or future.done():
+                        _retry_in_round(run, pool, inflight, i,
+                                        repr(exc))
+                        continue
+                    try:
+                        run.register_failure(
+                            i, f"exceeded the per-task timeout of "
+                               f"{run.policy.timeout:g}s",
+                            timeout=True)
+                    except TaskFailedError:
+                        _terminate_pool(pool)
+                        raise
+                    queue.append(i)
+                    try:
+                        queue.extend(_harvest_round(run, inflight))
+                    finally:
+                        _terminate_pool(pool)
+                    break
+                except BrokenProcessPool as exc:
+                    try:
+                        run.register_failure(
+                            i, f"worker process died: {exc!r}")
+                    except TaskFailedError:
+                        _terminate_pool(pool)
+                        raise
+                    queue.append(i)
+                    try:
+                        queue.extend(_harvest_round(run, inflight))
+                    finally:
+                        _terminate_pool(pool)
+                    break
+                except Exception as exc:
+                    # An ordinary worker exception: the pool is healthy,
+                    # so the retry resubmits to it directly.
+                    _retry_in_round(run, pool, inflight, i, repr(exc))
+                    continue
+                run.collect(i, point)
+
+
 def execute(tasks: Sequence[RunTask], *,
             workers: Optional[int] = None,
             cache: CacheSpec = None,
             worker: Callable[[RunTask], SweepPoint] = run_task,
+            retry: Optional[RetryPolicy] = None,
             ) -> list[SweepPoint]:
     """Run ``tasks``, returning results in input (task-key) order.
 
     Cached results are fetched first; only the remainder is executed.
-    Every fresh result is written back to the cache before returning,
-    so an aborted sweep resumes where it stopped.
+    Every fresh result is written back to the cache *as it completes*,
+    so an aborted sweep resumes where it stopped.  ``retry`` selects
+    the fault-tolerance posture (default: fail fast, no timeout — or
+    the ``$REPRO_RETRIES`` / ``$REPRO_TASK_TIMEOUT`` environment
+    defaults; see :func:`~repro.runner.retry.resolve_retry`).
 
     ``worker`` is injectable for tests (engine-invocation counters); it
     must stay the module-level default for multi-process runs to be
@@ -157,6 +438,7 @@ def execute(tasks: Sequence[RunTask], *,
     """
     workers = resolve_workers(workers)
     store = resolve_cache(cache)
+    policy = resolve_retry(retry)
     obs_on = obs_enabled()
     if obs_on and worker is run_task:
         # The observed worker is a drop-in replacement producing the
@@ -166,6 +448,9 @@ def execute(tasks: Sequence[RunTask], *,
         from repro.obs.worker import run_task_observed
 
         worker = run_task_observed
+    faults_on = faults_root() is not None
+    if faults_on:
+        worker = FaultInjectingWorker(worker)
     keys = [task_key(t) for t in tasks]
     results: list[Optional[SweepPoint]] = [None] * len(tasks)
     pending: list[int] = []
@@ -185,59 +470,18 @@ def execute(tasks: Sequence[RunTask], *,
             _note_cache_hits(tasks, keys, results)
 
     if pending:
-        if workers == 1 or len(pending) == 1:
-            for i in pending:
-                _progress.notify("start", keys[i], tasks[i].describe())
-                try:
-                    results[i] = _run_serial(tasks[i], keys[i], worker)
-                except TaskFailedError:
-                    _progress.notify("fail", keys[i],
-                                     tasks[i].describe())
-                    raise
-                _progress.notify("finish", keys[i], tasks[i].describe())
+        run = _Execution(tasks, keys, results, worker, policy, store,
+                         obs_on)
+        # The in-process path cannot preempt a hung task or survive a
+        # crash, so a timeout (or an armed fault plan) routes even a
+        # single task through the pool backend.
+        serial = workers == 1 or (len(pending) == 1
+                                  and policy.timeout is None
+                                  and not faults_on)
+        if serial:
+            _run_serial(run, pending)
         else:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(pending))
-            ) as pool:
-                futures = []
-                for i in pending:
-                    _progress.notify("start", keys[i],
-                                     tasks[i].describe())
-                    futures.append((i, pool.submit(worker, tasks[i])))
-                # Collect in submission order: output is a pure function
-                # of the task list, never of completion order.
-                try:
-                    for i, future in futures:
-                        try:
-                            results[i] = future.result()
-                        except BrokenProcessPool as exc:
-                            _progress.notify("fail", keys[i],
-                                             tasks[i].describe())
-                            raise TaskFailedError(
-                                keys[i], tasks[i].describe(),
-                                f"worker process died: {exc!r}",
-                            ) from exc
-                        except Exception as exc:
-                            _progress.notify("fail", keys[i],
-                                             tasks[i].describe())
-                            raise TaskFailedError(
-                                keys[i], tasks[i].describe(), repr(exc)
-                            ) from exc
-                        _progress.notify("finish", keys[i],
-                                         tasks[i].describe())
-                except TaskFailedError:
-                    # Don't drain the queue after a failure: cancel
-                    # everything not yet running and surface the error.
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    raise
-        if store is not None:
-            for i in pending:
-                point = results[i]
-                if point is not None:
-                    store.store(keys[i], point, tasks[i].describe())
-                    if obs_on:
-                        _copy_manifest_to_cache(store, keys[i])
-                        REGISTRY.counter("runner.cache.stores").inc()
+            _run_pool(run, pending, workers)
 
     out: list[SweepPoint] = []
     for i, point in enumerate(results):

@@ -1,0 +1,167 @@
+"""Retry discipline: deterministic backoff, budgets and timeouts.
+
+A :class:`RetryPolicy` tells the execution backend how to respond when
+a task attempt fails — raise immediately (the default, one attempt), or
+re-execute up to ``max_attempts`` times with exponential backoff.  The
+policy is *pure configuration*: nothing in it (and nothing in the retry
+machinery) can influence a simulation result, because a retried task is
+the same pure function of the same task contents.  Fault tolerance is
+therefore a wall-clock concern only, and any run the layer survives is
+byte-identical to a fault-free run (``tests/runner/chaos/`` pins this).
+
+Backoff delays are a deterministic function of ``(task key, attempt)``:
+exponential growth with a jitter factor derived from a SHA-256 of the
+pair, never from an RNG or the clock.  Two processes retrying the same
+task compute the same schedule, and property tests can assert the
+schedule without mocking entropy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "RetryPolicy",
+    "resolve_retry",
+    "backoff_delay",
+    "RETRIES_ENV",
+    "TIMEOUT_ENV",
+    "BACKOFF_ENV",
+    "BUDGET_ENV",
+]
+
+#: Environment variable giving the default retries-per-task (default 0).
+RETRIES_ENV = "REPRO_RETRIES"
+
+#: Environment variable giving the default per-task timeout in seconds
+#: (unset/empty/"0" means no timeout).
+TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+
+#: Environment variable giving the default backoff base in seconds.
+BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
+
+#: Environment variable giving the default total retry budget per
+#: :func:`~repro.runner.execute` call (unset means unlimited).
+BUDGET_ENV = "REPRO_RETRY_BUDGET"
+
+
+def backoff_delay(key: str, attempt: int, *, base: float = 0.05,
+                  cap: float = 2.0) -> float:
+    """The deterministic backoff before retry ``attempt`` of ``key``.
+
+    ``attempt`` counts retries from 1 (the delay before the second
+    execution).  The delay is ``base * 2**(attempt-1)`` scaled by a
+    jitter factor in ``[0.5, 1.5)`` derived from a SHA-256 of
+    ``(key, attempt)`` — a pure function of its arguments, so schedules
+    are reproducible across processes and machines — and clamped to
+    ``cap`` seconds.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt!r}")
+    if base <= 0.0:
+        return 0.0
+    digest = hashlib.sha256(f"{key}:{attempt}".encode("ascii")).digest()
+    jitter = 0.5 + int.from_bytes(digest[:8], "big") / 2.0**64
+    return min(base * 2.0 ** (attempt - 1) * jitter, cap)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runner responds to failing, crashing or hanging tasks.
+
+    Parameters
+    ----------
+    max_attempts:
+        Executions allowed per task (1 = fail fast, the default).
+        Transient exceptions, worker crashes and timeouts all consume
+        attempts; tasks merely *lost* when a sibling kills the pool are
+        rescheduled for free.
+    backoff_base / backoff_cap:
+        Parameters of :func:`backoff_delay`; a ``backoff_base`` of 0
+        disables sleeping between attempts.
+    retry_budget:
+        Total retries allowed across one :func:`~repro.runner.execute`
+        call (``None`` = bounded only by ``max_attempts`` per task).  A
+        budget keeps a systematically failing campaign from retrying
+        every task to exhaustion.
+    timeout:
+        Per-task wall-clock limit in seconds (``None`` = none).  A task
+        exceeding it is abandoned, its worker process is terminated and
+        replaced, and the task is retried (consuming an attempt).
+        Requires the process-pool backend; the in-process serial path
+        cannot preempt a running task, so ``workers=1`` with a timeout
+        still routes through a single-worker pool.
+    """
+
+    max_attempts: int = 1
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    retry_budget: Optional[int] = None
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}")
+        if self.backoff_base < 0.0:
+            raise ValueError(
+                f"backoff_base must be >= 0, got {self.backoff_base!r}")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ValueError(
+                f"retry_budget must be >= 0, got {self.retry_budget!r}")
+        if self.timeout is not None and self.timeout <= 0.0:
+            raise ValueError(
+                f"timeout must be > 0, got {self.timeout!r}")
+
+    def backoff(self, key: str, attempt: int) -> float:
+        """Deterministic delay before retry ``attempt`` of task ``key``."""
+        return backoff_delay(key, attempt, base=self.backoff_base,
+                             cap=self.backoff_cap)
+
+
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+
+
+def resolve_retry(retry: Optional[RetryPolicy] = None) -> RetryPolicy:
+    """The effective retry policy (``None`` → environment → fail-fast).
+
+    ``$REPRO_RETRIES`` gives the retries *per task* (``max_attempts``
+    minus one), ``$REPRO_TASK_TIMEOUT`` the per-task timeout in seconds
+    (0 disables), ``$REPRO_RETRY_BACKOFF`` the backoff base and
+    ``$REPRO_RETRY_BUDGET`` the total retry budget.
+    """
+    if retry is not None:
+        return retry
+    retries = _env_int(RETRIES_ENV) or 0
+    if retries < 0:
+        raise ValueError(f"{RETRIES_ENV} must be >= 0, got {retries!r}")
+    timeout = _env_float(TIMEOUT_ENV)
+    if timeout is not None and timeout <= 0.0:
+        timeout = None
+    base = _env_float(BACKOFF_ENV)
+    budget = _env_int(BUDGET_ENV)
+    kwargs = dict(max_attempts=retries + 1, retry_budget=budget,
+                  timeout=timeout)
+    if base is not None:
+        kwargs["backoff_base"] = base
+    return RetryPolicy(**kwargs)

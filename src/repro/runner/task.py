@@ -28,7 +28,7 @@ from dataclasses import asdict, dataclass
 from repro.core.system import SimulationConfig
 from repro.sim.distributions import Distribution
 
-__all__ = ["RunTask", "task_key", "KEY_VERSION"]
+__all__ = ["RunTask", "task_key", "task_keys", "KEY_VERSION"]
 
 #: Bump when the key derivation (not the cached payload) changes shape.
 KEY_VERSION = 1
@@ -71,3 +71,8 @@ def task_key(task: RunTask) -> str:
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def task_keys(tasks: "list[RunTask] | tuple[RunTask, ...]") -> list[str]:
+    """The keys of ``tasks``, in input order (campaign planning)."""
+    return [task_key(task) for task in tasks]

@@ -16,9 +16,13 @@ event log without perturbing the run.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from repro.analysis.points import SweepPoint
+if TYPE_CHECKING:  # pragma: no cover - imported lazily in run_task so
+    # that importing repro.runner never initializes repro.analysis
+    # (whose package __init__ imports this package back).
+    from repro.analysis.points import SweepPoint
+
 from repro.core.system import OpenSystemResult, run_open_system
 from repro.sim.rng import StreamFactory
 from repro.sim.trace import Tracer
@@ -58,4 +62,6 @@ def run_task_result(task: RunTask,
 
 def run_task(task: RunTask) -> SweepPoint:
     """Execute one open-system run and return its curve point."""
+    from repro.analysis.points import SweepPoint
+
     return SweepPoint.from_result(run_task_result(task))

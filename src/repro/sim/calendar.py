@@ -217,7 +217,15 @@ class CalendarQueue(EventList):
         self._size = 0
         for e in entries:
             self.push(e)
-        self._realign(self._last_time)
+        # Anchor the cursor at the earliest surviving entry, not the
+        # dequeue clock: a push *earlier* than the last dequeue (legal
+        # standalone) can trigger this resize, and realigning to
+        # ``_last_time`` would strand that entry behind the cursor,
+        # letting later events pop first.
+        if entries:
+            self._realign(min(entries[0][0], self._last_time))
+        else:
+            self._realign(self._last_time)
 
     def __len__(self) -> int:
         return self._size

@@ -1,0 +1,90 @@
+"""Chaos-suite fixtures: fault plans, clean metrics, the chaos log.
+
+Every chaos test runs with a fresh metrics registry (so retry/timeout
+counter assertions are exact) and, when ``$REPRO_CHAOS_LOG`` names a
+file, appends one JSON line per test recording which faults fired and
+what the fault-tolerance counters ended at — the artifact CI uploads
+so a red chaos job can be diagnosed from the log alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.registry import REGISTRY
+from repro.runner.faults import FAULTS_ENV, armed_faults, fired_faults
+
+#: Path of the JSONL chaos log (one record per chaos test); unset
+#: disables logging.  Set by the CI chaos job, handy locally too.
+CHAOS_LOG_ENV = "REPRO_CHAOS_LOG"
+
+#: The fault-tolerance counters every chaos record snapshots.
+COUNTERS = (
+    "runner.retries",
+    "runner.timeouts",
+    "runner.workers.replaced",
+    "runner.tasks.rescheduled",
+    "runner.tasks.recovered",
+)
+
+
+@pytest.fixture
+def fresh_registry():
+    """A clean process-wide metrics registry, restored afterwards."""
+    REGISTRY.reset()
+    yield REGISTRY
+    REGISTRY.reset()
+
+
+@pytest.fixture
+def fault_plan(request, monkeypatch, tmp_path):
+    """An empty armed fault-plan directory, advertised via the env.
+
+    The environment variable (not a parameter) is what real workers
+    inherit, so tests exercise the production wiring.  The path is
+    stashed on the test node because the env var is already restored
+    by the time ``chaos_log`` writes its record.
+    """
+    root = tmp_path / "faults"
+    root.mkdir()
+    monkeypatch.setenv(FAULTS_ENV, str(root))
+    request.node.chaos_fault_plan = root
+    return root
+
+
+@pytest.fixture(autouse=True)
+def chaos_log(request, fresh_registry):
+    """Append one JSONL record per test to ``$REPRO_CHAOS_LOG``.
+
+    Ordered after ``fresh_registry`` so the counters are read before
+    the registry is wiped on teardown.
+    """
+    yield
+    log_path = os.environ.get(CHAOS_LOG_ENV, "").strip()
+    if not log_path:
+        return
+    record = {
+        "test": request.node.nodeid,
+        "outcome": getattr(request.node, "rep_outcome", "unknown"),
+        "counters": {
+            name: REGISTRY.counter(name).value for name in COUNTERS
+        },
+    }
+    plan = getattr(request.node, "chaos_fault_plan", None)
+    if plan is not None and plan.is_dir():
+        record["fired"] = [p.name for p in fired_faults(plan)]
+        record["unfired"] = [p.name for p in armed_faults(plan)]
+    with open(log_path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+@pytest.hookimpl(hookwrapper=True, tryfirst=True)
+def pytest_runtest_makereport(item, call):
+    """Stash the call-phase outcome where ``chaos_log`` can see it."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call":
+        item.rep_outcome = report.outcome

@@ -1,0 +1,156 @@
+"""Unit tests for the retry policy and its execution semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import (
+    BACKOFF_ENV,
+    BUDGET_ENV,
+    RETRIES_ENV,
+    TIMEOUT_ENV,
+    RetryPolicy,
+    RunTask,
+    TaskFailedError,
+    TaskTimeoutError,
+    TransientWorkerError,
+    execute,
+    resolve_retry,
+    task_key,
+)
+from repro.runner.faults import FAULTS_ENV, Fault, plan_fault
+from repro.runner import pool as pool_module
+
+from .conftest import SERVICE, SIZES, small_config
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_are_fail_fast(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 1
+        assert policy.retry_budget is None
+        assert policy.timeout is None
+
+    @pytest.mark.parametrize("bad", [
+        dict(max_attempts=0),
+        dict(max_attempts=-3),
+        dict(backoff_base=-0.1),
+        dict(retry_budget=-1),
+        dict(timeout=0.0),
+        dict(timeout=-5.0),
+    ])
+    def test_rejects_nonsense(self, bad):
+        with pytest.raises(ValueError):
+            RetryPolicy(**bad)
+
+    def test_backoff_disabled_by_zero_base(self):
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.0)
+        assert policy.backoff("ab", 1) == 0.0
+
+
+class TestResolveRetry:
+    def test_explicit_policy_passes_through(self):
+        policy = RetryPolicy(max_attempts=4)
+        assert resolve_retry(policy) is policy
+
+    def test_env_defaults(self, monkeypatch):
+        for var in (RETRIES_ENV, TIMEOUT_ENV, BACKOFF_ENV, BUDGET_ENV):
+            monkeypatch.delenv(var, raising=False)
+        policy = resolve_retry(None)
+        assert policy == RetryPolicy()
+
+    def test_env_retries_and_timeout(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV, "2")
+        monkeypatch.setenv(TIMEOUT_ENV, "30")
+        monkeypatch.setenv(BACKOFF_ENV, "0.5")
+        monkeypatch.setenv(BUDGET_ENV, "7")
+        policy = resolve_retry(None)
+        assert policy.max_attempts == 3  # retries = extra attempts
+        assert policy.timeout == 30.0
+        assert policy.backoff_base == 0.5
+        assert policy.retry_budget == 7
+
+    @pytest.mark.parametrize("var,raw", [
+        (RETRIES_ENV, "many"),
+        (TIMEOUT_ENV, "soon"),
+    ])
+    def test_env_garbage_rejected(self, monkeypatch, var, raw):
+        monkeypatch.setenv(var, raw)
+        with pytest.raises(ValueError):
+            resolve_retry(None)
+
+
+def _plan_transients(root, key, count):
+    for seq in range(count):
+        plan_fault(root, Fault(key=key, kind="transient", seq=seq))
+
+
+class TestSerialRetrySemantics:
+    @pytest.fixture
+    def one_task(self):
+        return [RunTask(small_config("GS", measured_jobs=200),
+                        SIZES, SERVICE, 0.4)]
+
+    @pytest.fixture
+    def fault_plan(self, monkeypatch, tmp_path):
+        root = tmp_path / "faults"
+        root.mkdir()
+        monkeypatch.setenv(FAULTS_ENV, str(root))
+        return root
+
+    def test_no_sleep_between_attempts_when_base_zero(
+            self, one_task, fault_plan, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(pool_module, "_sleep", sleeps.append)
+        _plan_transients(fault_plan, task_key(one_task[0]), 2)
+        execute(one_task, workers=1, cache=False,
+                retry=RetryPolicy(max_attempts=3, backoff_base=0.0))
+        assert sleeps == [0.0, 0.0]
+
+    def test_backoff_delays_follow_the_policy(
+            self, one_task, fault_plan, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(pool_module, "_sleep", sleeps.append)
+        key = task_key(one_task[0])
+        _plan_transients(fault_plan, key, 2)
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.001)
+        execute(one_task, workers=1, cache=False, retry=policy)
+        assert sleeps == [policy.backoff(key, 1), policy.backoff(key, 2)]
+
+    def test_attempts_exhausted_raises_with_count(
+            self, one_task, fault_plan):
+        _plan_transients(fault_plan, task_key(one_task[0]), 5)
+        with pytest.raises(TaskFailedError, match="after 2 attempts"):
+            execute(one_task, workers=1, cache=False,
+                    retry=RetryPolicy(max_attempts=2, backoff_base=0.0))
+
+    def test_zero_budget_means_fail_fast_even_with_attempts(
+            self, one_task, fault_plan):
+        _plan_transients(fault_plan, task_key(one_task[0]), 1)
+        with pytest.raises(TaskFailedError, match="budget exhausted"):
+            execute(one_task, workers=1, cache=False,
+                    retry=RetryPolicy(max_attempts=5, retry_budget=0,
+                                      backoff_base=0.0))
+
+    def test_worker_exception_type_preserved_in_message(
+            self, one_task, fault_plan):
+        _plan_transients(fault_plan, task_key(one_task[0]), 1)
+        with pytest.raises(TaskFailedError,
+                           match="TransientWorkerError"):
+            execute(one_task, workers=1, cache=False)
+
+
+class TestTimeoutErrors:
+    def test_timeout_error_is_a_task_failed_error(self):
+        err = TaskTimeoutError("ab" * 32, "GS rho=0.4", "timed out",
+                               attempts=2)
+        assert isinstance(err, TaskFailedError)
+        assert "after 2 attempts" in str(err)
+
+    def test_transient_error_importable_in_workers(self):
+        # The fault harness raises this class inside forked workers; it
+        # must pickle by reference from a stable module path.
+        import pickle
+
+        err = TransientWorkerError("flaky")
+        assert pickle.loads(pickle.dumps(err)).args == ("flaky",)

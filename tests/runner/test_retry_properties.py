@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for the fault-tolerance layer.
+
+Two families of invariants:
+
+* :func:`backoff_delay` is a *pure function* of ``(task key, attempt)``
+  — no RNG, no clock — bounded by the cap and never negative, so retry
+  schedules are reproducible and a retrying campaign is as
+  deterministic as a clean one;
+* a task that fails transiently any number of times (within its
+  attempt allowance) produces exactly the result — and byte-exactly
+  the cache entry — of a task that succeeds first try, at any worker
+  count.  Retries are invisible in every output channel except the
+  metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import (
+    ResultCache,
+    RetryPolicy,
+    RunTask,
+    backoff_delay,
+    execute,
+    task_key,
+)
+from repro.runner.faults import FAULTS_ENV, Fault, plan_fault
+
+from .conftest import SERVICE, SIZES, small_config
+
+hex_keys = st.text(alphabet="0123456789abcdef", min_size=8, max_size=64)
+attempts = st.integers(min_value=1, max_value=50)
+
+
+@given(key=hex_keys, attempt=attempts)
+def test_backoff_is_deterministic_in_key_and_attempt(key, attempt):
+    assert backoff_delay(key, attempt) == backoff_delay(key, attempt)
+
+
+@given(key=hex_keys, attempt=attempts,
+       base=st.floats(min_value=0.0, max_value=10.0),
+       cap=st.floats(min_value=0.0, max_value=60.0))
+def test_backoff_bounded_by_cap_and_nonnegative(key, attempt, base, cap):
+    delay = backoff_delay(key, attempt, base=base, cap=cap)
+    assert 0.0 <= delay <= cap
+    if base == 0.0:
+        assert delay == 0.0
+
+
+@given(key=hex_keys, attempt=st.integers(min_value=1, max_value=20))
+def test_backoff_jitter_stays_within_exponential_envelope(key, attempt):
+    # The deterministic jitter scales the exponential term by a factor
+    # in [0.5, 1.5); an uncapped call must land inside that envelope.
+    base = 0.01
+    delay = backoff_delay(key, attempt, base=base, cap=1e12)
+    exponential = base * 2.0 ** (attempt - 1)
+    assert 0.5 * exponential <= delay < 1.5 * exponential
+
+
+@given(keys=st.lists(hex_keys, min_size=2, max_size=2, unique=True))
+def test_backoff_depends_on_the_key(keys):
+    # Equal delays on every attempt would mean the key is ignored —
+    # the thundering-herd failure mode the jitter exists to break.
+    a, b = keys
+    assert any(
+        backoff_delay(a, n) != backoff_delay(b, n) for n in range(1, 6)
+    )
+
+
+@given(attempt=st.integers(max_value=0))
+def test_backoff_rejects_nonpositive_attempts(attempt):
+    with pytest.raises(ValueError):
+        backoff_delay("abcdef", attempt)
+
+
+# One simulated run costs real wall clock, so the equivalence property
+# samples a handful of fault schedules rather than hundreds.
+@settings(max_examples=4, deadline=None)
+@given(failures=st.tuples(st.integers(min_value=0, max_value=2),
+                          st.integers(min_value=0, max_value=2)),
+       workers=st.sampled_from([1, 2]))
+def test_retried_results_cache_equivalent_to_first_try(
+        tmp_path_factory, failures, workers):
+    """N transient failures then success == immediate success.
+
+    Byte-compares the *cache entries* (the durable output channel) of a
+    faulted run against a clean run of the same tasks.
+    """
+    tmp = tmp_path_factory.mktemp("retry-prop")
+    config = small_config("GS", measured_jobs=200)
+    tasks = [RunTask(config, SIZES, SERVICE, rho)
+             for rho in (0.35, 0.55)]
+    keys = [task_key(t) for t in tasks]
+
+    clean_cache = ResultCache(tmp / "clean")
+    clean = execute(tasks, workers=workers, cache=clean_cache)
+
+    with pytest.MonkeyPatch.context() as mp:
+        plan = tmp / "faults"
+        mp.setenv(FAULTS_ENV, str(plan))
+        for key, count in zip(keys, failures):
+            for seq in range(count):
+                plan_fault(plan, Fault(key=key, kind="transient",
+                                       seq=seq))
+        faulted_cache = ResultCache(tmp / "faulted")
+        faulted = execute(
+            tasks, workers=workers, cache=faulted_cache,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0))
+
+    assert faulted == clean
+    for key in keys:
+        assert (faulted_cache.path_for(key).read_bytes()
+                == clean_cache.path_for(key).read_bytes())
