@@ -18,12 +18,14 @@ from typing import Optional, Sequence
 from repro.core.system import SimulationConfig
 from repro.runner import (
     CacheSpec,
+    RetryBudget,
     RetryPolicy,
     RunTask,
     begin_campaign,
     execute,
     finish_campaign,
     resolve_cache,
+    resolve_retry,
 )
 from repro.sim.stats import ConfidenceInterval, Tally, student_t_quantile
 
@@ -164,6 +166,11 @@ def _replicated_runs(label: str, config: SimulationConfig,
     configs = [replace(config, seed=seed) for seed in seeds]
     store = resolve_cache(cache)
     cache_arg: CacheSpec = store if store is not None else False
+    # Resolve the retry posture once and share its budget across every
+    # wave's execute() call: the retry budget bounds the whole
+    # replication campaign, not each wave.
+    policy = resolve_retry(retry)
+    budget = RetryBudget(policy.retry_budget)
     planned = [
         RunTask(c, size_distribution, service_distribution, rho)
         for c in configs
@@ -180,7 +187,7 @@ def _replicated_runs(label: str, config: SimulationConfig,
             for i in active
         ]
         wave = execute(tasks, workers=workers, cache=cache_arg,
-                       retry=retry)
+                       retry=policy, budget=budget)
         still_active = []
         for i, point in zip(active, wave):
             collected[i].append(point)

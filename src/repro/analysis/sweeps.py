@@ -24,12 +24,14 @@ from typing import Optional, Sequence
 from repro.core.system import SimulationConfig
 from repro.runner import (
     CacheSpec,
+    RetryBudget,
     RetryPolicy,
     RunTask,
     begin_campaign,
     execute,
     finish_campaign,
     resolve_cache,
+    resolve_retry,
     resolve_workers,
 )
 
@@ -151,14 +153,19 @@ def sweep(label: str, config: SimulationConfig, size_distribution,
     retry:
         Fault-tolerance posture for the underlying tasks (default:
         fail fast, or the ``$REPRO_RETRIES`` / ``$REPRO_TASK_TIMEOUT``
-        environment defaults).  Retries, timeouts and worker
-        replacement never change the curve — a re-executed task is the
-        same pure function of the same inputs.
+        environment defaults).  The ``retry_budget`` is shared across
+        all of the sweep's chunks, so it bounds the campaign's total
+        retries rather than resetting every ``workers`` grid points.
+        Retries, timeouts and worker replacement never change the
+        curve — a re-executed task is the same pure function of the
+        same inputs.
     """
     if not utilizations:
         utilizations = default_grid()
     workers = resolve_workers(workers)
     store = resolve_cache(cache)
+    policy = resolve_retry(retry)
+    budget = RetryBudget(policy.retry_budget)
     planned = sweep_tasks(config, size_distribution,
                           service_distribution, utilizations)
     manifest = begin_campaign("sweep", label, planned, store)
@@ -167,10 +174,12 @@ def sweep(label: str, config: SimulationConfig, size_distribution,
     for chunk_start in range(0, len(planned), workers):
         chunk = planned[chunk_start:chunk_start + workers]
         # resolve_cache(None) would re-read the environment, so a
-        # resolved "no cache" is forwarded as an explicit False.
+        # resolved "no cache" is forwarded as an explicit False; the
+        # retry budget is likewise resolved once and shared so it is
+        # campaign-wide, not per chunk.
         for point in execute(chunk, workers=workers,
                              cache=store if store is not None else False,
-                             retry=retry):
+                             retry=policy, budget=budget):
             points.append(point)
             if point.saturated:
                 saturated_seen += 1

@@ -10,8 +10,9 @@ through this package:
 * :func:`execute` — serial or process-pool execution with results
   collected in task order, so output never depends on scheduling;
 * :class:`RetryPolicy` — per-task retries with deterministic
-  exponential backoff, a call-wide retry budget and per-task wall-clock
-  timeouts with worker replacement;
+  exponential backoff, a campaign-wide retry budget
+  (:class:`RetryBudget`) and per-task wall-clock timeouts with worker
+  replacement;
 * :class:`ResultCache` — an on-disk JSON cache under ``.repro-cache/``
   keyed by the same hashes, letting re-runs and aborted sweeps skip
   completed work;
@@ -64,6 +65,7 @@ from .retry import (
     BUDGET_ENV,
     RETRIES_ENV,
     TIMEOUT_ENV,
+    RetryBudget,
     RetryPolicy,
     backoff_delay,
     resolve_retry,
@@ -75,7 +77,7 @@ __all__ = [
     "RunTask", "task_key", "task_keys", "KEY_VERSION",
     "execute", "run_task", "resolve_workers", "resolve_cache",
     "CacheSpec", "WORKERS_ENV", "CACHE_ENV",
-    "RetryPolicy", "resolve_retry", "backoff_delay",
+    "RetryPolicy", "RetryBudget", "resolve_retry", "backoff_delay",
     "RETRIES_ENV", "TIMEOUT_ENV", "BACKOFF_ENV", "BUDGET_ENV",
     "ResultCache", "CacheIntegrityWarning", "SCHEMA_TAG",
     "DEFAULT_CACHE_DIR",

@@ -57,7 +57,7 @@ from repro.obs.registry import REGISTRY
 from .cache import ResultCache
 from .errors import TaskFailedError, TaskTimeoutError
 from .faults import FaultInjectingWorker, faults_root
-from .retry import RetryPolicy, resolve_retry
+from .retry import RetryBudget, RetryPolicy, resolve_retry
 from .task import RunTask, task_key
 from .worker import run_task
 
@@ -189,7 +189,8 @@ class _Execution:
                  results: "list[Optional[SweepPoint]]",
                  worker: Callable[[RunTask], SweepPoint],
                  policy: RetryPolicy, store: Optional[ResultCache],
-                 obs_on: bool) -> None:
+                 obs_on: bool,
+                 budget: Optional[RetryBudget] = None) -> None:
         self.tasks = tasks
         self.keys = keys
         self.results = results
@@ -199,8 +200,8 @@ class _Execution:
         self.obs_on = obs_on
         self.attempts: dict[int, int] = {}
         self.started: set[int] = set()
-        self.budget = (policy.retry_budget
-                       if policy.retry_budget is not None else None)
+        self.budget = (budget if budget is not None
+                       else RetryBudget(policy.retry_budget))
 
     def announce_start(self, i: int) -> None:
         """Emit the ``start`` heartbeat once per task, ever — a task
@@ -232,7 +233,7 @@ class _Execution:
         """Consume an attempt for task ``i`` or give up with a typed
         error.
 
-        Raises when the task is out of attempts or the call-wide retry
+        Raises when the task is out of attempts or the shared retry
         budget is spent; otherwise sleeps the deterministic backoff so
         the caller can resubmit.
         """
@@ -244,14 +245,12 @@ class _Execution:
                              self.tasks[i].describe())
             raise error_cls(self.keys[i], self.tasks[i].describe(),
                             cause, attempts=made)
-        if self.budget is not None:
-            if self.budget <= 0:
-                _progress.notify("fail", self.keys[i],
-                                 self.tasks[i].describe())
-                raise error_cls(
-                    self.keys[i], self.tasks[i].describe(),
-                    f"{cause} [retry budget exhausted]", attempts=made)
-            self.budget -= 1
+        if not self.budget.spend():
+            _progress.notify("fail", self.keys[i],
+                             self.tasks[i].describe())
+            raise error_cls(
+                self.keys[i], self.tasks[i].describe(),
+                f"{cause} [retry budget exhausted]", attempts=made)
         REGISTRY.counter("runner.retries").inc()
         if timeout:
             REGISTRY.counter("runner.timeouts").inc()
@@ -284,10 +283,14 @@ def _terminate_pool(pool: ProcessPoolExecutor) -> int:
     number of processes terminated (the ``_processes`` peek degrades to
     0 gracefully if the executor internals ever change).
     """
+    # Snapshot the workers *before* shutdown: the executor drops its
+    # ``_processes`` reference inside ``shutdown()``, so peeking after
+    # would find nothing and leave a hung worker sleeping — pinning the
+    # executor's manager thread (and interpreter exit) until it wakes.
+    processes = dict(getattr(pool, "_processes", None) or {})
     pool.shutdown(wait=False, cancel_futures=True)
-    processes = getattr(pool, "_processes", None) or {}
     killed = 0
-    for proc in list(processes.values()):
+    for proc in processes.values():
         try:
             proc.terminate()
             killed += 1
@@ -330,13 +333,13 @@ def _harvest_round(run: _Execution,
 def _retry_in_round(run: _Execution, pool: ProcessPoolExecutor,
                     inflight: "list[tuple[int, object]]", i: int,
                     cause: str) -> None:
-    """Retry a transiently failed task on the (healthy) pool — or give
-    up with the pool's queue cancelled, never left to drain."""
-    try:
-        run.register_failure(i, cause)
-    except TaskFailedError:
-        _terminate_pool(pool)
-        raise
+    """Retry a transiently failed task on the (healthy) pool.
+
+    An out-of-attempts/out-of-budget raise propagates to
+    :func:`_run_pool`'s round guard, which terminates the pool rather
+    than leaving its queue to drain.
+    """
+    run.register_failure(i, cause)
     inflight.append((i, pool.submit(run.worker, run.tasks[i])))
 
 
@@ -363,58 +366,70 @@ def _run_pool(run: _Execution, pending: Sequence[int],
         with ProcessPoolExecutor(
             max_workers=min(workers, len(queue))
         ) as pool:
-            inflight: list[tuple[int, object]] = []
-            for i in queue:
-                run.announce_start(i)
-                inflight.append((i, pool.submit(run.worker,
-                                                run.tasks[i])))
-            queue = []
-            while inflight:
-                i, future = inflight.pop(0)
-                try:
-                    point = future.result(timeout=run.policy.timeout)
-                except FutureTimeoutError as exc:
-                    # On 3.11+ this class aliases builtins.TimeoutError,
-                    # so a TimeoutError raised *inside* a worker lands
-                    # here too; only a set policy timeout with a still-
-                    # running future is a collection timeout.
-                    if run.policy.timeout is None or future.done():
-                        _retry_in_round(run, pool, inflight, i,
-                                        repr(exc))
-                        continue
-                    try:
-                        run.register_failure(
-                            i, f"exceeded the per-task timeout of "
-                               f"{run.policy.timeout:g}s",
-                            timeout=True)
-                    except TaskFailedError:
-                        _terminate_pool(pool)
-                        raise
-                    queue.append(i)
-                    try:
-                        queue.extend(_harvest_round(run, inflight))
-                    finally:
-                        _terminate_pool(pool)
-                    break
-                except BrokenProcessPool as exc:
-                    try:
-                        run.register_failure(
-                            i, f"worker process died: {exc!r}")
-                    except TaskFailedError:
-                        _terminate_pool(pool)
-                        raise
-                    queue.append(i)
-                    try:
-                        queue.extend(_harvest_round(run, inflight))
-                    finally:
-                        _terminate_pool(pool)
-                    break
-                except Exception as exc:
-                    # An ordinary worker exception: the pool is healthy,
-                    # so the retry resubmits to it directly.
-                    _retry_in_round(run, pool, inflight, i, repr(exc))
-                    continue
-                run.collect(i, point)
+            try:
+                queue = _run_round(run, pool, queue)
+            except BaseException:
+                # Anything escaping a round — a task out of attempts,
+                # a spent budget, KeyboardInterrupt — must never wait
+                # on the pool: a hung worker would block the ``with``
+                # exit's shutdown, and SIGINT on a campaign has to
+                # exit promptly (restart+resume is the recovery path).
+                _terminate_pool(pool)
+                raise
+
+
+def _run_round(run: _Execution, pool: ProcessPoolExecutor,
+               queue: Sequence[int]) -> list[int]:
+    """One pool round: submit all of ``queue``, collect in submission
+    order, and return the tasks carrying over to the next round (empty
+    when the round completed on a healthy pool).
+
+    A round that ends early (timeout or crash) terminates its own pool
+    before returning, so the caller's ``with`` exit never waits on a
+    hung worker.
+    """
+    inflight: list[tuple[int, object]] = []
+    for i in queue:
+        run.announce_start(i)
+        inflight.append((i, pool.submit(run.worker, run.tasks[i])))
+    carry: list[int] = []
+    while inflight:
+        i, future = inflight.pop(0)
+        try:
+            point = future.result(timeout=run.policy.timeout)
+        except FutureTimeoutError as exc:
+            # On 3.11+ this class aliases builtins.TimeoutError,
+            # so a TimeoutError raised *inside* a worker lands
+            # here too; only a set policy timeout with a still-
+            # running future is a collection timeout.
+            if run.policy.timeout is None or future.done():
+                _retry_in_round(run, pool, inflight, i, repr(exc))
+                continue
+            run.register_failure(
+                i, f"exceeded the per-task timeout of "
+                   f"{run.policy.timeout:g}s",
+                timeout=True)
+            carry.append(i)
+            try:
+                carry.extend(_harvest_round(run, inflight))
+            finally:
+                _terminate_pool(pool)
+            break
+        except BrokenProcessPool as exc:
+            run.register_failure(i, f"worker process died: {exc!r}")
+            carry.append(i)
+            try:
+                carry.extend(_harvest_round(run, inflight))
+            finally:
+                _terminate_pool(pool)
+            break
+        except Exception as exc:
+            # An ordinary worker exception: the pool is healthy,
+            # so the retry resubmits to it directly.
+            _retry_in_round(run, pool, inflight, i, repr(exc))
+            continue
+        run.collect(i, point)
+    return carry
 
 
 def execute(tasks: Sequence[RunTask], *,
@@ -422,6 +437,7 @@ def execute(tasks: Sequence[RunTask], *,
             cache: CacheSpec = None,
             worker: Callable[[RunTask], SweepPoint] = run_task,
             retry: Optional[RetryPolicy] = None,
+            budget: Optional[RetryBudget] = None,
             ) -> list[SweepPoint]:
     """Run ``tasks``, returning results in input (task-key) order.
 
@@ -431,6 +447,11 @@ def execute(tasks: Sequence[RunTask], *,
     the fault-tolerance posture (default: fail fast, no timeout — or
     the ``$REPRO_RETRIES`` / ``$REPRO_TASK_TIMEOUT`` environment
     defaults; see :func:`~repro.runner.retry.resolve_retry`).
+
+    ``budget`` lets a campaign driver share one
+    :class:`~repro.runner.retry.RetryBudget` across several ``execute``
+    calls so the retry bound spans the whole campaign; when ``None`` a
+    fresh budget is derived from ``retry.retry_budget`` for this call.
 
     ``worker`` is injectable for tests (engine-invocation counters); it
     must stay the module-level default for multi-process runs to be
@@ -471,13 +492,15 @@ def execute(tasks: Sequence[RunTask], *,
 
     if pending:
         run = _Execution(tasks, keys, results, worker, policy, store,
-                         obs_on)
+                         obs_on, budget)
         # The in-process path cannot preempt a hung task or survive a
-        # crash, so a timeout (or an armed fault plan) routes even a
-        # single task through the pool backend.
-        serial = workers == 1 or (len(pending) == 1
-                                  and policy.timeout is None
-                                  and not faults_on)
+        # crash, so a timeout (or an armed fault plan) routes execution
+        # through the pool backend even at workers == 1 — a hang must
+        # be killable and an injected crash must take down a worker,
+        # never this process.
+        serial = ((workers == 1 or len(pending) == 1)
+                  and policy.timeout is None
+                  and not faults_on)
         if serial:
             _run_serial(run, pending)
         else:

@@ -25,6 +25,7 @@ from typing import Optional
 
 __all__ = [
     "RetryPolicy",
+    "RetryBudget",
     "resolve_retry",
     "backoff_delay",
     "RETRIES_ENV",
@@ -86,7 +87,10 @@ class RetryPolicy:
         Total retries allowed across one :func:`~repro.runner.execute`
         call (``None`` = bounded only by ``max_attempts`` per task).  A
         budget keeps a systematically failing campaign from retrying
-        every task to exhaustion.
+        every task to exhaustion.  Campaign drivers (``sweep``,
+        ``replicate_sweep``) that split their grid over several
+        ``execute`` calls share one :class:`RetryBudget` across all of
+        them, so the bound is campaign-wide, not per chunk.
     timeout:
         Per-task wall-clock limit in seconds (``None`` = none).  A task
         exceeding it is abandoned, its worker process is terminated and
@@ -120,6 +124,40 @@ class RetryPolicy:
         """Deterministic delay before retry ``attempt`` of task ``key``."""
         return backoff_delay(key, attempt, base=self.backoff_base,
                              cap=self.backoff_cap)
+
+
+class RetryBudget:
+    """A mutable retry allowance shared across ``execute`` calls.
+
+    :func:`~repro.runner.execute` creates one from
+    ``RetryPolicy.retry_budget`` when the caller supplies none, so a
+    standalone call keeps its documented call-wide bound.  Campaign
+    drivers that issue *many* ``execute`` calls (``sweep`` runs the
+    grid in worker-sized chunks, ``replicate_sweep`` in waves) share a
+    single instance across all of them — the budget bounds the whole
+    campaign, which is what keeps a systematically failing campaign
+    from retrying every task to exhaustion.
+
+    ``remaining is None`` means unlimited (bounded only by
+    ``max_attempts`` per task).
+    """
+
+    __slots__ = ("remaining",)
+
+    def __init__(self, remaining: Optional[int] = None) -> None:
+        if remaining is not None and remaining < 0:
+            raise ValueError(
+                f"retry budget must be >= 0, got {remaining!r}")
+        self.remaining = remaining
+
+    def spend(self) -> bool:
+        """Consume one retry; ``False`` when the budget is dry."""
+        if self.remaining is None:
+            return True
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
 
 
 def _env_int(name: str) -> Optional[int]:

@@ -137,6 +137,86 @@ class TestHangTimeout:
         assert REGISTRY.counter("runner.workers.replaced").value >= 1
 
 
+class TestSerialWorkerFaults:
+    """``workers=1`` — the ``$REPRO_WORKERS``-unset default — must
+    still route through a single-worker pool when a timeout or an
+    armed fault plan demands preemption or crash isolation, exactly as
+    the :class:`RetryPolicy` docstring promises.  A regression to the
+    in-process path would ignore ``--task-timeout`` (the hang below
+    would block forever) or run a ``crash`` fault's ``os._exit`` in
+    *this* process."""
+
+    def test_hang_times_out_at_one_worker(self, fault_plan):
+        config = small_config("GS")
+        keys = grid_keys(config)
+        baseline = sweep("GS", config, SIZES, SERVICE, GRID, workers=1)
+
+        REGISTRY.reset()
+        plan_fault(fault_plan,
+                   Fault(key=keys[0], kind="hang", hang_seconds=60.0))
+        survived = sweep("GS", config, SIZES, SERVICE, GRID, workers=1,
+                         retry=RetryPolicy(max_attempts=2, timeout=5.0,
+                                           **FAST))
+
+        assert payload(survived) == payload(baseline)
+        assert REGISTRY.counter("runner.timeouts").value == 1
+        assert REGISTRY.counter("runner.retries").value == 1
+        assert REGISTRY.counter("runner.workers.replaced").value >= 1
+
+    def test_crash_kills_a_worker_not_this_process(self, fault_plan):
+        config = small_config("LS")
+        keys = grid_keys(config)
+        baseline = sweep("LS", config, SIZES, SERVICE, GRID, workers=1)
+
+        REGISTRY.reset()
+        plan_fault(fault_plan, Fault(key=keys[0], kind="crash"))
+        # Surviving at all proves the crash ran in a worker: in-process
+        # dispatch would os._exit the test runner here.
+        survived = sweep("LS", config, SIZES, SERVICE, GRID, workers=1,
+                         retry=RetryPolicy(max_attempts=2, **FAST))
+
+        assert payload(survived) == payload(baseline)
+        assert len(fired_faults(fault_plan)) == 1
+        assert REGISTRY.counter("runner.retries").value == 1
+        assert REGISTRY.counter("runner.workers.replaced").value >= 1
+
+
+class TestCampaignWideBudget:
+    """The retry budget spans every chunk of a sweep.
+
+    ``workers=1`` executes one grid point per ``execute()`` chunk, so a
+    per-chunk budget would silently reset between grid points and never
+    bind."""
+
+    def test_budget_spans_chunks(self, fault_plan):
+        config = small_config("GS")
+        for key in grid_keys(config):
+            plan_fault(fault_plan, Fault(key=key, kind="transient"))
+        # budget=1 grants the first grid point's retry; the second grid
+        # point — a later chunk — must find the budget already spent.
+        with pytest.raises(TaskFailedError, match="budget exhausted"):
+            sweep("GS", config, SIZES, SERVICE, GRID, workers=1,
+                  retry=RetryPolicy(max_attempts=3, retry_budget=1,
+                                    **FAST))
+        assert REGISTRY.counter("runner.retries").value == 1
+
+    def test_sufficient_budget_survives_byte_identical(self, fault_plan):
+        config = small_config("GS")
+        keys = grid_keys(config)
+        baseline = sweep("GS", config, SIZES, SERVICE, GRID, workers=1)
+
+        REGISTRY.reset()
+        for key in keys:
+            plan_fault(fault_plan, Fault(key=key, kind="transient"))
+        survived = sweep("GS", config, SIZES, SERVICE, GRID, workers=1,
+                         retry=RetryPolicy(max_attempts=3,
+                                           retry_budget=len(keys),
+                                           **FAST))
+
+        assert payload(survived) == payload(baseline)
+        assert REGISTRY.counter("runner.retries").value == len(keys)
+
+
 class TestPoisonedCache:
     def test_corrupt_shard_recomputed_not_served(self, tmp_path):
         config = small_config("LP")

@@ -9,6 +9,7 @@ from repro.runner import (
     BUDGET_ENV,
     RETRIES_ENV,
     TIMEOUT_ENV,
+    RetryBudget,
     RetryPolicy,
     RunTask,
     TaskFailedError,
@@ -138,6 +139,47 @@ class TestSerialRetrySemantics:
         with pytest.raises(TaskFailedError,
                            match="TransientWorkerError"):
             execute(one_task, workers=1, cache=False)
+
+
+class TestRetryBudget:
+    @pytest.fixture
+    def fault_plan(self, monkeypatch, tmp_path):
+        root = tmp_path / "faults"
+        root.mkdir()
+        monkeypatch.setenv(FAULTS_ENV, str(root))
+        return root
+
+    def test_unlimited_by_default(self):
+        budget = RetryBudget()
+        assert all(budget.spend() for _ in range(100))
+        assert budget.remaining is None
+
+    def test_counts_down_to_dry(self):
+        budget = RetryBudget(2)
+        assert budget.spend()
+        assert budget.spend()
+        assert not budget.spend()
+        assert budget.remaining == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RetryBudget(-1)
+
+    def test_shared_budget_spans_execute_calls(self, fault_plan):
+        # The campaign drivers pass one budget into many execute()
+        # chunks; a second chunk must see what the first one spent.
+        tasks = [RunTask(small_config("GS", measured_jobs=200, seed=s),
+                         SIZES, SERVICE, 0.4) for s in (1, 2)]
+        for t in tasks:
+            _plan_transients(fault_plan, task_key(t), 1)
+        policy = RetryPolicy(max_attempts=3, retry_budget=1,
+                             backoff_base=0.0)
+        budget = RetryBudget(policy.retry_budget)
+        execute([tasks[0]], workers=1, cache=False, retry=policy,
+                budget=budget)
+        with pytest.raises(TaskFailedError, match="budget exhausted"):
+            execute([tasks[1]], workers=1, cache=False, retry=policy,
+                    budget=budget)
 
 
 class TestTimeoutErrors:
