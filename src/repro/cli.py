@@ -206,10 +206,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_p.add_argument("paths", nargs="*", metavar="PATH",
                         help="files or directories (default: src/repro)")
-    lint_p.add_argument("--format", choices=("text", "json"),
+    lint_p.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="report format")
     lint_p.add_argument("--select", default=None, metavar="RULES",
                         help="comma-separated rule ids to run")
+    lint_p.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline file of accepted findings")
+    lint_p.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    lint_p.add_argument("--update-baseline", action="store_true",
+                        help="record current findings as the baseline")
+    lint_p.add_argument("--fix", action="store_true",
+                        help="apply mechanical autofixes, then re-lint")
+    lint_p.add_argument("--fix-suppress", default=None, metavar="RULES",
+                        help="insert suppression comments for these rules")
     lint_p.add_argument("--list-rules", action="store_true",
                         help="print the registered rules and exit")
 
@@ -562,6 +572,16 @@ def _cmd_lint(args) -> int:
     argv.extend(["--format", args.format])
     if args.select:
         argv.extend(["--select", args.select])
+    if args.baseline:
+        argv.extend(["--baseline", args.baseline])
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.fix:
+        argv.append("--fix")
+    if args.fix_suppress:
+        argv.extend(["--fix-suppress", args.fix_suppress])
     return lint_cli.main(argv)
 
 

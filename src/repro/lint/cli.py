@@ -6,7 +6,9 @@ import argparse
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .reporters import render_json, render_text
+from .baseline import DEFAULT_BASELINE_NAME, Baseline, write_baseline
+from .fixes import apply_fixes, suppression_fixes
+from .reporters import render_json, render_sarif, render_text
 from .rules import RULES, all_rule_ids
 from .runner import lint_paths
 
@@ -25,12 +27,39 @@ def build_parser() -> argparse.ArgumentParser:
              "exists, else the current directory)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
         "--select", metavar="RULES", default=None,
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline file of accepted findings (default: "
+             f"{DEFAULT_BASELINE_NAME} in the current directory, if it "
+             "exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report all findings)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="record the current findings as the accepted baseline "
+             "and exit 0",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply the mechanical autofixes rules attach (e.g. the "
+             "SIM009 sorted() wrap), then re-lint and report what "
+             "remains",
+    )
+    parser.add_argument(
+        "--fix-suppress", metavar="RULES", default=None,
+        help="comma-separated rule ids whose findings get an inline "
+             "'# simlint: disable=... -- TODO(justify)' comment "
+             "(implies --fix for those insertions)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -43,11 +72,60 @@ def _default_paths() -> list[str]:
     return ["src/repro"] if Path("src/repro").is_dir() else ["."]
 
 
+def _resolve_baseline(args: argparse.Namespace) -> Optional[Path]:
+    """The baseline path in effect, or ``None`` when disabled/absent."""
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE_NAME)
+    # --update-baseline creates the default file; plain runs only use
+    # a default baseline that already exists.
+    if args.update_baseline or default.exists():
+        return default
+    return None
+
+
 def run(paths: Sequence[str], *, fmt: str = "text",
-        select: Optional[Sequence[str]] = None) -> int:
+        select: Optional[Sequence[str]] = None,
+        baseline_path: Optional[Path] = None,
+        update_baseline: bool = False,
+        fix: bool = False,
+        fix_suppress: Optional[Sequence[str]] = None) -> int:
     """Lint ``paths`` and print a report; returns the process exit code."""
-    result = lint_paths(paths, select=select)
-    print(render_json(result) if fmt == "json" else render_text(result))
+    if update_baseline:
+        assert baseline_path is not None
+        result = lint_paths(paths, select=select)
+        written = write_baseline(baseline_path, result.violations)
+        print(f"simlint: baseline written to {baseline_path} "
+              f"({written} finding(s), {len(result.violations)} "
+              "occurrence(s))")
+        return 0
+
+    if fix or fix_suppress:
+        # Fix from an un-baselined run: baselined findings may carry
+        # fixes too, and fixing them pays the debt down for free.
+        result = lint_paths(paths, select=select)
+        fixable = result.violations
+        if fix_suppress:
+            fixable = suppression_fixes(fixable, fix_suppress)
+        if not fix:
+            # Only the suppression insertions were requested.
+            fixable = [v for v in fixable
+                       if v.fix is not None and v.fix.kind == "suppress"]
+        applied = apply_fixes(fixable)
+        edits = sum(applied.values())
+        print(f"simlint: applied {edits} fix(es) in "
+              f"{len(applied)} file(s)")
+
+    baseline = Baseline.load(baseline_path) if baseline_path else None
+    result = lint_paths(paths, select=select, baseline=baseline)
+    if fmt == "json":
+        print(render_json(result))
+    elif fmt == "sarif":
+        print(render_sarif(result))
+    else:
+        print(render_text(result))
     return result.exit_code()
 
 
@@ -56,14 +134,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
         for rule_id in all_rule_ids():
-            print(f"{rule_id}  {RULES[rule_id].summary}")
+            kind = "project" if RULES[rule_id].project else "file"
+            print(f"{rule_id}  [{kind}]  {RULES[rule_id].summary}")
         return 0
-    select: Optional[list[str]] = None
-    if args.select is not None:
-        select = [part.strip().upper() for part in args.select.split(",") if part.strip()]
-        unknown = [rule_id for rule_id in select if rule_id not in RULES]
+
+    def parse_rules(raw: str) -> "list[str] | None":
+        ids = [part.strip().upper() for part in raw.split(",") if part.strip()]
+        unknown = [rule_id for rule_id in ids if rule_id not in RULES]
         if unknown:
             print(f"unknown rule id(s): {', '.join(unknown)}; "
                   f"known: {', '.join(all_rule_ids())}")
+            return None
+        return ids
+
+    select: Optional[list[str]] = None
+    if args.select is not None:
+        select = parse_rules(args.select)
+        if select is None:
             return 2
-    return run(args.paths or _default_paths(), fmt=args.format, select=select)
+    fix_suppress: Optional[list[str]] = None
+    if args.fix_suppress is not None:
+        fix_suppress = parse_rules(args.fix_suppress)
+        if fix_suppress is None:
+            return 2
+    return run(
+        args.paths or _default_paths(),
+        fmt=args.format,
+        select=select,
+        baseline_path=_resolve_baseline(args),
+        update_baseline=args.update_baseline,
+        fix=args.fix,
+        fix_suppress=fix_suppress,
+    )

@@ -43,6 +43,25 @@ DEFAULT_SCOPE: Mapping[str, Sequence[str]] = {
     # the repository must route timing through repro.obs so the
     # determinism contract meets real time in exactly one place.
     "SIM006": ("repro*", "!repro.obs*"),
+    # Pool pickling breaks identically wherever execute() is called.
+    "SIM007": ("repro*",),
+    # Worker-reachable module state diverges across processes in the
+    # packages whose code the pool actually ships.
+    "SIM008": ("repro.sim*", "repro.core*", "repro.workload*",
+               "repro.runner*"),
+    # Set-iteration order feeds scheduling, task keys and serialized
+    # results in the deterministic packages; the analysis layer only
+    # consumes already-ordered reports.
+    "SIM009": ("repro.sim*", "repro.core*", "repro.workload*",
+               "repro.runner*", "repro.metrics*"),
+    # Cache-key soundness matters wherever keys are derived.
+    "SIM010": ("repro*",),
+    # Event-schema conformance matters at every emit site.
+    "SIM011": ("repro*",),
+    # Flow-aware closure of SIM006: ambient reads must not reach the
+    # hot path through any chain of calls — except inside repro.obs,
+    # which owns the clock by contract.
+    "SIM012": ("repro*", "!repro.obs*"),
 }
 
 

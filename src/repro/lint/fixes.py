@@ -1,0 +1,105 @@
+"""Applying autofixes: mechanical rewrites and suppression insertion.
+
+Two fix kinds exist (see :class:`repro.lint.types.Fix`):
+
+* ``replace`` — a rule attached a concrete single-line edit (today:
+  SIM009's ``sorted(...)`` wrap).  Applied by ``--fix``.
+* ``suppress`` — synthesised on demand by :func:`suppression_fixes`
+  for ``--fix-suppress RULE,...``: appends an inline
+  ``# simlint: disable=RULE -- TODO(justify)`` comment.  Opt-in and
+  per-rule, because an autofixer that silences findings wholesale
+  would defeat the linter; the TODO marker keeps the debt visible
+  until a human replaces it with a real justification.
+
+Edits are positional against the source the rules parsed; all fixes
+for one file are applied bottom-up (descending line, then column) so
+earlier edits never invalidate later spans.  Lines that already carry
+a ``simlint:`` comment are left alone rather than risk corrupting an
+existing suppression.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from .types import Fix, Violation
+
+__all__ = ["apply_fixes", "suppression_fixes"]
+
+
+def suppression_fixes(violations: Iterable[Violation],
+                      rules: Iterable[str]) -> List[Violation]:
+    """Clone ``violations`` of the given rules with ``suppress`` fixes.
+
+    Violations already carrying a replace-fix keep it (a real fix beats
+    a suppression); everything else in ``rules`` gets a suppression
+    edit targeting its own line.
+    """
+    wanted = set(rules)
+    out: List[Violation] = []
+    for violation in violations:
+        if violation.rule not in wanted or violation.fix is not None:
+            out.append(violation)
+            continue
+        out.append(Violation(
+            path=violation.path, line=violation.line, col=violation.col,
+            rule=violation.rule, message=violation.message,
+            fix=Fix(kind="suppress", line=violation.line),
+        ))
+    return out
+
+
+def _apply_to_line(line: str, fixes: List[tuple[Fix, str]]) -> str:
+    """Apply one line's fixes: replaces right-to-left, then suppression."""
+    suppress_rules: List[str] = []
+    replaces = []
+    for fix, rule_id in fixes:
+        if fix.kind == "suppress":
+            suppress_rules.append(rule_id)
+        elif fix.kind == "replace":
+            replaces.append(fix)
+    for fix in sorted(replaces, key=lambda f: f.col, reverse=True):
+        if fix.end_col <= len(line):
+            line = line[: fix.col] + fix.replacement + line[fix.end_col:]
+    if suppress_rules and "simlint:" not in line:
+        rules = ",".join(sorted(set(suppress_rules)))
+        line = (line.rstrip("\n")
+                + f"  # simlint: disable={rules} -- TODO(justify)")
+    return line
+
+
+def apply_fixes(violations: Iterable[Violation]) -> Dict[str, int]:
+    """Write every attached fix to disk; returns path -> edits applied.
+
+    Only violations with a ``fix`` participate.  Files are rewritten
+    in one pass each, preserving their original line endings except on
+    edited lines (which are normalised to ``\\n`` like the rest of the
+    tree).
+    """
+    by_file: Dict[str, Dict[int, List[tuple[Fix, str]]]] = {}
+    for violation in violations:
+        if violation.fix is None:
+            continue
+        by_file.setdefault(violation.path, {}).setdefault(
+            violation.fix.line, []).append((violation.fix, violation.rule))
+
+    applied: Dict[str, int] = {}
+    for path in sorted(by_file):
+        source = Path(path).read_text(encoding="utf-8")
+        lines = source.splitlines(keepends=True)
+        count = 0
+        for lineno, fixes in sorted(by_file[path].items(), reverse=True):
+            index = lineno - 1
+            if not 0 <= index < len(lines):
+                continue
+            line = lines[index]
+            ending = "\n" if line.endswith("\n") else ""
+            fixed = _apply_to_line(line.rstrip("\r\n"), fixes)
+            if fixed != line.rstrip("\r\n"):
+                lines[index] = fixed + ending
+                count += len(fixes)
+        if count:
+            Path(path).write_text("".join(lines), encoding="utf-8")
+            applied[path] = count
+    return applied

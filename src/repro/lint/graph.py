@@ -1,0 +1,296 @@
+"""Import graph, call graph and worker/hot-path reachability.
+
+Built on the :class:`~repro.lint.symbols.Project` symbol table, this
+module answers the question the cross-module rules all share: *which
+functions can actually run inside a worker process / the simulation
+hot path?*
+
+The call graph is deliberately conservative.  An edge is added only
+when a call target resolves unambiguously:
+
+* a plain or dotted name resolving through the symbol table
+  (``execute(...)``, ``pool.execute(...)``, re-export chains chased);
+* ``self.method(...)`` / ``cls.method(...)`` inside a class, linked to
+  the *same class's* method (base-class dispatch is not guessed);
+* a class constructor call, linked to its ``__init__``.
+
+Anything else (duck-typed attribute calls, callables passed as values)
+stays unresolved, so reachability under-approximates rather than
+over-approximates — rules built on it report fewer, firmer findings.
+
+Entry points are matched **by shape, not by hard-coded path**, so the
+analysis works identically on the shipped tree and on test fixtures:
+
+* functions named ``run_task`` / ``run_task_result`` (the pool ships
+  exactly these to worker processes — :mod:`repro.runner.worker`);
+* ``Simulator.run`` / ``Simulator.run_while`` / ``Simulator.step``
+  (the engine's drive loop — :mod:`repro.sim.engine`);
+* public functions of a module named ``placement`` (the placement
+  kernels invoked per scheduling attempt).
+
+Besides call edges the builder records **ambient sinks** per function:
+direct wall-clock reads (``time.time`` and friends, the SIM006 set)
+and environment reads (``os.environ`` / ``os.getenv``).  SIM012 uses
+the transitive closure of these to catch clock/env influence that
+per-file analysis cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .symbols import FunctionInfo, Project
+
+__all__ = [
+    "AmbientSink",
+    "CallGraph",
+    "build_call_graph",
+    "entry_points",
+    "import_graph",
+    "is_entry_point",
+]
+
+#: Function names the pool pickles and executes in worker processes.
+_WORKER_ENTRY_NAMES = frozenset({"run_task", "run_task_result"})
+
+#: Engine drive-loop methods (class named Simulator).
+_ENGINE_ENTRY_METHODS = frozenset({"run", "run_while", "step"})
+
+#: Module leaf whose public functions are per-attempt kernels.
+_KERNEL_MODULE_LEAF = "placement"
+
+#: Wall-clock readers — kept in sync with the SIM006 rule set.
+_CLOCK_SUFFIXES = frozenset(
+    {
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+        "time.process_time_ns", "time.thread_time", "time.thread_time_ns",
+        "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+    }
+)
+
+
+@dataclass(frozen=True)
+class AmbientSink:
+    """One direct wall-clock or environment read inside a function."""
+
+    #: ``"clock"`` or ``"env"``.
+    kind: str
+    #: The offending dotted expression (``time.perf_counter``).
+    what: str
+    line: int
+
+
+@dataclass
+class CallGraph:
+    """Resolved call edges plus ambient sinks, per function."""
+
+    project: Project
+    #: caller qualname -> {(callee qualname, call node)}.
+    edges: Dict[str, List[Tuple[str, ast.Call]]] = field(
+        default_factory=dict)
+    #: function qualname -> direct ambient reads inside it.
+    sinks: Dict[str, List[AmbientSink]] = field(default_factory=dict)
+
+    def callees(self, qualname: str) -> List[str]:
+        return [callee for callee, _ in self.edges.get(qualname, [])]
+
+    def reachable_from(self, seeds: Iterable[str]
+                       ) -> Dict[str, Optional[str]]:
+        """BFS over call edges: reachable qualname -> its BFS parent
+        (``None`` for the seeds themselves).  Deterministic order."""
+        parents: Dict[str, Optional[str]] = {}
+        frontier = sorted(set(seeds))
+        for seed in frontier:
+            parents[seed] = None
+        while frontier:
+            next_frontier: list[str] = []
+            for caller in frontier:
+                for callee in self.callees(caller):
+                    if callee in parents:
+                        continue
+                    parents[callee] = caller
+                    next_frontier.append(callee)
+            frontier = sorted(set(next_frontier))
+        return parents
+
+    def chain(self, parents: Dict[str, Optional[str]],
+              qualname: str) -> List[str]:
+        """Seed-to-``qualname`` call chain under a reachability map."""
+        chain = [qualname]
+        seen = {qualname}
+        while True:
+            parent = parents.get(chain[-1])
+            if parent is None or parent in seen:
+                break
+            chain.append(parent)
+            seen.add(parent)
+        return list(reversed(chain))
+
+    def ambient_reachers(self) -> Dict[str, Tuple[str, str]]:
+        """Functions whose transitive call closure reads clock/env.
+
+        Returns qualname -> (next hop toward a sink, sink description);
+        a function with a *direct* sink maps to itself.  Fixed-point
+        over the reversed edges, deterministic iteration order.
+        """
+        reach: Dict[str, Tuple[str, str]] = {}
+        for qualname in sorted(self.sinks):
+            sink = self.sinks[qualname][0]
+            reach[qualname] = (qualname,
+                               f"{sink.what} ({sink.kind} read)")
+        changed = True
+        while changed:
+            changed = False
+            for caller in sorted(self.edges):
+                if caller in reach:
+                    continue
+                for callee, _ in self.edges[caller]:
+                    if callee in reach:
+                        reach[caller] = (callee, reach[callee][1])
+                        changed = True
+                        break
+        return reach
+
+    def sink_chain(self, qualname: str) -> List[str]:
+        """``qualname -> ... -> sink-owner`` hop list (for messages)."""
+        reach = self.ambient_reachers()
+        chain = [qualname]
+        while chain[-1] in reach:
+            hop = reach[chain[-1]][0]
+            if hop == chain[-1]:
+                break
+            chain.append(hop)
+        return chain
+
+
+def is_entry_point(func: FunctionInfo) -> bool:
+    """Whether ``func`` matches a worker/hot-path entry-point shape."""
+    if func.cls is None:
+        if func.name in _WORKER_ENTRY_NAMES:
+            return True
+        module_leaf = func.module.rsplit(".", 1)[-1]
+        return (module_leaf == _KERNEL_MODULE_LEAF
+                and not func.name.startswith("_"))
+    return (func.cls == "Simulator"
+            and func.name in _ENGINE_ENTRY_METHODS)
+
+
+def entry_points(project: Project) -> List[str]:
+    """Qualified names of every entry point in ``project``, sorted."""
+    return sorted(q for q, f in project.functions.items()
+                  if is_entry_point(f))
+
+
+def import_graph(project: Project) -> Dict[str, Set[str]]:
+    """Module -> set of imported modules (project-internal edges only)."""
+    graph: Dict[str, Set[str]] = {}
+    for name, info in sorted(project.modules.items()):
+        targets: Set[str] = set()
+        for qualified in info.imports.values():
+            # An import target is either a module or module.attr; keep
+            # whichever prefix is an indexed module.
+            if qualified in project.modules:
+                targets.add(qualified)
+                continue
+            prefix = qualified.rpartition(".")[0]
+            if prefix in project.modules:
+                targets.add(prefix)
+        graph[name] = targets
+    return graph
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_clock_read(dotted: str) -> bool:
+    parts = dotted.split(".")
+    for take in (2, 3):
+        if len(parts) >= take and \
+                ".".join(parts[-2:]) in _CLOCK_SUFFIXES:
+            return True
+    return dotted in _CLOCK_SUFFIXES
+
+
+def _is_env_read(dotted: str) -> bool:
+    return (dotted.startswith("os.environ")
+            or dotted == "os.getenv"
+            or dotted.endswith(".os.environ"))
+
+
+def _function_body_nodes(func: FunctionInfo) -> Iterable[ast.AST]:
+    """All nodes of a function body, *including* nested defs/lambdas —
+    a closure defined here runs with this function's privileges."""
+    for stmt in func.node.body:
+        yield from ast.walk(stmt)
+
+
+def _resolve_call(project: Project, func: FunctionInfo,
+                  call: ast.Call) -> Optional[str]:
+    """The qualified callee of ``call`` inside ``func``, if provable."""
+    dotted = _dotted(call.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    if head in ("self", "cls") and func.cls is not None and rest \
+            and "." not in rest:
+        owner = project.modules.get(func.module)
+        if owner is not None:
+            cls = owner.classes.get(func.cls)
+            if cls is not None and rest in cls.methods:
+                return cls.methods[rest].qualname
+        return None
+    resolved = project.resolve(func.module, dotted)
+    if resolved is None:
+        return None
+    if resolved in project.functions:
+        return resolved
+    cls = project.class_named(resolved)
+    if cls is not None:
+        init = cls.methods.get("__init__")
+        return init.qualname if init is not None else None
+    return None
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    """Resolve call edges and ambient sinks for every function."""
+    graph = CallGraph(project)
+    for qualname in sorted(project.functions):
+        func = project.functions[qualname]
+        edges: List[Tuple[str, ast.Call]] = []
+        sinks: List[AmbientSink] = []
+        for node in _function_body_nodes(func):
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted is not None:
+                    if _is_clock_read(dotted):
+                        sinks.append(AmbientSink(
+                            "clock", dotted, node.lineno))
+                        continue
+                    if _is_env_read(dotted):
+                        sinks.append(AmbientSink(
+                            "env", dotted, node.lineno))
+                        continue
+                callee = _resolve_call(project, func, node)
+                if callee is not None and callee != qualname:
+                    edges.append((callee, node))
+            elif isinstance(node, (ast.Attribute, ast.Subscript)):
+                dotted = _dotted(node if isinstance(node, ast.Attribute)
+                                 else node.value)
+                if dotted is not None and _is_env_read(dotted):
+                    sinks.append(AmbientSink("env", dotted, node.lineno))
+        if edges:
+            graph.edges[qualname] = edges
+        if sinks:
+            graph.sinks[qualname] = sinks
+    return graph

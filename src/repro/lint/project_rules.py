@@ -1,0 +1,640 @@
+"""Cross-module simlint rules SIM007–SIM012.
+
+These rules run once per lint invocation over the whole
+:class:`~repro.lint.symbols.Project` (symbol table + call graph),
+rather than once per file.  Each check is ``(Project, CallGraph) ->
+Iterator[Violation]``; the runner applies scope filtering and
+suppression comments exactly as for the per-file rules, keyed by the
+module each violation lands in.
+
+All six rules share the conservative-resolution contract of
+:mod:`repro.lint.graph`: a name or call target the symbol table cannot
+prove stays unreported.  Findings are therefore high-confidence; the
+committed baseline (:mod:`repro.lint.baseline`) exists for adopting
+stricter rules on legacy trees, not for housing known false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .graph import CallGraph, entry_points
+from .rules import rule
+from .symbols import ClassInfo, FunctionInfo, ModuleInfo, Project
+from .types import Fix, Violation
+
+__all__: list[str] = []
+
+#: Container methods that mutate the receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "setdefault",
+        "pop", "popitem", "remove", "discard", "clear", "sort",
+        "reverse", "appendleft", "popleft", "extendleft",
+    }
+)
+
+#: Hash constructors that mark a function as a key/fingerprint builder.
+_HASH_NAMES = frozenset(
+    {"sha256", "sha1", "sha224", "sha384", "sha512", "md5",
+     "blake2b", "blake2s"}
+)
+
+#: The registry module-level name SIM011 looks for.
+_SCHEMA_REGISTRY_NAME = "EVENT_SCHEMAS"
+
+#: Row keys every emit_row row must carry besides the payload.
+_ROW_PROTOCOL_KEYS = frozenset({"t", "kind"})
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _path_of(project: Project, module: str) -> str:
+    info = project.modules.get(module)
+    return info.path if info is not None else module
+
+
+def _violation(project: Project, module: str, rule_id: str,
+               node: ast.AST, message: str,
+               fix: Optional[Fix] = None) -> Violation:
+    return Violation(
+        path=_path_of(project, module),
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule_id,
+        message=message,
+        fix=fix,
+    )
+
+
+def _short(qualname: str) -> str:
+    """Trailing two components of a qualified name (for messages)."""
+    return ".".join(qualname.split(".")[-2:])
+
+
+# ---------------------------------------------------------------------------
+# SIM007 — non-picklable callables shipped to the process pool
+# ---------------------------------------------------------------------------
+
+
+def _is_execute_target(qualified: str) -> bool:
+    """Whether ``qualified`` names the runner's pool entry point."""
+    parts = qualified.split(".")
+    return (parts[-1] == "execute"
+            and len(parts) >= 2
+            and parts[-2] in ("pool", "runner"))
+
+
+def _worker_arg(call: ast.Call) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == "worker":
+            return kw.value
+    return None
+
+
+def _unpicklable_reason(project: Project, module: ModuleInfo,
+                        value: ast.expr,
+                        local_funcs: Dict[str, str]) -> Optional[str]:
+    """Why ``value`` cannot be pickled for a worker process, if so."""
+    if isinstance(value, ast.Lambda):
+        return "a lambda (pickled by qualified name, which lambdas lack)"
+    if isinstance(value, ast.Name):
+        kind = local_funcs.get(value.id)
+        if kind is not None:
+            return (f"{kind} {value.id!r} defined inside the enclosing "
+                    f"function (closures cannot be pickled)")
+        resolved = project.resolve(module.name, value.id)
+        if resolved is not None:
+            target = project.module_value(resolved)
+            if isinstance(target, ast.Lambda):
+                return (f"{value.id!r}, bound to a module-level lambda "
+                        f"in {resolved.rpartition('.')[0]!r} (lambdas "
+                        "are never picklable)")
+        return None
+    if isinstance(value, ast.Call):
+        callee = _dotted(value.func)
+        if callee is not None and callee.split(".")[-1] == "partial" \
+                and value.args:
+            inner = _unpicklable_reason(project, module, value.args[0],
+                                        local_funcs)
+            if inner is not None:
+                return f"functools.partial over {inner}"
+    return None
+
+
+@rule("SIM007", "no non-picklable/closure callables shipped to "
+                "runner.pool execute paths", project=True)
+def check_pool_callables(project: Project, graph: CallGraph
+                         ) -> Iterator[Violation]:
+    """A ``worker=`` callable handed to :func:`repro.runner.pool.execute`
+    crosses a process boundary by pickle.  Lambdas, nested functions and
+    partials over either fail at fan-out time — but only when the run
+    actually selects ``workers > 1``, so the bug ships silently and
+    detonates on the first parallel campaign.
+    """
+    for module_name in sorted(project.modules):
+        module = project.modules[module_name]
+
+        def visit(body: list[ast.stmt],
+                  local_funcs: Dict[str, str],
+                  *, nested: bool) -> Iterator[Violation]:
+            for node in body:
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    if nested:
+                        local_funcs[node.name] = "nested function"
+                    inner = dict(local_funcs)
+                    yield from visit(node.body, inner, nested=True)
+                    continue
+                if nested and isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name) and \
+                                isinstance(node.value, ast.Lambda):
+                            local_funcs[target.id] = "lambda"
+                for call in ast.walk(node):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    callee = _dotted(call.func)
+                    if callee is None:
+                        continue
+                    resolved = project.resolve(module.name, callee)
+                    if resolved is None or \
+                            not _is_execute_target(resolved):
+                        continue
+                    worker = _worker_arg(call)
+                    if worker is None:
+                        continue
+                    reason = _unpicklable_reason(
+                        project, module, worker, local_funcs)
+                    if reason is not None:
+                        yield _violation(
+                            project, module.name, "SIM007", worker,
+                            f"worker= passed to {_short(resolved)} is "
+                            f"{reason}; use a module-level function",
+                        )
+
+        yield from visit(module.ctx.tree.body, {}, nested=False)
+
+
+# ---------------------------------------------------------------------------
+# SIM008 — module-state mutation reachable from worker-executed code
+# ---------------------------------------------------------------------------
+
+
+def _module_state_aliases(project: Project, func: FunctionInfo
+                          ) -> Dict[str, str]:
+    """Local names that alias module-level state inside ``func``.
+
+    Only the direct pattern ``local = MODULE_LEVEL_NAME`` is tracked;
+    anything fancier stays invisible (conservative by design).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(func.node):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Name):
+            continue
+        resolved = project.resolve(func.module, node.value.id)
+        if resolved is None or project.module_value(resolved) is None:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                aliases[target.id] = resolved
+    return aliases
+
+
+def _mutated_module_state(project: Project, func: FunctionInfo
+                          ) -> Iterator[Tuple[ast.AST, str]]:
+    """(node, qualified state name) for each module-state mutation."""
+    aliases = _module_state_aliases(project, func)
+    declared_global: Set[str] = set()
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+
+    def state_target(name: str) -> Optional[str]:
+        if name in aliases:
+            return aliases[name]
+        resolved = project.resolve(func.module, name)
+        if resolved is not None and \
+                project.module_value(resolved) is not None:
+            return resolved
+        return None
+
+    for node in ast.walk(func.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if isinstance(target, ast.Name) and \
+                        target.id in declared_global:
+                    resolved = project.resolve(func.module, target.id)
+                    yield node, resolved or f"{func.module}.{target.id}"
+                elif isinstance(target, (ast.Subscript, ast.Attribute)) \
+                        and isinstance(target.value, ast.Name):
+                    state = state_target(target.value.id)
+                    if state is not None:
+                        yield node, state
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _MUTATORS and \
+                isinstance(node.func.value, ast.Name):
+            state = state_target(node.func.value.id)
+            if state is not None:
+                yield node, state
+
+
+@rule("SIM008", "no module-state mutation reachable from "
+                "worker-executed code", project=True)
+def check_worker_module_state(project: Project, graph: CallGraph
+                              ) -> Iterator[Violation]:
+    """Workers are forked/spawned processes: module-level state mutated
+    on a worker-executed path diverges silently between processes (and
+    between serial and parallel runs of the *same* seed).  Flags
+    ``global`` writes and in-place container mutation of module-level
+    names — including one-hop local aliases — in any function reachable
+    from the worker/hot-path entry points.
+    """
+    parents = graph.reachable_from(entry_points(project))
+    for qualname in sorted(parents):
+        func = project.functions.get(qualname)
+        if func is None:
+            continue
+        chain = graph.chain(parents, qualname)
+        via = " -> ".join(_short(q) for q in chain)
+        for node, state in _mutated_module_state(project, func):
+            yield _violation(
+                project, func.module, "SIM008", node,
+                f"{_short(qualname)!r} mutates module-level state "
+                f"{state!r} on a worker-executed path ({via}); "
+                "cross-process divergence risk",
+            )
+
+
+# ---------------------------------------------------------------------------
+# SIM009 — unordered-set iteration feeding deterministic outputs
+# ---------------------------------------------------------------------------
+
+
+def _local_set_names(func_node: ast.AST) -> Set[str]:
+    """Names bound to set-valued expressions inside one function."""
+    names: Set[str] = set()
+    for node in ast.walk(func_node):
+        if isinstance(node, ast.Assign) and \
+                _is_setish(node.value, set()):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Name):
+            annotation = ast.unparse(node.annotation)
+            if annotation.split("[")[0].split(".")[-1] in (
+                    "set", "Set", "frozenset", "FrozenSet",
+                    "AbstractSet", "MutableSet"):
+                names.add(node.target.id)
+    return names
+
+
+def _is_setish(node: ast.expr, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        terminal = _dotted(node.func)
+        if terminal is not None and \
+                terminal.split(".")[-1] in ("set", "frozenset"):
+            return True
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        return (_is_setish(node.left, set_names)
+                or _is_setish(node.right, set_names))
+    return False
+
+
+def _sorted_fix(module: ModuleInfo, node: ast.expr) -> Optional[Fix]:
+    """Wrap a single-line iteration expression in ``sorted(...)``."""
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line != node.lineno or end_col is None:
+        return None
+    segment = ast.get_source_segment(module.ctx.source, node)
+    if segment is None:
+        return None
+    return Fix(kind="replace", line=node.lineno, col=node.col_offset,
+               end_col=end_col, replacement=f"sorted({segment})")
+
+
+@rule("SIM009", "no iteration over unordered sets on result-affecting "
+                "paths", project=True)
+def check_set_iteration_order(project: Project, graph: CallGraph
+                              ) -> Iterator[Violation]:
+    """``set``/``frozenset`` iteration order depends on insertion
+    history and on the per-process string hash seed, so a loop over a
+    set that feeds event scheduling, task keys or serialized results is
+    deterministic only by accident.  Iterate ``sorted(...)`` instead
+    (the autofix) or restructure onto a list/dict.  Dict iteration is
+    insertion-ordered and therefore *not* flagged.
+    """
+    for module_name in sorted(project.modules):
+        module = project.modules[module_name]
+        set_names = _local_set_names(module.ctx.tree)
+        for node in ast.walk(module.ctx.tree):
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                terminal = _dotted(node.func)
+                if terminal in ("list", "tuple") and len(node.args) == 1:
+                    iters.append(node.args[0])
+            for it in iters:
+                if _is_setish(it, set_names):
+                    yield _violation(
+                        project, module.name, "SIM009", it,
+                        "iteration over an unordered set; order leaks "
+                        "into downstream results — iterate "
+                        "sorted(...) instead",
+                        fix=_sorted_fix(module, it),
+                    )
+
+
+# ---------------------------------------------------------------------------
+# SIM010 — cache-key soundness for dataclass-configured hashes
+# ---------------------------------------------------------------------------
+
+
+def _annotation_target(project: Project, module: str,
+                       annotation: Optional[ast.expr]
+                       ) -> Optional[ClassInfo]:
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and \
+            isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value,
+                                   mode="eval").body
+        except SyntaxError:
+            return None
+    dotted = _dotted(annotation)
+    if dotted is None:
+        return None
+    resolved = project.resolve(module, dotted)
+    if resolved is None:
+        return None
+    cls = project.class_named(resolved)
+    if cls is not None and cls.is_dataclass():
+        return cls
+    return None
+
+
+def _is_key_builder(func: FunctionInfo) -> bool:
+    """Whether the function computes a content hash/key."""
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            if dotted.split(".")[-1] in _HASH_NAMES or \
+                    dotted.startswith("hashlib."):
+                return True
+    return False
+
+
+def _consumed_fields(func: FunctionInfo, param: str) -> Optional[Set[str]]:
+    """Fields of ``param`` read in ``func``; ``None`` = all consumed
+    (the parameter escapes whole into a call, so every field flows)."""
+    fields: Set[str] = set()
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name) and \
+                node.value.id == param:
+            fields.add(node.attr)
+        elif isinstance(node, ast.Call):
+            for arg in list(node.args) + [kw.value for kw in
+                                          node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id == param:
+                    return None
+    return fields
+
+
+@rule("SIM010", "every result-affecting dataclass field is folded into "
+                "the content key", project=True)
+def check_key_ingredients(project: Project, graph: CallGraph
+                          ) -> Iterator[Violation]:
+    """A key builder (a function hashing a project dataclass) that
+    reads only *some* fields produces colliding keys: two configs that
+    differ in an unhashed field share a cache entry, and the second run
+    silently returns the first run's results.  Passing the parameter
+    whole (``asdict(cfg)``, ``pickle.dumps(cfg)``) consumes every
+    field; explicit field picks must be exhaustive.
+    """
+    for qualname in sorted(project.functions):
+        func = project.functions[qualname]
+        if not _is_key_builder(func):
+            continue
+        args = func.node.args
+        params = args.posonlyargs + args.args + args.kwonlyargs
+        for param in params:
+            cls = _annotation_target(project, func.module,
+                                     param.annotation)
+            if cls is None:
+                continue
+            consumed = _consumed_fields(func, param.arg)
+            if consumed is None:
+                continue
+            missing = [f for f in cls.dataclass_fields()
+                       if f not in consumed]
+            for name in missing:
+                yield _violation(
+                    project, func.module, "SIM010", func.node,
+                    f"key builder {_short(qualname)!r} hashes "
+                    f"{cls.name!r} but never reads field {name!r}; "
+                    "configs differing only in it will collide in "
+                    "the cache",
+                )
+
+
+# ---------------------------------------------------------------------------
+# SIM011 — emit_row rows match the registered event schemas
+# ---------------------------------------------------------------------------
+
+
+def _schema_registry(project: Project
+                     ) -> Optional[Dict[str, frozenset]]:
+    """The merged ``EVENT_SCHEMAS`` dict-literal registry, if present."""
+    registry: Dict[str, frozenset] = {}
+    found = False
+    for module_name in sorted(project.modules):
+        value = project.modules[module_name].assigns.get(
+            _SCHEMA_REGISTRY_NAME)
+        if not isinstance(value, ast.Dict):
+            continue
+        for key, val in zip(value.keys, value.values):
+            if not (isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)):
+                continue
+            names: set[str] = set()
+            elements: list[ast.expr] = []
+            if isinstance(val, (ast.Set, ast.Tuple, ast.List)):
+                elements = list(val.elts)
+            elif isinstance(val, ast.Call) and val.args and \
+                    isinstance(val.args[0], (ast.Set, ast.Tuple,
+                                             ast.List)):
+                elements = list(val.args[0].elts)
+            for element in elements:
+                if isinstance(element, ast.Constant) and \
+                        isinstance(element.value, str):
+                    names.add(element.value)
+            registry[key.value] = frozenset(names)
+            found = True
+    return registry if found else None
+
+
+def _row_kinds(project: Project, module: str,
+               value: ast.expr) -> Optional[List[str]]:
+    """Candidate kind strings of a row's ``"kind"`` value expression."""
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return [value.value]
+    if isinstance(value, ast.Subscript):
+        table = _dotted(value.value)
+        if table is None:
+            return None
+        resolved = project.resolve(module, table)
+        if resolved is None:
+            return None
+        literal = project.module_value(resolved)
+        if isinstance(literal, ast.Dict):
+            kinds = [v.value for v in literal.values
+                     if isinstance(v, ast.Constant)
+                     and isinstance(v.value, str)]
+            return sorted(kinds) or None
+    return None
+
+
+@rule("SIM011", "emit_row row keys match the registered obs event "
+                "schemas", project=True)
+def check_event_row_schemas(project: Project, graph: CallGraph
+                            ) -> Iterator[Violation]:
+    """Hot-path sites hand :meth:`Tracer.emit_row` a prebuilt dict; the
+    obs layer serializes it as-is.  A site whose keys drift from the
+    registered schema (``EVENT_SCHEMAS`` in :mod:`repro.obs.events`)
+    ships rows downstream consumers cannot parse — and the mismatch
+    only surfaces when someone replays the log.  Literal rows are
+    checked against the registry; rows whose kind cannot be resolved
+    statically are skipped.
+    """
+    registry = _schema_registry(project)
+    if registry is None:
+        return
+    for module_name in sorted(project.modules):
+        module = project.modules[module_name]
+        for node in ast.walk(module.ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit_row"
+                    and len(node.args) == 1
+                    and not node.keywords
+                    and isinstance(node.args[0], ast.Dict)):
+                continue
+            row = node.args[0]
+            keys: set[str] = set()
+            literal = True
+            kind_value: Optional[ast.expr] = None
+            for key, value in zip(row.keys, row.values):
+                if key is None or not (isinstance(key, ast.Constant)
+                                       and isinstance(key.value, str)):
+                    literal = False
+                    break
+                keys.add(key.value)
+                if key.value == "kind":
+                    kind_value = value
+            if not literal:
+                continue
+            missing_protocol = _ROW_PROTOCOL_KEYS - keys
+            if missing_protocol:
+                yield _violation(
+                    project, module.name, "SIM011", row,
+                    "emit_row row lacks required key(s) "
+                    f"{sorted(missing_protocol)}; every row carries "
+                    "\"t\" and \"kind\"",
+                )
+                continue
+            kinds = _row_kinds(project, module.name, kind_value) \
+                if kind_value is not None else None
+            if kinds is None:
+                continue
+            payload = frozenset(keys - _ROW_PROTOCOL_KEYS)
+            for kind in kinds:
+                schema = registry.get(kind)
+                if schema is None:
+                    yield _violation(
+                        project, module.name, "SIM011", row,
+                        f"emit_row kind {kind!r} is not registered in "
+                        f"{_SCHEMA_REGISTRY_NAME}; register its schema "
+                        "in repro.obs.events",
+                    )
+                    continue
+                if payload != schema:
+                    extra = sorted(payload - schema)
+                    absent = sorted(schema - payload)
+                    detail = []
+                    if extra:
+                        detail.append(f"extra keys {extra}")
+                    if absent:
+                        detail.append(f"missing keys {absent}")
+                    yield _violation(
+                        project, module.name, "SIM011", row,
+                        f"emit_row row for kind {kind!r} does not "
+                        f"match its registered schema: "
+                        f"{'; '.join(detail)}",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# SIM012 — transitive wall-clock/env reads reaching the hot path
+# ---------------------------------------------------------------------------
+
+
+@rule("SIM012", "no transitive wall-clock/env reads on the hot path",
+      project=True)
+def check_transitive_ambient(project: Project, graph: CallGraph
+                             ) -> Iterator[Violation]:
+    """SIM006 bans *direct* clock reads outside ``repro.obs``; this is
+    its flow-aware closure.  A function on the worker/hot path that
+    calls — through any number of hops, including into helper modules —
+    something that reads the wall clock or the environment couples
+    simulation results to ambient machine state.  The violation lands
+    on the hot-path call site and names the full chain to the sink.
+    """
+    parents = graph.reachable_from(entry_points(project))
+    reachers = graph.ambient_reachers()
+    for qualname in sorted(parents):
+        func = project.functions.get(qualname)
+        if func is None:
+            continue
+        for callee, call in graph.edges.get(qualname, []):
+            if callee not in reachers:
+                continue
+            chain = graph.sink_chain(callee)
+            sink_desc = reachers[callee][1]
+            via = " -> ".join(_short(q) for q in chain)
+            yield _violation(
+                project, func.module, "SIM012", call,
+                f"hot-path call into {_short(callee)!r} transitively "
+                f"reads {sink_desc} (chain: {via}); ambient state must "
+                "not reach worker-executed code",
+            )

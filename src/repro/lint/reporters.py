@@ -1,12 +1,25 @@
-"""Render a :class:`~repro.lint.runner.LintResult` for humans or tools."""
+"""Render a :class:`~repro.lint.runner.LintResult` for humans or tools.
+
+Three formats: ``text`` (GCC-style, for terminals), ``json`` (stable
+machine-readable), and ``sarif`` (SARIF 2.1.0, for GitHub code
+scanning and other SARIF consumers).
+"""
 
 from __future__ import annotations
 
 import json
+from pathlib import Path
+from typing import Optional
 
+from .rules import RULES
 from .runner import LintResult
 
-__all__ = ["render_json", "render_text"]
+__all__ = ["render_json", "render_sarif", "render_text"]
+
+#: Schema URI SARIF consumers key on; the version must match it.
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+_SARIF_VERSION = "2.1.0"
 
 
 def render_text(result: LintResult) -> str:
@@ -17,6 +30,8 @@ def render_text(result: LintResult) -> str:
         lines.append(
             f"simlint: {result.files_checked} file(s) checked, no violations"
         )
+        if result.baselined:
+            lines[-1] += f" ({result.baselined} baselined)"
     else:
         tally = ", ".join(
             f"{rule_id}: {count}"
@@ -30,6 +45,8 @@ def render_text(result: LintResult) -> str:
             summary += f" ({tally})"
         if result.errors:
             summary += f"; {len(result.errors)} file(s) unparsable"
+        if result.baselined:
+            summary += f"; {result.baselined} baselined finding(s) hidden"
         lines.append(summary)
     return "\n".join(lines)
 
@@ -41,6 +58,109 @@ def render_json(result: LintResult) -> str:
         "violations": [violation.to_dict() for violation in result.violations],
         "errors": [error.to_dict() for error in result.errors],
         "counts_by_rule": result.counts_by_rule(),
+        "baselined": result.baselined,
         "clean": result.clean,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_uri(path: str, root: Optional[Path]) -> str:
+    """Repo-relative posix URI when ``root`` contains ``path``."""
+    p = Path(path)
+    if root is not None:
+        try:
+            return p.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def render_sarif(result: LintResult, *, root: Optional[Path] = None) -> str:
+    """SARIF 2.1.0 report — one run, one result per violation.
+
+    ``root`` (default: the current directory) becomes the
+    ``srcroot`` uriBaseId so GitHub code scanning can anchor findings
+    to repository paths.  Parse errors are emitted as tool
+    ``notifications`` with level ``error``, matching their exit-code-2
+    severity.
+    """
+    if root is None:
+        root = Path.cwd()
+    rules = [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": RULES[rule_id].summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id in sorted(RULES)
+    ]
+    rule_index = {rule_id: i for i, rule_id in enumerate(sorted(RULES))}
+    results = []
+    for violation in result.violations:
+        entry = {
+            "ruleId": violation.rule,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _sarif_uri(violation.path, root),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if violation.rule in rule_index:
+            entry["ruleIndex"] = rule_index[violation.rule]
+        results.append(entry)
+    notifications = [
+        {
+            "level": "error",
+            "message": {"text": error.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _sarif_uri(error.path, root),
+                            "uriBaseId": "SRCROOT",
+                        }
+                    }
+                }
+            ],
+        }
+        for error in result.errors
+    ]
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": "simlint",
+                "informationUri": "https://example.invalid/simlint",
+                "rules": rules,
+            }
+        },
+        "originalUriBaseIds": {
+            "SRCROOT": {"uri": root.resolve().as_uri() + "/"}
+        },
+        "columnKind": "utf16CodeUnits",
+        "results": results,
+    }
+    if notifications:
+        run["invocations"] = [
+            {
+                "executionSuccessful": False,
+                "toolExecutionNotifications": notifications,
+            }
+        ]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [run],
+    }
+    return json.dumps(document, indent=2)

@@ -19,7 +19,9 @@ from .types import Violation
 
 __all__ = ["RULES", "Rule", "RuleCheck", "all_rule_ids", "rule"]
 
-RuleCheck = Callable[[FileContext], Iterator[Violation]]
+#: Per-file rules take a FileContext; project rules (``project=True``)
+#: take ``(Project, CallGraph)`` and run once per lint invocation.
+RuleCheck = Callable[..., Iterator[Violation]]
 
 
 @dataclass(frozen=True)
@@ -29,19 +31,24 @@ class Rule:
     id: str
     summary: str
     check: RuleCheck
+    #: Whole-program rules run once over the Project/CallGraph instead
+    #: of once per file (SIM007+).
+    project: bool = False
 
 
 #: Registry, id -> Rule, populated by the :func:`rule` decorator.
 RULES: Dict[str, Rule] = {}
 
 
-def rule(rule_id: str, summary: str) -> Callable[[RuleCheck], RuleCheck]:
+def rule(
+    rule_id: str, summary: str, *, project: bool = False
+) -> Callable[[RuleCheck], RuleCheck]:
     """Register ``check`` under ``rule_id`` in :data:`RULES`."""
 
     def register(check: RuleCheck) -> RuleCheck:
         if rule_id in RULES:
             raise ValueError(f"duplicate rule id {rule_id!r}")
-        RULES[rule_id] = Rule(rule_id, summary, check)
+        RULES[rule_id] = Rule(rule_id, summary, check, project=project)
         return check
 
     return register

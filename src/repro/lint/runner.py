@@ -1,14 +1,34 @@
-"""File discovery and rule execution for the simlint pass."""
+"""File discovery and rule execution for the simlint pass.
+
+Execution happens in two layers sharing one parse per file:
+
+1. **Per-file rules** (SIM001–SIM006) run over each
+   :class:`~repro.lint.context.FileContext` independently.
+2. **Project rules** (SIM007–SIM012) run once over the
+   :class:`~repro.lint.symbols.Project` built from *all* successfully
+   parsed files, so cross-module facts (imports, call reachability)
+   are visible.
+
+Scope filtering and ``# simlint: disable=`` suppression comments apply
+uniformly to both layers, keyed by the module/line each violation
+lands in.  An optional :class:`~repro.lint.baseline.Baseline` filters
+accepted legacy findings out at the end; the number it absorbed is
+reported separately (``LintResult.baselined``).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
+from . import project_rules as _project_rules  # noqa: F401  (registers SIM007+)
+from .baseline import Baseline
 from .config import rule_applies
-from .context import build_context
+from .context import FileContext, build_context
+from .graph import CallGraph, build_call_graph
 from .rules import RULES
+from .symbols import Project, build_project
 from .types import LintError, Violation
 
 __all__ = ["LintResult", "iter_python_files", "lint_file", "lint_paths"]
@@ -25,6 +45,8 @@ class LintResult:
     violations: list[Violation] = field(default_factory=list)
     errors: list[LintError] = field(default_factory=list)
     files_checked: int = 0
+    #: Findings absorbed by the baseline file (not in ``violations``).
+    baselined: int = 0
 
     @property
     def clean(self) -> bool:
@@ -58,6 +80,57 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
             yield path
 
 
+def _selected(select: Optional[Sequence[str]]) -> list[str]:
+    wanted = set(select) if select else set(RULES)
+    for rule_id in wanted:
+        if rule_id not in RULES:
+            raise KeyError(f"unknown rule id {rule_id!r}")
+    return sorted(wanted)
+
+
+def _run_file_rules(
+    ctx: FileContext,
+    selected: Sequence[str],
+    scope: Optional[Mapping[str, Sequence[str]]],
+) -> list[Violation]:
+    violations: list[Violation] = []
+    for rule_id in selected:
+        registered = RULES[rule_id]
+        if registered.project:
+            continue
+        if not rule_applies(rule_id, ctx.module, scope):
+            continue
+        for violation in registered.check(ctx):
+            if not ctx.is_suppressed(violation.rule, violation.line):
+                violations.append(violation)
+    return violations
+
+
+def _run_project_rules(
+    contexts: Sequence[FileContext],
+    selected: Sequence[str],
+    scope: Optional[Mapping[str, Sequence[str]]],
+) -> list[Violation]:
+    project_ids = [r for r in selected if RULES[r].project]
+    if not project_ids or not contexts:
+        return []
+    project: Project = build_project(contexts)
+    graph: CallGraph = build_call_graph(project)
+    by_path: Dict[str, FileContext] = {ctx.path: ctx for ctx in contexts}
+    violations: list[Violation] = []
+    for rule_id in project_ids:
+        for violation in RULES[rule_id].check(project, graph):
+            ctx = by_path.get(violation.path)
+            module = ctx.module if ctx is not None else None
+            if not rule_applies(rule_id, module, scope):
+                continue
+            if ctx is not None and ctx.is_suppressed(
+                    violation.rule, violation.line):
+                continue
+            violations.append(violation)
+    return violations
+
+
 def lint_file(
     path: Path,
     *,
@@ -65,19 +138,13 @@ def lint_file(
     scope: Optional[Mapping[str, Sequence[str]]] = None,
 ) -> list[Violation]:
     """Run the (selected) rules over one file, honouring scope and
-    suppression comments.  Raises on unreadable/unparsable input."""
+    suppression comments.  Project rules see a single-file project, so
+    cross-module resolution degrades to local resolution.  Raises on
+    unreadable/unparsable input."""
     ctx = build_context(path)
-    wanted = set(select) if select else set(RULES)
-    violations: list[Violation] = []
-    for rule_id in sorted(wanted):
-        registered = RULES.get(rule_id)
-        if registered is None:
-            raise KeyError(f"unknown rule id {rule_id!r}")
-        if not rule_applies(rule_id, ctx.module, scope):
-            continue
-        for violation in registered.check(ctx):
-            if not ctx.is_suppressed(violation.rule, violation.line):
-                violations.append(violation)
+    selected = _selected(select)
+    violations = _run_file_rules(ctx, selected, scope)
+    violations.extend(_run_project_rules([ctx], selected, scope))
     return sorted(violations)
 
 
@@ -86,19 +153,35 @@ def lint_paths(
     *,
     select: Optional[Sequence[str]] = None,
     scope: Optional[Mapping[str, Sequence[str]]] = None,
+    baseline: Optional[Baseline] = None,
 ) -> LintResult:
-    """Lint every Python file under ``paths``; never raises on bad files."""
+    """Lint every Python file under ``paths``; never raises on bad files.
+
+    All parseable files are indexed into one project for the
+    cross-module rules; files that fail to parse are reported as
+    errors and excluded from the project (their absence can only make
+    reachability smaller, never wrong).
+    """
     result = LintResult()
+    contexts: List[FileContext] = []
+    selected = _selected(select)
     for path in iter_python_files(Path(p) for p in paths):
         try:
-            result.violations.extend(lint_file(path, select=select, scope=scope))
+            ctx = build_context(path)
         except SyntaxError as exc:
             result.errors.append(
                 LintError(str(path), f"syntax error: {exc.msg} (line {exc.lineno})")
             )
         except OSError as exc:
             result.errors.append(LintError(str(path), f"cannot read: {exc}"))
+        else:
+            contexts.append(ctx)
+            result.violations.extend(_run_file_rules(ctx, selected, scope))
         result.files_checked += 1
+    result.violations.extend(_run_project_rules(contexts, selected, scope))
+    if baseline is not None:
+        result.violations, result.baselined = baseline.filter(
+            result.violations)
     result.violations.sort()
     result.errors.sort()
     return result

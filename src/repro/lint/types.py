@@ -1,10 +1,29 @@
-"""Datatypes shared by the simlint pass: findings and errors."""
+"""Datatypes shared by the simlint pass: findings, fixes and errors."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
-__all__ = ["LintError", "Violation"]
+__all__ = ["Fix", "LintError", "Violation"]
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A mechanical single-line source edit that removes a finding.
+
+    ``replace`` swaps ``[col, end_col)`` of ``line`` for ``replacement``
+    (the SIM009 ``sorted(...)`` wrap); ``suppress`` appends an inline
+    ``# simlint: disable=`` comment to ``line`` and ignores the column
+    fields.  Spans are computed from the same source the rule parsed,
+    so the fixer applies them positionally without re-analysis.
+    """
+
+    kind: str  # "replace" | "suppress"
+    line: int  # 1-based
+    col: int = 0  # 0-based, inclusive
+    end_col: int = 0  # 0-based, exclusive
+    replacement: str = ""
 
 
 @dataclass(frozen=True, order=True)
@@ -12,7 +31,8 @@ class Violation:
     """One rule finding, anchored to a source location.
 
     Ordering is (path, line, col, rule) so reports are stable across
-    runs and dict/set iteration orders.
+    runs and dict/set iteration orders.  An attached :class:`Fix` is
+    advisory metadata and excluded from ordering/equality.
     """
 
     path: str
@@ -20,6 +40,7 @@ class Violation:
     col: int
     rule: str
     message: str
+    fix: Optional[Fix] = field(default=None, compare=False)
 
     def format(self) -> str:
         """``path:line:col: RULE message`` — the text-reporter line."""
@@ -33,6 +54,7 @@ class Violation:
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
+            "fixable": self.fix is not None,
         }
 
 

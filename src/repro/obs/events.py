@@ -31,7 +31,7 @@ from typing import Iterable, Iterator, Optional, Type, Union
 
 from repro.sim.trace import Tracer, TraceRecord
 
-__all__ = ["EVENT_SCHEMA", "EventLog", "ExportTracer",
+__all__ = ["EVENT_SCHEMA", "EVENT_SCHEMAS", "EventLog", "ExportTracer",
            "read_events", "read_header", "tail_events"]
 
 
@@ -57,6 +57,25 @@ except ImportError:  # pragma: no cover - exercised where orjson is absent
 
 #: Versioned shape tag of the JSONL event stream; bump on change.
 EVENT_SCHEMA = "repro.obs/events/1"
+
+#: Registered payload keys per event kind — the contract between the
+#: hot-path emit sites (which build row dicts by hand for speed) and
+#: every downstream log consumer.  ``t`` and ``kind`` are implicit on
+#: all rows.  simlint's SIM011 statically checks each
+#: ``Tracer.emit_row`` literal against this table, so drift between an
+#: emit site and the schema fails the lint gate instead of surfacing
+#: months later in a log replay.  Keep values as literal frozensets:
+#: the checker reads this dict from the AST.
+EVENT_SCHEMAS = {
+    "arrival": frozenset({"job", "size", "queue"}),
+    "start": frozenset({"job", "assignment"}),
+    "departure": frozenset({"job"}),
+    "placement_fit": frozenset({"job", "queue", "assignment"}),
+    "placement_no_fit": frozenset({"job", "queue"}),
+    "queue_disable": frozenset({"queue", "order"}),
+    "queue_enable": frozenset({"queue", "order"}),
+    "queue_reenable": frozenset({"queue", "order"}),
+}
 
 PathLike = Union[str, Path]
 

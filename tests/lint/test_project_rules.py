@@ -1,0 +1,579 @@
+"""Positive/negative fixtures for the whole-program rules SIM007–SIM012.
+
+Fixture files live in ``tmp_path`` (no package root), so every rule
+applies regardless of the scope table and :func:`repro.lint.lint_file`
+builds a single-file project around each snippet.  Entry points are
+matched by *shape* (``run_task``, ``Simulator.run``, placement-module
+public functions), so a fixture that defines ``run_task`` genuinely
+exercises the reachability analysis.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_file, lint_paths
+
+
+def lint_snippet(tmp_path: Path, code: str, *, select: list[str] | None = None):
+    path = tmp_path / "fixture.py"
+    path.write_text(textwrap.dedent(code))
+    return lint_file(path, select=select)
+
+
+def rule_ids(violations) -> set[str]:
+    return {v.rule for v in violations}
+
+
+# ---------------------------------------------------------------------------
+# SIM007 — non-picklable callables shipped to the pool
+# ---------------------------------------------------------------------------
+
+
+class TestSIM007:
+    @pytest.mark.parametrize("snippet", [
+        # A bare lambda.
+        """\
+        from repro.runner.pool import execute
+
+        def sweep(tasks):
+            return execute(tasks, worker=lambda t: t)
+        """,
+        # A nested function (closure).
+        """\
+        from repro.runner.pool import execute
+
+        def sweep(tasks, bonus):
+            def scaled(task):
+                return task + bonus
+            return execute(tasks, worker=scaled)
+        """,
+        # A module-level name bound to a lambda.
+        """\
+        from repro.runner.pool import execute
+
+        handler = lambda t: t
+
+        def sweep(tasks):
+            return execute(tasks, worker=handler)
+        """,
+        # functools.partial over a lambda.
+        """\
+        from functools import partial
+        from repro.runner.pool import execute
+
+        def sweep(tasks):
+            return execute(tasks, worker=partial(lambda t, s: t, 2))
+        """,
+        # The façade import resolves to the same target.
+        """\
+        from repro.runner import execute
+
+        def sweep(tasks):
+            return execute(tasks, worker=lambda t: t)
+        """,
+    ])
+    def test_flags_unpicklable_worker(self, tmp_path, snippet):
+        violations = lint_snippet(tmp_path, snippet, select=["SIM007"])
+        assert rule_ids(violations) == {"SIM007"}
+
+    @pytest.mark.parametrize("snippet", [
+        # Module-level def: picklable by qualified name.
+        """\
+        from repro.runner.pool import execute
+
+        def work(task):
+            return task
+
+        def sweep(tasks):
+            return execute(tasks, worker=work)
+        """,
+        # Default worker (no worker= at all).
+        """\
+        from repro.runner.pool import execute
+
+        def sweep(tasks):
+            return execute(tasks)
+        """,
+        # A lambda handed to some *other* function is not pool traffic.
+        """\
+        def sweep(items):
+            return sorted(items, key=lambda t: t)
+        """,
+    ])
+    def test_clean_workers_pass(self, tmp_path, snippet):
+        assert lint_snippet(tmp_path, snippet, select=["SIM007"]) == []
+
+    def test_suppression_comment_silences(self, tmp_path):
+        violations = lint_snippet(tmp_path, """\
+            from repro.runner.pool import execute
+
+            def sweep(tasks):
+                return execute(tasks, worker=lambda t: t)  # simlint: disable=SIM007 -- serial-only helper
+            """, select=["SIM007"])
+        assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# SIM008 — module-state mutation reachable from worker code
+# ---------------------------------------------------------------------------
+
+
+class TestSIM008:
+    @pytest.mark.parametrize("snippet", [
+        # Direct subscript write through a helper on the worker path.
+        """\
+        _CACHE = {}
+
+        def remember(task):
+            _CACHE[task] = True
+            return task
+
+        def run_task(task):
+            return remember(task)
+        """,
+        # `global` rebind inside the entry point itself.
+        """\
+        COUNT = 0
+
+        def run_task(task):
+            global COUNT
+            COUNT += 1
+            return task
+        """,
+        # Mutation through a local alias of module state.
+        """\
+        _BUFFER = []
+
+        def run_task(task):
+            buf = _BUFFER
+            buf.append(task)
+            return task
+        """,
+        # Reachable through the engine drive loop.
+        """\
+        _SEEN = []
+
+        class Simulator:
+            def step(self):
+                _SEEN.append(1)
+        """,
+    ])
+    def test_flags_worker_reachable_mutation(self, tmp_path, snippet):
+        violations = lint_snippet(tmp_path, snippet, select=["SIM008"])
+        assert rule_ids(violations) == {"SIM008"}
+
+    def test_message_names_the_call_chain(self, tmp_path):
+        violations = lint_snippet(tmp_path, """\
+            _CACHE = {}
+
+            def remember(task):
+                _CACHE[task] = True
+
+            def run_task(task):
+                return remember(task)
+            """, select=["SIM008"])
+        assert len(violations) == 1
+        assert "run_task" in violations[0].message
+        assert "remember" in violations[0].message
+
+    @pytest.mark.parametrize("snippet", [
+        # Same mutation, but nothing reaches it from an entry point.
+        """\
+        _CACHE = {}
+
+        def remember(task):
+            _CACHE[task] = True
+            return task
+
+        def offline_tool(task):
+            return remember(task)
+        """,
+        # Function-local state is fine anywhere.
+        """\
+        def run_task(task):
+            acc = []
+            acc.append(task)
+            return acc
+        """,
+        # Reading module state without mutating it is fine.
+        """\
+        LIMITS = {"cap": 4}
+
+        def run_task(task):
+            return LIMITS["cap"]
+        """,
+    ])
+    def test_clean_patterns_pass(self, tmp_path, snippet):
+        assert lint_snippet(tmp_path, snippet, select=["SIM008"]) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM009 — unordered-set iteration
+# ---------------------------------------------------------------------------
+
+
+class TestSIM009:
+    @pytest.mark.parametrize("snippet", [
+        "for name in {'b', 'a'}:\n    print(name)\n",
+        """\
+        def keys(jobs):
+            pending = {j for j in jobs}
+            return [p for p in pending]
+        """,
+        """\
+        def keys(jobs):
+            pending = set(jobs)
+            return list(pending)
+        """,
+        # Set algebra is still a set.
+        """\
+        def keys(a, b):
+            left = set(a)
+            right = set(b)
+            return [x for x in left - right]
+        """,
+        "names = frozenset({'a'})\nout = list(names)\n",
+    ])
+    def test_flags_set_iteration(self, tmp_path, snippet):
+        violations = lint_snippet(tmp_path, textwrap.dedent(snippet),
+                                  select=["SIM009"])
+        assert rule_ids(violations) == {"SIM009"}
+
+    @pytest.mark.parametrize("snippet", [
+        # The blessed form.
+        "for name in sorted({'b', 'a'}):\n    print(name)\n",
+        # Dict iteration is insertion-ordered: not flagged.
+        "for key in {'b': 1, 'a': 2}:\n    print(key)\n",
+        # Lists/tuples are ordered.
+        "for item in ['b', 'a']:\n    print(item)\n",
+        # Membership tests don't iterate.
+        """\
+        def has(jobs, j):
+            pending = set(jobs)
+            return j in pending
+        """,
+    ])
+    def test_ordered_iteration_passes(self, tmp_path, snippet):
+        assert lint_snippet(tmp_path, textwrap.dedent(snippet),
+                            select=["SIM009"]) == []
+
+    def test_violation_carries_sorted_autofix(self, tmp_path):
+        violations = lint_snippet(
+            tmp_path, "for name in {'b', 'a'}:\n    print(name)\n",
+            select=["SIM009"])
+        assert len(violations) == 1
+        fix = violations[0].fix
+        assert fix is not None and fix.kind == "replace"
+        assert fix.replacement == "sorted({'b', 'a'})"
+
+
+# ---------------------------------------------------------------------------
+# SIM010 — cache-key soundness
+# ---------------------------------------------------------------------------
+
+_CONFIG_PREAMBLE = """\
+import hashlib
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class Config:
+    alpha: float
+    beta: float
+"""
+
+
+class TestSIM010:
+    def test_flags_unread_field(self, tmp_path):
+        violations = lint_snippet(tmp_path, _CONFIG_PREAMBLE + """\
+
+def config_key(cfg: Config) -> str:
+    return hashlib.sha256(str(cfg.alpha).encode()).hexdigest()
+""", select=["SIM010"])
+        assert rule_ids(violations) == {"SIM010"}
+        assert len(violations) == 1
+        assert "'beta'" in violations[0].message
+
+    def test_every_missing_field_reported(self, tmp_path):
+        violations = lint_snippet(tmp_path, _CONFIG_PREAMBLE + """\
+
+def config_key(cfg: Config) -> str:
+    return hashlib.sha256(b"constant").hexdigest()
+""", select=["SIM010"])
+        assert len(violations) == 2
+
+    @pytest.mark.parametrize("body", [
+        # All fields read explicitly.
+        """\
+
+def config_key(cfg: Config) -> str:
+    raw = f"{cfg.alpha}|{cfg.beta}"
+    return hashlib.sha256(raw.encode()).hexdigest()
+""",
+        # The parameter escapes whole: every field flows into the hash.
+        """\
+
+def config_key(cfg: Config) -> str:
+    raw = repr(asdict(cfg))
+    return hashlib.sha256(raw.encode()).hexdigest()
+""",
+        # Not a key builder: no hash call, free to read a subset.
+        """\
+
+def describe(cfg: Config) -> str:
+    return f"alpha={cfg.alpha}"
+""",
+    ])
+    def test_sound_keys_pass(self, tmp_path, body):
+        assert lint_snippet(tmp_path, _CONFIG_PREAMBLE + body,
+                            select=["SIM010"]) == []
+
+    def test_class_var_not_required(self, tmp_path):
+        violations = lint_snippet(tmp_path, """\
+            import hashlib
+            from dataclasses import dataclass
+            from typing import ClassVar
+
+
+            @dataclass(frozen=True)
+            class Config:
+                alpha: float
+                KIND: ClassVar[str] = "config"
+
+
+            def config_key(cfg: Config) -> str:
+                return hashlib.sha256(str(cfg.alpha).encode()).hexdigest()
+            """, select=["SIM010"])
+        assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# SIM011 — emit_row schema conformance
+# ---------------------------------------------------------------------------
+
+_SCHEMA_PREAMBLE = """\
+EVENT_SCHEMAS = {
+    "arrival": frozenset({"job", "queue"}),
+    "departure": frozenset({"job"}),
+}
+"""
+
+
+class TestSIM011:
+    def test_flags_extra_key(self, tmp_path):
+        violations = lint_snippet(tmp_path, _SCHEMA_PREAMBLE + """\
+
+def note(tracer, now, job):
+    tracer.emit_row({"t": now, "kind": "arrival", "job": job,
+                     "queue": 0, "color": "red"})
+""", select=["SIM011"])
+        assert rule_ids(violations) == {"SIM011"}
+        assert "color" in violations[0].message
+
+    def test_flags_missing_key(self, tmp_path):
+        violations = lint_snippet(tmp_path, _SCHEMA_PREAMBLE + """\
+
+def note(tracer, now, job):
+    tracer.emit_row({"t": now, "kind": "arrival", "job": job})
+""", select=["SIM011"])
+        assert len(violations) == 1
+        assert "queue" in violations[0].message
+
+    def test_flags_unregistered_kind(self, tmp_path):
+        violations = lint_snippet(tmp_path, _SCHEMA_PREAMBLE + """\
+
+def note(tracer, now, job):
+    tracer.emit_row({"t": now, "kind": "vanish", "job": job})
+""", select=["SIM011"])
+        assert "not registered" in violations[0].message
+
+    def test_flags_missing_protocol_keys(self, tmp_path):
+        violations = lint_snippet(tmp_path, _SCHEMA_PREAMBLE + """\
+
+def note(tracer, job):
+    tracer.emit_row({"kind": "departure", "job": job})
+""", select=["SIM011"])
+        assert "lacks required key" in violations[0].message
+
+    def test_kind_through_dispatch_table(self, tmp_path):
+        # The policies.py idiom: kind comes from a module-level dict,
+        # so every candidate kind is checked.
+        violations = lint_snippet(tmp_path, _SCHEMA_PREAMBLE + """\
+
+_KINDS = {"in": "arrival", "out": "departure"}
+
+
+def note(tracer, now, job, action):
+    tracer.emit_row({"t": now, "kind": _KINDS[action], "job": job})
+""", select=["SIM011"])
+        # Payload {job} matches "departure" but misses "queue" of
+        # "arrival" — exactly one of the two candidates fails.
+        assert len(violations) == 1
+        assert "'arrival'" in violations[0].message
+
+    @pytest.mark.parametrize("body", [
+        # Conforming literal row.
+        """\
+
+def note(tracer, now, job):
+    tracer.emit_row({"t": now, "kind": "departure", "job": job})
+""",
+        # Non-literal rows are out of static reach: skipped, not guessed.
+        """\
+
+def note(tracer, row):
+    tracer.emit_row(row)
+""",
+    ])
+    def test_conforming_and_dynamic_rows_pass(self, tmp_path, body):
+        assert lint_snippet(tmp_path, _SCHEMA_PREAMBLE + body,
+                            select=["SIM011"]) == []
+
+    def test_silent_without_registry(self, tmp_path):
+        # No EVENT_SCHEMAS in the project: the rule cannot know the
+        # contract and must not guess.
+        assert lint_snippet(tmp_path, """\
+            def note(tracer, now):
+                tracer.emit_row({"t": now, "kind": "anything", "x": 1})
+            """, select=["SIM011"]) == []
+
+
+# ---------------------------------------------------------------------------
+# SIM012 — transitive ambient reads on the hot path
+# ---------------------------------------------------------------------------
+
+
+class TestSIM012:
+    @pytest.mark.parametrize("snippet", [
+        # One hop to a wall-clock read.
+        """\
+        import time
+
+        def stamp():
+            return time.perf_counter()
+
+        def run_task(task):
+            return (task, stamp())
+        """,
+        # Two hops.
+        """\
+        import time
+
+        def now():
+            return time.time()
+
+        def decorate(task):
+            return (task, now())
+
+        def run_task(task):
+            return decorate(task)
+        """,
+        # Environment reads count too.
+        """\
+        import os
+
+        def knob():
+            return os.environ.get("REPRO_FAST", "")
+
+        def run_task(task):
+            return (task, knob())
+        """,
+    ])
+    def test_flags_transitive_ambient_read(self, tmp_path, snippet):
+        violations = lint_snippet(tmp_path, snippet, select=["SIM012"])
+        assert rule_ids(violations) == {"SIM012"}
+
+    def test_message_names_the_sink_chain(self, tmp_path):
+        violations = lint_snippet(tmp_path, """\
+            import time
+
+            def now():
+                return time.time()
+
+            def decorate(task):
+                return (task, now())
+
+            def run_task(task):
+                return decorate(task)
+            """, select=["SIM012"])
+        chains = {v.message for v in violations}
+        assert any("time.time" in m for m in chains)
+        assert any("decorate" in m and "now" in m for m in chains)
+
+    @pytest.mark.parametrize("snippet", [
+        # The helper reads a clock but nothing on the hot path calls it.
+        """\
+        import time
+
+        def profiler():
+            return time.perf_counter()
+
+        def run_task(task):
+            return task
+        """,
+        # Pure chains stay silent.
+        """\
+        def double(task):
+            return 2 * task
+
+        def run_task(task):
+            return double(task)
+        """,
+    ])
+    def test_unreachable_or_pure_passes(self, tmp_path, snippet):
+        assert lint_snippet(tmp_path, snippet, select=["SIM012"]) == []
+
+
+# ---------------------------------------------------------------------------
+# Cross-file resolution: the whole point of the project pass
+# ---------------------------------------------------------------------------
+
+
+class TestCrossModule:
+    def test_sim008_across_files(self, tmp_path):
+        # Mutation helper and worker entry live in different modules
+        # under a shared `repro` package root; per-file analysis sees
+        # nothing, the project pass connects them.
+        pkg = tmp_path / "repro"
+        (pkg / "core").mkdir(parents=True)
+        (pkg / "runner").mkdir()
+        (pkg / "core" / "state.py").write_text(textwrap.dedent("""\
+            _REGISTRY = {}
+
+            def register(key):
+                _REGISTRY[key] = True
+                return key
+            """))
+        (pkg / "runner" / "worker.py").write_text(textwrap.dedent("""\
+            from repro.core.state import register
+
+            def run_task(task):
+                return register(task)
+            """))
+        result = lint_paths([pkg], select=["SIM008"])
+        assert [v.rule for v in result.violations] == ["SIM008"]
+        assert result.violations[0].path.endswith("state.py")
+
+    def test_sim012_scope_exempts_obs(self, tmp_path):
+        # The same ambient chain is a violation in repro.core but
+        # exempt under repro.obs (the "!repro.obs*" scope negation).
+        snippet = textwrap.dedent("""\
+            import time
+
+            def stamp():
+                return time.perf_counter()
+
+            def run_task(task):
+                return (task, stamp())
+            """)
+        for where in ("core", "obs"):
+            sub = tmp_path / "repro" / where
+            sub.mkdir(parents=True)
+            (sub / "helper.py").write_text(snippet)
+        result = lint_paths([tmp_path / "repro"], select=["SIM012"])
+        assert result.violations, "core finding expected"
+        assert all("/core/" in v.path for v in result.violations)

@@ -1,0 +1,263 @@
+"""SARIF output, baseline workflow, and autofix application.
+
+The SARIF report is validated against a vendored structural subset of
+the SARIF 2.1.0 schema (``tests/lint/data/sarif-2.1.0-schema.json``)
+— the CI environment has no network, so the official schema cannot be
+fetched at test time.  The subset is faithful for every object shape
+simlint emits; ``additionalProperties`` stays open exactly as in the
+full schema.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    apply_fixes,
+    lint_paths,
+    render_sarif,
+    suppression_fixes,
+    write_baseline,
+)
+
+SCHEMA_PATH = Path(__file__).parent / "data" / "sarif-2.1.0-schema.json"
+
+VIOLATING = textwrap.dedent("""\
+    import time
+
+    t0 = time.time()
+    """)
+
+
+def _violating_tree(tmp_path: Path) -> Path:
+    target = tmp_path / "tree"
+    target.mkdir()
+    (target / "bad.py").write_text(VIOLATING)
+    return target
+
+
+def _cli(args: list[str], cwd: Path) -> subprocess.CompletedProcess:
+    root = Path(__file__).resolve().parents[2]
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=cwd, capture_output=True, text=True,
+        env={"PYTHONPATH": str(root / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+# ---------------------------------------------------------------------------
+# SARIF
+# ---------------------------------------------------------------------------
+
+
+class TestSarif:
+    def test_validates_against_sarif_schema(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        result = lint_paths([_violating_tree(tmp_path)])
+        document = json.loads(render_sarif(result, root=tmp_path))
+        schema = json.loads(SCHEMA_PATH.read_text())
+        jsonschema.validate(document, schema)
+
+    def test_clean_run_also_validates(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        clean = tmp_path / "clean"
+        clean.mkdir()
+        (clean / "ok.py").write_text("X = 1\n")
+        document = json.loads(
+            render_sarif(lint_paths([clean]), root=tmp_path))
+        jsonschema.validate(document, json.loads(SCHEMA_PATH.read_text()))
+        assert document["runs"][0]["results"] == []
+
+    def test_parse_errors_become_notifications(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        broken = tmp_path / "broken"
+        broken.mkdir()
+        (broken / "bad.py").write_text("def broken(:\n")
+        document = json.loads(
+            render_sarif(lint_paths([broken]), root=tmp_path))
+        jsonschema.validate(document, json.loads(SCHEMA_PATH.read_text()))
+        invocation = document["runs"][0]["invocations"][0]
+        assert invocation["executionSuccessful"] is False
+        assert invocation["toolExecutionNotifications"]
+
+    def test_results_carry_location_and_rule(self, tmp_path):
+        result = lint_paths([_violating_tree(tmp_path)],
+                            select=["SIM001"])
+        document = json.loads(render_sarif(result, root=tmp_path))
+        entry = document["runs"][0]["results"][0]
+        assert entry["ruleId"] == "SIM001"
+        location = entry["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "tree/bad.py"
+        assert location["region"]["startLine"] == 3
+        # Every registered rule is described in the driver.
+        ids = {r["id"] for r in
+               document["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"SIM001", "SIM007", "SIM012"} <= ids
+
+    def test_cli_format_sarif(self, tmp_path):
+        tree = _violating_tree(tmp_path)
+        proc = _cli(["tree", "--format", "sarif", "--no-baseline"],
+                    cwd=tmp_path)
+        assert proc.returncode == 1
+        document = json.loads(proc.stdout)
+        assert document["version"] == "2.1.0"
+        assert tree is not None
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_baselined_findings_are_absorbed(self, tmp_path):
+        tree = _violating_tree(tmp_path)
+        first = lint_paths([tree])
+        assert first.violations
+        baseline_path = tmp_path / ".simlint-baseline.json"
+        write_baseline(baseline_path, first.violations)
+
+        second = lint_paths([tree], baseline=Baseline.load(baseline_path))
+        assert second.violations == []
+        assert second.baselined == len(first.violations)
+        assert second.exit_code() == 0
+
+    def test_fresh_violations_still_reported(self, tmp_path):
+        tree = _violating_tree(tmp_path)
+        baseline_path = tmp_path / ".simlint-baseline.json"
+        write_baseline(baseline_path, lint_paths([tree]).violations)
+
+        (tree / "worse.py").write_text("import random\n")
+        result = lint_paths([tree], baseline=Baseline.load(baseline_path))
+        assert [v.rule for v in result.violations] == ["SIM001"]
+        assert result.violations[0].path.endswith("worse.py")
+        assert result.exit_code() == 1
+
+    def test_fingerprints_survive_line_shifts(self, tmp_path):
+        tree = _violating_tree(tmp_path)
+        baseline_path = tmp_path / ".simlint-baseline.json"
+        write_baseline(baseline_path, lint_paths([tree]).violations)
+
+        # Prepend lines: the finding moves but stays baselined.
+        bad = tree / "bad.py"
+        bad.write_text('"""Docstring growing the file."""\n\n'
+                       + bad.read_text())
+        result = lint_paths([tree], baseline=Baseline.load(baseline_path))
+        assert result.violations == []
+
+    def test_duplicate_findings_counted_not_collapsed(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "dup.py").write_text(
+            "import time\n\nt0 = time.time()\nt1 = time.time()\n")
+        baseline_path = tmp_path / ".simlint-baseline.json"
+        write_baseline(
+            baseline_path,
+            lint_paths([tree], select=["SIM001"]).violations)
+
+        # A *third* identical call exceeds the baselined count of two.
+        (tree / "dup.py").write_text(
+            "import time\n\nt0 = time.time()\nt1 = time.time()\n"
+            "t2 = time.time()\n")
+        result = lint_paths([tree], select=["SIM001"],
+                            baseline=Baseline.load(baseline_path))
+        assert len(result.violations) == 1
+        assert result.baselined == 2
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert baseline.counts == {}
+
+    def test_cli_update_then_gate(self, tmp_path):
+        _violating_tree(tmp_path)
+        update = _cli(["tree", "--update-baseline"], cwd=tmp_path)
+        assert update.returncode == 0
+        assert (tmp_path / ".simlint-baseline.json").exists()
+
+        # Default baseline is picked up from the cwd: now clean.
+        gated = _cli(["tree"], cwd=tmp_path)
+        assert gated.returncode == 0, gated.stdout
+        assert "baselined" in gated.stdout
+
+        # --no-baseline reports the debt again.
+        raw = _cli(["tree", "--no-baseline"], cwd=tmp_path)
+        assert raw.returncode == 1
+
+    def test_shipped_baseline_is_empty(self):
+        # The acceptance gate: the committed baseline carries no debt.
+        root = Path(__file__).resolve().parents[2]
+        document = json.loads(
+            (root / ".simlint-baseline.json").read_text())
+        assert document["findings"] == []
+
+
+# ---------------------------------------------------------------------------
+# Autofixes
+# ---------------------------------------------------------------------------
+
+
+class TestFixes:
+    def test_sorted_wrap_fix_applies_and_resolves(self, tmp_path):
+        target = tmp_path / "fixme.py"
+        target.write_text("for name in {'b', 'a'}:\n    print(name)\n")
+        violations = lint_paths([target], select=["SIM009"]).violations
+        applied = apply_fixes(violations)
+        assert applied == {str(target): 1}
+        assert "sorted({'b', 'a'})" in target.read_text()
+        assert lint_paths([target], select=["SIM009"]).violations == []
+
+    def test_suppression_fix_inserts_comment(self, tmp_path):
+        target = tmp_path / "fixme.py"
+        target.write_text("import time\n\nt0 = time.time()\n")
+        violations = lint_paths([target], select=["SIM001"]).violations
+        applied = apply_fixes(suppression_fixes(violations, ["SIM001"]))
+        assert applied
+        line = target.read_text().splitlines()[2]
+        assert line.endswith("# simlint: disable=SIM001 -- TODO(justify)")
+        assert lint_paths([target], select=["SIM001"]).violations == []
+
+    def test_existing_suppression_comment_left_alone(self, tmp_path):
+        target = tmp_path / "fixme.py"
+        source = "import time\n\nt0 = time.time()  # simlint: disable=SIM006 -- other rule\n"
+        target.write_text(source)
+        violations = lint_paths([target], select=["SIM001"]).violations
+        apply_fixes(suppression_fixes(violations, ["SIM001"]))
+        # The fixer refuses to edit a line that already carries a
+        # simlint comment rather than risk corrupting it.
+        assert target.read_text() == source
+
+    def test_cli_fix_roundtrip(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "loop.py").write_text(
+            "for name in {'b', 'a'}:\n    print(name)\n")
+        proc = _cli(["tree", "--fix", "--select", "SIM009",
+                     "--no-baseline"], cwd=tmp_path)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "applied 1 fix(es)" in proc.stdout
+        assert "sorted" in (tree / "loop.py").read_text()
+
+    def test_fix_preserves_behaviour(self, tmp_path):
+        # The golden-fixture analogue in miniature: the sorted() wrap
+        # must not change what the program computes (here: the set of
+        # printed names), only its order stability.
+        target = tmp_path / "prog.py"
+        target.write_text(textwrap.dedent("""\
+            out = []
+            for name in {'b', 'a', 'c'}:
+                out.append(name)
+            print(''.join(sorted(out)))
+            """))
+        before = subprocess.run([sys.executable, str(target)],
+                                capture_output=True, text=True)
+        apply_fixes(lint_paths([target], select=["SIM009"]).violations)
+        after = subprocess.run([sys.executable, str(target)],
+                               capture_output=True, text=True)
+        assert before.stdout == after.stdout == "abc\n"

@@ -1,0 +1,150 @@
+"""Interplay of the three silencing layers.
+
+A finding can be silenced by (1) an inline ``# simlint: disable=``
+comment, (2) the scope table's ``!``-negation globs (e.g. SIM006 and
+SIM012 exempt ``repro.obs*``), or (3) the committed baseline.  The
+layers apply in that order — comments and scope act *before* the
+baseline sees anything — and these tests pin the composition down:
+a comment-silenced finding never consumes baseline budget, a
+scope-exempt module needs neither comments nor baseline, and fresh
+violations surface no matter how much accepted debt surrounds them.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import Baseline, lint_paths, write_baseline
+
+CLOCK_READ = textwrap.dedent("""\
+    import time
+
+    def stamp():
+        return time.perf_counter()
+    """)
+
+TRANSITIVE_CLOCK = textwrap.dedent("""\
+    import time
+
+    def stamp():
+        return time.perf_counter()
+
+    def run_task(task):
+        return (task, stamp())
+    """)
+
+
+def _write(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+class TestCommentVsScope:
+    def test_sim006_negation_glob_exempts_obs(self, tmp_path):
+        # Identical clock reads: repro.core is in scope, repro.obs is
+        # carved out by the "!repro.obs*" negation — no comment needed.
+        _write(tmp_path, "repro/core/a.py", CLOCK_READ)
+        _write(tmp_path, "repro/obs/b.py", CLOCK_READ)
+        result = lint_paths([tmp_path / "repro"], select=["SIM006"])
+        assert len(result.violations) == 1
+        assert "/core/" in result.violations[0].path
+
+    def test_sim012_negation_glob_exempts_obs(self, tmp_path):
+        _write(tmp_path, "repro/core/a.py", TRANSITIVE_CLOCK)
+        _write(tmp_path, "repro/obs/b.py", TRANSITIVE_CLOCK)
+        result = lint_paths([tmp_path / "repro"], select=["SIM012"])
+        assert result.violations
+        assert all("/core/" in v.path for v in result.violations)
+
+    def test_comment_silences_inside_scope(self, tmp_path):
+        _write(tmp_path, "repro/core/a.py", CLOCK_READ.replace(
+            "time.perf_counter()",
+            "time.perf_counter()  # simlint: disable=SIM006 -- test fixture"))
+        result = lint_paths([tmp_path / "repro"], select=["SIM006"])
+        assert result.violations == []
+
+    def test_comment_for_other_rule_does_not_silence(self, tmp_path):
+        _write(tmp_path, "repro/core/a.py", CLOCK_READ.replace(
+            "time.perf_counter()",
+            "time.perf_counter()  # simlint: disable=SIM001 -- wrong id"))
+        result = lint_paths([tmp_path / "repro"], select=["SIM006"])
+        assert len(result.violations) == 1
+
+    def test_comment_silences_project_rule_violation_line(self, tmp_path):
+        # SIM012 anchors on the hot-path call site; the comment goes
+        # there, not at the sink.
+        source = TRANSITIVE_CLOCK.replace(
+            "return (task, stamp())",
+            "return (task, stamp())  # simlint: disable=SIM012 -- fixture")
+        _write(tmp_path, "repro/core/a.py", source)
+        result = lint_paths([tmp_path / "repro"], select=["SIM012"])
+        assert result.violations == []
+
+
+class TestBaselineComposition:
+    def test_comment_suppressed_never_consumes_baseline(self, tmp_path):
+        # One commented + one raw clock read.  The baseline write sees
+        # only the raw one; removing the comment later surfaces the
+        # first as *fresh* even though the file was baselined.
+        source = CLOCK_READ + textwrap.dedent("""\
+
+            def stamp2():
+                return time.monotonic()  # simlint: disable=SIM006 -- fixture
+            """)
+        target = _write(tmp_path, "repro/core/a.py", source)
+        baseline_path = tmp_path / ".simlint-baseline.json"
+        first = lint_paths([tmp_path / "repro"], select=["SIM006"])
+        assert len(first.violations) == 1
+        write_baseline(baseline_path, first.violations)
+
+        # Drop the comment: the monotonic read is new debt, reported.
+        target.write_text(source.replace(
+            "  # simlint: disable=SIM006 -- fixture", ""))
+        result = lint_paths([tmp_path / "repro"], select=["SIM006"],
+                            baseline=Baseline.load(baseline_path))
+        assert len(result.violations) == 1
+        assert "time.monotonic" in result.violations[0].message
+        assert result.baselined == 1
+
+    def test_scope_exempt_module_never_enters_baseline(self, tmp_path):
+        _write(tmp_path, "repro/obs/b.py", CLOCK_READ)
+        baseline_path = tmp_path / ".simlint-baseline.json"
+        found = lint_paths([tmp_path / "repro"], select=["SIM006"])
+        assert found.violations == []
+        write_baseline(baseline_path, found.violations)
+        assert Baseline.load(baseline_path).counts == {}
+
+    def test_baselined_debt_plus_fresh_violation(self, tmp_path):
+        # The adoption story end-to-end: accept existing debt, then a
+        # new violation in another module must still fail the gate.
+        _write(tmp_path, "repro/core/legacy.py", CLOCK_READ)
+        baseline_path = tmp_path / ".simlint-baseline.json"
+        write_baseline(
+            baseline_path,
+            lint_paths([tmp_path / "repro"], select=["SIM006"]).violations)
+
+        _write(tmp_path, "repro/runner/fresh.py", CLOCK_READ)
+        result = lint_paths([tmp_path / "repro"], select=["SIM006"],
+                            baseline=Baseline.load(baseline_path))
+        assert result.exit_code() == 1
+        assert len(result.violations) == 1
+        assert result.violations[0].path.endswith("fresh.py")
+        assert result.baselined == 1
+
+    def test_paying_down_debt_keeps_gate_green(self, tmp_path):
+        # Fixing a baselined violation without refreshing the baseline
+        # must not break anything: absorbed count just drops.
+        target = _write(tmp_path, "repro/core/legacy.py", CLOCK_READ)
+        baseline_path = tmp_path / ".simlint-baseline.json"
+        write_baseline(
+            baseline_path,
+            lint_paths([tmp_path / "repro"], select=["SIM006"]).violations)
+
+        target.write_text("def stamp():\n    return 0.0\n")
+        result = lint_paths([tmp_path / "repro"], select=["SIM006"],
+                            baseline=Baseline.load(baseline_path))
+        assert result.exit_code() == 0
+        assert result.baselined == 0

@@ -1,0 +1,39 @@
+"""The typed-API promise survives packaging (PEP 561).
+
+``mypy --strict`` passing on ``repro.core``/``repro.sim`` is worthless
+to downstream consumers unless the installed distribution carries the
+``py.typed`` marker — without it, type checkers treat the package as
+untyped and silently discard every annotation we ship.  These tests
+pin the three places the marker must appear: the source tree, the
+``package-data`` declaration, and the setuptools file manifest.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_py_typed_marker_exists_and_is_empty() -> None:
+    marker = ROOT / "src" / "repro" / "py.typed"
+    assert marker.is_file(), "PEP 561 marker missing from src/repro"
+    # An empty marker means "fully typed"; content would make it a
+    # partial\n stub marker with different semantics.
+    assert marker.read_text() == ""
+
+
+def test_pyproject_ships_marker_as_package_data() -> None:
+    pyproject = (ROOT / "pyproject.toml").read_text()
+    assert "[tool.setuptools.package-data]" in pyproject
+    assert 'repro = ["py.typed"]' in pyproject
+
+
+def test_egg_info_manifest_includes_marker() -> None:
+    # The build manifest is what actually decides wheel/sdist contents;
+    # a stale one quietly drops the marker even when pyproject is
+    # right (this regressed once).
+    sources = ROOT / "src" / "repro.egg-info" / "SOURCES.txt"
+    assert sources.is_file(), "egg-info manifest missing"
+    listed = sources.read_text().splitlines()
+    assert "src/repro/py.typed" in listed
