@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 from repro.core.system import SimulationConfig
 from repro.runner import (
     CacheSpec,
+    ResultCache,
     RetryBudget,
     RetryPolicy,
     RunTask,
@@ -107,7 +108,8 @@ def replicate_sweep(label: str, config: SimulationConfig,
                     *,
                     workers: Optional[int] = None,
                     cache: CacheSpec = None,
-                    retry: Optional[RetryPolicy] = None
+                    retry: Optional[RetryPolicy] = None,
+                    backend: str = "scalar"
                     ) -> ReplicatedSweep:
     """Run ``replications`` sweeps with distinct seeds and aggregate.
 
@@ -121,6 +123,13 @@ def replicate_sweep(label: str, config: SimulationConfig,
     of simulations executes as in a serial run — each seed still stops
     at its own saturation point — and the aggregated sweep is
     byte-identical at every worker count.
+
+    ``backend="batch"`` computes each wave with the lockstep
+    struct-of-arrays kernel (:mod:`repro.sim.batch`): every still-active
+    seed shares the same grid cursor, so a wave is exactly one
+    multi-seed kernel call.  Per-seed statistics are contractually
+    identical to the scalar engine's, but cache entries are keyed per
+    backend, so the two never mix.
     """
     if replications < 1:
         raise ValueError(
@@ -130,7 +139,8 @@ def replicate_sweep(label: str, config: SimulationConfig,
     seeds = tuple(base + 1_000 * i for i in range(replications))
     runs = _replicated_runs(label, config, seeds, size_distribution,
                             service_distribution, tuple(utilizations),
-                            workers=workers, cache=cache, retry=retry)
+                            workers=workers, cache=cache, retry=retry,
+                            backend=backend)
     points = []
     for offered in utilizations:
         matched = []
@@ -152,7 +162,8 @@ def _replicated_runs(label: str, config: SimulationConfig,
                      utilizations: tuple[float, ...],
                      *, workers: Optional[int],
                      cache: CacheSpec,
-                     retry: Optional[RetryPolicy] = None
+                     retry: Optional[RetryPolicy] = None,
+                     backend: str = "scalar"
                      ) -> list[SweepResult]:
     """One sweep per seed, advanced in parallel waves.
 
@@ -162,6 +173,13 @@ def _replicated_runs(label: str, config: SimulationConfig,
     would run, independent of ``workers``.  With a cache active the
     full seeds × grid plan is recorded as a campaign manifest so an
     interrupted replication study resumes from its last completed run.
+
+    Under ``backend="batch"`` a wave runs as *one* lockstep kernel call
+    over its cache-missing seeds (all active seeds share a cursor, so a
+    wave is one configuration at one load).  Fault injection and
+    observability need per-task process boundaries, so when either is
+    active the wave falls back to :func:`~repro.runner.pool.execute`
+    with per-task batch workers — same results, task at a time.
     """
     configs = [replace(config, seed=seed) for seed in seeds]
     store = resolve_cache(cache)
@@ -172,7 +190,8 @@ def _replicated_runs(label: str, config: SimulationConfig,
     policy = resolve_retry(retry)
     budget = RetryBudget(policy.retry_budget)
     planned = [
-        RunTask(c, size_distribution, service_distribution, rho)
+        RunTask(c, size_distribution, service_distribution, rho,
+                backend=backend)
         for c in configs
         for rho in utilizations
     ]
@@ -183,11 +202,14 @@ def _replicated_runs(label: str, config: SimulationConfig,
     while active:
         tasks = [
             RunTask(configs[i], size_distribution, service_distribution,
-                    utilizations[cursor[i]])
+                    utilizations[cursor[i]], backend=backend)
             for i in active
         ]
-        wave = execute(tasks, workers=workers, cache=cache_arg,
-                       retry=policy, budget=budget)
+        if backend == "batch" and _batch_wave_eligible():
+            wave = _batch_wave(tasks, store)
+        else:
+            wave = execute(tasks, workers=workers, cache=cache_arg,
+                           retry=policy, budget=budget)
         still_active = []
         for i, point in zip(active, wave):
             collected[i].append(point)
@@ -202,6 +224,58 @@ def _replicated_runs(label: str, config: SimulationConfig,
                     points=tuple(collected[i]))
         for i in range(len(seeds))
     ]
+
+
+def _batch_wave_eligible() -> bool:
+    """Whether a wave may run as one in-process multi-seed kernel call.
+
+    Fault injection intercepts *task* execution (crash/hang plans are
+    keyed per task) and observability captures per-run event logs; both
+    contracts need one worker invocation per task, so their presence
+    routes batch tasks through the ordinary pool instead.  Results are
+    identical either way — a lane's statistics do not depend on which
+    other lanes share its kernel call.
+    """
+    from repro.obs.gate import obs_enabled
+    from repro.runner.faults import faults_root
+
+    return faults_root() is None and not obs_enabled()
+
+
+def _batch_wave(tasks: "list[RunTask]",
+                store: Optional[ResultCache]) -> list[SweepPoint]:
+    """Execute one wave of batch tasks as a single lockstep kernel call.
+
+    Per-task cache hits are honoured first; the remaining seeds run in
+    one multi-seed kernel, and each fresh point is stored under its own
+    task key — the same per-task cache granularity as
+    :func:`~repro.runner.pool.execute`, so interrupt/resume behaviour
+    is unchanged.
+    """
+    from repro.runner.task import task_key
+    from repro.sim.batch import run_batch_points
+
+    keys = [task_key(t) for t in tasks]
+    points: dict[int, SweepPoint] = {}
+    missing = []
+    for i, key in enumerate(keys):
+        hit = store.load(key) if store is not None else None
+        if hit is not None:
+            points[i] = hit
+        else:
+            missing.append(i)
+    if missing:
+        first = tasks[missing[0]]
+        fresh = run_batch_points(
+            first.config, first.size_distribution,
+            first.service_distribution, first.offered_gross,
+            [tasks[i].config.seed for i in missing],
+        )
+        for i, point in zip(missing, fresh):
+            points[i] = point
+            if store is not None:
+                store.store(keys[i], point, tasks[i].describe())
+    return [points[i] for i in range(len(tasks))]
 
 
 def paired_comparison(config_a: SimulationConfig,

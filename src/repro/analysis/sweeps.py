@@ -111,14 +111,17 @@ class SweepResult:
 
 def sweep_tasks(config: SimulationConfig, size_distribution,
                 service_distribution,
-                utilizations: Sequence[float]) -> list[RunTask]:
+                utilizations: Sequence[float],
+                backend: str = "scalar") -> list[RunTask]:
     """The full planned task list of a sweep, in grid order.
 
     Shared by :func:`sweep` and the CLI's ``--resume`` reporting so
-    both derive the identical campaign identity.
+    both derive the identical campaign identity (including the
+    backend, which is part of every non-scalar task key).
     """
     return [
-        RunTask(config, size_distribution, service_distribution, rho)
+        RunTask(config, size_distribution, service_distribution, rho,
+                backend=backend)
         for rho in utilizations
     ]
 
@@ -130,7 +133,8 @@ def sweep(label: str, config: SimulationConfig, size_distribution,
           *,
           workers: Optional[int] = None,
           cache: CacheSpec = None,
-          retry: Optional[RetryPolicy] = None) -> SweepResult:
+          retry: Optional[RetryPolicy] = None,
+          backend: str = "scalar") -> SweepResult:
     """Run ``config`` across a utilization grid.
 
     Parameters
@@ -159,6 +163,10 @@ def sweep(label: str, config: SimulationConfig, size_distribution,
         Retries, timeouts and worker replacement never change the
         curve — a re-executed task is the same pure function of the
         same inputs.
+    backend:
+        Simulation engine per task: ``"scalar"`` (default) or
+        ``"batch"`` (the lockstep kernel at width 1 — statistically
+        identical, cached under distinct keys).
     """
     if not utilizations:
         utilizations = default_grid()
@@ -167,7 +175,7 @@ def sweep(label: str, config: SimulationConfig, size_distribution,
     policy = resolve_retry(retry)
     budget = RetryBudget(policy.retry_budget)
     planned = sweep_tasks(config, size_distribution,
-                          service_distribution, utilizations)
+                          service_distribution, utilizations, backend)
     manifest = begin_campaign("sweep", label, planned, store)
     points: list[SweepPoint] = []
     saturated_seen = 0

@@ -145,6 +145,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--profile", action="store_true",
                          help="run under cProfile and print the "
                               "hottest functions afterwards")
+    sweep_p.add_argument("--backend", default="scalar",
+                         choices=["scalar", "batch"],
+                         help="simulation engine: the scalar event "
+                              "loop or the lockstep numpy batch "
+                              "kernel (identical statistics, cached "
+                              "under distinct keys; batch needs "
+                              "numpy — pip install repro[batch])")
+    sweep_p.add_argument("--replications", type=int, default=1,
+                         metavar="N",
+                         help="independent replications per grid "
+                              "point (seeds seed, seed+1000, ...); "
+                              "N>1 aggregates across-seed confidence "
+                              "intervals, where the batch backend "
+                              "advances all seeds in lockstep")
     sweep_p.add_argument("--resume", action="store_true",
                          help="resume an interrupted sweep: forces the "
                               "result cache on, reports how many grid "
@@ -359,7 +373,8 @@ def _report_resume(args, config, sizes, grid) -> CacheSpec:
     # environment leaves the cache off is it forced to the default
     # location (resume without a cache is meaningless).
     store = resolve_cache(args.cache) or resolve_cache(True)
-    tasks = sweep_tasks(config, sizes, das_t_900(), grid)
+    tasks = sweep_tasks(config, sizes, das_t_900(), grid,
+                        getattr(args, "backend", "scalar"))
     keys = task_keys(tasks)
     manifest = load_campaign(store,
                              campaign_key("sweep", args.policy, keys))
@@ -380,6 +395,8 @@ def _cmd_sweep(args) -> int:
     config = _config_from_args(args)
     sizes = WORKLOADS[args.workload]()
     grid = _parse_grid(args.grid)
+    if args.replications > 1:
+        return _cmd_sweep_replicated(args, config, sizes, grid)
     timer = PhaseTimer()
     cache: CacheSpec = args.cache
     if args.resume:
@@ -391,7 +408,8 @@ def _cmd_sweep(args) -> int:
             with timer.phase("simulate"):
                 return sweep(args.policy, config, sizes, das_t_900(),
                              utilizations=grid,
-                             workers=args.workers, cache=cache)
+                             workers=args.workers, cache=cache,
+                             backend=args.backend)
 
     hotspots = None
     if args.profile:
@@ -420,6 +438,43 @@ def _cmd_sweep(args) -> int:
         print(hotspots)
     if args.progress:
         print(timer.render(), file=sys.stderr)
+    return 0
+
+
+def _cmd_sweep_replicated(args, config, sizes, grid) -> int:
+    """``sweep --replications N``: aggregate a curve across seeds."""
+    from repro.analysis.replications import replicate_sweep
+    from repro.runner import resolve_cache
+
+    cache: CacheSpec = args.cache
+    if args.resume:
+        # Campaign state lives in the per-task result cache; forcing it
+        # on is all a replicated resume needs (every completed seed ×
+        # grid-point run is fetched instead of re-simulated).
+        cache = resolve_cache(args.cache) or resolve_cache(True)
+        print("resume: result cache on; completed replication runs "
+              "will be reused")
+    result = replicate_sweep(args.policy, config, sizes, das_t_900(),
+                             utilizations=grid,
+                             replications=args.replications,
+                             workers=args.workers, cache=cache,
+                             backend=args.backend)
+    title = (f"{args.policy} L={args.limit} ({args.workload}) — "
+             f"{args.replications} replications [{args.backend}]")
+    print(title)
+    print(f"{'offered':>8} {'gross':>8} {'net':>8} "
+          f"{'response':>10} {'ci95':>10} {'reps':>5}")
+    for p in result.points:
+        flag = " SAT" if p.any_saturated else ""
+        print(f"{p.offered_gross:8.3f} {p.mean_gross_utilization:8.4f} "
+              f"{p.mean_net_utilization:8.4f} {p.mean_response:10.2f} "
+              f"{p.response_ci.half_width:10.2f} "
+              f"{p.replications:5d}{flag}")
+    if args.json:
+        from repro.analysis.io import save_replicated_sweep
+
+        save_replicated_sweep(result, args.json)
+        print(f"saved replicated sweep to {args.json}")
     return 0
 
 

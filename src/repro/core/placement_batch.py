@@ -1,0 +1,77 @@
+"""Vectorized Worst-Fit placement for the batch-replication backend.
+
+One call places the head-of-queue job of *many* replications at once:
+``components`` holds one row per replication lane (component sizes in
+non-increasing order, zero-padded to the cluster count) and ``free``
+the corresponding idle-processor counts.  The kernel reproduces
+:func:`repro.core.placement.worst_fit` decision-for-decision:
+
+* components are consumed column by column — i.e. in non-increasing
+  size order, exactly like the scalar loop;
+* each component goes to the feasible cluster with the most idle
+  processors, ties broken toward the lowest cluster index
+  (``np.argmax`` returns the first occurrence, which is precisely the
+  scalar kernel's strict ``>`` running-maximum scan);
+* clusters already used by the same job are masked out (distinct
+  clusters), and a lane fits only if *every* component finds a cluster.
+
+Single-component rows double as the single-cluster ``TOTAL`` request
+(:func:`repro.core.requests._place_total` is Worst Fit over one
+component), so the batch backend needs exactly one placement kernel
+for all four policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["worst_fit_batch"]
+
+
+def worst_fit_batch(
+    components: "np.ndarray", free: "np.ndarray"
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Place one job per lane with Worst Fit over distinct clusters.
+
+    Parameters
+    ----------
+    components:
+        ``(k, C)`` int64 array; row ``i`` holds the component sizes of
+        lane ``i``'s job in non-increasing order, zero-padded.
+    free:
+        ``(k, C)`` int64 array of idle processors per cluster; not
+        modified.
+
+    Returns
+    -------
+    fit:
+        ``(k,)`` bool array — whether every component of the lane's job
+        found a distinct feasible cluster.
+    alloc:
+        ``(k, C)`` int64 array of processors taken per cluster; all
+        zeros for lanes that do not fit.
+    """
+    k, n_clusters = free.shape
+    scratch = free.copy()
+    alloc = np.zeros_like(free)
+    fit = np.ones(k, dtype=bool)
+    for col in range(components.shape[1]):
+        comp = components[:, col]
+        live = fit & (comp > 0)
+        if not live.any():
+            break
+        # Feasibility folded into the maximum: infeasible (or already
+        # used, scratch == -1) clusters become -1, so a lane's best
+        # cluster is the emptiest feasible one and ``best < 0`` means
+        # no fit.  argmax takes the first occurrence — lowest index on
+        # ties, matching the scalar kernel.
+        feasible = np.where(scratch >= comp[:, None], scratch, -1)
+        best = feasible.max(axis=1)
+        best_idx = feasible.argmax(axis=1)
+        placed = live & (best >= 0)
+        fit &= placed | ~live
+        rows = np.nonzero(placed)[0]
+        scratch[rows, best_idx[rows]] = -1  # distinct clusters
+        alloc[rows, best_idx[rows]] = comp[rows]
+    alloc[~fit] = 0
+    return fit, alloc

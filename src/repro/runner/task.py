@@ -46,12 +46,14 @@ class RunTask:
     size_distribution: Distribution
     service_distribution: Distribution
     offered_gross: float
+    backend: str = "scalar"
 
     def describe(self) -> str:
         """Short human-readable identity (for errors and logs)."""
         c = self.config
+        suffix = "" if self.backend == "scalar" else f" [{self.backend}]"
         return (f"{c.policy} L={c.component_limit} seed={c.seed} "
-                f"rho={self.offered_gross:g}")
+                f"rho={self.offered_gross:g}{suffix}")
 
 
 def _fingerprint(distribution: Distribution) -> str:
@@ -69,6 +71,12 @@ def task_key(task: RunTask) -> str:
         "size_distribution": _fingerprint(task.size_distribution),
         "service_distribution": _fingerprint(task.service_distribution),
     }
+    # The scalar backend predates the field: omitting it keeps every
+    # existing cache entry addressable, while any non-default backend
+    # gets a disjoint key space (batch results are never conflated with
+    # scalar ones, even though the statistics are contractually equal).
+    if task.backend != "scalar":
+        payload["backend"] = task.backend
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

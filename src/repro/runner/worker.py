@@ -61,7 +61,20 @@ def run_task_result(task: RunTask,
 
 
 def run_task(task: RunTask) -> SweepPoint:
-    """Execute one open-system run and return its curve point."""
+    """Execute one open-system run and return its curve point.
+
+    ``task.backend`` selects the engine: the scalar event loop
+    (default) or the lockstep batch kernel at width 1.  Both produce
+    identical statistics for the same task — the backend only changes
+    *how* the point is computed — but cache keys keep them apart (see
+    :func:`~repro.runner.task.task_key`).
+    """
+    if task.backend == "batch":
+        from repro.sim.batch import run_batch_task
+
+        return run_batch_task(task)
+    if task.backend != "scalar":
+        raise ValueError(f"unknown backend {task.backend!r}")
     from repro.analysis.points import SweepPoint
 
     return SweepPoint.from_result(run_task_result(task))

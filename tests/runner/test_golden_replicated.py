@@ -1,0 +1,59 @@
+"""Committed golden replicated sweeps, regressed through BOTH backends.
+
+``tests/data/golden/repl_<policy>.json`` freeze the aggregated
+replicated sweep (3 seeds, grid 0.35/0.55) of each policy, generated
+once by the *scalar* engine and committed.  Every test run reproduces
+each file byte for byte twice — once per backend — so the fixtures pin
+two contracts at once:
+
+* determinism: the scalar engine still produces the exact numbers it
+  produced when the fixture was committed;
+* backend equivalence: the lockstep batch kernel produces the *same
+  bytes* as the scalar engine, seed for seed, through aggregation and
+  serialization.
+
+A diff from the scalar backend means the model changed (regenerate in
+the same commit and say why); a diff from the batch backend alone
+means the backends diverged — always a bug.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.io import save_replicated_sweep
+from repro.analysis.replications import replicate_sweep
+
+from .conftest import SERVICE, SIZES, small_config
+
+GOLDEN_DIR = Path(__file__).parent.parent / "data" / "golden"
+
+POLICIES = ("GS", "LS", "LP", "SC")
+GRID = (0.35, 0.55)
+REPLICATIONS = 3
+
+
+def fresh_payload(policy: str, backend: str) -> str:
+    result = replicate_sweep(policy, small_config(policy), SIZES, SERVICE,
+                             GRID, replications=REPLICATIONS,
+                             cache=False, backend=backend)
+    buf = io.StringIO()
+    save_replicated_sweep(result, buf)
+    return buf.getvalue()
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("backend", ["scalar", "batch"])
+def test_replicated_fixture_reproduced_byte_exactly(policy, backend):
+    golden = (GOLDEN_DIR / f"repl_{policy}.json").read_text(
+        encoding="utf-8")
+    assert fresh_payload(policy, backend) == golden
+
+
+def test_replicated_fixtures_differ_across_policies():
+    payloads = {p: (GOLDEN_DIR / f"repl_{p}.json").read_text("utf-8")
+                for p in POLICIES}
+    assert len(set(payloads.values())) == len(POLICIES)
