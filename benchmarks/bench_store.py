@@ -1,0 +1,143 @@
+"""Telemetry read side — event-store scan, reducers, spans, dashboard.
+
+The write side of the observability layer is gated by
+``bench_obs_overhead.py`` (obs-on within 10% of obs-off).  This bench
+covers the *read* side (``docs/observability.md``): after an
+instrumented sweep has published its event logs and manifests, how
+fast can the consumers get through them?
+
+Four stages are timed over the same freshly-recorded obs root:
+
+* **scan** — a full :class:`EventStore` pass over every event of every
+  run (the floor for any ad-hoc query);
+* **reduce** — the per-run time-series reducers the ``obs`` CLI plots
+  (queue depth + throughput over each run's stream);
+* **spans** — post-hoc span reconstruction from manifests
+  (:func:`spans_from_obs`, what ``obs trace`` exports);
+* **dashboard** — one ``collect`` + ``render`` frame, the unit of work
+  ``obs dash`` repeats every refresh interval.
+
+The exhibit reports wall-clock per stage and the scan rate in
+events/s.  There are no absolute thresholds (shared runners are
+noisy); the assertions pin that each stage actually consumed the
+campaign — every run scanned, series non-empty, one span per run, the
+dashboard frame showing the true run count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+
+from conftest import run_once
+
+from repro.analysis.sweeps import sweep
+from repro.obs.dash import collect, render
+from repro.obs.gate import OBS_DIR_ENV, OBS_ENV
+from repro.obs.spans import spans_from_obs
+from repro.obs.store import (
+    EventStore,
+    queue_depth_series,
+    throughput_series,
+)
+from repro.workload import das_s_128, das_t_900
+
+GRID = (0.3, 0.45, 0.6)
+
+
+@contextmanager
+def _obs_env(root):
+    saved = {k: os.environ.get(k) for k in (OBS_ENV, OBS_DIR_ENV)}
+    os.environ[OBS_ENV] = "1"
+    os.environ[OBS_DIR_ENV] = str(root)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _read_side(root):
+    """One full pass of every consumer; returns stage timings + facts."""
+    store = EventStore(root)
+    runs = store.runs()
+
+    t0 = time.perf_counter()
+    scanned = sum(1 for _ in store.events())
+    t1 = time.perf_counter()
+
+    series = []
+    for stream in runs:
+        # Window width in *simulation* time: 40 windows across the
+        # run's event span (a tiny width would materialize millions
+        # of empty windows between events).
+        first = last = None
+        for event in stream.events():
+            t = event.get("t")
+            if isinstance(t, (int, float)):
+                last = t
+                if first is None:
+                    first = t
+        span = (last - first) if first is not None else 0.0
+        width = max(span / 40.0, 1.0)
+        series.append(queue_depth_series(stream.events(), width))
+        series.append(throughput_series(stream.events(), width))
+    t2 = time.perf_counter()
+
+    spans, markers = spans_from_obs(root)
+    t3 = time.perf_counter()
+
+    frame = render(collect(root))
+    t4 = time.perf_counter()
+
+    return {
+        "runs": len(runs),
+        "events": scanned,
+        "series_points": sum(len(s.points) for s in series),
+        "spans": len(spans),
+        "markers": len(markers),
+        "frame": frame,
+        "scan_s": t1 - t0,
+        "reduce_s": t2 - t1,
+        "spans_s": t3 - t2,
+        "dash_s": t4 - t3,
+    }
+
+
+def test_bench_store_read_side(benchmark, scale, record, tmp_path):
+    obs_root = tmp_path / "obs"
+    with _obs_env(obs_root):
+        config = scale.config("GS", 16, warmup_jobs=300,
+                              measured_jobs=1_500)
+        sweep("GS", config, das_s_128(), das_t_900(), GRID)
+
+    # Warm pass outside timing (imports, directory walks), then the
+    # timed pass doubles as the pytest-benchmark sample.
+    _read_side(obs_root)
+    out = run_once(benchmark, _read_side, obs_root)
+
+    assert out["runs"] == len(GRID)
+    assert out["events"] > 0
+    assert out["series_points"] > 0
+    assert out["spans"] == len(GRID), (
+        "expected one post-hoc task span per run"
+    )
+    assert f"runs {len(GRID)}" in out["frame"]
+
+    rate = out["events"] / out["scan_s"] if out["scan_s"] else 0.0
+    record(
+        "store_read_side",
+        f"Telemetry read side (GS sweep, {len(GRID)} grid points, "
+        f"{out['events']} events)\n"
+        f"  scan       {out['scan_s']:8.3f} s   "
+        f"({rate:,.0f} events/s)\n"
+        f"  reduce     {out['reduce_s']:8.3f} s   "
+        f"({out['series_points']} series points)\n"
+        f"  spans      {out['spans_s']:8.3f} s   "
+        f"({out['spans']} spans, {out['markers']} markers)\n"
+        f"  dashboard  {out['dash_s']:8.3f} s   (1 frame)\n",
+    )

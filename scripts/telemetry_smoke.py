@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""CI telemetry smoke: one faulted campaign through every consumer.
+
+Runs a small sweep in which the first task's worker is killed once
+(crash fault + retry), then points the whole telemetry read side at
+the artifacts it left behind:
+
+* the **dashboard** must show the campaign complete with exactly one
+  retried task (snapshot saved as ``dashboard.txt``);
+* the **span exporter** must produce a Chrome trace-event JSON with a
+  span for every attempt, the failed one included
+  (``campaign.trace.json`` — load it in https://ui.perfetto.dev);
+* every published **event log** must validate cleanly against the
+  registered event schemas.
+
+Exit status 0 only when every check passes.  All artifacts land in
+``--out-dir`` (default ``telemetry-smoke/``) so CI can upload them.
+
+Usage::
+
+    PYTHONPATH=src python scripts/telemetry_smoke.py
+    PYTHONPATH=src python scripts/telemetry_smoke.py --out-dir /tmp/ts
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import sys
+from pathlib import Path
+
+GRID = (0.35, 0.55)
+
+
+def _fail(message: str) -> None:
+    print(f"FAIL  {message}")
+    raise SystemExit(1)
+
+
+def _ok(message: str) -> None:
+    print(f"ok    {message}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default="telemetry-smoke",
+                        help="artifact directory (created if missing)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for the campaign")
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    obs_root = out_dir / "obs"
+    faults_dir = out_dir / "faults"
+    faults_dir.mkdir(exist_ok=True)
+
+    # Environment before any worker forks: obs on, faults armed.
+    from repro.obs.gate import OBS_DIR_ENV, OBS_ENV
+    from repro.runner.faults import FAULTS_ENV
+
+    os.environ[OBS_ENV] = "1"
+    os.environ[OBS_DIR_ENV] = str(obs_root)
+    os.environ[FAULTS_ENV] = str(faults_dir)
+
+    from repro.analysis.sweeps import sweep, sweep_tasks
+    from repro.core import SimulationConfig
+    from repro.obs.cli import validate
+    from repro.obs.dash import collect, render
+    from repro.obs.spans import SpanRecorder, export_chrome_trace
+    from repro.runner import ResultCache, RetryPolicy, task_keys
+    from repro.runner.faults import Fault, plan_fault
+    from repro.workload import das_s_128, das_t_900
+
+    config = SimulationConfig(policy="LS", component_limit=16,
+                              warmup_jobs=100, measured_jobs=400,
+                              seed=7, batch_size=100)
+    sizes, service = das_s_128(), das_t_900()
+    keys = task_keys(sweep_tasks(config, sizes, service, GRID))
+    plan_fault(faults_dir, Fault(key=keys[0], kind="crash"))
+    cache = ResultCache(out_dir / "cache")
+
+    print(f"running faulted campaign ({len(keys)} tasks, crash armed "
+          f"on task 1, {args.workers} workers)")
+    recorder = SpanRecorder()
+    with recorder:
+        sweep("LS", config, sizes, service, GRID,
+              workers=args.workers, cache=cache,
+              retry=RetryPolicy(max_attempts=2, backoff_base=0.01,
+                                backoff_cap=0.05))
+    _ok("campaign survived the injected crash")
+
+    # -- dashboard ---------------------------------------------------------
+    data = collect(obs_root, cache.root)
+    frame = render(data, ascii_only=True)
+    (out_dir / "dashboard.txt").write_text(frame, encoding="utf-8")
+    print(frame)
+    if data.runs != len(keys):
+        _fail(f"dashboard shows {data.runs} runs, expected {len(keys)}")
+    if data.tasks_retried != 1 or data.extra_attempts != 1:
+        _fail(f"dashboard retry counters wrong: "
+              f"retried={data.tasks_retried} "
+              f"extra={data.extra_attempts}")
+    rows = [r for r in data.campaigns if r.status == "complete"
+            and (r.done, r.total) == (len(keys), len(keys))]
+    if not rows:
+        _fail(f"no complete {len(keys)}/{len(keys)} campaign row: "
+              f"{data.campaigns}")
+    _ok("dashboard snapshot shows full progress and one retry")
+
+    # -- Perfetto trace ----------------------------------------------------
+    trace_path = out_dir / "campaign.trace.json"
+    export_chrome_trace(recorder, trace_path)
+    payload = json.loads(trace_path.read_text(encoding="utf-8"))
+    attempts = [e for e in payload["traceEvents"]
+                if e.get("cat") == "attempt"]
+    failed = [e for e in attempts if e["args"]["status"] == "failed"]
+    if len(attempts) != len(keys) + 1:
+        _fail(f"trace has {len(attempts)} attempt spans, expected "
+              f"{len(keys) + 1}")
+    if len(failed) != 1 or failed[0]["args"]["key"] != keys[0]:
+        _fail(f"expected one failed attempt span for task 1, got "
+              f"{[e['args'] for e in failed]}")
+    if not any(e.get("cat") == "campaign"
+               for e in payload["traceEvents"]):
+        _fail("trace has no campaign span")
+    _ok(f"trace export: {len(attempts)} attempt spans "
+        f"({len(failed)} failed) -> {trace_path}")
+
+    # -- schema validation -------------------------------------------------
+    report = io.StringIO()
+    rc = validate(str(obs_root), stream=report)
+    sys.stdout.write(report.getvalue())
+    if rc != 0:
+        _fail("event logs did not validate cleanly")
+    _ok("every published event log validates against the schemas")
+
+    print("telemetry smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

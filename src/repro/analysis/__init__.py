@@ -11,7 +11,7 @@ from . import (
     tables,
     theory,
 )
-from .ascii_plot import bar_chart, line_plot
+from .ascii_plot import bar_chart, line_plot, sparkline
 from .io import (
     load_replicated_sweep,
     load_report,
@@ -51,5 +51,5 @@ __all__ = [
     "save_sweep", "load_sweep", "save_report", "load_report",
     "save_replicated_sweep", "load_replicated_sweep",
     "gross_net_ratio", "gross_net_ratios_table", "mm1_response_time",
-    "line_plot", "bar_chart",
+    "line_plot", "bar_chart", "sparkline",
 ]

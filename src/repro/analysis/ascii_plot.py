@@ -10,9 +10,12 @@ from __future__ import annotations
 import math
 from typing import Mapping, Optional, Sequence
 
-__all__ = ["line_plot", "bar_chart"]
+__all__ = ["line_plot", "bar_chart", "sparkline"]
 
 _MARKERS = "ox+*#@%&"
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_SPARK_ASCII = " .:-=+*#"
 
 
 def line_plot(series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
@@ -65,6 +68,43 @@ def line_plot(series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
     )
     lines.append(" legend: " + legend)
     return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None,
+              lo: Optional[float] = None, hi: Optional[float] = None,
+              ascii_only: bool = False) -> str:
+    """A one-line block-character sketch of a value sequence.
+
+    With ``width`` given, the last ``width`` values are shown (the
+    dashboard's "recent latencies" tile).  The range defaults to the
+    min/max of the shown values; pin ``lo``/``hi`` to compare
+    sparklines across refreshes.  NaNs render as spaces;
+    ``ascii_only`` swaps the Unicode blocks for pure-ASCII shading.
+    """
+    shown = list(values)
+    if width is not None and width > 0:
+        shown = shown[-width:]
+    if not shown:
+        return ""
+    finite = [v for v in shown if not math.isnan(v)]
+    if not finite:
+        return " " * len(shown)
+    low = lo if lo is not None else min(finite)
+    high = hi if hi is not None else max(finite)
+    span = high - low
+    levels = _SPARK_ASCII if ascii_only else _SPARK_LEVELS
+    top = len(levels) - 1
+    out = []
+    for v in shown:
+        if math.isnan(v):
+            out.append(" ")
+            continue
+        if span <= 0:
+            out.append(levels[top // 2])
+            continue
+        step = int((v - low) / span * top)
+        out.append(levels[max(0, min(top, step))])
+    return "".join(out)
 
 
 def bar_chart(values: Mapping, width: int = 60, title: str = "",

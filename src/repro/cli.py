@@ -18,7 +18,8 @@ Subcommands
     Run simlint, the simulator-invariant static-analysis pass.
 ``obs``
     Inspect observability artifacts: ``summary``, ``tail``,
-    ``manifest``, ``profile`` (see ``docs/observability.md``).
+    ``validate``, ``dash``, ``trace``, ``manifest``, ``profile``
+    (see ``docs/observability.md``).
 
 Examples::
 
@@ -35,6 +36,10 @@ Examples::
     repro-sim lint src/repro
     repro-sim obs summary
     repro-sim obs tail .repro-obs/events/ab/abcd....jsonl -n 5
+    repro-sim obs tail .repro-obs/events/ab/abcd....jsonl --follow
+    repro-sim obs validate .repro-obs
+    repro-sim obs dash --iterations 1
+    repro-sim obs trace --out trace.json
 """
 
 from __future__ import annotations
@@ -255,6 +260,63 @@ def build_parser() -> argparse.ArgumentParser:
     obs_tail.add_argument("log", help="event log path")
     obs_tail.add_argument("-n", "--events", type=int, default=10,
                           help="number of events (default 10)")
+    obs_tail.add_argument("--kind", action="append", default=None,
+                          metavar="KIND",
+                          help="only this event kind (repeatable)")
+    obs_tail.add_argument("--since", type=float, default=None,
+                          metavar="T",
+                          help="only events with t >= T")
+    obs_tail.add_argument("--until", type=float, default=None,
+                          metavar="T",
+                          help="only events with t <= T")
+    obs_tail.add_argument("--follow", action="store_true",
+                          help="tail a live log as events are flushed "
+                               "(stops when the log is finalized)")
+    obs_tail.add_argument("--timeout", type=float, default=None,
+                          metavar="S",
+                          help="give up following after S seconds "
+                               "(default: wait forever)")
+    obs_val = obs_sub.add_parser(
+        "validate", help="audit event logs against the event schemas"
+    )
+    obs_val.add_argument("target",
+                         help="one JSONL event log, or an artifact "
+                              "root whose logs are all audited")
+    obs_dash = obs_sub.add_parser(
+        "dash", help="live campaign dashboard (snapshot on non-TTY)"
+    )
+    obs_dash.add_argument("--dir", default=None, metavar="PATH",
+                          help="artifact root (default $REPRO_OBS_DIR "
+                               "or .repro-obs)")
+    obs_dash.add_argument("--cache-dir", default=None, metavar="PATH",
+                          help="result-cache root whose sweeps/ "
+                               "manifests drive the campaign progress "
+                               "bars (default .repro-cache when it "
+                               "exists)")
+    obs_dash.add_argument("--interval", type=float, default=1.0,
+                          metavar="S",
+                          help="refresh period in seconds (default 1)")
+    obs_dash.add_argument("--iterations", type=int, default=None,
+                          metavar="N",
+                          help="stop after N frames (default: until "
+                               "interrupted)")
+    obs_dash.add_argument("--duration", type=float, default=None,
+                          metavar="S",
+                          help="stop after S seconds")
+    obs_trace = obs_sub.add_parser(
+        "trace", help="export spans as Chrome trace-event JSON "
+                      "(Perfetto / chrome://tracing)"
+    )
+    obs_trace.add_argument("--dir", default=None, metavar="PATH",
+                           help="artifact root (default "
+                                "$REPRO_OBS_DIR or .repro-obs)")
+    obs_trace.add_argument("--cache-dir", default=None, metavar="PATH",
+                           help="result-cache root providing campaign "
+                                "spans (default .repro-cache when it "
+                                "exists)")
+    obs_trace.add_argument("--out", default="trace.json",
+                           metavar="PATH",
+                           help="output path (default trace.json)")
     obs_man = obs_sub.add_parser(
         "manifest", help="show one run manifest by task key"
     )
@@ -640,13 +702,38 @@ def _cmd_lint(args) -> int:
     return lint_cli.main(argv)
 
 
+def _default_cache_dir(explicit: Optional[str]) -> Optional[str]:
+    """An explicit ``--cache-dir``, else ``.repro-cache`` when present."""
+    if explicit is not None:
+        return explicit
+    from repro.runner.cache import DEFAULT_CACHE_DIR
+
+    return DEFAULT_CACHE_DIR if os.path.isdir(DEFAULT_CACHE_DIR) \
+        else None
+
+
 def _cmd_obs(args) -> int:
     from repro.obs import cli as obs_cli
 
     if args.obs_command == "summary":
         return obs_cli.summary(directory=args.dir, log=args.log)
     if args.obs_command == "tail":
-        return obs_cli.tail(args.log, n=args.events)
+        return obs_cli.tail(args.log, n=args.events, kinds=args.kind,
+                            since=args.since, until=args.until,
+                            follow=args.follow, timeout=args.timeout)
+    if args.obs_command == "validate":
+        return obs_cli.validate(args.target)
+    if args.obs_command == "dash":
+        return obs_cli.dash(directory=args.dir,
+                            cache_dir=_default_cache_dir(args.cache_dir),
+                            interval=args.interval,
+                            iterations=args.iterations,
+                            duration=args.duration)
+    if args.obs_command == "trace":
+        return obs_cli.export_trace(
+            directory=args.dir,
+            cache_dir=_default_cache_dir(args.cache_dir),
+            out_path=args.out)
     if args.obs_command == "manifest":
         return obs_cli.show_manifest(args.key, directory=args.dir)
     config = _config_from_args(args)

@@ -18,8 +18,17 @@ Components:
 * :mod:`~repro.obs.manifest` — :class:`~repro.obs.manifest.RunManifest`
   provenance records written per task, per cache entry and per saved
   sweep;
-* :mod:`~repro.obs.progress` — heartbeat hook plus the line-updating
+* :mod:`~repro.obs.progress` — heartbeat hooks (one primary display
+  plus any number of subscribers) and the line-updating
   :class:`~repro.obs.progress.ProgressDisplay` behind ``--progress``;
+* :mod:`~repro.obs.store` — the read side: a queryable
+  :class:`~repro.obs.store.EventStore` over artifact roots, tolerant
+  log iteration/validation, live :func:`~repro.obs.store.follow_events`
+  tailing and streaming time-series reducers;
+* :mod:`~repro.obs.spans` — campaign→task→attempt span assembly and
+  Chrome trace-event export for Perfetto / ``chrome://tracing``;
+* :mod:`~repro.obs.dash` — the live terminal dashboard behind
+  ``repro-sim obs dash``;
 * :mod:`~repro.obs.timing` — sanctioned wall-clock access and
   :class:`~repro.obs.timing.PhaseTimer`;
 * :mod:`~repro.obs.profiling` — opt-in cProfile hotspot tables;
@@ -59,13 +68,38 @@ from .manifest import (
     write_manifest,
 )
 from .profiling import hotspot_table, profile_call
-from .progress import ProgressDisplay, activate, deactivate, notify
+from .progress import (
+    ProgressDisplay,
+    activate,
+    deactivate,
+    notify,
+    subscribe,
+    unsubscribe,
+)
 from .registry import (
     REGISTRY,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from .spans import (
+    Marker,
+    Span,
+    SpanRecorder,
+    export_chrome_trace,
+    spans_from_obs,
+    to_chrome_trace,
+)
+from .store import (
+    EventSeries,
+    EventStore,
+    LogIssue,
+    RunStream,
+    follow_events,
+    iter_log,
+    reduce_series,
+    validate_log,
 )
 from .timing import PhaseTimer, process_clock, wall_clock
 
@@ -80,6 +114,11 @@ __all__ = [
     "manifest_path", "cache_manifest_path",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
     "ProgressDisplay", "activate", "deactivate", "notify",
+    "subscribe", "unsubscribe",
+    "EventStore", "RunStream", "EventSeries", "LogIssue",
+    "iter_log", "validate_log", "follow_events", "reduce_series",
+    "Span", "Marker", "SpanRecorder",
+    "spans_from_obs", "to_chrome_trace", "export_chrome_trace",
     "PhaseTimer", "wall_clock", "process_clock",
     "hotspot_table", "profile_call",
 ]

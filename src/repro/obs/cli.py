@@ -1,33 +1,45 @@
 """Implementations behind the ``repro-sim obs`` command group.
 
-Four read-side tools over the artifacts the runner produces:
+Read-side tools over the artifacts the runner produces:
 
 * :func:`summary` — aggregate every :class:`RunManifest` under an
   artifact root (task counts by cache status, wall-clock, engine
   counters);
-* :func:`tail` — the last N events of a JSONL event log;
+* :func:`tail` — the last N events of a JSONL event log, with
+  kind/time filters and ``--follow`` live tailing;
+* :func:`validate` — audit one log (or every log under an artifact
+  root) against the registered event schemas, line numbers included;
+* :func:`dash` — the live terminal dashboard
+  (:mod:`repro.obs.dash`);
+* :func:`export_trace` — Chrome trace-event JSON for
+  Perfetto / ``chrome://tracing`` (:mod:`repro.obs.spans`);
 * :func:`show_manifest` — one manifest, located by (a prefix of) its
   task key;
 * :func:`profile_run` — one simulation run under cProfile with a
   hotspot table.
 
 All functions print to a stream and return a process exit code; the
-argument parsing lives in :mod:`repro.cli`.
+argument parsing lives in :mod:`repro.cli`.  Readers are tolerant by
+design: a truncated final batch line (a worker killed mid-flush) or an
+empty log is reported and skipped, never raised.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+from collections import deque
 from pathlib import Path
-from typing import Optional, TextIO
+from typing import Iterable, Iterator, Optional, TextIO
 
-from .events import read_events, read_header, tail_events
+from .events import read_header
 from .gate import obs_root
 from .manifest import RunManifest, load_manifest
 from .profiling import profile_call
+from .store import LogIssue, follow_events, iter_log, validate_log
 
-__all__ = ["summary", "tail", "show_manifest", "profile_run"]
+__all__ = ["summary", "tail", "validate", "dash", "export_trace",
+           "show_manifest", "profile_run"]
 
 
 def _resolve_root(directory: Optional[str]) -> Path:
@@ -87,7 +99,23 @@ def summary(directory: Optional[str] = None,
     return 0
 
 
+def _report_issues(issues: Iterable[LogIssue], out: TextIO) -> int:
+    count = 0
+    for issue in issues:
+        count += 1
+        print(f"warning: {issue}", file=out)
+    return count
+
+
 def _summarize_log(path: Path, out: TextIO) -> int:
+    """Summarise one event log, surviving truncation and emptiness.
+
+    A log left behind by a crashed worker (truncated final batch, or
+    nothing past the header) is summarised from its parseable prefix
+    with a warning per skipped line — the one artifact that explains a
+    failure must never be the one the tooling refuses to read.
+    """
+    issues: list[LogIssue] = []
     try:
         header = read_header(path)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
@@ -96,7 +124,7 @@ def _summarize_log(path: Path, out: TextIO) -> int:
     kinds: dict[str, int] = {}
     count = 0
     first = last = None
-    for event in read_events(path):
+    for event in iter_log(path, strict=False, on_issue=issues.append):
         count += 1
         kinds[event.get("kind", "?")] = kinds.get(
             event.get("kind", "?"), 0) + 1
@@ -108,25 +136,137 @@ def _summarize_log(path: Path, out: TextIO) -> int:
     if header.get("task"):
         print(f"task               {header['task']}", file=out)
     print(f"events             {count}", file=out)
-    if count:
+    if count and isinstance(first, (int, float)) \
+            and isinstance(last, (int, float)):
         print(f"sim-time span      {first:g} .. {last:g}", file=out)
+    if count:
         width = max(len(kind) for kind in kinds)
         for kind, n in sorted(kinds.items()):
             print(f"  {kind:<{width}}  {n}", file=out)
+    _report_issues(issues, out)
     return 0
 
 
+def _tail_filtered(log: str, n: int,
+                   kinds: Optional[Iterable[str]],
+                   since: Optional[float], until: Optional[float],
+                   issues: list) -> Iterator[dict]:
+    buffered: deque = deque(maxlen=n if n > 0 else None)
+    buffered.extend(iter_log(log, kinds=kinds, since=since, until=until,
+                             strict=False, on_issue=issues.append))
+    return iter(buffered)
+
+
 def tail(log: str, n: int = 10,
+         kinds: Optional[Iterable[str]] = None,
+         since: Optional[float] = None,
+         until: Optional[float] = None,
+         follow: bool = False,
+         timeout: Optional[float] = None,
          stream: Optional[TextIO] = None) -> int:
-    """Print the last ``n`` events of a JSONL event log."""
+    """Print the last ``n`` events of a JSONL event log.
+
+    ``kinds``/``since``/``until`` filter what counts; ``follow``
+    switches to live tailing of a log still being written (all events
+    as they are flushed, until the log is finalized or ``timeout``
+    seconds pass).  Truncated or malformed lines are reported as
+    warnings and skipped — tailing the log of a crashed worker is the
+    primary use case.
+    """
     out = stream if stream is not None else sys.stdout
-    try:
-        events = tail_events(log, n)
-    except (OSError, ValueError, json.JSONDecodeError) as exc:
-        print(f"error: {exc}", file=out)
+    issues: list[LogIssue] = []
+    if follow:
+        for event in follow_events(log, kinds=kinds, timeout=timeout,
+                                   on_issue=issues.append):
+            print(json.dumps(event, sort_keys=True), file=out)
+            out.flush()
+        _report_issues(issues, out)
+        return 0
+    path = Path(log)
+    if not path.exists():
+        print(f"error: no such event log: {path}", file=out)
         return 1
+    events = _tail_filtered(log, n, kinds, since, until, issues)
     for event in events:
         print(json.dumps(event, sort_keys=True), file=out)
+    _report_issues(issues, out)
+    return 0
+
+
+def _logs_under(root: Path) -> list[Path]:
+    return sorted((root / "events").glob("*/*.jsonl"))
+
+
+def validate(target: str,
+             stream: Optional[TextIO] = None) -> int:
+    """Audit event logs against :data:`~repro.obs.events.EVENT_SCHEMAS`.
+
+    ``target`` is one JSONL log, or an artifact root whose every log
+    under ``events/`` is audited.  Each violation prints with its line
+    number; the exit code is 0 only when every event of every log
+    conforms.
+    """
+    out = stream if stream is not None else sys.stdout
+    path = Path(target)
+    if path.is_dir():
+        logs = _logs_under(path)
+        if not logs:
+            print(f"no event logs under {path}", file=out)
+            return 1
+    else:
+        logs = [path]
+    total_events = 0
+    total_issues = 0
+    for log in logs:
+        count, issues = validate_log(log)
+        total_events += count
+        total_issues += len(issues)
+        for issue in issues:
+            print(str(issue), file=out)
+    print(f"validated {total_events} events across {len(logs)} "
+          f"log(s): "
+          + (f"{total_issues} issue(s)" if total_issues else "clean"),
+          file=out)
+    return 1 if total_issues else 0
+
+
+def dash(directory: Optional[str] = None,
+         cache_dir: Optional[str] = None,
+         interval: float = 1.0,
+         iterations: Optional[int] = None,
+         duration: Optional[float] = None,
+         stream: Optional[TextIO] = None) -> int:
+    """Run the live dashboard (one-shot snapshot on a non-TTY)."""
+    from .dash import run_dashboard
+
+    frames = run_dashboard(_resolve_root(directory), cache_dir,
+                           interval=interval, iterations=iterations,
+                           duration=duration, stream=stream)
+    return 0 if frames else 1
+
+
+def export_trace(directory: Optional[str] = None,
+                 cache_dir: Optional[str] = None,
+                 out_path: str = "trace.json",
+                 stream: Optional[TextIO] = None) -> int:
+    """Export campaign spans as Chrome trace-event JSON.
+
+    Load the result in Perfetto (https://ui.perfetto.dev) or
+    ``chrome://tracing``: campaigns, tasks and every attempt —
+    including failed ones — appear as nested tracks.
+    """
+    from .spans import export_chrome_trace, spans_from_obs
+
+    out = stream if stream is not None else sys.stdout
+    root = _resolve_root(directory)
+    spans, markers = spans_from_obs(root, cache_dir)
+    if not spans and not markers:
+        print(f"no run manifests under {root}; nothing to export",
+              file=out)
+        return 1
+    export_chrome_trace((spans, markers), out_path)
+    print(f"wrote {len(spans)} span(s) and {len(markers)} marker(s) "
+          f"to {out_path}", file=out)
     return 0
 
 

@@ -1,0 +1,288 @@
+"""Live terminal dashboard over campaign telemetry.
+
+``repro-sim obs dash`` renders a refreshing view of a running (or
+finished) campaign from its side-band artifacts alone:
+
+* **progress** — per-campaign done/planned counts from the
+  :class:`~repro.runner.campaign.SweepManifest` records under
+  ``<cache-root>/sweeps/``, judged against the run manifests the
+  workers have written so far;
+* **cache and retry counters** — computed/hit totals, tasks that
+  needed more than one attempt, and (when attached in-process) the
+  live ``runner.*`` counters from the metrics registry;
+* **per-policy throughput** — tasks finished and tasks/second of
+  simulation wall-clock for each co-allocation policy;
+* **latency sparkline** — recent task wall-clocks in completion
+  order, one block character each.
+
+Everything is read from :class:`~repro.obs.store.EventStore` (the
+manifest side-band), so the dashboard can watch a campaign running in
+*another process* — it polls the artifact root and re-renders.  On a
+TTY the view refreshes in place (ANSI clear-home); on anything else it
+degrades to a single snapshot so piping to a file stays sane.
+
+Strictly read-only and side-band: attaching, detaching or deleting the
+dashboard changes no task key, payload or result byte (pinned by the
+golden-obs identity tests).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, TextIO, Union
+
+from .registry import REGISTRY, MetricsRegistry
+from .store import EventStore
+from .timing import wall_clock
+
+__all__ = ["CampaignRow", "DashboardData", "collect", "render",
+           "run_dashboard"]
+
+PathLike = Union[str, Path]
+
+#: Clear screen + cursor home; the in-place refresh on a TTY.
+ANSI_CLEAR = "\x1b[2J\x1b[H"
+
+#: Registry counters surfaced on the dashboard when present, in
+#: display order (runner retry/fault/cache machinery).
+_COUNTER_NAMES = (
+    "runner.tasks.total",
+    "runner.cache.hits",
+    "runner.cache.misses",
+    "runner.cache.stores",
+    "runner.retries",
+    "runner.timeouts",
+    "runner.tasks.recovered",
+    "runner.tasks.rescheduled",
+    "runner.workers.replaced",
+    "runner.resume.campaigns",
+)
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    """Progress of one campaign manifest."""
+
+    campaign: str
+    kind: str
+    label: str
+    status: str
+    done: int
+    total: int
+
+
+@dataclass
+class DashboardData:
+    """Everything one dashboard frame needs, gathered read-only."""
+
+    root: str
+    runs: int = 0
+    cache_counts: dict = field(default_factory=dict)
+    policies: dict = field(default_factory=dict)
+    tasks_retried: int = 0
+    extra_attempts: int = 0
+    latencies: list = field(default_factory=list)
+    campaigns: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+    issues: int = 0
+
+
+def _campaign_rows(cache_root: Optional[PathLike],
+                   run_keys: frozenset) -> list[CampaignRow]:
+    """Campaign progress rows from ``<cache-root>/sweeps/*.json``.
+
+    ``done`` counts planned task keys that already have a run manifest
+    in the obs root — the same judgement the dashboard's other tiles
+    use — so no cache lookups are needed.  Torn or foreign JSON is
+    skipped; progress display must never crash on a half-written file.
+    """
+    if cache_root is None:
+        return []
+    rows: list[CampaignRow] = []
+    for path in sorted(Path(cache_root).glob("sweeps/*.json")):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(payload, dict):
+            continue
+        keys = payload.get("task_keys") or []
+        if not isinstance(keys, list):
+            continue
+        rows.append(CampaignRow(
+            campaign=str(payload.get("campaign", path.stem)),
+            kind=str(payload.get("kind", "?")),
+            label=str(payload.get("label", "?")),
+            status=str(payload.get("status", "?")),
+            done=sum(1 for k in keys if k in run_keys),
+            total=len(keys),
+        ))
+    return rows
+
+
+def collect(root: Optional[PathLike] = None,
+            cache_root: Optional[PathLike] = None,
+            registry: Optional[MetricsRegistry] = None,
+            ) -> DashboardData:
+    """Gather one frame of dashboard data from the artifact root.
+
+    ``registry`` defaults to the process-wide :data:`REGISTRY`, whose
+    ``runner.*`` counters are only populated when the dashboard runs
+    inside the driving process; watching from outside, the counters
+    tile simply shows what the manifests imply.
+    """
+    store = EventStore(root)
+    streams = store.runs()
+    registry = registry if registry is not None else REGISTRY
+    data = DashboardData(root=str(store.root), runs=len(streams))
+
+    ordered = sorted(streams, key=lambda s: s.manifest.created_unix)
+    for stream in ordered:
+        m = stream.manifest
+        data.cache_counts[m.cache_status] = \
+            data.cache_counts.get(m.cache_status, 0) + 1
+        per = data.policies.setdefault(
+            m.policy, {"tasks": 0, "wall_clock_s": 0.0})
+        per["tasks"] += 1
+        if m.wall_clock_s is not None:
+            per["wall_clock_s"] += m.wall_clock_s
+            data.latencies.append(m.wall_clock_s)
+        if m.attempts > 1:
+            data.tasks_retried += 1
+            data.extra_attempts += m.attempts - 1
+    for per in data.policies.values():
+        spent = per["wall_clock_s"]
+        per["throughput"] = per["tasks"] / spent if spent > 0 else 0.0
+
+    run_keys = frozenset(s.key for s in streams)
+    data.campaigns = _campaign_rows(cache_root, run_keys)
+
+    snapshot = registry.snapshot()["counters"]
+    data.counters = {name: snapshot[name] for name in _COUNTER_NAMES
+                     if snapshot.get(name)}
+    data.issues = len(store.issues)
+    return data
+
+
+def _bar(done: int, total: int, width: int = 28) -> str:
+    if total <= 0:
+        return "[" + "-" * width + "]"
+    filled = int(done / total * width)
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def render(data: DashboardData, width: int = 72,
+           ascii_only: bool = False) -> str:
+    """One dashboard frame as a multi-line string."""
+    from repro.analysis.ascii_plot import sparkline
+
+    lines = [f"repro-sim obs dash — {data.root}", ""]
+
+    if data.campaigns:
+        lines.append("campaigns")
+        for row in data.campaigns:
+            pct = 100.0 * row.done / row.total if row.total else 0.0
+            lines.append(
+                f"  {row.kind} {row.label}  "
+                f"{_bar(row.done, row.total)} "
+                f"{row.done}/{row.total} ({pct:.0f}%) {row.status}")
+        lines.append("")
+
+    cache = data.cache_counts
+    lines.append(
+        f"runs {data.runs}  "
+        f"computed {cache.get('computed', 0)}  "
+        f"cached {cache.get('hit', 0)}  "
+        f"stored {cache.get('stored', 0)}  "
+        f"retried {data.tasks_retried} "
+        f"(+{data.extra_attempts} attempts)")
+    if data.issues:
+        lines.append(f"  ({data.issues} unreadable artifacts skipped)")
+    lines.append("")
+
+    if data.policies:
+        lines.append("per-policy throughput (tasks / sim wall-clock s)")
+        name_width = max(len(p) for p in data.policies)
+        for policy in sorted(data.policies):
+            per = data.policies[policy]
+            lines.append(
+                f"  {policy.rjust(name_width)}  "
+                f"{per['tasks']:4d} tasks  "
+                f"{per['wall_clock_s']:8.2f}s  "
+                f"{per['throughput']:8.2f}/s")
+        lines.append("")
+
+    if data.latencies:
+        recent = data.latencies[-width:]
+        lines.append(
+            f"task wall-clock, last {len(recent)} "
+            f"(min {min(recent):.3g}s max {max(recent):.3g}s)")
+        lines.append("  " + sparkline(recent, width=width,
+                                      ascii_only=ascii_only))
+        lines.append("")
+
+    if data.counters:
+        lines.append("process counters")
+        name_width = max(len(n) for n in data.counters)
+        for name, value in data.counters.items():
+            lines.append(f"  {name.ljust(name_width)}  {value}")
+        lines.append("")
+
+    if data.runs == 0 and not data.campaigns:
+        lines.append("(no run manifests yet — is the campaign "
+                     "running with REPRO_OBS=1?)")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def run_dashboard(root: Optional[PathLike] = None,
+                  cache_root: Optional[PathLike] = None, *,
+                  interval: float = 1.0,
+                  iterations: Optional[int] = None,
+                  duration: Optional[float] = None,
+                  width: int = 72,
+                  ascii_only: bool = False,
+                  registry: Optional[MetricsRegistry] = None,
+                  stream: Optional[TextIO] = None,
+                  _sleep: Optional[Callable[[float], None]] = None,
+                  ) -> int:
+    """Render the dashboard, refreshing until a stop condition.
+
+    On a TTY the frame redraws in place every ``interval`` seconds
+    until ``iterations`` frames or ``duration`` wall-clock seconds
+    have passed (both ``None`` = until interrupted).  On a non-TTY
+    stream exactly one snapshot is written — ``obs dash > log.txt``
+    and CI capture just work.  Returns the number of frames rendered.
+    """
+    out = stream if stream is not None else sys.stdout
+    sleep = _sleep if _sleep is not None else _default_sleep
+    live = bool(getattr(out, "isatty", lambda: False)())
+    deadline = None if duration is None else wall_clock() + duration
+    frames = 0
+    try:
+        while True:
+            frame = render(collect(root, cache_root, registry),
+                           width=width, ascii_only=ascii_only)
+            if live:
+                out.write(ANSI_CLEAR)
+            out.write(frame)
+            out.flush()
+            frames += 1
+            if not live:
+                return frames
+            if iterations is not None and frames >= iterations:
+                return frames
+            if deadline is not None and wall_clock() >= deadline:
+                return frames
+            sleep(interval)
+    except KeyboardInterrupt:
+        return frames
+
+
+def _default_sleep(seconds: float) -> None:
+    import time
+
+    time.sleep(seconds)

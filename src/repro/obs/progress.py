@@ -2,10 +2,15 @@
 
 The runner (:func:`repro.runner.execute`) emits a heartbeat for every
 task it touches — ``hit`` (served from cache), ``start`` (submitted to
-a worker or begun in-process), ``finish`` (result collected) and
-``fail`` — through a process-global hook installed with
-:func:`activate`.  The hook indirection keeps the runner's signature
-stable while letting the CLI (``--progress``) and tests observe every
+a worker or begun in-process), ``retry`` (resubmitted after a failed
+attempt), ``attempt-failed`` (one attempt's failure cause),
+``finish`` (result collected) and ``fail`` — and the campaign layer
+(:mod:`repro.runner.campaign`) adds ``campaign-begin`` /
+``campaign-finish``, all through process-global hooks installed with
+:func:`activate` (the primary display) or :func:`subscribe` (any
+number of side listeners, e.g. the span recorder and the live
+dashboard).  The hook indirection keeps the runner's signature stable
+while letting the CLI (``--progress``) and tests observe every
 execution backend, including sweeps reached deep inside the experiment
 suite.
 
@@ -23,36 +28,63 @@ from typing import Callable, Optional, TextIO
 from .timing import wall_clock
 
 __all__ = ["ProgressDisplay", "activate", "deactivate", "notify",
-           "active_hook"]
+           "active_hook", "subscribe", "unsubscribe"]
 
 #: ``(kind, key, description)`` heartbeat callback type.
 ProgressHook = Callable[[str, str, str], None]
 
+#: Task-level heartbeat kinds that count toward progress totals;
+#: campaign markers and attempt diagnostics flow past the display.
+TASK_KINDS = frozenset({"hit", "start", "finish", "fail", "retry"})
+
 _active: Optional[ProgressHook] = None
+_subscribers: list[ProgressHook] = []
 
 
 def activate(hook: ProgressHook) -> None:
-    """Install ``hook`` as the process-wide heartbeat consumer."""
+    """Install ``hook`` as the primary process-wide consumer."""
     global _active
     _active = hook
 
 
 def deactivate() -> None:
-    """Remove the heartbeat consumer."""
+    """Remove the primary heartbeat consumer."""
     global _active
     _active = None
 
 
+def subscribe(hook: ProgressHook) -> ProgressHook:
+    """Add a side listener receiving every heartbeat.
+
+    Unlike :func:`activate`, any number of subscribers can coexist
+    (span recorders, dashboards, test probes).  Returns ``hook`` so
+    the caller can pass it straight to :func:`unsubscribe`.
+    """
+    _subscribers.append(hook)
+    return hook
+
+
+def unsubscribe(hook: ProgressHook) -> None:
+    """Remove a side listener (no-op when not subscribed)."""
+    try:
+        _subscribers.remove(hook)
+    except ValueError:
+        pass
+
+
 def active_hook() -> Optional[ProgressHook]:
-    """The installed heartbeat consumer, if any."""
+    """The installed primary consumer, if any."""
     return _active
 
 
 def notify(kind: str, key: str, description: str) -> None:
-    """Deliver one heartbeat to the active consumer (if any)."""
+    """Deliver one heartbeat to the primary consumer and subscribers."""
     hook = _active
     if hook is not None:
         hook(kind, key, description)
+    if _subscribers:
+        for sub in tuple(_subscribers):
+            sub(kind, key, description)
 
 
 class ProgressDisplay:
@@ -98,7 +130,14 @@ class ProgressDisplay:
 
     def on_task_event(self, kind: str, key: str,
                       description: str) -> None:
-        """Heartbeat consumer: update counters and re-render."""
+        """Heartbeat consumer: update counters and re-render.
+
+        Non-task heartbeats (campaign markers, per-attempt failure
+        causes) don't move the counters or touch the line — the
+        display tracks tasks, side listeners track everything.
+        """
+        if kind not in TASK_KINDS:
+            return
         if kind == "hit":
             self.hits += 1
         elif kind == "start":

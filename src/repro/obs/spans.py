@@ -1,0 +1,394 @@
+"""Hierarchical campaign spans with a Chrome trace-event exporter.
+
+A campaign is a tree of timed work: the campaign itself, the tasks it
+plans, and every execution *attempt* each task took (first tries,
+retries after transient faults, replacements after crashes and
+timeouts).  This module derives that tree two ways and exports it as
+Chrome trace-event JSON, so any campaign opens in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing`` and retries, hangs,
+cache hits and worker replacement become visually inspectable.
+
+* :class:`SpanRecorder` — the **live** derivation.  It subscribes to
+  the runner's progress heartbeats (:mod:`repro.obs.progress`), so it
+  sees ``campaign-begin``/``campaign-finish`` from
+  :mod:`repro.runner.campaign`, ``start``/``retry``/``finish``/``fail``
+  per task and ``attempt-failed`` (with the failure cause) from the
+  execution backend — enough to time every attempt individually,
+  including the failed ones.  Recording is strictly side-band: the
+  recorder only listens, and results are byte-identical with or
+  without it attached (pinned by ``tests/obs/test_golden_obs.py``).
+* :func:`spans_from_obs` — the **post-hoc** derivation, for campaigns
+  that already ran.  It rebuilds coarser spans from the artifacts on
+  disk: :class:`~repro.runner.campaign.SweepManifest` files name each
+  campaign's planned tasks, and per-task
+  :class:`~repro.obs.manifest.RunManifest` records carry wall-clock,
+  creation time and the final ``attempts`` count.
+
+Both produce plain :class:`Span` / :class:`Marker` lists;
+:func:`to_chrome_trace` / :func:`export_chrome_trace` turn either into
+a trace file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from . import progress as _progress
+from .manifest import RunManifest
+from .timing import wall_clock
+
+__all__ = [
+    "Span",
+    "Marker",
+    "SpanRecorder",
+    "spans_from_obs",
+    "to_chrome_trace",
+    "export_chrome_trace",
+]
+
+PathLike = Union[str, Path]
+
+#: Span categories, outermost first.
+CATEGORIES = ("campaign", "task", "attempt")
+
+
+@dataclass
+class Span:
+    """One timed slice of campaign work.
+
+    Times are seconds on whichever clock produced the span (the
+    monotonic wall clock live, unix time post-hoc); the exporter
+    rebases everything onto the earliest timestamp, so the origin
+    never matters.
+    """
+
+    name: str
+    category: str  # one of CATEGORIES
+    track: str  # Perfetto thread lane ("campaign", "task 1", ...)
+    start: float
+    end: Optional[float] = None  # None = still open
+    status: str = "ok"  # "ok" | "failed" | "open"
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Seconds covered, or ``None`` while open."""
+        return None if self.end is None else self.end - self.start
+
+
+@dataclass(frozen=True)
+class Marker:
+    """An instant event (cache hit, give-up) on a track."""
+
+    name: str
+    track: str
+    t: float
+    args: dict = field(default_factory=dict)
+
+
+class SpanRecorder:
+    """Build attempt-level spans from live runner heartbeats.
+
+    Usage::
+
+        recorder = SpanRecorder()
+        with recorder:                      # subscribes to heartbeats
+            sweep(...)                      # any campaign
+        export_chrome_trace(recorder, "campaign.trace.json")
+
+    The recorder assigns each task its own Perfetto lane in first-seen
+    order; every attempt becomes one span on that lane (failed
+    attempts carry their cause in ``args``), nested under a task span,
+    under the campaign span on lane 0.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.markers: list[Marker] = []
+        self._campaign: Optional[Span] = None
+        self._tasks: dict[str, Span] = {}
+        self._attempts: dict[str, Span] = {}
+        self._attempt_counts: dict[str, int] = {}
+        self._lanes: dict[str, str] = {}
+
+    # -- subscription --------------------------------------------------------
+
+    def attach(self) -> "SpanRecorder":
+        """Subscribe to the process-wide heartbeat stream."""
+        _progress.subscribe(self.on_event)
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe and close any spans left open (status "open")."""
+        _progress.unsubscribe(self.on_event)
+        now = wall_clock()
+        for span in self._open_spans():
+            span.end = now
+            span.status = "open"
+        self._attempts.clear()
+        self._tasks.clear()
+        self._campaign = None
+
+    def __enter__(self) -> "SpanRecorder":
+        return self.attach()
+
+    def __exit__(self, *exc: object) -> None:
+        self.detach()
+
+    def _open_spans(self) -> list[Span]:
+        out = [s for s in self._attempts.values() if s.end is None]
+        out.extend(s for s in self._tasks.values() if s.end is None)
+        if self._campaign is not None and self._campaign.end is None:
+            out.append(self._campaign)
+        return out
+
+    # -- heartbeat consumption -----------------------------------------------
+
+    def _lane(self, key: str) -> str:
+        lane = self._lanes.get(key)
+        if lane is None:
+            lane = f"task {len(self._lanes) + 1} [{key[:10]}]"
+            self._lanes[key] = lane
+        return lane
+
+    def _open_attempt(self, key: str, description: str,
+                      now: float) -> None:
+        number = self._attempt_counts.get(key, 0) + 1
+        self._attempt_counts[key] = number
+        span = Span(name=f"attempt {number}", category="attempt",
+                    track=self._lane(key), start=now,
+                    args={"key": key, "attempt": number,
+                          "task": description})
+        self._attempts[key] = span
+        self.spans.append(span)
+
+    def _close_attempt(self, key: str, now: float, status: str,
+                       cause: str = "") -> None:
+        span = self._attempts.pop(key, None)
+        if span is None:
+            return
+        span.end = now
+        span.status = status
+        if cause:
+            span.args["cause"] = cause
+
+    def on_event(self, kind: str, key: str, description: str) -> None:
+        """Heartbeat consumer (see :mod:`repro.obs.progress`)."""
+        now = wall_clock()
+        if kind == "campaign-begin":
+            self._campaign = Span(name=description, category="campaign",
+                                  track="campaign", start=now,
+                                  args={"campaign": key})
+            self.spans.append(self._campaign)
+        elif kind == "campaign-finish":
+            if self._campaign is not None and key == \
+                    self._campaign.args.get("campaign"):
+                self._campaign.end = now
+                self._campaign = None
+        elif kind == "start":
+            span = Span(name=description, category="task",
+                        track=self._lane(key), start=now,
+                        args={"key": key})
+            self._tasks[key] = span
+            self.spans.append(span)
+            self._open_attempt(key, description, now)
+        elif kind == "attempt-failed":
+            self._close_attempt(key, now, "failed", description)
+        elif kind == "retry":
+            # The failed attempt was closed by its attempt-failed
+            # heartbeat; the retry opens the next one (its span starts
+            # now, so deterministic backoff shows as a gap between
+            # attempts — exactly what a trace viewer should show).
+            self._open_attempt(key, description, now)
+        elif kind == "finish":
+            self._close_attempt(key, now, "ok")
+            task = self._tasks.pop(key, None)
+            if task is not None:
+                task.end = now
+                task.args["attempts"] = self._attempt_counts.get(key, 1)
+        elif kind == "fail":
+            self._close_attempt(key, now, "failed")
+            task = self._tasks.pop(key, None)
+            if task is not None:
+                task.end = now
+                task.status = "failed"
+                task.args["attempts"] = self._attempt_counts.get(key, 1)
+        elif kind == "hit":
+            self.markers.append(Marker(name="cache hit",
+                                       track=self._lane(key), t=now,
+                                       args={"key": key,
+                                             "task": description}))
+
+    def __repr__(self) -> str:
+        return (f"<SpanRecorder spans={len(self.spans)} "
+                f"markers={len(self.markers)}>")
+
+
+def spans_from_obs(root: PathLike,
+                   cache_root: Optional[PathLike] = None,
+                   ) -> tuple[list[Span], list[Marker]]:
+    """Rebuild spans for finished campaigns from on-disk artifacts.
+
+    Task spans come from each :class:`RunManifest`'s creation time and
+    wall-clock (the manifest is written when the run ends, so the span
+    is ``[created - wall_clock, created]``); retries show up through
+    the recorded ``attempts`` count — attempts before the successful
+    one have no surviving timing, so they are represented as markers
+    at the span start.  With ``cache_root`` given, sweep manifests
+    under ``<cache_root>/sweeps/`` contribute campaign spans covering
+    their tasks.
+    """
+    from .store import EventStore
+
+    spans: list[Span] = []
+    markers: list[Marker] = []
+    store = EventStore(root)
+    runs = store.runs()
+    by_key: dict[str, RunManifest] = {s.key: s.manifest for s in runs}
+    lane_of: dict[str, str] = {}
+    for n, stream in enumerate(runs, start=1):
+        m = stream.manifest
+        if m.kind != "task":
+            continue
+        lane = f"task {n} [{m.key[:10]}]"
+        lane_of[m.key] = lane
+        wall = m.wall_clock_s or 0.0
+        end = m.created_unix
+        start = end - wall
+        span = Span(name=m.description, category="task", track=lane,
+                    start=start, end=end,
+                    args={"key": m.key, "policy": m.policy,
+                          "seed": m.seed, "attempts": m.attempts,
+                          "cache_status": m.cache_status})
+        spans.append(span)
+        for attempt in range(1, m.attempts):
+            markers.append(Marker(
+                name=f"failed attempt {attempt}", track=lane, t=start,
+                args={"key": m.key, "attempt": attempt}))
+        if m.cache_status == "hit":
+            markers.append(Marker(name="cache hit", track=lane, t=end,
+                                  args={"key": m.key}))
+    if cache_root is not None:
+        spans.extend(_campaign_spans(Path(cache_root), by_key))
+    return spans, markers
+
+
+def _campaign_spans(cache_root: Path,
+                    by_key: dict[str, RunManifest]) -> list[Span]:
+    """Campaign spans covering the tasks their sweep manifests name."""
+    from repro.runner.campaign import SweepManifest
+
+    out: list[Span] = []
+    for path in sorted((cache_root / "sweeps").glob("*.json")):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                manifest = SweepManifest.from_dict(json.load(fh))
+        except (OSError, json.JSONDecodeError, ValueError, TypeError):
+            continue
+        ends = []
+        starts = []
+        for key in manifest.task_keys:
+            m = by_key.get(key)
+            if m is None:
+                continue
+            ends.append(m.created_unix)
+            starts.append(m.created_unix - (m.wall_clock_s or 0.0))
+        if not starts:
+            continue
+        out.append(Span(
+            name=f"{manifest.kind} {manifest.label}",
+            category="campaign", track="campaign",
+            start=min(starts), end=max(ends),
+            args={"campaign": manifest.campaign,
+                  "status": manifest.status,
+                  "planned": len(manifest.task_keys)}))
+    return out
+
+
+SpanSource = Union[SpanRecorder,
+                   tuple[Sequence[Span], Sequence[Marker]]]
+
+
+def _split(source: SpanSource) -> tuple[Sequence[Span],
+                                        Sequence[Marker]]:
+    if isinstance(source, SpanRecorder):
+        return source.spans, source.markers
+    spans, markers = source
+    return spans, markers
+
+
+def to_chrome_trace(source: SpanSource) -> dict:
+    """Spans + markers → a Chrome trace-event JSON object.
+
+    The format is the Trace Event Format's JSON-object flavour
+    (``{"traceEvents": [...]}``) using complete ("X") events for spans
+    and instant ("i") events for markers, with timestamps rebased to
+    the earliest span/marker and scaled to microseconds.  Tracks map
+    to thread lanes via ``thread_name`` metadata, so Perfetto renders
+    the campaign lane above one lane per task.
+    """
+    spans, markers = _split(source)
+    times = [s.start for s in spans] + [m.t for m in markers]
+    origin = min(times) if times else 0.0
+    tids: dict[str, int] = {}
+
+    def tid(track: str) -> int:
+        if track not in tids:
+            # Lane 0 is reserved for the campaign track so it sorts
+            # first in the viewer regardless of event order.
+            tids[track] = 0 if track == "campaign" \
+                else len(tids) + (0 if "campaign" in tids else 1)
+        return tids[track]
+
+    tid("campaign")
+    events: list[dict] = []
+    for span in spans:
+        end = span.end if span.end is not None else span.start
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.category,
+            "pid": 1,
+            "tid": tid(span.track),
+            "ts": (span.start - origin) * 1e6,
+            "dur": max((end - span.start) * 1e6, 1.0),
+            "args": {**span.args, "status": span.status},
+        })
+    for marker in markers:
+        events.append({
+            "ph": "i",
+            "name": marker.name,
+            "cat": "marker",
+            "pid": 1,
+            "tid": tid(marker.track),
+            "ts": (marker.t - origin) * 1e6,
+            "s": "t",
+            "args": dict(marker.args),
+        })
+    meta: list[dict] = [{
+        "ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+        "args": {"name": "repro campaign"},
+    }]
+    for track, lane in sorted(tids.items(), key=lambda kv: kv[1]):
+        meta.append({
+            "ph": "M", "name": "thread_name", "pid": 1, "tid": lane,
+            "args": {"name": track},
+        })
+        meta.append({
+            "ph": "M", "name": "thread_sort_index", "pid": 1,
+            "tid": lane, "args": {"sort_index": lane},
+        })
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(source: SpanSource, path: PathLike) -> Path:
+    """Write :func:`to_chrome_trace` output as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = to_chrome_trace(source)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+    return path

@@ -1,0 +1,704 @@
+"""The read side of the event pipeline: a queryable store over
+EventLog JSONL artifacts.
+
+:mod:`repro.obs.events` writes logs; this module reads them back — the
+prerequisite for every downstream consumer (the ``obs`` CLI group, the
+live dashboard, the span exporter, the future sweep service whose wire
+format is exactly this stream).
+
+Three layers:
+
+* **Line level** — :func:`iter_log` streams the events of one log
+  lazily, filtered by kind and simulation-time range.  In tolerant
+  mode (``strict=False``) malformed lines — the truncated final batch a
+  crashed worker leaves behind, a hand-edited log, an empty file — are
+  reported through ``on_issue`` as :class:`LogIssue` records and
+  *skipped*, never raised.  :func:`validate_log` turns the same walk
+  into a schema audit: every event is checked against
+  :data:`~repro.obs.events.EVENT_SCHEMAS` and violations come back with
+  their line number.
+* **Live level** — :func:`follow_events` tails a log that is still
+  being written.  An :class:`~repro.obs.events.EventLog` stages at
+  ``<path>.tmp`` and atomically publishes on close, so the follower
+  watches the staging file first, re-reads only complete lines (a
+  partial tail is left for the next poll), and hands over to the
+  published file once it appears.
+* **Directory level** — :class:`EventStore` resolves a ``.repro-obs``
+  artifact root into per-run streams via the
+  :class:`~repro.obs.manifest.RunManifest` side-band: each manifest
+  names its event log, so the store can enumerate runs, open any run's
+  stream and aggregate across a whole campaign.
+
+On top of the streams, :func:`reduce_series` folds events into
+fixed-width time-series (queue depth, per-cluster busy processors,
+placement fit/no-fit rates, departure throughput) that
+:mod:`repro.analysis.ascii_plot` renders in the terminal.
+
+Everything here is read-only and side-band: the store never writes,
+and deleting every artifact it reads changes nothing about any
+simulation result.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from .events import EVENT_SCHEMA, EVENT_SCHEMAS
+from .gate import obs_root
+from .manifest import RunManifest, load_manifest
+from .timing import wall_clock
+
+__all__ = [
+    "LogIssue",
+    "RunStream",
+    "EventStore",
+    "SeriesPoint",
+    "EventSeries",
+    "iter_log",
+    "validate_log",
+    "follow_events",
+    "reduce_series",
+    "queue_depth_series",
+    "busy_processors_series",
+    "placement_series",
+    "throughput_series",
+    "render_series",
+]
+
+PathLike = Union[str, Path]
+
+#: Keys implicit on every event row (not part of any kind's payload).
+IMPLICIT_KEYS = frozenset({"t", "kind"})
+
+
+@dataclass(frozen=True)
+class LogIssue:
+    """One problem found while reading or validating an event log.
+
+    ``line`` is 1-based (the header is line 1); ``line`` 0 marks
+    file-level problems (missing, empty, unreadable).
+    """
+
+    path: str
+    line: int
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.reason}"
+
+
+def _issue(on_issue: Optional[Callable[[LogIssue], None]],
+           path: PathLike, line: int, reason: str) -> None:
+    if on_issue is not None:
+        on_issue(LogIssue(str(path), line, reason))
+
+
+def _check_header(raw: str, path: PathLike, strict: bool,
+                  on_issue: Optional[Callable[[LogIssue], None]]) -> bool:
+    """Validate the header line; report/raise and return validity."""
+    if not raw:
+        if strict:
+            raise ValueError(f"{path}: empty event log (no header)")
+        _issue(on_issue, path, 0, "empty event log (no header)")
+        return False
+    try:
+        header = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        if strict:
+            raise ValueError(
+                f"{path}: not a JSONL event log ({exc})") from None
+        _issue(on_issue, path, 1, f"unparseable header: {exc}")
+        return False
+    schema = header.get("schema") if isinstance(header, dict) else None
+    if schema != EVENT_SCHEMA:
+        if strict:
+            raise ValueError(
+                f"{path}: schema tag {schema!r} != {EVENT_SCHEMA!r}")
+        _issue(on_issue, path, 1,
+               f"schema tag {schema!r} != {EVENT_SCHEMA!r}")
+        return False
+    return True
+
+
+def _parse_line(raw: str, path: PathLike, line_no: int, strict: bool,
+                on_issue: Optional[Callable[[LogIssue], None]],
+                ) -> list[dict]:
+    """One JSONL line → its events (one batch array or a bare object).
+
+    Tolerant mode reports and skips anything unparseable — the
+    signature failure is the truncated final batch line left by a
+    worker killed mid-flush.
+    """
+    raw = raw.strip()
+    if not raw:
+        return []
+    try:
+        parsed = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        if strict:
+            raise
+        _issue(on_issue, path, line_no,
+               f"truncated or malformed line skipped ({exc})")
+        return []
+    if isinstance(parsed, list):
+        events = [e for e in parsed if isinstance(e, dict)]
+        if len(events) != len(parsed):
+            if strict:
+                raise ValueError(
+                    f"{path}:{line_no}: non-object entry in batch")
+            _issue(on_issue, path, line_no,
+                   "non-object entries in batch skipped")
+        return events
+    if isinstance(parsed, dict):
+        return [parsed]
+    if strict:
+        raise ValueError(f"{path}:{line_no}: expected a JSON object "
+                         f"or array, got {type(parsed).__name__}")
+    _issue(on_issue, path, line_no,
+           f"expected object or array, got {type(parsed).__name__}")
+    return []
+
+
+def _passes(event: dict, kinds: Optional[frozenset],
+            since: Optional[float], until: Optional[float]) -> bool:
+    if kinds is not None and event.get("kind") not in kinds:
+        return False
+    if since is not None or until is not None:
+        t = event.get("t")
+        if not isinstance(t, (int, float)):
+            return False
+        if since is not None and t < since:
+            return False
+        if until is not None and t > until:
+            return False
+    return True
+
+
+def iter_log(path: PathLike, *,
+             kinds: Optional[Iterable[str]] = None,
+             since: Optional[float] = None,
+             until: Optional[float] = None,
+             strict: bool = True,
+             on_issue: Optional[Callable[[LogIssue], None]] = None,
+             ) -> Iterator[dict]:
+    """Lazily yield the events of one log, filtered and validated.
+
+    Parameters
+    ----------
+    kinds:
+        Only yield events of these kinds (``None`` = all).
+    since, until:
+        Inclusive simulation-time bounds on the ``t`` field.
+    strict:
+        When true (the default, matching
+        :func:`~repro.obs.events.read_events`), malformed content
+        raises.  When false, problems are reported to ``on_issue`` and
+        skipped — a truncated final line or an empty file yields the
+        parseable prefix instead of an exception.
+    on_issue:
+        Callback receiving each :class:`LogIssue` in tolerant mode.
+    """
+    kind_set = frozenset(kinds) if kinds is not None else None
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        if strict:
+            raise
+        _issue(on_issue, path, 0, f"unreadable: {exc}")
+        return
+    with fh:
+        if not _check_header(fh.readline(), path, strict, on_issue):
+            return
+        for line_no, raw in enumerate(fh, start=2):
+            for event in _parse_line(raw, path, line_no, strict,
+                                     on_issue):
+                if _passes(event, kind_set, since, until):
+                    yield event
+
+
+def validate_log(path: PathLike) -> tuple[int, list[LogIssue]]:
+    """Audit one log against :data:`EVENT_SCHEMAS`.
+
+    Returns ``(events_checked, issues)``.  Issues cover file-level
+    problems (missing/empty/bad header), malformed lines, unknown
+    event kinds and payload keys missing from (or unknown to) the
+    registered schema — each with the offending line number.
+    """
+    issues: list[LogIssue] = []
+    count = 0
+    kind_set = frozenset(EVENT_SCHEMAS)
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        return 0, [LogIssue(str(path), 0, f"unreadable: {exc}")]
+    with fh:
+        if not _check_header(fh.readline(), path, False, issues.append):
+            return 0, issues
+        for line_no, raw in enumerate(fh, start=2):
+            for event in _parse_line(raw, path, line_no, False,
+                                     issues.append):
+                count += 1
+                kind = event.get("kind")
+                if "t" not in event:
+                    issues.append(LogIssue(str(path), line_no,
+                                           f"event missing 't': "
+                                           f"{event!r}"))
+                if kind not in kind_set:
+                    issues.append(LogIssue(str(path), line_no,
+                                           f"unknown event kind "
+                                           f"{kind!r}"))
+                    continue
+                schema = EVENT_SCHEMAS[kind]
+                keys = frozenset(event) - IMPLICIT_KEYS
+                missing = schema - keys
+                unknown = keys - schema
+                if missing:
+                    issues.append(LogIssue(
+                        str(path), line_no,
+                        f"{kind!r} event missing payload keys "
+                        f"{sorted(missing)}"))
+                if unknown:
+                    issues.append(LogIssue(
+                        str(path), line_no,
+                        f"{kind!r} event carries unregistered keys "
+                        f"{sorted(unknown)}"))
+    return count, issues
+
+
+def _complete_lines(path: Path, offset: int) -> tuple[list[str], int]:
+    """New *complete* lines of ``path`` past ``offset``.
+
+    A trailing chunk without its newline is left unread (the writer is
+    mid-line); the returned offset points just past the last complete
+    line so the next poll resumes there.
+    """
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            data = fh.read()
+    except OSError:
+        return [], offset
+    if not data:
+        return [], offset
+    end = data.rfind(b"\n")
+    if end < 0:
+        return [], offset
+    complete = data[:end + 1]
+    lines = complete.decode("utf-8", errors="replace").splitlines()
+    return lines, offset + len(complete)
+
+
+def follow_events(path: PathLike, *,
+                  kinds: Optional[Iterable[str]] = None,
+                  poll: float = 0.05,
+                  timeout: Optional[float] = None,
+                  on_issue: Optional[Callable[[LogIssue], None]] = None,
+                  _sleep: Optional[Callable[[float], None]] = None,
+                  ) -> Iterator[dict]:
+    """Tail a live event log, yielding events as they are flushed.
+
+    ``path`` is the *published* location; while the writer is active
+    the bytes live at ``<path>.tmp`` (see
+    :class:`~repro.obs.events.EventLog`), so the follower reads the
+    staging file until the published file appears, then drains the
+    remainder and stops.  Only complete lines are consumed — a batch
+    caught mid-write is picked up whole on a later poll.
+
+    The generator terminates when the log is finalized and fully read,
+    or when ``timeout`` wall-clock seconds pass without the log being
+    finalized (``None`` waits forever).  All reading is tolerant:
+    problems go to ``on_issue``.
+    """
+    path = Path(path)
+    staging = path.with_name(path.name + ".tmp")
+    kind_set = frozenset(kinds) if kinds is not None else None
+    sleep = _sleep if _sleep is not None else _default_sleep
+    offset = 0
+    header_seen = False
+    line_no = 0
+    deadline = None if timeout is None else wall_clock() + timeout
+
+    def drain(source: Path) -> Iterator[dict]:
+        nonlocal offset, header_seen, line_no
+        lines, offset = _complete_lines(source, offset)
+        for raw in lines:
+            line_no += 1
+            if not header_seen:
+                header_seen = True
+                _check_header(raw + "\n", source, False, on_issue)
+                continue
+            for event in _parse_line(raw, source, line_no, False,
+                                     on_issue):
+                if _passes(event, kind_set, None, None):
+                    yield event
+
+    while True:
+        if path.exists():
+            # Published: the staging offset stays valid because the
+            # file was renamed, not rewritten — drain what remains and
+            # finish.
+            yield from drain(path)
+            return
+        yield from drain(staging)
+        if deadline is not None and wall_clock() >= deadline:
+            _issue(on_issue, path, line_no,
+                   f"follow timed out after {timeout:g}s without the "
+                   f"log being finalized")
+            return
+        sleep(poll)
+
+
+def _default_sleep(seconds: float) -> None:
+    import time
+
+    time.sleep(seconds)
+
+
+# ---------------------------------------------------------------------------
+# Directory level: a .repro-obs root resolved into per-run streams.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunStream:
+    """One run's manifest plus (when present) its event log."""
+
+    manifest: RunManifest
+    log_path: Optional[Path]
+
+    @property
+    def key(self) -> str:
+        """The run's task key."""
+        return self.manifest.key
+
+    def events(self, **filters: object) -> Iterator[dict]:
+        """The run's event stream (tolerant; empty when no log)."""
+        if self.log_path is None or not self.log_path.exists():
+            return iter(())
+        return iter_log(self.log_path, strict=False, **filters)  # type: ignore[arg-type]
+
+
+class EventStore:
+    """Per-run streams over a ``.repro-obs`` artifact root.
+
+    The store indexes the manifest side-band
+    (``<root>/manifests/<key[:2]>/<key>.json``) rather than globbing
+    event logs directly: manifests carry the policy, seed, cache
+    status, attempts and the log path, so every query can filter on
+    run metadata without touching a single event line.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else obs_root()
+        self.issues: list[LogIssue] = []
+
+    def runs(self, *, policy: Optional[str] = None,
+             cache_status: Optional[str] = None) -> list[RunStream]:
+        """Every run under the root, sorted by task key.
+
+        Unreadable manifests are recorded in :attr:`issues` and
+        skipped — a torn manifest must never hide the healthy runs
+        around it.
+        """
+        out: list[RunStream] = []
+        manifest_dir = self.root / "manifests"
+        for path in sorted(manifest_dir.glob("*/*.json")):
+            try:
+                manifest = load_manifest(path)
+            except (OSError, ValueError, json.JSONDecodeError) as exc:
+                self.issues.append(LogIssue(str(path), 0,
+                                            f"unreadable manifest: "
+                                            f"{exc}"))
+                continue
+            if policy is not None and manifest.policy != policy:
+                continue
+            if cache_status is not None \
+                    and manifest.cache_status != cache_status:
+                continue
+            out.append(RunStream(manifest, self._log_path(manifest)))
+        return out
+
+    def _log_path(self, manifest: RunManifest) -> Optional[Path]:
+        if manifest.event_log:
+            recorded = Path(manifest.event_log)
+            if recorded.exists():
+                return recorded
+            # The obs root may have been relocated (CI artifact
+            # download, rsync); fall back to the canonical layout.
+        key = manifest.key
+        local = self.root / "events" / key[:2] / f"{key}.jsonl"
+        if local.exists():
+            return local
+        return None
+
+    def run(self, key: str) -> Optional[RunStream]:
+        """The run whose task key is (or uniquely starts with) ``key``."""
+        matches = [s for s in self.runs() if s.key.startswith(key)]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def events(self, *, policy: Optional[str] = None,
+               kinds: Optional[Iterable[str]] = None,
+               since: Optional[float] = None,
+               until: Optional[float] = None) -> Iterator[dict]:
+        """All events across every run (run order by task key)."""
+        kind_tuple = tuple(kinds) if kinds is not None else None
+        for stream in self.runs(policy=policy):
+            yield from stream.events(kinds=kind_tuple, since=since,
+                                     until=until,
+                                     on_issue=self.issues.append)
+
+    def __repr__(self) -> str:
+        return f"<EventStore {self.root}>"
+
+
+# ---------------------------------------------------------------------------
+# Streaming reducers: event stream → fixed-width time series.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One window of a reduced series: ``[start, start + width)``."""
+
+    start: float
+    values: dict[str, float]
+
+
+@dataclass
+class EventSeries:
+    """A named, fixed-width-windowed time series."""
+
+    name: str
+    width: float
+    points: list[SeriesPoint] = field(default_factory=list)
+
+    def series(self, column: str) -> tuple[list[float], list[float]]:
+        """(window centers, values) for one column (0.0 when absent)."""
+        xs = [p.start + self.width / 2 for p in self.points]
+        ys = [p.values.get(column, 0.0) for p in self.points]
+        return xs, ys
+
+    def columns(self) -> list[str]:
+        """Every column name appearing in any window, sorted."""
+        names: set[str] = set()
+        for p in self.points:
+            names.update(p.values)
+        return sorted(names)
+
+
+class _Reducer:
+    """Base streaming reducer: folds events into per-window columns.
+
+    Subclasses implement :meth:`fold` (update running state from one
+    event) and :meth:`snapshot` (the column values to record at each
+    window boundary).  Counter-style reducers reset per window;
+    level-style reducers carry state across windows.
+    """
+
+    name = "series"
+
+    def fold(self, event: dict) -> None:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict[str, float]:
+        raise NotImplementedError
+
+    def close_window(self) -> None:
+        """Hook for per-window (rate-style) reducers; default no-op."""
+
+
+class QueueDepthReducer(_Reducer):
+    """Jobs waiting (arrived, not yet started), sampled per window."""
+
+    name = "queue_depth"
+
+    def __init__(self) -> None:
+        self.waiting = 0
+
+    def fold(self, event: dict) -> None:
+        kind = event.get("kind")
+        if kind == "arrival":
+            self.waiting += 1
+        elif kind == "start":
+            self.waiting -= 1
+
+    def snapshot(self) -> dict[str, float]:
+        return {"waiting": float(self.waiting)}
+
+
+class BusyProcessorsReducer(_Reducer):
+    """Per-cluster busy processors, sampled at each window boundary.
+
+    ``start`` events carry the job's ``assignment`` — a sequence of
+    ``(cluster, processors)`` pairs — and ``departure`` events name the
+    job, so the reducer tracks live placements by job index.  Columns
+    are ``cluster<N>`` plus ``total``; with ``capacities`` given the
+    values are normalized to utilizations in [0, 1].
+    """
+
+    name = "busy"
+
+    def __init__(self,
+                 capacities: Optional[Sequence[int]] = None) -> None:
+        self.capacities = tuple(capacities) if capacities else None
+        self.busy: dict[int, int] = {}
+        self._placements: dict[object, list[tuple[int, int]]] = {}
+
+    def fold(self, event: dict) -> None:
+        kind = event.get("kind")
+        if kind == "start":
+            assignment = event.get("assignment") or ()
+            pairs = [(int(c), int(n)) for c, n in assignment]
+            self._placements[event.get("job")] = pairs
+            for cluster, procs in pairs:
+                self.busy[cluster] = self.busy.get(cluster, 0) + procs
+        elif kind == "departure":
+            pairs = self._placements.pop(event.get("job"), [])
+            for cluster, procs in pairs:
+                self.busy[cluster] = self.busy.get(cluster, 0) - procs
+
+    def snapshot(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        total = 0.0
+        for cluster in sorted(self.busy):
+            value = float(self.busy[cluster])
+            total += value
+            if self.capacities and cluster < len(self.capacities):
+                value /= self.capacities[cluster] or 1
+            out[f"cluster{cluster}"] = value
+        if self.capacities:
+            out["total"] = total / (sum(self.capacities) or 1)
+        else:
+            out["total"] = total
+        return out
+
+
+class PlacementReducer(_Reducer):
+    """Placement decisions per window: fits, no-fits, fit rate."""
+
+    name = "placement"
+
+    def __init__(self) -> None:
+        self.fits = 0
+        self.no_fits = 0
+
+    def fold(self, event: dict) -> None:
+        kind = event.get("kind")
+        if kind == "placement_fit":
+            self.fits += 1
+        elif kind == "placement_no_fit":
+            self.no_fits += 1
+
+    def snapshot(self) -> dict[str, float]:
+        attempts = self.fits + self.no_fits
+        rate = self.fits / attempts if attempts else 0.0
+        return {"fit": float(self.fits), "no_fit": float(self.no_fits),
+                "fit_rate": rate}
+
+    def close_window(self) -> None:
+        self.fits = 0
+        self.no_fits = 0
+
+
+class ThroughputReducer(_Reducer):
+    """Departures (completed jobs) per window."""
+
+    name = "throughput"
+
+    def __init__(self) -> None:
+        self.departures = 0
+
+    def fold(self, event: dict) -> None:
+        if event.get("kind") == "departure":
+            self.departures += 1
+
+    def snapshot(self) -> dict[str, float]:
+        return {"departures": float(self.departures)}
+
+    def close_window(self) -> None:
+        self.departures = 0
+
+
+def reduce_series(events: Iterable[dict], reducer: _Reducer,
+                  width: float) -> EventSeries:
+    """Fold an event stream into a fixed-width windowed series.
+
+    Events must be in nondecreasing ``t`` order (EventLogs are — the
+    simulator emits monotonically).  Empty windows between events are
+    materialized so the series has a uniform time axis; events without
+    a numeric ``t`` are ignored.
+    """
+    if width <= 0:
+        raise ValueError(f"window width must be > 0, got {width!r}")
+    out = EventSeries(reducer.name, width)
+    window_start: Optional[float] = None
+    for event in events:
+        t = event.get("t")
+        if not isinstance(t, (int, float)):
+            continue
+        if window_start is None:
+            window_start = (t // width) * width
+        while t >= window_start + width:
+            out.points.append(SeriesPoint(window_start,
+                                          reducer.snapshot()))
+            reducer.close_window()
+            window_start += width
+        reducer.fold(event)
+    if window_start is not None:
+        out.points.append(SeriesPoint(window_start, reducer.snapshot()))
+        reducer.close_window()
+    return out
+
+
+def queue_depth_series(events: Iterable[dict],
+                       width: float) -> EventSeries:
+    """Jobs waiting over simulation time (window width ``width``)."""
+    return reduce_series(events, QueueDepthReducer(), width)
+
+
+def busy_processors_series(events: Iterable[dict], width: float,
+                           capacities: Optional[Sequence[int]] = None,
+                           ) -> EventSeries:
+    """Per-cluster busy processors (or utilization) over time."""
+    return reduce_series(events, BusyProcessorsReducer(capacities),
+                         width)
+
+
+def placement_series(events: Iterable[dict],
+                     width: float) -> EventSeries:
+    """Placement fit/no-fit counts and fit rate per window."""
+    return reduce_series(events, PlacementReducer(), width)
+
+
+def throughput_series(events: Iterable[dict],
+                      width: float) -> EventSeries:
+    """Departures per window."""
+    return reduce_series(events, ThroughputReducer(), width)
+
+
+def render_series(series: EventSeries,
+                  columns: Optional[Sequence[str]] = None,
+                  width: int = 72, height: int = 12,
+                  title: Optional[str] = None) -> str:
+    """Terminal plot of a reduced series via
+    :func:`repro.analysis.ascii_plot.line_plot`."""
+    from repro.analysis.ascii_plot import line_plot
+
+    names = list(columns) if columns is not None else series.columns()
+    data = {name: series.series(name) for name in names}
+    return line_plot(data, width=width, height=height,
+                     x_label="sim time", y_label=series.name,
+                     title=title if title is not None
+                     else f"{series.name} (window {series.width:g})")

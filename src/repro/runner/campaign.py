@@ -38,6 +38,7 @@ from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.obs import progress as _progress
 from repro.obs.registry import REGISTRY
 
 from .cache import ResultCache
@@ -178,6 +179,11 @@ def begin_campaign(kind: str, label: str, tasks: Sequence[RunTask],
         REGISTRY.gauge("runner.resume.completed").set(done)
         REGISTRY.gauge("runner.resume.remaining").set(total - done)
     _write(manifest, sweep_manifest_path(store.root, manifest.campaign))
+    # Heartbeat for span recorders / dashboards: the campaign span
+    # opens here and closes at finish_campaign.  Side-band only — no
+    # subscriber means no work.
+    _progress.notify("campaign-begin", manifest.campaign,
+                     f"{kind} {label} ({len(keys)} tasks)")
     return manifest
 
 
@@ -194,4 +200,6 @@ def finish_campaign(manifest: Optional[SweepManifest],
         return manifest
     done = replace(manifest, status="complete", completed_points=points)
     _write(done, sweep_manifest_path(store.root, done.campaign))
+    _progress.notify("campaign-finish", done.campaign,
+                     f"{done.kind} {done.label} ({points} points)")
     return done

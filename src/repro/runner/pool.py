@@ -239,6 +239,11 @@ class _Execution:
         """
         made = self.attempts.get(i, 0) + 1
         self.attempts[i] = made
+        # Attempt-level diagnostic heartbeat carrying the cause; the
+        # span recorder turns it into a failed attempt span.  The
+        # progress display ignores non-task kinds.
+        _progress.notify("attempt-failed", self.keys[i],
+                         f"timeout: {cause}" if timeout else cause)
         error_cls = TaskTimeoutError if timeout else TaskFailedError
         if made >= self.policy.max_attempts:
             _progress.notify("fail", self.keys[i],

@@ -2,7 +2,7 @@
 
 import math
 
-from repro.analysis import bar_chart, line_plot
+from repro.analysis import bar_chart, line_plot, sparkline
 
 
 class TestLinePlot:
@@ -61,3 +61,38 @@ class TestBarChart:
     def test_sorted_keys(self):
         out = bar_chart({"b": 1, "a": 2})
         assert out.index("a |") < out.index("b |")
+
+
+class TestSparkline:
+    def test_monotone_ramp_uses_full_scale(self):
+        out = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert out == "▁▂▃▄▅▆▇█"
+
+    def test_width_keeps_most_recent(self):
+        out = sparkline([0, 0, 0, 0, 1, 8], width=2)
+        assert len(out) == 2
+        assert out[-1] == "█"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_values_render_mid_level(self):
+        out = sparkline([3.0, 3.0, 3.0])
+        assert len(set(out)) == 1
+        assert out[0] not in (" ",)
+
+    def test_nan_renders_as_space(self):
+        out = sparkline([1.0, math.nan, 2.0])
+        assert out[1] == " "
+        assert sparkline([math.nan, math.nan]) == "  "
+
+    def test_pinned_range(self):
+        # With lo/hi pinned, identical values compare across calls.
+        low = sparkline([1.0], lo=0.0, hi=10.0)
+        high = sparkline([10.0], lo=0.0, hi=10.0)
+        assert low == "▁"
+        assert high == "█"
+
+    def test_ascii_only(self):
+        out = sparkline([1, 8], ascii_only=True)
+        assert all(ord(ch) < 128 for ch in out)

@@ -1,0 +1,168 @@
+"""The terminal dashboard: data collection, rendering, refresh loop."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs.dash import collect, render, run_dashboard
+from repro.obs.registry import MetricsRegistry
+
+from .test_store import seed_run
+
+
+class TestCollect:
+    def test_empty_root(self, tmp_path):
+        data = collect(tmp_path / "missing")
+        assert data.runs == 0
+        assert data.policies == {}
+        assert data.campaigns == []
+
+    def test_counts_and_policies(self, tmp_path):
+        root = tmp_path / "obs"
+        seed_run(root, 0.35, "LS")
+        seed_run(root, 0.55, "LS")
+        seed_run(root, 0.35, "GS", cache_status="hit")
+        data = collect(root)
+        assert data.runs == 3
+        assert data.cache_counts == {"computed": 2, "hit": 1}
+        assert data.policies["LS"]["tasks"] == 2
+        # Each seeded run reports 0.25s wall-clock.
+        assert data.policies["LS"]["throughput"] == \
+            2 / data.policies["LS"]["wall_clock_s"]
+        assert len(data.latencies) == 3
+
+    def test_retry_counters_from_manifests(self, tmp_path):
+        root = tmp_path / "obs"
+        seed_run(root, 0.35, attempts=3)
+        seed_run(root, 0.55)
+        data = collect(root)
+        assert data.tasks_retried == 1
+        assert data.extra_attempts == 2
+
+    def test_campaign_progress_judged_by_manifests(self, tmp_path):
+        from repro.runner import ResultCache, RunTask
+        from repro.runner.campaign import begin_campaign
+
+        from .conftest import SERVICE, SIZES, tiny_config
+
+        root = tmp_path / "obs"
+        seed_run(root, 0.35)  # only the first grid point has run
+        cache = ResultCache(tmp_path / "cache")
+        config = tiny_config()
+        tasks = [RunTask(config, SIZES, SERVICE, u)
+                 for u in (0.35, 0.55)]
+        begin_campaign("sweep", "LS", tasks, cache)
+        data = collect(root, cache.root)
+        (row,) = data.campaigns
+        assert (row.done, row.total) == (1, 2)
+        assert row.kind == "sweep"
+        assert row.status == "running"
+
+    def test_torn_sweep_manifest_skipped(self, tmp_path):
+        root = tmp_path / "obs"
+        seed_run(root)
+        sweeps = tmp_path / "cache" / "sweeps"
+        sweeps.mkdir(parents=True)
+        (sweeps / "torn.json").write_text('{"task_keys": [')
+        data = collect(root, tmp_path / "cache")
+        assert data.campaigns == []
+
+    def test_registry_counters_surfaced(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("runner.retries").inc(4)
+        registry.counter("runner.timeouts").inc(1)
+        registry.counter("unrelated.counter").inc(9)
+        data = collect(tmp_path / "missing", registry=registry)
+        assert data.counters == {"runner.retries": 4,
+                                 "runner.timeouts": 1}
+
+
+class TestRender:
+    def test_empty_frame_mentions_obs_gate(self, tmp_path):
+        text = render(collect(tmp_path / "missing"))
+        assert "REPRO_OBS" in text
+
+    def test_full_frame_sections(self, tmp_path):
+        root = tmp_path / "obs"
+        seed_run(root, 0.35, "LS", attempts=2)
+        seed_run(root, 0.55, "GS")
+        data = collect(root)
+        text = render(data)
+        assert "runs 2" in text
+        assert "retried 1 (+1 attempts)" in text
+        assert "per-policy throughput" in text
+        assert "task wall-clock" in text
+
+    def test_ascii_only_sparkline(self, tmp_path):
+        root = tmp_path / "obs"
+        seed_run(root)
+        text = render(collect(root), ascii_only=True)
+        assert "▁" not in text and "█" not in text
+
+    def test_truncated_log_does_not_break_rendering(self, tmp_path):
+        root = tmp_path / "obs"
+        key = seed_run(root)
+        log = root / "events" / key[:2] / f"{key}.jsonl"
+        log.write_bytes(log.read_bytes()[:-15])
+        assert "runs 1" in render(collect(root))
+
+
+class TestRunDashboard:
+    def test_non_tty_renders_exactly_one_frame(self, tmp_path):
+        root = tmp_path / "obs"
+        seed_run(root)
+        out = io.StringIO()
+        frames = run_dashboard(root, stream=out,
+                               _sleep=lambda s: None)
+        assert frames == 1
+        assert "\x1b[2J" not in out.getvalue()
+        assert "runs 1" in out.getvalue()
+
+    def test_tty_refreshes_until_iterations(self, tmp_path):
+        root = tmp_path / "obs"
+        seed_run(root)
+
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        out = Tty()
+        sleeps: list[float] = []
+        frames = run_dashboard(root, interval=0.5, iterations=3,
+                               stream=out, _sleep=sleeps.append)
+        assert frames == 3
+        assert sleeps == [0.5, 0.5]
+        assert out.getvalue().count("\x1b[2J\x1b[H") == 3
+
+    def test_keyboard_interrupt_returns_frame_count(self, tmp_path):
+        root = tmp_path / "obs"
+        seed_run(root)
+
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        def boom(seconds):
+            raise KeyboardInterrupt
+
+        frames = run_dashboard(root, stream=Tty(), _sleep=boom)
+        assert frames == 1
+
+    def test_dashboard_sees_new_runs_between_frames(self, tmp_path):
+        """The poll loop re-collects: manifests written by another
+        process appear on the next frame."""
+        root = tmp_path / "obs"
+        seed_run(root, 0.35)
+
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        def add_run(seconds):
+            seed_run(root, 0.55)
+
+        out = Tty()
+        run_dashboard(root, iterations=2, stream=out, _sleep=add_run)
+        text = out.getvalue()
+        assert "runs 1" in text
+        assert "runs 2" in text

@@ -120,6 +120,63 @@ class TestArtifactsEmitted:
             assert "manifest" not in entry
 
 
+@pytest.mark.parametrize("workers", [1, 4])
+class TestReadSideStaysSideBand:
+    """The read-side consumers (span recorder, dashboard) observe a
+    campaign without perturbing a single result byte."""
+
+    def test_payloads_identical_with_span_recorder(self, workers,
+                                                   monkeypatch,
+                                                   tmp_path):
+        from repro.obs.spans import SpanRecorder
+
+        monkeypatch.delenv(OBS_ENV, raising=False)
+        plain = sweep_payload(run_sweep(workers=workers))
+        monkeypatch.setenv(OBS_ENV, "1")
+        monkeypatch.setenv(OBS_DIR_ENV, str(tmp_path / "obs"))
+        with SpanRecorder() as recorder:
+            observed = sweep_payload(run_sweep(workers=workers))
+        assert observed == plain
+        assert recorder.spans, "recorder saw no heartbeats"
+
+    def test_payloads_identical_with_dashboard_collecting(
+            self, workers, monkeypatch, tmp_path):
+        """A dashboard polling the artifact root mid-campaign (here:
+        on every heartbeat, far more often than any real refresh
+        loop) changes nothing."""
+        from repro.obs import progress
+        from repro.obs.dash import collect, render
+
+        monkeypatch.delenv(OBS_ENV, raising=False)
+        plain = sweep_payload(run_sweep(workers=workers))
+        root = tmp_path / "obs"
+        monkeypatch.setenv(OBS_ENV, "1")
+        monkeypatch.setenv(OBS_DIR_ENV, str(root))
+        frames: list[str] = []
+
+        def refresh(kind, key, description):
+            frames.append(render(collect(root)))
+
+        hook = progress.subscribe(refresh)
+        try:
+            observed = sweep_payload(run_sweep(workers=workers))
+        finally:
+            progress.unsubscribe(hook)
+        assert observed == plain
+        assert frames, "dashboard never refreshed"
+
+    def test_task_keys_unaffected_by_subscribers(self, workers,
+                                                 monkeypatch):
+        from repro.obs import progress
+        from repro.obs.spans import SpanRecorder
+
+        monkeypatch.delenv(OBS_ENV, raising=False)
+        before = grid_keys()
+        with SpanRecorder():
+            assert grid_keys() == before
+        assert progress._subscribers == []
+
+
 class TestRegistryAndHits:
     def test_registry_snapshot_populated(self, obs_env,
                                          fresh_registry):

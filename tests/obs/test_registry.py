@@ -40,7 +40,67 @@ class TestInstruments:
     def test_empty_histogram_summary_is_null(self):
         s = Histogram("wall").summary()
         assert s == {"count": 0, "sum": 0.0, "min": None, "max": None,
-                     "mean": None}
+                     "mean": None, "p50": None, "p90": None,
+                     "p99": None}
+
+
+class TestHistogramQuantiles:
+    def test_single_observation_all_quantiles_collapse(self):
+        h = Histogram("wall")
+        h.observe(3.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(3.0, rel=0.05)
+
+    def test_estimates_within_bucket_tolerance(self):
+        h = Histogram("wall")
+        for v in range(1, 1001):
+            h.observe(float(v))
+        # Geometric buckets grow by 10%, so estimates land within
+        # ±5% of the true sample quantile.
+        assert h.quantile(0.5) == pytest.approx(500.0, rel=0.06)
+        assert h.quantile(0.9) == pytest.approx(900.0, rel=0.06)
+        assert h.quantile(0.99) == pytest.approx(990.0, rel=0.06)
+
+    def test_estimates_clamped_into_observed_range(self):
+        h = Histogram("wall")
+        h.observe(1.0)
+        h.observe(100.0)
+        assert h.quantile(0.0) >= 1.0
+        assert h.quantile(1.0) <= 100.0
+
+    def test_non_positive_values_use_underflow_bucket(self):
+        h = Histogram("delta")
+        h.observe(0.0)
+        h.observe(-5.0)
+        h.observe(10.0)
+        assert h.quantile(0.5) == -5.0  # the observed minimum
+        assert h.quantile(1.0) == pytest.approx(10.0, rel=0.06)
+
+    def test_summary_carries_quantiles(self):
+        h = Histogram("wall")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["p50"] <= s["p90"] <= s["p99"]
+        assert 1.0 <= s["p50"] <= 4.0
+
+    def test_out_of_range_q_rejected(self):
+        h = Histogram("wall")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_empty_quantile_is_none(self):
+        assert Histogram("wall").quantile(0.5) is None
+
+    def test_bounded_memory(self):
+        h = Histogram("wall")
+        for v in range(1, 100_001):
+            h.observe(v / 100.0)
+        # 1e-2 .. 1e3 spans ~12 decades of factor-1.1 buckets.
+        assert len(h._buckets) < 200
 
 
 class TestRegistry:

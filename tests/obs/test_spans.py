@@ -1,0 +1,206 @@
+"""Span assembly (live and post-hoc) and Chrome trace export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import progress
+from repro.obs.spans import (
+    SpanRecorder,
+    export_chrome_trace,
+    spans_from_obs,
+    to_chrome_trace,
+)
+
+from .test_store import seed_run
+
+KEY_A = "aa" * 32
+KEY_B = "bb" * 32
+
+
+def drive(recorder, heartbeats):
+    for kind, key, description in heartbeats:
+        recorder.on_event(kind, key, description)
+
+
+class TestSpanRecorder:
+    def test_clean_task_lifecycle(self):
+        recorder = SpanRecorder()
+        drive(recorder, [
+            ("campaign-begin", "c1", "sweep LS (2 tasks)"),
+            ("start", KEY_A, "LS util=0.35"),
+            ("finish", KEY_A, "LS util=0.35"),
+            ("start", KEY_B, "LS util=0.55"),
+            ("finish", KEY_B, "LS util=0.55"),
+            ("campaign-finish", "c1", "sweep LS (2 points)"),
+        ])
+        by_cat = {}
+        for span in recorder.spans:
+            by_cat.setdefault(span.category, []).append(span)
+        assert len(by_cat["campaign"]) == 1
+        assert len(by_cat["task"]) == 2
+        assert len(by_cat["attempt"]) == 2
+        assert all(s.end is not None for s in recorder.spans)
+        assert all(s.status == "ok" for s in recorder.spans)
+        # Tasks get distinct lanes; the campaign has its own.
+        assert len({s.track for s in recorder.spans}) == 3
+
+    def test_retry_produces_one_span_per_attempt(self):
+        recorder = SpanRecorder()
+        drive(recorder, [
+            ("start", KEY_A, "LS util=0.35"),
+            ("attempt-failed", KEY_A, "worker crashed (exit -9)"),
+            ("retry", KEY_A, "LS util=0.35"),
+            ("attempt-failed", KEY_A, "timeout: exceeded 5s"),
+            ("retry", KEY_A, "LS util=0.35"),
+            ("finish", KEY_A, "LS util=0.35"),
+        ])
+        attempts = [s for s in recorder.spans
+                    if s.category == "attempt"]
+        assert [s.name for s in attempts] == \
+            ["attempt 1", "attempt 2", "attempt 3"]
+        assert [s.status for s in attempts] == \
+            ["failed", "failed", "ok"]
+        assert attempts[0].args["cause"] == "worker crashed (exit -9)"
+        assert attempts[1].args["cause"] == "timeout: exceeded 5s"
+        (task,) = [s for s in recorder.spans if s.category == "task"]
+        assert task.status == "ok"
+        assert task.args["attempts"] == 3
+
+    def test_task_exhausting_retries_fails(self):
+        recorder = SpanRecorder()
+        drive(recorder, [
+            ("start", KEY_A, "LS util=0.35"),
+            ("attempt-failed", KEY_A, "boom"),
+            ("fail", KEY_A, "LS util=0.35"),
+        ])
+        (task,) = [s for s in recorder.spans if s.category == "task"]
+        assert task.status == "failed"
+        (attempt,) = [s for s in recorder.spans
+                      if s.category == "attempt"]
+        assert attempt.status == "failed"
+
+    def test_cache_hit_becomes_marker(self):
+        recorder = SpanRecorder()
+        drive(recorder, [("hit", KEY_A, "LS util=0.35")])
+        assert recorder.spans == []
+        (marker,) = recorder.markers
+        assert marker.name == "cache hit"
+
+    def test_detach_closes_open_spans_as_open(self):
+        recorder = SpanRecorder()
+        recorder.attach()
+        try:
+            progress.notify("start", KEY_A, "LS util=0.35")
+        finally:
+            recorder.detach()
+        assert all(s.end is not None for s in recorder.spans)
+        assert {s.status for s in recorder.spans} == {"open"}
+        # Detached: further heartbeats are not recorded.
+        before = len(recorder.spans)
+        progress.notify("start", KEY_B, "LS util=0.55")
+        assert len(recorder.spans) == before
+
+    def test_context_manager_subscribes(self):
+        with SpanRecorder() as recorder:
+            progress.notify("start", KEY_A, "t")
+            progress.notify("finish", KEY_A, "t")
+        assert len(recorder.spans) == 2
+
+
+class TestSpansFromObs:
+    def test_task_spans_with_attempts_and_hits(self, tmp_path):
+        root = tmp_path / "obs"
+        seed_run(root, 0.35, attempts=3)
+        seed_run(root, 0.55, cache_status="hit")
+        spans, markers = spans_from_obs(root)
+        assert len(spans) == 2
+        assert all(s.category == "task" for s in spans)
+        assert all(s.duration == 0.25 for s in spans)
+        names = sorted(m.name for m in markers)
+        assert names == ["cache hit", "failed attempt 1",
+                         "failed attempt 2"]
+
+    def test_campaign_span_from_sweep_manifest(self, tmp_path):
+        from repro.runner import ResultCache
+        from repro.runner.campaign import begin_campaign
+        from repro.runner.task import RunTask
+
+        from .conftest import SERVICE, SIZES, tiny_config
+
+        root = tmp_path / "obs"
+        seed_run(root, 0.35)
+        seed_run(root, 0.55)
+        cache = ResultCache(tmp_path / "cache")
+        config = tiny_config()
+        tasks = [RunTask(config, SIZES, SERVICE, u)
+                 for u in (0.35, 0.55)]
+        begin_campaign("sweep", "LS", tasks, cache)
+        spans, _ = spans_from_obs(root, cache.root)
+        campaigns = [s for s in spans if s.category == "campaign"]
+        assert len(campaigns) == 1
+        assert campaigns[0].name == "sweep LS"
+        tasks_spans = [s for s in spans if s.category == "task"]
+        assert campaigns[0].start <= min(s.start for s in tasks_spans)
+        assert campaigns[0].end >= max(s.end for s in tasks_spans)
+
+    def test_empty_root(self, tmp_path):
+        spans, markers = spans_from_obs(tmp_path / "missing")
+        assert spans == [] and markers == []
+
+
+class TestChromeTrace:
+    def recorded(self):
+        recorder = SpanRecorder()
+        drive(recorder, [
+            ("campaign-begin", "c1", "sweep LS (1 tasks)"),
+            ("start", KEY_A, "LS util=0.35"),
+            ("attempt-failed", KEY_A, "crash"),
+            ("retry", KEY_A, "LS util=0.35"),
+            ("finish", KEY_A, "LS util=0.35"),
+            ("campaign-finish", "c1", "sweep LS (1 points)"),
+        ])
+        return recorder
+
+    def test_structure(self):
+        payload = to_chrome_trace(self.recorded())
+        assert set(payload) == {"traceEvents", "displayTimeUnit"}
+        events = payload["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X"}
+        complete = [e for e in events if e["ph"] == "X"]
+        # campaign + task + 2 attempts
+        assert len(complete) == 4
+        assert all(e["dur"] >= 1.0 for e in complete)
+        assert all(e["ts"] >= 0.0 for e in complete)
+
+    def test_campaign_pinned_to_lane_zero(self):
+        payload = to_chrome_trace(self.recorded())
+        (campaign,) = [e for e in payload["traceEvents"]
+                       if e.get("cat") == "campaign"]
+        assert campaign["tid"] == 0
+        thread_names = {e["tid"]: e["args"]["name"]
+                        for e in payload["traceEvents"]
+                        if e["ph"] == "M"
+                        and e["name"] == "thread_name"}
+        assert thread_names[0] == "campaign"
+
+    def test_failed_attempt_carries_status_and_cause(self):
+        payload = to_chrome_trace(self.recorded())
+        failed = [e for e in payload["traceEvents"]
+                  if e.get("args", {}).get("status") == "failed"]
+        assert len(failed) == 1
+        assert failed[0]["args"]["cause"] == "crash"
+
+    def test_export_round_trips_as_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        export_chrome_trace(self.recorded(), out)
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+
+    def test_plain_tuple_source(self, tmp_path):
+        root = tmp_path / "obs"
+        seed_run(root)
+        source = spans_from_obs(root)
+        payload = to_chrome_trace(source)
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])

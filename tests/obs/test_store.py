@@ -1,0 +1,364 @@
+"""The event store: tolerant log reading, validation, live
+following, directory resolution and streaming reducers."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.events import EVENT_SCHEMA, EventLog
+from repro.obs.manifest import for_task, manifest_path, write_manifest
+from repro.obs.store import (
+    BusyProcessorsReducer,
+    EventStore,
+    LogIssue,
+    follow_events,
+    iter_log,
+    placement_series,
+    queue_depth_series,
+    reduce_series,
+    render_series,
+    throughput_series,
+    validate_log,
+)
+from repro.runner import RunTask, task_key
+
+from .conftest import SERVICE, SIZES, tiny_config
+
+
+def write_log(path, events, meta=None):
+    with EventLog(path, meta=meta) as log:
+        for t, kind, payload in events:
+            log.emit(t, kind, **payload)
+    return path
+
+
+ARRIVALS = [
+    (0.0, "arrival", {"job": 0, "size": 4, "queue": 0}),
+    (1.0, "start", {"job": 0, "assignment": [[0, 4]]}),
+    (5.0, "arrival", {"job": 1, "size": 8, "queue": 1}),
+    (6.0, "start", {"job": 1, "assignment": [[1, 8]]}),
+    (9.0, "departure", {"job": 0}),
+    (12.0, "departure", {"job": 1}),
+]
+
+
+class TestIterLog:
+    def test_yields_all_events(self, tmp_path):
+        path = write_log(tmp_path / "a.jsonl", ARRIVALS)
+        events = list(iter_log(path))
+        assert len(events) == len(ARRIVALS)
+        assert events[0] == {"t": 0.0, "kind": "arrival", "job": 0,
+                             "size": 4, "queue": 0}
+
+    def test_kind_filter(self, tmp_path):
+        path = write_log(tmp_path / "a.jsonl", ARRIVALS)
+        kinds = [e["kind"] for e in iter_log(path, kinds=["arrival"])]
+        assert kinds == ["arrival", "arrival"]
+
+    def test_time_range_filter(self, tmp_path):
+        path = write_log(tmp_path / "a.jsonl", ARRIVALS)
+        times = [e["t"] for e in iter_log(path, since=1.0, until=9.0)]
+        assert times == [1.0, 5.0, 6.0, 9.0]
+
+    def test_strict_raises_on_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            list(iter_log(tmp_path / "nope.jsonl"))
+
+    def test_strict_raises_on_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            list(iter_log(path))
+
+    def test_tolerant_empty_file_reports_and_yields_nothing(
+            self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        issues: list[LogIssue] = []
+        events = list(iter_log(path, strict=False,
+                               on_issue=issues.append))
+        assert events == []
+        assert len(issues) == 1
+        assert issues[0].line == 0
+
+    def test_tolerant_truncated_final_batch(self, tmp_path):
+        path = write_log(tmp_path / "a.jsonl", ARRIVALS)
+        # Simulate a worker killed mid-flush: chop the final line.
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-20])
+        issues: list[LogIssue] = []
+        events = list(iter_log(path, strict=False,
+                               on_issue=issues.append))
+        # The parseable prefix (possibly empty) comes back, the rest
+        # is one reported issue — never an exception.
+        assert len(events) < len(ARRIVALS)
+        assert len(issues) == 1
+        assert "truncated" in issues[0].reason
+
+    def test_tolerant_bad_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "other/1"}\n')
+        issues: list[LogIssue] = []
+        assert list(iter_log(path, strict=False,
+                             on_issue=issues.append)) == []
+        assert issues[0].line == 1
+
+
+class TestValidateLog:
+    def test_clean_log(self, tmp_path):
+        path = write_log(tmp_path / "a.jsonl", ARRIVALS)
+        count, issues = validate_log(path)
+        assert count == len(ARRIVALS)
+        assert issues == []
+
+    def test_unknown_kind_flagged_with_line(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_text(
+            json.dumps({"schema": EVENT_SCHEMA}) + "\n"
+            + json.dumps([{"t": 1.0, "kind": "teleport", "job": 0}])
+            + "\n")
+        count, issues = validate_log(path)
+        assert count == 1
+        assert len(issues) == 1
+        assert issues[0].line == 2
+        assert "teleport" in issues[0].reason
+
+    def test_missing_and_unknown_payload_keys(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_text(
+            json.dumps({"schema": EVENT_SCHEMA}) + "\n"
+            + json.dumps([{"t": 1.0, "kind": "arrival", "job": 0,
+                           "color": "red"}]) + "\n")
+        _, issues = validate_log(path)
+        reasons = " ".join(i.reason for i in issues)
+        assert "missing payload keys" in reasons
+        assert "unregistered keys" in reasons
+
+    def test_missing_t_flagged(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_text(
+            json.dumps({"schema": EVENT_SCHEMA}) + "\n"
+            + json.dumps([{"kind": "departure", "job": 0}]) + "\n")
+        _, issues = validate_log(path)
+        assert any("missing 't'" in i.reason for i in issues)
+
+    def test_missing_file(self, tmp_path):
+        count, issues = validate_log(tmp_path / "nope.jsonl")
+        assert count == 0
+        assert issues and issues[0].line == 0
+
+    def test_real_worker_log_is_clean(self, tmp_path, obs_env):
+        from repro.analysis.sweeps import sweep
+
+        sweep("LS", tiny_config(), SIZES, SERVICE, (0.35,))
+        logs = sorted(obs_env.glob("events/*/*.jsonl"))
+        assert logs
+        count, issues = validate_log(logs[0])
+        assert count > 0
+        assert issues == []
+
+
+class TestFollowEvents:
+    def test_follow_live_log_across_finalize(self, tmp_path):
+        """Events flushed while following arrive; the generator stops
+        once the log is finalized and fully drained."""
+        path = tmp_path / "live.jsonl"
+        log = EventLog(path, batch_size=1)
+        seen: list[dict] = []
+        done = threading.Event()
+
+        def consume():
+            for event in follow_events(path, poll=0.005, timeout=10.0):
+                seen.append(event)
+            done.set()
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        try:
+            for t, kind, payload in ARRIVALS:
+                log.emit(t, kind, **payload)
+        finally:
+            log.close()
+        assert done.wait(10.0), "follower never finished"
+        thread.join(5.0)
+        assert [e["kind"] for e in seen] == [k for _, k, _ in ARRIVALS]
+
+    def test_follow_timeout_on_abandoned_log(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        log = EventLog(path, batch_size=1)
+        log.emit(1.0, "departure", job=0)
+        log.flush()
+        issues: list[LogIssue] = []
+        clock = iter(range(100))
+
+        events = list(follow_events(
+            path, poll=0.0, timeout=0.0, on_issue=issues.append,
+            _sleep=lambda s: next(clock)))
+        log.abandon()
+        assert [e["kind"] for e in events] == ["departure"]
+        assert any("timed out" in i.reason for i in issues)
+
+    def test_follow_finalized_log(self, tmp_path):
+        path = write_log(tmp_path / "a.jsonl", ARRIVALS)
+        events = list(follow_events(path, timeout=1.0))
+        assert len(events) == len(ARRIVALS)
+
+    def test_follow_kind_filter(self, tmp_path):
+        path = write_log(tmp_path / "a.jsonl", ARRIVALS)
+        events = list(follow_events(path, kinds=["departure"],
+                                    timeout=1.0))
+        assert [e["kind"] for e in events] == ["departure", "departure"]
+
+
+def seed_run(root, util=0.35, policy="LS", attempts=1,
+             cache_status="computed", events=ARRIVALS):
+    """Write one synthetic manifest (+ log) the way a worker would."""
+    config = tiny_config(policy)
+    task = RunTask(config, SIZES, SERVICE, util)
+    key = task_key(task)
+    log_path = root / "events" / key[:2] / f"{key}.jsonl"
+    if events is not None:
+        log_path.parent.mkdir(parents=True, exist_ok=True)
+        write_log(log_path, events)
+    manifest = for_task(task, key, cache_status=cache_status,
+                        wall_clock_s=0.25,
+                        event_log=str(log_path) if events is not None
+                        else None)
+    if attempts > 1:
+        from dataclasses import replace
+
+        manifest = replace(manifest, attempts=attempts)
+    write_manifest(manifest, manifest_path(root, key))
+    return key
+
+
+class TestEventStore:
+    def test_runs_and_filters(self, tmp_path):
+        root = tmp_path / "obs"
+        a = seed_run(root, 0.35, "LS")
+        b = seed_run(root, 0.55, "GS")
+        store = EventStore(root)
+        assert {s.key for s in store.runs()} == {a, b}
+        assert [s.key for s in store.runs(policy="GS")] == [b]
+        assert store.runs(cache_status="hit") == []
+
+    def test_run_by_prefix(self, tmp_path):
+        root = tmp_path / "obs"
+        key = seed_run(root)
+        store = EventStore(root)
+        assert store.run(key[:12]).key == key
+        assert store.run("ffff") is None
+
+    def test_torn_manifest_skipped_and_reported(self, tmp_path):
+        root = tmp_path / "obs"
+        seed_run(root)
+        torn = root / "manifests" / "zz" / "zz123.json"
+        torn.parent.mkdir(parents=True, exist_ok=True)
+        torn.write_text('{"schema": "repro.obs/manifest/1", "key"')
+        store = EventStore(root)
+        assert len(store.runs()) == 1
+        assert len(store.issues) == 1
+
+    def test_events_across_runs(self, tmp_path):
+        root = tmp_path / "obs"
+        seed_run(root, 0.35)
+        seed_run(root, 0.55)
+        store = EventStore(root)
+        events = list(store.events(kinds=["departure"]))
+        assert len(events) == 4
+
+    def test_missing_log_yields_empty_stream(self, tmp_path):
+        root = tmp_path / "obs"
+        key = seed_run(root, events=None)
+        store = EventStore(root)
+        (stream,) = store.runs()
+        assert stream.key == key
+        assert list(stream.events()) == []
+
+    def test_relocated_root_falls_back_to_layout(self, tmp_path):
+        """A downloaded/rsynced obs root has stale absolute log paths
+        in its manifests; the store finds the logs anyway."""
+        import shutil
+
+        original = tmp_path / "obs"
+        seed_run(original)
+        moved = tmp_path / "elsewhere"
+        shutil.move(str(original), str(moved))
+        store = EventStore(moved)
+        (stream,) = store.runs()
+        assert stream.log_path is not None
+        assert list(stream.events())
+
+
+class TestReducers:
+    def test_queue_depth(self):
+        events = [
+            {"t": 0.0, "kind": "arrival", "job": 0, "size": 2,
+             "queue": 0},
+            {"t": 2.0, "kind": "arrival", "job": 1, "size": 2,
+             "queue": 0},
+            {"t": 3.0, "kind": "start", "job": 0, "assignment": []},
+            {"t": 7.0, "kind": "arrival", "job": 2, "size": 2,
+             "queue": 1},
+            {"t": 12.0, "kind": "start", "job": 1, "assignment": []},
+            {"t": 13.0, "kind": "start", "job": 2, "assignment": []},
+        ]
+        series = queue_depth_series(iter(events), width=5.0)
+        assert [p.values["waiting"] for p in series.points] == \
+            [1.0, 2.0, 0.0]
+
+    def test_busy_processors_normalized(self):
+        reducer = BusyProcessorsReducer(capacities=(8, 8))
+        series = reduce_series(iter(ARRIVALS_AS_DICTS), reducer, 5.0)
+        totals = [p.values["total"] for p in series.points]
+        # Window [0,5): job 0 holds 4 procs on cluster 0.  Window
+        # [5,10): job 0 departed (t=9), job 1 holds 8 on cluster 1.
+        assert totals[0] == pytest.approx(4 / 16)
+        assert totals[1] == pytest.approx(8 / 16)
+        assert series.points[1].values["cluster1"] == \
+            pytest.approx(1.0)
+
+    def test_placement_rate_resets_per_window(self):
+        events = [
+            {"t": 0.0, "kind": "placement_fit", "job": 0, "queue": 0,
+             "assignment": []},
+            {"t": 1.0, "kind": "placement_no_fit", "job": 1,
+             "queue": 0},
+            {"t": 11.0, "kind": "placement_fit", "job": 1, "queue": 0,
+             "assignment": []},
+        ]
+        series = placement_series(iter(events), width=10.0)
+        assert series.points[0].values["fit_rate"] == 0.5
+        assert series.points[1].values == {
+            "fit": 1.0, "no_fit": 0.0, "fit_rate": 1.0}
+
+    def test_throughput_counts_departures_per_window(self):
+        series = throughput_series(iter(ARRIVALS_AS_DICTS), width=10.0)
+        assert [p.values["departures"] for p in series.points] == \
+            [1.0, 1.0]
+
+    def test_empty_windows_materialized(self):
+        events = [{"t": 0.0, "kind": "departure", "job": 0},
+                  {"t": 35.0, "kind": "departure", "job": 1}]
+        series = throughput_series(iter(events), width=10.0)
+        assert [p.start for p in series.points] == \
+            [0.0, 10.0, 20.0, 30.0]
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_series(iter(()), BusyProcessorsReducer(), 0.0)
+
+    def test_series_columns_and_render(self):
+        series = queue_depth_series(iter(ARRIVALS_AS_DICTS), width=5.0)
+        assert series.columns() == ["waiting"]
+        text = render_series(series)
+        assert "queue_depth" in text
+        assert "sim time" in text
+
+
+ARRIVALS_AS_DICTS = [
+    {"t": t, "kind": kind, **payload} for t, kind, payload in ARRIVALS
+]

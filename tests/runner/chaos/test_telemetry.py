@@ -1,0 +1,115 @@
+"""Acceptance: a faulted campaign round-trips through the telemetry
+read side.
+
+One crash-and-retry campaign, then every consumer is pointed at its
+artifacts: the dashboard snapshot must show the true progress and
+retry counters, the exported Chrome trace must contain a span for
+*every* attempt (the failed one included), and every published event
+log must validate cleanly against the event schemas.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.sweeps import sweep, sweep_tasks
+from repro.obs.dash import collect, render
+from repro.obs.gate import OBS_DIR_ENV, OBS_ENV
+from repro.obs.spans import (
+    SpanRecorder,
+    export_chrome_trace,
+    spans_from_obs,
+    to_chrome_trace,
+)
+from repro.obs.store import EventStore, validate_log
+from repro.runner import ResultCache, RetryPolicy, task_keys
+from repro.runner.faults import Fault, plan_fault
+
+from ..conftest import SERVICE, SIZES, small_config
+
+GRID = (0.35, 0.55)
+FAST = dict(backoff_base=0.001, backoff_cap=0.01)
+
+
+@pytest.fixture
+def faulted_campaign(fault_plan, monkeypatch, tmp_path):
+    """Run one sweep where the first task's worker crashes once.
+
+    Returns ``(obs_root, cache, recorder, keys)`` after the campaign
+    survived via retry.
+    """
+    obs_root = tmp_path / "obs"
+    monkeypatch.setenv(OBS_ENV, "1")
+    monkeypatch.setenv(OBS_DIR_ENV, str(obs_root))
+    config = small_config("LS")
+    keys = task_keys(sweep_tasks(config, SIZES, SERVICE, GRID))
+    plan_fault(fault_plan, Fault(key=keys[0], kind="crash"))
+    cache = ResultCache(tmp_path / "cache")
+    recorder = SpanRecorder()
+    with recorder:
+        sweep("LS", config, SIZES, SERVICE, GRID, workers=2,
+              cache=cache, retry=RetryPolicy(max_attempts=2, **FAST))
+    return obs_root, cache, recorder, keys
+
+
+class TestFaultedCampaignRoundTrip:
+    def test_dashboard_shows_progress_and_retries(self,
+                                                  faulted_campaign):
+        obs_root, cache, _, keys = faulted_campaign
+        data = collect(obs_root, cache.root)
+        assert data.runs == len(keys)
+        assert data.cache_counts.get("computed") == len(keys)
+        assert data.tasks_retried == 1
+        assert data.extra_attempts == 1
+        (row,) = data.campaigns
+        assert (row.done, row.total) == (len(keys), len(keys))
+        assert row.status == "complete"
+        frame = render(data)
+        assert f"{row.done}/{row.total} (100%)" in frame
+        assert "retried 1 (+1 attempts)" in frame
+
+    def test_trace_has_a_span_per_attempt(self, faulted_campaign,
+                                          tmp_path):
+        _, _, recorder, keys = faulted_campaign
+        out = tmp_path / "campaign.trace.json"
+        export_chrome_trace(recorder, out)
+        payload = json.loads(out.read_text())
+        attempts = [e for e in payload["traceEvents"]
+                    if e.get("cat") == "attempt"]
+        # One retry: len(keys) first attempts plus one re-execution.
+        assert len(attempts) == len(keys) + 1
+        failed = [e for e in attempts
+                  if e["args"]["status"] == "failed"]
+        assert len(failed) == 1
+        assert failed[0]["args"]["key"] == keys[0]
+        assert failed[0]["args"]["cause"]
+        campaigns = [e for e in payload["traceEvents"]
+                     if e.get("cat") == "campaign"]
+        assert len(campaigns) == 1
+
+    def test_posthoc_spans_record_attempt_counts(self,
+                                                 faulted_campaign):
+        obs_root, cache, _, keys = faulted_campaign
+        spans, markers = spans_from_obs(obs_root, cache.root)
+        tasks = {s.args["key"]: s for s in spans
+                 if s.category == "task"}
+        assert tasks[keys[0]].args["attempts"] == 2
+        assert tasks[keys[1]].args["attempts"] == 1
+        assert any(m.name == "failed attempt 1" for m in markers)
+        assert any(s.category == "campaign" for s in spans)
+        # The tuple form feeds the exporter directly.
+        assert to_chrome_trace((spans, markers))["traceEvents"]
+
+    def test_every_published_log_validates_clean(self,
+                                                 faulted_campaign):
+        obs_root, _, _, keys = faulted_campaign
+        store = EventStore(obs_root)
+        streams = store.runs()
+        assert len(streams) == len(keys)
+        for stream in streams:
+            assert stream.log_path is not None
+            count, issues = validate_log(stream.log_path)
+            assert count > 0
+            assert issues == []

@@ -317,3 +317,101 @@ class TestObsCommands:
         out = capsys.readouterr().out
         assert "profiled GS" in out
         assert "cumulative time" in out
+
+    def test_tail_kind_filter(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        root = tmp_path / "obs"
+        self._sweep_with_obs(monkeypatch, root)
+        capsys.readouterr()
+        (log,) = (root / "events").glob("*/*.jsonl")
+        rc = main(["obs", "tail", str(log), "-n", "5",
+                   "--kind", "departure"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        assert all(json.loads(line)["kind"] == "departure"
+                   for line in lines)
+
+    def test_tail_truncated_log_warns_but_succeeds(self, tmp_path,
+                                                   monkeypatch,
+                                                   capsys):
+        root = tmp_path / "obs"
+        self._sweep_with_obs(monkeypatch, root)
+        capsys.readouterr()
+        (log,) = (root / "events").glob("*/*.jsonl")
+        log.write_bytes(log.read_bytes()[:-25])
+        rc = main(["obs", "tail", str(log), "-n", "3"])
+        assert rc == 0
+        assert "warning:" in capsys.readouterr().out
+
+    def test_summary_truncated_log_warns_but_succeeds(self, tmp_path,
+                                                      monkeypatch,
+                                                      capsys):
+        root = tmp_path / "obs"
+        self._sweep_with_obs(monkeypatch, root)
+        capsys.readouterr()
+        (log,) = (root / "events").glob("*/*.jsonl")
+        log.write_bytes(log.read_bytes()[:-25])
+        rc = main(["obs", "summary", "--log", str(log)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "warning:" in out
+
+    def test_validate_clean_root(self, tmp_path, monkeypatch, capsys):
+        root = tmp_path / "obs"
+        self._sweep_with_obs(monkeypatch, root)
+        capsys.readouterr()
+        rc = main(["obs", "validate", str(root)])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_validate_flags_bad_log_nonzero(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.obs.events import EVENT_SCHEMA
+
+        log = tmp_path / "bad.jsonl"
+        log.write_text(
+            _json.dumps({"schema": EVENT_SCHEMA}) + "\n"
+            + _json.dumps([{"t": 1.0, "kind": "wormhole"}]) + "\n")
+        rc = main(["obs", "validate", str(log)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "bad.jsonl:2" in out
+        assert "wormhole" in out
+
+    def test_validate_empty_root_fails(self, tmp_path, capsys):
+        rc = main(["obs", "validate", str(tmp_path)])
+        assert rc == 1
+        assert "no event logs" in capsys.readouterr().out
+
+    def test_dash_snapshot(self, tmp_path, monkeypatch, capsys):
+        root = tmp_path / "obs"
+        self._sweep_with_obs(monkeypatch, root)
+        capsys.readouterr()
+        rc = main(["obs", "dash", "--dir", str(root)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "runs 1" in out
+        assert "per-policy throughput" in out
+
+    def test_trace_export(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        root = tmp_path / "obs"
+        self._sweep_with_obs(monkeypatch, root)
+        capsys.readouterr()
+        out_path = tmp_path / "trace.json"
+        rc = main(["obs", "trace", "--dir", str(root),
+                   "--out", str(out_path)])
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_trace_empty_root_fails(self, tmp_path, capsys):
+        rc = main(["obs", "trace", "--dir", str(tmp_path / "none"),
+                   "--out", str(tmp_path / "trace.json")])
+        assert rc == 1
+        assert not (tmp_path / "trace.json").exists()
