@@ -5,7 +5,12 @@ Measures, per policy, how fast the lockstep batch backend
 (``repro.sim.batch``) completes a width-N replication sweep of one
 configuration against the scalar engine running the same N seeds
 sequentially — the exact substitution ``replicate_sweep(...,
-backend="batch")`` makes.
+backend="batch")`` makes.  A fifth ``grid`` case times the *fused*
+path end-to-end: the paper's whole Fig. 3 campaign (every policy ×
+component limit × utilization) through
+:func:`repro.runner.fused.execute_fused` heterogeneous lanes versus
+the scalar runner executing the same task list serially — the exact
+substitution ``sweep(..., backend="batch")`` makes for a campaign.
 
 The comparison is only meaningful because the two backends are
 *interchangeable*: before any timing is trusted, every round asserts
@@ -54,6 +59,8 @@ from typing import Optional
 try:
     from repro.analysis.points import SweepPoint
     from repro.core.system import SimulationConfig, run_open_system
+    from repro.runner import RunTask, execute_fused, task_key
+    from repro.runner.worker import run_task_result
     from repro.sim.batch import run_batch_points
     from repro.sim.rng import StreamFactory
     from repro.workload import WORKLOADS, das_t_900
@@ -79,13 +86,29 @@ CASES = (
     ("SC", 0.70, None),
 )
 
+#: The fused whole-campaign case: every policy's Fig. 3 curve family —
+#: GS/LS/LP at each component limit, SC once — across a shared
+#: utilization grid, run end-to-end through
+#: :func:`repro.runner.fused.execute_fused` against the scalar runner
+#: executing the same task list sequentially.  Unlike the per-policy
+#: cases above (homogeneous replications of one configuration), every
+#: lane here carries its own (limit, load) pair and retired lanes
+#: refill from the remaining grid.
+GRID_POLICIES = ("GS", "LS", "LP")
+GRID_LIMITS_FULL = (16, 24, 32)
+GRID_RHOS_FULL = (0.4, 0.5, 0.6, 0.7, 0.8)
+GRID_LIMITS_QUICK = (16, 24)
+GRID_RHOS_QUICK = (0.4, 0.6)
+
 #: --check gates on the per-case speedup quartile.  Full mode pins the
-#: headline 5x target on GS and beating-scalar on every policy; quick
-#: mode (short runs, width 8, shared runners) only sanity-checks the
-#: single-queue policies, whose speedup is the least load-sensitive.
+#: headline 5x target on GS, the 3x end-to-end target on the fused
+#: grid campaign, and beating-scalar on every policy; quick mode
+#: (short runs, width 8, shared runners) only sanity-checks the
+#: single-queue policies — whose speedup is the least load-sensitive —
+#: and requires the fused grid not to lose to scalar.
 CHECK_GATES = {
-    "full": {"GS": 5.0, "LS": 1.0, "LP": 1.0, "SC": 1.0},
-    "quick": {"GS": 1.0, "SC": 1.0},
+    "full": {"GS": 5.0, "LS": 1.0, "LP": 1.0, "SC": 1.0, "grid": 3.0},
+    "quick": {"GS": 1.0, "SC": 1.0, "grid": 1.0},
 }
 
 
@@ -183,6 +206,87 @@ def bench_case(policy: str, rho: float, limit: Optional[int],
     }
 
 
+def _grid_tasks(warmup: int, measured: int,
+                limits: tuple, rhos: tuple) -> list:
+    """The campaign task list: Fig. 3's curve families, grid order."""
+    sizes = WORKLOADS["das-s-128"]()
+    service = das_t_900()
+    tasks = []
+    for policy in GRID_POLICIES:
+        for limit in limits:
+            config = _config(policy, limit, warmup, measured)
+            tasks.extend(
+                RunTask(config, sizes, service, rho, backend="batch")
+                for rho in rhos
+            )
+    single = _config("SC", None, warmup, measured)
+    tasks.extend(
+        RunTask(single, sizes, service, rho, backend="batch")
+        for rho in rhos
+    )
+    return tasks
+
+
+def _run_grid_scalar(tasks: list) -> dict:
+    """The scalar runner's serial path: one engine run per task."""
+    start = time.perf_counter()
+    points = [SweepPoint.from_result(run_task_result(t)) for t in tasks]
+    elapsed = time.perf_counter() - start
+    return {"elapsed": elapsed, "points": points}
+
+
+def _run_grid_fused(tasks: list, width: int) -> dict:
+    """The whole campaign through fused heterogeneous lane kernels."""
+    start = time.perf_counter()
+    by_key = execute_fused(tasks, cache=False, width=width)
+    points = [by_key[task_key(t)] for t in tasks]
+    elapsed = time.perf_counter() - start
+    return {"elapsed": elapsed, "points": points}
+
+
+def bench_grid(warmup: int, measured: int, width: int, rounds: int,
+               limits: tuple, rhos: tuple) -> dict:
+    """Fused-vs-scalar end-to-end timing of the full campaign grid."""
+    tasks = _grid_tasks(warmup, measured, limits, rhos)
+    jobs_total = len(tasks) * (warmup + measured)
+    ratios = []
+    fused_runs = []
+    scalar_runs = []
+    for round_index in range(rounds):
+        if round_index % 2 == 0:
+            scalar = _run_grid_scalar(tasks)
+            fused = _run_grid_fused(tasks, width)
+        else:
+            fused = _run_grid_fused(tasks, width)
+            scalar = _run_grid_scalar(tasks)
+        if fused["points"] != scalar["points"]:
+            raise AssertionError(
+                "grid: fused and scalar per-point statistics diverged; "
+                "timing comparison would be meaningless"
+            )
+        ratios.append(scalar["elapsed"] / fused["elapsed"])
+        fused_runs.append(fused)
+        scalar_runs.append(scalar)
+    best = min(run["elapsed"] for run in fused_runs)
+    best_scalar = min(run["elapsed"] for run in scalar_runs)
+    quartile = (statistics.quantiles(ratios, n=4)[0] if len(ratios) > 1
+                else ratios[0])
+    return {
+        "policies": list(GRID_POLICIES) + ["SC"],
+        "component_limits": list(limits),
+        "rhos": list(rhos),
+        "grid_points": len(tasks),
+        "width": width,
+        "jobs": jobs_total,
+        "jobs_per_sec": round(jobs_total / best, 1),
+        "scalar_jobs_per_sec": round(jobs_total / best_scalar, 1),
+        "speedup_median": round(statistics.median(ratios), 3),
+        "speedup_quartile": round(quartile, 3),
+        "speedup_rounds": [round(r, 3) for r in ratios],
+        "fingerprint_checked": True,
+    }
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
@@ -215,6 +319,15 @@ def main(argv: Optional[list[str]] = None) -> int:
               f"width {width}  "
               f"speedup x{cases[policy]['speedup_quartile']:.2f} "
               f"(median x{cases[policy]['speedup_median']:.2f})")
+
+    limits = GRID_LIMITS_QUICK if args.quick else GRID_LIMITS_FULL
+    rhos = GRID_RHOS_QUICK if args.quick else GRID_RHOS_FULL
+    cases["grid"] = bench_grid(warmup, measured, width, rounds,
+                               limits, rhos)
+    print(f"grid: {cases['grid']['jobs_per_sec']:>8.1f} jobs/s  "
+          f"{cases['grid']['grid_points']} points fused  "
+          f"speedup x{cases['grid']['speedup_quartile']:.2f} "
+          f"(median x{cases['grid']['speedup_median']:.2f})")
 
     payload = {
         "schema": SCHEMA,

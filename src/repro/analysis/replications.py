@@ -18,16 +18,19 @@ from typing import Optional, Sequence
 from repro.core.system import SimulationConfig
 from repro.runner import (
     CacheSpec,
-    ResultCache,
     RetryBudget,
     RetryPolicy,
     RunTask,
     begin_campaign,
     execute,
+    execute_fused,
     finish_campaign,
+    fused_eligible,
     resolve_cache,
     resolve_retry,
+    task_key,
 )
+from repro.sim.backend import resolve_backend
 from repro.sim.stats import ConfidenceInterval, Tally, student_t_quantile
 
 from .points import SweepPoint
@@ -124,17 +127,23 @@ def replicate_sweep(label: str, config: SimulationConfig,
     at its own saturation point — and the aggregated sweep is
     byte-identical at every worker count.
 
-    ``backend="batch"`` computes each wave with the lockstep
-    struct-of-arrays kernel (:mod:`repro.sim.batch`): every still-active
-    seed shares the same grid cursor, so a wave is exactly one
-    multi-seed kernel call.  Per-seed statistics are contractually
-    identical to the scalar engine's, but cache entries are keyed per
-    backend, so the two never mix.
+    ``backend="batch"`` fuses the whole study — every seed's chain of
+    grid points — into lockstep lane-kernel calls
+    (:func:`~repro.runner.fused.execute_fused`): each seed advances
+    through the grid as a lane chain, stopping at its own saturation
+    point, while other seeds' lanes keep the kernel busy.  Exactly the
+    serial task set executes.  ``backend="auto"`` picks batch when
+    numpy is available and ``replications`` clears the width threshold
+    (:func:`~repro.sim.backend.resolve_backend`).  Per-seed statistics
+    are contractually identical to the scalar engine's, but cache
+    entries are keyed per (resolved) backend, so the two never mix.
     """
     if replications < 1:
         raise ValueError(
             f"replications must be >= 1, got {replications!r}"
         )
+    backend = resolve_backend(backend, config, width=replications,
+                              size_distribution=size_distribution)
     base = config.seed if base_seed is None else base_seed
     seeds = tuple(base + 1_000 * i for i in range(replications))
     runs = _replicated_runs(label, config, seeds, size_distribution,
@@ -174,12 +183,15 @@ def _replicated_runs(label: str, config: SimulationConfig,
     full seeds × grid plan is recorded as a campaign manifest so an
     interrupted replication study resumes from its last completed run.
 
-    Under ``backend="batch"`` a wave runs as *one* lockstep kernel call
-    over its cache-missing seeds (all active seeds share a cursor, so a
-    wave is one configuration at one load).  Fault injection and
-    observability need per-task process boundaries, so when either is
-    active the wave falls back to :func:`~repro.runner.pool.execute`
-    with per-task batch workers — same results, task at a time.
+    Under ``backend="batch"`` the whole study fuses into lockstep
+    lane-kernel calls: every seed starts a lane at the first grid
+    point, and each completed point chains the seed's *next* grid
+    point into the freed slot unless the seed saturated or exhausted
+    the grid — exactly the serial task set, scheduled by lane
+    availability instead of waves.  Fault injection and observability
+    need per-task process boundaries, so when either is active the
+    study falls back to :func:`~repro.runner.pool.execute` waves with
+    per-task batch workers — same results, task at a time.
     """
     configs = [replace(config, seed=seed) for seed in seeds]
     store = resolve_cache(cache)
@@ -197,26 +209,28 @@ def _replicated_runs(label: str, config: SimulationConfig,
     ]
     manifest = begin_campaign("replicated-sweep", label, planned, store)
     collected: list[list[SweepPoint]] = [[] for _ in seeds]
-    active = list(range(len(seeds)))
-    cursor = [0] * len(seeds)
-    while active:
-        tasks = [
-            RunTask(configs[i], size_distribution, service_distribution,
-                    utilizations[cursor[i]], backend=backend)
-            for i in active
-        ]
-        if backend == "batch" and _batch_wave_eligible():
-            wave = _batch_wave(tasks, store)
-        else:
+    if backend == "batch" and fused_eligible():
+        _fused_chains(configs, size_distribution, service_distribution,
+                      utilizations, backend, cache_arg, collected)
+    else:
+        active = list(range(len(seeds)))
+        cursor = [0] * len(seeds)
+        while active:
+            tasks = [
+                RunTask(configs[i], size_distribution,
+                        service_distribution, utilizations[cursor[i]],
+                        backend=backend)
+                for i in active
+            ]
             wave = execute(tasks, workers=workers, cache=cache_arg,
                            retry=policy, budget=budget)
-        still_active = []
-        for i, point in zip(active, wave):
-            collected[i].append(point)
-            cursor[i] += 1
-            if not point.saturated and cursor[i] < len(utilizations):
-                still_active.append(i)
-        active = still_active
+            still_active = []
+            for i, point in zip(active, wave):
+                collected[i].append(point)
+                cursor[i] += 1
+                if not point.saturated and cursor[i] < len(utilizations):
+                    still_active.append(i)
+            active = still_active
     finish_campaign(manifest, store,
                     points=sum(len(c) for c in collected))
     return [
@@ -226,56 +240,43 @@ def _replicated_runs(label: str, config: SimulationConfig,
     ]
 
 
-def _batch_wave_eligible() -> bool:
-    """Whether a wave may run as one in-process multi-seed kernel call.
+def _fused_chains(configs: "list[SimulationConfig]",
+                  size_distribution, service_distribution,
+                  utilizations: tuple[float, ...],
+                  backend: str, cache_arg: CacheSpec,
+                  collected: "list[list[SweepPoint]]") -> None:
+    """Run every seed's grid chain through the fused lane executor.
 
-    Fault injection intercepts *task* execution (crash/hang plans are
-    keyed per task) and observability captures per-run event logs; both
-    contracts need one worker invocation per task, so their presence
-    routes batch tasks through the ordinary pool instead.  Results are
-    identical either way — a lane's statistics do not depend on which
-    other lanes share its kernel call.
+    Seed *i*'s lane chain is sequential (its next grid point is
+    scheduled by the follow-up of its current one), so ``collected[i]``
+    fills in grid order; chains of different seeds interleave freely in
+    the kernel without affecting any per-task result.  Cache hits
+    advance a chain without occupying a lane, preserving resume
+    semantics.
     """
-    from repro.obs.gate import obs_enabled
-    from repro.runner.faults import faults_root
+    if not utilizations:
+        return
+    owner: dict[str, int] = {}
+    cursor = [0] * len(configs)
 
-    return faults_root() is None and not obs_enabled()
+    def chain_task(i: int) -> RunTask:
+        task = RunTask(configs[i], size_distribution,
+                       service_distribution, utilizations[cursor[i]],
+                       backend=backend)
+        owner[task_key(task)] = i
+        return task
 
+    def advance(task: RunTask, key: str,
+                point: SweepPoint) -> "list[RunTask]":
+        i = owner[key]
+        collected[i].append(point)
+        cursor[i] += 1
+        if not point.saturated and cursor[i] < len(utilizations):
+            return [chain_task(i)]
+        return []
 
-def _batch_wave(tasks: "list[RunTask]",
-                store: Optional[ResultCache]) -> list[SweepPoint]:
-    """Execute one wave of batch tasks as a single lockstep kernel call.
-
-    Per-task cache hits are honoured first; the remaining seeds run in
-    one multi-seed kernel, and each fresh point is stored under its own
-    task key — the same per-task cache granularity as
-    :func:`~repro.runner.pool.execute`, so interrupt/resume behaviour
-    is unchanged.
-    """
-    from repro.runner.task import task_key
-    from repro.sim.batch import run_batch_points
-
-    keys = [task_key(t) for t in tasks]
-    points: dict[int, SweepPoint] = {}
-    missing = []
-    for i, key in enumerate(keys):
-        hit = store.load(key) if store is not None else None
-        if hit is not None:
-            points[i] = hit
-        else:
-            missing.append(i)
-    if missing:
-        first = tasks[missing[0]]
-        fresh = run_batch_points(
-            first.config, first.size_distribution,
-            first.service_distribution, first.offered_gross,
-            [tasks[i].config.seed for i in missing],
-        )
-        for i, point in zip(missing, fresh):
-            points[i] = point
-            if store is not None:
-                store.store(keys[i], point, tasks[i].describe())
-    return [points[i] for i in range(len(tasks))]
+    execute_fused([chain_task(i) for i in range(len(configs))],
+                  cache=cache_arg, follow_up=advance)
 
 
 def paired_comparison(config_a: SimulationConfig,

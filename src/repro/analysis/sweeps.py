@@ -13,6 +13,14 @@ on-disk result cache (``cache=True``); see :mod:`repro.runner` and
 ``docs/parallel.md``.  Parallel execution proceeds in chunks of
 ``workers`` grid points so the early-stop-on-saturation behaviour — and
 therefore the returned curve — is byte-identical to a serial run.
+
+Under ``backend="batch"`` (or ``"auto"`` resolving to it) the whole
+grid instead runs as *fused lanes* of one lockstep kernel call
+(:func:`~repro.runner.fused.execute_fused`): every grid point is a
+lane with its own arrival rate, finished lanes retire early and their
+slots refill from the remaining grid.  Each point is still
+checkpointed under its own task key, and the returned curve is
+byte-identical to the scalar engine's.
 """
 
 from __future__ import annotations
@@ -29,11 +37,15 @@ from repro.runner import (
     RunTask,
     begin_campaign,
     execute,
+    execute_fused,
     finish_campaign,
+    fused_eligible,
     resolve_cache,
     resolve_retry,
     resolve_workers,
+    task_key,
 )
+from repro.sim.backend import resolve_backend
 
 from .points import SweepPoint
 
@@ -164,12 +176,22 @@ def sweep(label: str, config: SimulationConfig, size_distribution,
         curve — a re-executed task is the same pure function of the
         same inputs.
     backend:
-        Simulation engine per task: ``"scalar"`` (default) or
-        ``"batch"`` (the lockstep kernel at width 1 — statistically
-        identical, cached under distinct keys).
+        Simulation engine: ``"scalar"`` (default), ``"batch"`` (the
+        lockstep lane kernel — statistically identical, cached under
+        distinct keys), or ``"auto"`` (batch when numpy is available
+        and the grid is wide enough; see
+        :func:`~repro.sim.backend.resolve_backend`).  The batch path
+        fuses the whole grid into one kernel call when neither fault
+        injection nor observability is armed; like the ``workers > 1``
+        chunking, it runs grid points past the early-stop threshold
+        speculatively (they are cached but discarded from the curve),
+        so the returned curve is byte-identical to a serial scalar
+        sweep.
     """
     if not utilizations:
         utilizations = default_grid()
+    backend = resolve_backend(backend, config, width=len(utilizations),
+                              size_distribution=size_distribution)
     workers = resolve_workers(workers)
     store = resolve_cache(cache)
     policy = resolve_retry(retry)
@@ -179,22 +201,33 @@ def sweep(label: str, config: SimulationConfig, size_distribution,
     manifest = begin_campaign("sweep", label, planned, store)
     points: list[SweepPoint] = []
     saturated_seen = 0
-    for chunk_start in range(0, len(planned), workers):
-        chunk = planned[chunk_start:chunk_start + workers]
+    if backend == "batch" and fused_eligible():
         # resolve_cache(None) would re-read the environment, so a
-        # resolved "no cache" is forwarded as an explicit False; the
-        # retry budget is likewise resolved once and shared so it is
-        # campaign-wide, not per chunk.
-        for point in execute(chunk, workers=workers,
-                             cache=store if store is not None else False,
-                             retry=policy, budget=budget):
+        # resolved "no cache" is forwarded as an explicit False.
+        fused = execute_fused(
+            planned, cache=store if store is not None else False)
+        for task in planned:
+            point = fused[task_key(task)]
             points.append(point)
             if point.saturated:
                 saturated_seen += 1
                 if saturated_seen >= stop_after_saturation:
                     break
-        if saturated_seen >= stop_after_saturation:
-            break
+    else:
+        for chunk_start in range(0, len(planned), workers):
+            chunk = planned[chunk_start:chunk_start + workers]
+            # The resolved retry budget is shared across chunks so it
+            # is campaign-wide, not per chunk.
+            for point in execute(chunk, workers=workers,
+                                 cache=store if store is not None else False,
+                                 retry=policy, budget=budget):
+                points.append(point)
+                if point.saturated:
+                    saturated_seen += 1
+                    if saturated_seen >= stop_after_saturation:
+                        break
+            if saturated_seen >= stop_after_saturation:
+                break
     finish_campaign(manifest, store, points=len(points))
     return SweepResult(label=label, config=config, points=tuple(points))
 

@@ -151,12 +151,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run under cProfile and print the "
                               "hottest functions afterwards")
     sweep_p.add_argument("--backend", default="scalar",
-                         choices=["scalar", "batch"],
+                         choices=["scalar", "batch", "auto"],
                          help="simulation engine: the scalar event "
-                              "loop or the lockstep numpy batch "
+                              "loop, the lockstep numpy batch "
                               "kernel (identical statistics, cached "
                               "under distinct keys; batch needs "
-                              "numpy — pip install repro[batch])")
+                              "numpy — pip install repro[batch]), or "
+                              "auto to pick batch whenever numpy is "
+                              "available and the campaign is wide "
+                              "enough to benefit")
     sweep_p.add_argument("--replications", type=int, default=1,
                          metavar="N",
                          help="independent replications per grid "
@@ -427,6 +430,7 @@ def _report_resume(args, config, sizes, grid) -> CacheSpec:
         resolve_cache,
         task_keys,
     )
+    from repro.sim.backend import resolve_backend
 
     if args.cache is False:
         raise SystemExit("--resume requires the result cache "
@@ -435,8 +439,13 @@ def _report_resume(args, config, sizes, grid) -> CacheSpec:
     # environment leaves the cache off is it forced to the default
     # location (resume without a cache is meaningless).
     store = resolve_cache(args.cache) or resolve_cache(True)
-    tasks = sweep_tasks(config, sizes, das_t_900(), grid,
-                        getattr(args, "backend", "scalar"))
+    # "auto" must resolve to the backend the sweep will actually run
+    # with before keys are derived, or resume would look up a campaign
+    # that never existed.
+    backend = resolve_backend(getattr(args, "backend", "scalar"),
+                              config, width=len(grid),
+                              size_distribution=sizes)
+    tasks = sweep_tasks(config, sizes, das_t_900(), grid, backend)
     keys = task_keys(tasks)
     manifest = load_campaign(store,
                              campaign_key("sweep", args.policy, keys))

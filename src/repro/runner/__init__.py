@@ -9,6 +9,10 @@ through this package:
   utilization, workload fingerprints);
 * :func:`execute` — serial or process-pool execution with results
   collected in task order, so output never depends on scheduling;
+* :func:`execute_fused` (:mod:`repro.runner.fused`) — the batch-backend
+  counterpart: heterogeneous tasks fused into lockstep lane-kernel
+  calls, retiring and refilling lanes, with the same per-task cache
+  checkpoints and progress heartbeats;
 * :class:`RetryPolicy` — per-task retries with deterministic
   exponential backoff, a campaign-wide retry budget
   (:class:`RetryBudget`) and per-task wall-clock timeouts with worker
@@ -52,6 +56,11 @@ from .errors import (
     TaskTimeoutError,
     TransientWorkerError,
 )
+from .fused import (
+    DEFAULT_FUSED_WIDTH,
+    execute_fused,
+    fused_eligible,
+)
 from .pool import (
     CACHE_ENV,
     WORKERS_ENV,
@@ -76,6 +85,7 @@ from .worker import run_task
 __all__ = [
     "RunTask", "task_key", "task_keys", "KEY_VERSION",
     "execute", "run_task", "resolve_workers", "resolve_cache",
+    "execute_fused", "fused_eligible", "DEFAULT_FUSED_WIDTH",
     "CacheSpec", "WORKERS_ENV", "CACHE_ENV",
     "RetryPolicy", "RetryBudget", "resolve_retry", "backoff_delay",
     "RETRIES_ENV", "TIMEOUT_ENV", "BACKOFF_ENV", "BUDGET_ENV",

@@ -1,19 +1,37 @@
-"""Lockstep batch-replication backend: N seeds, one struct-of-arrays sim.
+"""Lockstep batch backend: N heterogeneous lanes, one struct-of-arrays sim.
 
-Replication sweeps run the *same* configuration under many master
-seeds.  The scalar engine advances one event calendar at a time; this
-backend holds the *lockstep* state of N replications as numpy columns
-— the clock, the pending-arrival and earliest-departure select
-columns, and every metric accumulator — while each replication's
-policy state (queues, free processors, the running-job calendar, the
-queue ring) lives in plain per-lane Python containers sized for the
-per-event scalar work (see the fast-path section of
-:class:`_BatchKernel`).  One Python-level step advances every
-replication: the select and the departure statistics vectorize across
-lanes, the policy decisions run per lane.
+Campaigns run many configurations — replication seeds, utilization
+grids, component-limit ladders — that share one policy.  The scalar
+engine advances one event calendar at a time; this backend holds the
+*lockstep* state of N such runs ("lanes") as numpy columns — the
+clock, the pending-arrival and earliest-departure select columns, and
+every metric accumulator — while each lane's policy state (queues,
+free processors, the running-job calendar, the queue ring) lives in
+plain per-lane Python containers sized for the per-event scalar work
+(see the fast-path section of :class:`BatchLaneKernel`).  One
+Python-level step advances every lane: the select and the departure
+statistics vectorize across lanes, the policy decisions run per lane.
+
+Lanes are *heterogeneous*: each carries its own arrival rate, seed,
+warmup/measured-job targets, batch size, component limit, extension
+factor and routing weights.  Only the policy, the placement rule, the
+cluster capacities and the two workload distributions are fixed per
+kernel (policy state containers differ by policy; capacities size the
+free-processor lists).  Per-lane workload tables (component splits,
+extension factors, routing CDF) are shared through interned
+:class:`_LaneProfile` objects keyed by the lane parameters that shape
+them.
+
+Lanes terminate raggedly; a finished lane is *retired* — dropped from
+the active mask and queued for :meth:`BatchLaneKernel.drain_retired`
+— and its slot can be *refilled* with a fresh configuration via
+:meth:`BatchLaneKernel.load`, so short-rho lanes don't idle while
+rho=0.9 lanes drain.  The fused sweep executor
+(:func:`repro.runner.fused.execute_fused`) drives exactly this
+load/step/retire cycle over a whole campaign grid.
 
 The contract is *bit-exactness against the scalar engine*: for each
-seed, the six :class:`~repro.analysis.points.SweepPoint` statistics
+lane, the six :class:`~repro.analysis.points.SweepPoint` statistics
 (offered gross load, measured gross/net utilization, mean response,
 CI half width, saturation flag) must equal the scalar run's output
 exactly.  That holds because
@@ -40,10 +58,9 @@ exactly.  That holds because
   fused ``(N, 2)`` column pair: the scalar recorder always updates
   both at the same event times, so their ``last`` timestamps are
   provably equal and the area accruals are the same float products.
-
-Replications terminate raggedly (each seed reaches its completion
-target after its own number of events); finished lanes simply drop out
-of the active mask while the rest continue.
+* lanes never interact — no shared queues, streams or statistics — so
+  a lane's results are independent of which other lanes share the
+  kernel, of slot position, and of when its slot was (re)loaded.
 
 The backend intentionally computes *only* what feeds ``SweepPoint``:
 queue-population time series, quantiles, slowdowns and the
@@ -62,12 +79,14 @@ from __future__ import annotations
 
 import math
 from collections import deque
+from dataclasses import replace
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.system import SimulationConfig
+from repro.obs.registry import REGISTRY
 from repro.sim.distributions import (
     Distribution,
     Lognormal,
@@ -84,12 +103,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.analysis.points import SweepPoint
     from repro.runner.task import RunTask
 
-__all__ = ["BatchBackendError", "run_batch_points", "run_batch_task"]
+__all__ = [
+    "BatchBackendError",
+    "BatchLaneKernel",
+    "PLACE_CACHE_CAP",
+    "run_batch_points",
+    "run_batch_task",
+]
 
 #: Event-sequence sentinel for idle lanes (sorts after any real eid).
 _HUGE_EID = np.iinfo(np.int64).max
 
 _INF = float("inf")
+
+#: Default bound on the shared worst-fit memo (entries).  Placement is
+#: a pure function of its key, so the cap trades recomputation for
+#: memory and never changes results; a campaign's working set is far
+#: smaller, so evictions are rare outside adversarial workloads.
+PLACE_CACHE_CAP = 1 << 18
 
 #: One running job on a lane's calendar heap: (departure
 #: time, event-sequence number, arrival time, total size, net size,
@@ -108,7 +139,7 @@ class BatchBackendError(ValueError):
 
 
 class _LaneStreams:
-    """Per-replication RNG state mirroring one scalar run's consumption.
+    """Per-lane RNG state mirroring one scalar run's consumption.
 
     One instance per lane: the four named substreams a scalar
     :func:`~repro.core.system.run_open_system` consumes, plus the
@@ -128,7 +159,37 @@ class _LaneStreams:
         self.last_arrival = 0.0
 
 
+class _LaneProfile:
+    """Workload tables shared by every lane with the same shape.
+
+    The component-split tables, extension factors and routing CDF are
+    pure functions of (component limit, extension factor, routing
+    weights) over the kernel's fixed size support and cluster count;
+    lanes differing only in seed, rate or run-length targets intern to
+    the same profile.  ``pid`` keys the shared placement memo (the
+    split tables differ per profile, so memo entries must not cross
+    profiles); ``factory`` performs the rate <-> offered-utilization
+    conversions with the exact scalar float math.
+    """
+
+    __slots__ = ("pid", "ncomp_tab", "ext_tab", "comp_lists", "route_cdf",
+                 "factory")
+
+    def __init__(self, pid: int, ncomp_tab: "np.ndarray",
+                 ext_tab: "np.ndarray",
+                 comp_lists: list[tuple[int, ...]],
+                 route_cdf: "np.ndarray", factory: JobFactory) -> None:
+        self.pid = pid
+        self.ncomp_tab = ncomp_tab
+        self.ext_tab = ext_tab
+        self.comp_lists = comp_lists
+        self.route_cdf = route_cdf
+        self.factory = factory
+
+
 _ScalarSampler = Callable[[np.random.Generator, int], np.ndarray]
+
+_ProfileKey = tuple[Optional[int], float, tuple[float, ...]]
 
 
 def _make_scalar_sampler(dist: Distribution) -> Optional[_ScalarSampler]:
@@ -208,14 +269,25 @@ def _make_scalar_sampler(dist: Distribution) -> Optional[_ScalarSampler]:
     return single_sampler
 
 
-class _BatchKernel:
-    """The struct-of-arrays simulation state and its step loop."""
+class BatchLaneKernel:
+    """The struct-of-arrays simulation state and its step loop.
+
+    Construction fixes the *kernel shape* — policy, placement,
+    capacities, the two workload distributions and the slot count
+    (``width``) — and allocates every column with all slots inactive.
+    :meth:`load` arms one slot with a lane configuration (seed, rate,
+    limits, run-length targets); :meth:`step` advances every active
+    lane by one lockstep event round; lanes that reach their
+    completion target retire themselves, and :meth:`drain_retired`
+    yields their finished :class:`~repro.analysis.points.SweepPoint`
+    so the slot can be refilled.
+    """
 
     def __init__(self, config: SimulationConfig,
                  size_distribution: Distribution,
                  service_distribution: Distribution,
-                 arrival_rate: float,
-                 seeds: Sequence[int]) -> None:
+                 width: int, *,
+                 place_cache_cap: int = PLACE_CACHE_CAP) -> None:
         policy = config.policy.upper()
         if policy not in ("GS", "LS", "LP", "SC"):
             raise BatchBackendError(
@@ -226,57 +298,33 @@ class _BatchKernel:
                 "batch backend supports placement='worst-fit' only, got "
                 f"{config.placement!r}"
             )
-        if not seeds:
-            raise BatchBackendError("need at least one seed")
-        self.config = config
+        if width < 1:
+            raise BatchBackendError(f"kernel width must be >= 1, got {width}")
+        if place_cache_cap < 1:
+            raise BatchBackendError(
+                f"place_cache_cap must be >= 1, got {place_cache_cap}"
+            )
         self.policy = policy
         self.size_distribution = size_distribution
         self.service_distribution = service_distribution
-        self.rate = float(arrival_rate)
-        self.mean_iat = 1.0 / self.rate
-        self.seeds = tuple(int(s) for s in seeds)
 
-        n = len(self.seeds)
+        n = int(width)
         self.n = n
-        caps = config.capacities
+        caps = tuple(int(cap) for cap in config.capacities)
+        self.capacities = caps
         self.n_clusters = len(caps)
-        self.capacity = config.capacity
-        self.batch_size = int(config.batch_size)
-        self.warmup_target = int(config.warmup_jobs)
-        self.total_target = int(config.warmup_jobs + config.measured_jobs)
+        self.capacity = sum(caps)
 
-        # -- workload tables indexed by total job size --------------------
+        # -- the shared size support (profiles build tables over it) ------
         support = getattr(size_distribution, "support", None)
         if support is None:
             raise BatchBackendError(
                 "batch backend needs a discrete size distribution "
                 "(integer support)"
             )
-        max_size = int(max(float(v) for v in support))
-        c = self.n_clusters
-        self._comp_tab = np.zeros((max_size + 1, c), dtype=np.int64)
-        self._ncomp_tab = np.zeros(max_size + 1, dtype=np.int64)
-        self._ext_tab = np.ones(max_size + 1, dtype=np.float64)
-        comp_lists: list[tuple[int, ...]] = [()] * (max_size + 1)
-        for value in support:
-            s = int(float(value))
-            if config.component_limit is None:
-                comps: tuple[int, ...] = (s,)
-            else:
-                comps = split_size(s, config.component_limit, c)
-            self._comp_tab[s, :len(comps)] = comps
-            self._ncomp_tab[s] = len(comps)
-            comp_lists[s] = comps
-            if len(comps) > 1:
-                self._ext_tab[s] = float(config.extension_factor)
-        #: Python-side component tuples for the per-lane placement path.
-        self._comp_lists = comp_lists
-
-        # Routing CDF, built exactly like QueueRouter.
-        w = np.asarray(config.routing_weights, dtype=float)
-        weights = w / w.sum()
-        self._route_cdf = np.cumsum(weights)
-        self._route_cdf[-1] = 1.0
+        self._support = tuple(int(float(v)) for v in support)
+        self._max_size = max(self._support)
+        self._profiles: dict[_ProfileKey, _LaneProfile] = {}
 
         draw = DEFAULT_DRAW_BATCH
         self._sizes_blocked = draw > 1 and size_distribution.block_equivalent
@@ -286,8 +334,14 @@ class _BatchKernel:
                                  else _make_scalar_sampler(
                                      service_distribution))
 
-        # -- per-lane draw state ------------------------------------------
-        self._streams = [_LaneStreams(seed) for seed in self.seeds]
+        # -- per-lane draw state and parameters ---------------------------
+        self._streams: list[Optional[_LaneStreams]] = [None] * n
+        self._prof: list[Optional[_LaneProfile]] = [None] * n
+        self._mean_iat = [0.0] * n
+        self._offered = [0.0] * n
+        self._bsize = np.zeros(n, dtype=np.int64)
+        self._warm_tgt = np.zeros(n, dtype=np.int64)
+        self._total_tgt = np.zeros(n, dtype=np.int64)
 
         # -- event state --------------------------------------------------
         # After the urgent arrival-process init event at t=0 the scalar
@@ -296,6 +350,7 @@ class _BatchKernel:
         # to (time, sequence number).
         self.now = np.zeros(n, dtype=np.float64)
         self.na_eid = np.full(n, 2, dtype=np.int64)
+        self.na_t = np.full(n, _INF, dtype=np.float64)
         #: GS/SC run one global FCFS queue; LS/LP the visiting rounds
         #: over the queue ring.  Both as per-lane Python containers.
         self._single = policy in ("GS", "SC")
@@ -304,7 +359,7 @@ class _BatchKernel:
         # tuples, free processors per cluster, the running-job calendar
         # heap, the event-sequence counter, the next-arrival cursor.
         self._jobs_py: list[list[tuple]] = [[] for _ in range(n)]
-        self._free_py = [[int(cap) for cap in caps] for _ in range(n)]
+        self._free_py = [[0] * self.n_clusters for _ in range(n)]
         self._heaps: list[list[_HeapItem]] = [[] for _ in range(n)]
         self._eid_py = [2] * n
         self._next_job_py = [0] * n
@@ -314,6 +369,9 @@ class _BatchKernel:
         self._place_cache: dict[
             tuple[int, ...],
             Optional[tuple[tuple[int, int], ...]]] = {}
+        self._place_cap = int(place_cache_cap)
+        #: Evictions this kernel performed on the bounded memo.
+        self.place_evictions = 0
         self._after_dep: Callable[[int, float, int], int]
         self._burst: Callable[[int, float], None]
         if self._single:
@@ -325,7 +383,8 @@ class _BatchKernel:
             #: Queues per lane: LS one local queue per cluster (queue
             #: index == cluster index); LP index 0 is the global queue,
             #: 1..C the locals (cluster == queue index - 1).
-            self._nq = c if policy == "LS" else c + 1
+            self._nq = self.n_clusters if policy == "LS" else (
+                self.n_clusters + 1)
             self._qs: list[list[deque[int]]] = [
                 [deque() for _ in range(self._nq)] for _ in range(n)]
             # The scalar QueueRing's two lists, per lane: enabled
@@ -337,10 +396,6 @@ class _BatchKernel:
             self._after_dep = (self._lane_departure_ls if policy == "LS"
                                else self._lane_departure_lp)
             self._burst = self._arrival_burst_ring
-        for lane in range(n):
-            self._generate_chunk(lane)
-        self.na_t = np.array([self._jobs_py[lane][0][0]
-                              for lane in range(n)], dtype=np.float64)
 
         # -- metric columns (exact scalar float-op order) ------------------
         # Fused busy-gross / busy-net time-weighted accumulators:
@@ -360,13 +415,168 @@ class _BatchKernel:
 
         # -- run control --------------------------------------------------
         self.finished = np.zeros(n, dtype=np.int64)
-        self.active = np.ones(n, dtype=bool)
+        self.active = np.zeros(n, dtype=bool)
         self.end_time = np.zeros(n, dtype=np.float64)
         self.backlog_reset = np.zeros(n, dtype=np.int64)
         self.backlog_end = np.zeros(n, dtype=np.int64)
+        self.reset_done = np.ones(n, dtype=bool)
+        #: Number of currently active lanes (maintained by load/retire).
+        self.active_lanes = 0
+        #: Slots whose lane finished and awaits :meth:`drain_retired`.
+        self._retired: list[int] = []
+
+    # -- lane lifecycle ----------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        """True when no lane is active (every slot loadable/drained)."""
+        return self.active_lanes == 0
+
+    def _profile_for(self, config: SimulationConfig) -> _LaneProfile:
+        """Intern the workload tables for this lane's shape parameters."""
+        key: _ProfileKey = (
+            config.component_limit,
+            float(config.extension_factor),
+            tuple(float(w) for w in config.routing_weights),
+        )
+        prof = self._profiles.get(key)
+        if prof is not None:
+            return prof
+        c = self.n_clusters
+        ncomp_tab = np.zeros(self._max_size + 1, dtype=np.int64)
+        ext_tab = np.ones(self._max_size + 1, dtype=np.float64)
+        comp_lists: list[tuple[int, ...]] = [()] * (self._max_size + 1)
+        for s in self._support:
+            if config.component_limit is None:
+                comps: tuple[int, ...] = (s,)
+            else:
+                comps = split_size(s, config.component_limit, c)
+            ncomp_tab[s] = len(comps)
+            comp_lists[s] = comps
+            if len(comps) > 1:
+                ext_tab[s] = float(config.extension_factor)
+        # Routing CDF, built exactly like QueueRouter.
+        w = np.asarray(config.routing_weights, dtype=float)
+        weights = w / w.sum()
+        route_cdf = np.cumsum(weights)
+        route_cdf[-1] = 1.0
+        factory = JobFactory(
+            self.size_distribution,  # type: ignore[arg-type]
+            self.service_distribution,
+            config.component_limit,
+            clusters=c,
+            extension_factor=config.extension_factor,
+            routing_weights=config.routing_weights,
+            streams=StreamFactory(0),
+        )
+        prof = _LaneProfile(len(self._profiles), ncomp_tab, ext_tab,
+                            comp_lists, route_cdf, factory)
+        self._profiles[key] = prof
+        return prof
+
+    def load(self, slot: int, config: SimulationConfig,
+             offered_gross: Optional[float] = None,
+             arrival_rate: Optional[float] = None) -> None:
+        """Arm ``slot`` with one lane: the run that a scalar
+        :func:`~repro.core.system.run_open_system` under ``config``
+        would perform at the given load.
+
+        ``arrival_rate`` overrides the rate derived from
+        ``offered_gross`` (they are redundant; both are accepted so
+        callers can match either scalar entry point exactly).  The
+        slot must be empty — never loaded, or retired and drained.
+        """
+        if not 0 <= slot < self.n:
+            raise BatchBackendError(f"slot {slot} out of range 0..{self.n-1}")
+        if self.active[slot] or slot in self._retired:
+            raise BatchBackendError(f"slot {slot} is not free")
+        if config.policy.upper() != self.policy:
+            raise BatchBackendError(
+                f"kernel runs policy {self.policy}, got {config.policy!r}"
+            )
+        if config.placement != "worst-fit":
+            raise BatchBackendError(
+                "batch backend supports placement='worst-fit' only, got "
+                f"{config.placement!r}"
+            )
+        if tuple(int(cap) for cap in config.capacities) != self.capacities:
+            raise BatchBackendError(
+                f"kernel capacities {self.capacities} != "
+                f"{tuple(config.capacities)}"
+            )
+        prof = self._profile_for(config)
+        if arrival_rate is None:
+            if offered_gross is None:
+                raise BatchBackendError(
+                    "need offered_gross or arrival_rate"
+                )
+            arrival_rate = prof.factory.arrival_rate_for_gross_utilization(
+                float(offered_gross), self.capacity
+            )
+        rate = float(arrival_rate)
+        self._prof[slot] = prof
+        self._mean_iat[slot] = 1.0 / rate
+        self._offered[slot] = prof.factory.offered_gross_utilization(
+            rate, self.capacity
+        )
+        self._bsize[slot] = int(config.batch_size)
+        self._warm_tgt[slot] = int(config.warmup_jobs)
+        self._total_tgt[slot] = int(config.warmup_jobs
+                                    + config.measured_jobs)
+        self._streams[slot] = _LaneStreams(int(config.seed))
+
+        # Per-lane containers back to their scalar t=0 state.
+        self._jobs_py[slot] = []
+        self._free_py[slot] = [int(cap) for cap in self.capacities]
+        self._heaps[slot] = []
+        self._eid_py[slot] = 2
+        self._next_job_py[slot] = 0
+        self.now[slot] = 0.0
+        self.na_eid[slot] = 2
+        self._dmin_t[slot] = _INF
+        self._dmin_eid[slot] = _HUGE_EID
+        if self._single:
+            self._q[slot] = deque()
+        else:
+            self._qs[slot] = [deque() for _ in range(self._nq)]
+            self._visit[slot] = list(range(self._nq))
+            self._disabled[slot] = []
+            self._enabled[slot] = [True] * self._nq
+
+        self.m_val[slot] = 0.0
+        self.m_area[slot] = 0.0
+        self.m_last[slot] = 0.0
+        self.origin[slot] = 0.0
+        self.resp_cnt[slot] = 0
+        self.resp_mean[slot] = 0.0
+        self.batch_sum[slot] = 0.0
+        self.in_batch[slot] = 0
+        self.b_cnt[slot] = 0
+        self.b_mean[slot] = 0.0
+        self.b_m2[slot] = 0.0
+
+        self.finished[slot] = 0
+        self.end_time[slot] = 0.0
+        self.backlog_reset[slot] = 0
+        self.backlog_end[slot] = 0
         # warmup_jobs == 0: the scalar run resets at t=0 before any
         # event, which is exactly the initial column state.
-        self.reset_done = np.full(n, self.warmup_target == 0, dtype=bool)
+        self.reset_done[slot] = config.warmup_jobs == 0
+
+        self._generate_chunk(slot)
+        self.na_t[slot] = self._jobs_py[slot][0][0]
+        self.active[slot] = True
+        self.active_lanes += 1
+
+    def drain_retired(self) -> "list[tuple[int, SweepPoint]]":
+        """Finished lanes since the last drain, as ``(slot, point)``
+        pairs in retirement order.  Drained slots are free for
+        :meth:`load`."""
+        if not self._retired:
+            return []
+        out = [(slot, self._point(slot)) for slot in self._retired]
+        self._retired.clear()
+        return out
 
     # -- workload generation ---------------------------------------------
 
@@ -374,6 +584,9 @@ class _BatchKernel:
         """Draw one prefetch block of jobs for ``lane`` in scalar order."""
         n = DEFAULT_DRAW_BATCH
         streams = self._streams[lane]
+        assert streams is not None
+        prof = self._prof[lane]
+        assert prof is not None
         size_dist = self.size_distribution
         service_dist = self.service_distribution
         # Sizes: block draws only when provably stream-equivalent —
@@ -395,8 +608,8 @@ class _BatchKernel:
             svc = np.array([service_dist.sample(streams.services)
                             for _ in range(n)], dtype=np.float64)
         u = streams.routing.random(n)
-        queues = np.searchsorted(self._route_cdf, u, side="right")
-        iat = streams.iat.exponential(self.mean_iat, n)
+        queues = np.searchsorted(prof.route_cdf, u, side="right")
+        iat = streams.iat.exponential(self._mean_iat[lane], n)
         # Sequential accumulation: the scalar engine chains ``now +
         # delay`` one float add at a time; np.cumsum may pairwise-sum,
         # which rounds differently.
@@ -411,7 +624,7 @@ class _BatchKernel:
         # products/quotients below are the same float64 IEEE ops the
         # scalar JobFactory performs, so the tuples hold the exact
         # scalar values.
-        ext = self._ext_tab[sizes]
+        ext = prof.ext_tab[sizes]
         gross = (svc * ext).tolist()
         net = (sizes / ext).tolist()
         if self._single:
@@ -424,7 +637,7 @@ class _BatchKernel:
         # multi-component flag).  LS routes every job to its origin
         # cluster's local queue; LP sends multi-component jobs to the
         # global queue (index 0) and the rest to 1 + origin cluster.
-        multi = self._ncomp_tab[sizes] > 1
+        multi = prof.ncomp_tab[sizes] > 1
         if self.policy == "LS":
             qid = queues % self.n_clusters
         else:
@@ -448,7 +661,7 @@ class _BatchKernel:
     # scalar-engine order, so the statistics are bit-identical; only
     # the bookkeeping representation changes.
 
-    def _place_single(self, free: list[int],
+    def _place_single(self, prof: _LaneProfile, free: list[int],
                       size: int) -> Optional[tuple[tuple[int, int], ...]]:
         """Worst Fit over Python ints: ``((cluster, component), ...)``
         or ``None`` when some component does not fit.
@@ -458,21 +671,26 @@ class _BatchKernel:
         differential tests) exactly — components non-increasing, each
         on the fullest feasible cluster not already holding a
         component of this job, ties to the lowest cluster index.
-        Placement is a pure function of (total size, free counts):
-        outcomes are memoized, which also elides re-deriving the
-        scalar engine's repeated identical head-of-queue failures.
-        Distinct (size, free) keys number in the hundreds of thousands
-        per campaign, so the miss path stays a plain Python scan — at
-        width 1 the numpy kernel's dispatch overhead is ~10x the work.
+        Placement is a pure function of (profile, total size, free
+        counts): outcomes are memoized, which also elides re-deriving
+        the scalar engine's repeated identical head-of-queue failures.
+        The memo is bounded at ``place_cache_cap`` entries with
+        deterministic oldest-insertion eviction — recomputing an
+        evicted entry yields the identical tuple, so the cap never
+        changes results.  Distinct keys number in the hundreds of
+        thousands per campaign, so the miss path stays a plain Python
+        scan — at width 1 the numpy kernel's dispatch overhead is ~10x
+        the work.
         """
-        key = (size, *free)
+        key = (prof.pid, size, *free)
         cache = self._place_cache
         hit = cache.get(key, _MISS)
         if hit is not _MISS:
             return hit  # type: ignore[return-value]
         alloc: list[tuple[int, int]] = []
         used = 0
-        for comp in self._comp_lists[size]:
+        result: Optional[tuple[tuple[int, int], ...]] = None
+        for comp in prof.comp_lists[size]:
             best = -1
             best_i = -1
             for ci, f in enumerate(free):
@@ -480,11 +698,19 @@ class _BatchKernel:
                     best = f
                     best_i = ci
             if best_i < 0:
-                cache[key] = None
-                return None
+                break
             used |= 1 << best_i
             alloc.append((best_i, comp))
-        result = tuple(alloc)
+        else:
+            result = tuple(alloc)
+        if len(cache) >= self._place_cap:
+            # Deterministic eviction: dicts iterate in insertion
+            # order, so the oldest entry goes first (FIFO).
+            del cache[next(iter(cache))]
+            self.place_evictions += 1
+            # Resolved at use time, never cached: REGISTRY.reset()
+            # replaces Counter objects (pool.py does the same).
+            REGISTRY.counter("batch.place_cache.evictions").inc()
         cache[key] = result
         return result
 
@@ -526,9 +752,11 @@ class _BatchKernel:
             return eid
         jobs = self._jobs_py[lane]
         free = self._free_py[lane]
+        prof = self._prof[lane]
+        assert prof is not None
         while q:
             head = q[0]
-            alloc = self._place_single(free, jobs[head][3])
+            alloc = self._place_single(prof, free, jobs[head][3])
             if alloc is None:
                 break
             q.popleft()
@@ -554,12 +782,15 @@ class _BatchKernel:
         jobs = self._jobs_py[lane]
         q = self._q[lane]
         free = self._free_py[lane]
+        prof = self._prof[lane]
+        assert prof is not None
         t = float(self.na_t.item(lane))
         started = False
         while True:
             if q:
                 q.append(job)
-            elif (alloc := self._place_single(free, jobs[job][3])) is None:
+            elif (alloc := self._place_single(prof, free,
+                                              jobs[job][3])) is None:
                 q.append(job)
             else:
                 eid += 1
@@ -601,6 +832,8 @@ class _BatchKernel:
         enabled = self._enabled[lane]
         jobs = self._jobs_py[lane]
         free = self._free_py[lane]
+        prof = self._prof[lane]
+        assert prof is not None
         progress = True
         while progress:
             progress = False
@@ -613,7 +846,7 @@ class _BatchKernel:
                 size = jt[3]
                 if jt[5]:
                     # Multi-component: Worst Fit over all clusters.
-                    alloc = self._place_single(free, size)
+                    alloc = self._place_single(prof, free, size)
                 elif free[qid] >= size:
                     # Single-component: only the local cluster
                     # (LS queue index == cluster index).
@@ -643,6 +876,8 @@ class _BatchKernel:
         enabled = self._enabled[lane]
         jobs = self._jobs_py[lane]
         free = self._free_py[lane]
+        prof = self._prof[lane]
+        assert prof is not None
         nq = self._nq
         progress = True
         while progress:
@@ -658,7 +893,7 @@ class _BatchKernel:
                     else:
                         continue
                     # Global queue: all multi-component, Worst Fit.
-                    alloc = self._place_single(free, jobs[q[0]][3])
+                    alloc = self._place_single(prof, free, jobs[q[0]][3])
                 else:
                     size = jobs[q[0]][3]
                     # Local queue: only its own cluster (qid - 1).
@@ -813,10 +1048,10 @@ class _BatchKernel:
         self.batch_sum[idx] = bsum
         in_b = self.in_batch[idx] + 1
         self.in_batch[idx] = in_b
-        closing = in_b == self.batch_size
+        closing = in_b == self._bsize[idx]
         if closing.any():
             rows = idx[closing]
-            bval = bsum[closing] / self.batch_size
+            bval = bsum[closing] / self._bsize[rows]
             bc = self.b_cnt[rows] + 1
             self.b_cnt[rows] = bc
             bdelta = bval - self.b_mean[rows]
@@ -882,40 +1117,44 @@ class _BatchKernel:
 
     def _post_departure(self, idx: "np.ndarray") -> None:
         """Warmup reset / termination — the scalar ``run_while``
-        predicates, checked after the full departure event."""
+        predicates, checked after the full departure event.  A lane
+        reaching its completion target retires: it leaves the active
+        mask and queues for :meth:`drain_retired`."""
         done_jobs = self.finished[idx]
-        if self.warmup_target > 0:
-            crossing = ((done_jobs == self.warmup_target)
-                        & ~self.reset_done[idx])
-            if crossing.any():
-                rows = idx[crossing]
-                t = self.now[rows]
-                self.origin[rows] = t
-                self.m_area[rows] = 0.0
-                self.m_last[rows] = t
-                self.resp_cnt[rows] = 0
-                self.resp_mean[rows] = 0.0
-                self.batch_sum[rows] = 0.0
-                self.in_batch[rows] = 0
-                self.b_cnt[rows] = 0
-                self.b_mean[rows] = 0.0
-                self.b_m2[rows] = 0.0
-                self.backlog_reset[rows] = self._backlog(rows)
-                self.reset_done[rows] = True
-        finished = done_jobs >= self.total_target
+        crossing = ((done_jobs == self._warm_tgt[idx])
+                    & ~self.reset_done[idx])
+        if crossing.any():
+            rows = idx[crossing]
+            t = self.now[rows]
+            self.origin[rows] = t
+            self.m_area[rows] = 0.0
+            self.m_last[rows] = t
+            self.resp_cnt[rows] = 0
+            self.resp_mean[rows] = 0.0
+            self.batch_sum[rows] = 0.0
+            self.in_batch[rows] = 0
+            self.b_cnt[rows] = 0
+            self.b_mean[rows] = 0.0
+            self.b_m2[rows] = 0.0
+            self.backlog_reset[rows] = self._backlog(rows)
+            self.reset_done[rows] = True
+        finished = done_jobs >= self._total_tgt[idx]
         if finished.any():
             rows = idx[finished]
             self.end_time[rows] = self.now[rows]
             self.backlog_end[rows] = self._backlog(rows)
             self.active[rows] = False
+            done = rows.tolist()
+            self._retired.extend(done)
+            self.active_lanes -= len(done)
 
-    def _step(self) -> None:
+    def step(self) -> None:
         """One step of the lockstep engine: vectorized select,
         departure statistics and run control; per-lane Python pops,
         policy reactions and arrival bursts.
 
-        Replications never interact, so each arrival lane may process
-        its whole run of arrivals up to (strictly before) its own next
+        Lanes never interact, so each arrival lane may process its
+        whole run of arrivals up to (strictly before) its own next
         departure in one go — global (time, sequence) order only ever
         matters *within* a lane."""
         active = self.active
@@ -936,61 +1175,43 @@ class _BatchKernel:
                                   dmin_t[arr_mask].tolist()):
                 burst(lane, dmin)
 
-    # -- driver ------------------------------------------------------------
+    # -- results -----------------------------------------------------------
 
-    def run(self) -> "list[SweepPoint]":
-        active = self.active
-        step = self._step
-        while active.any():
-            step()
-        return self._finalize()
-
-    def _finalize(self) -> "list[SweepPoint]":
+    def _point(self, lane: int) -> "SweepPoint":
+        """The finished lane's statistics, exactly as the scalar
+        engine's :class:`~repro.analysis.points.SweepPoint`."""
         from repro.analysis.points import SweepPoint
 
-        factory = JobFactory(
-            self.size_distribution,  # type: ignore[arg-type]
-            self.service_distribution,
-            self.config.component_limit,
-            clusters=self.n_clusters,
-            extension_factor=self.config.extension_factor,
-            routing_weights=self.config.routing_weights,
-            streams=StreamFactory(0),
-        )
-        offered = factory.offered_gross_utilization(self.rate, self.capacity)
         confidence = 0.95
-        points = []
-        for lane in range(self.n):
-            end = float(self.end_time[lane])
-            elapsed = end - float(self.origin[lane])
-            if elapsed <= 0:
-                raise ValueError("empty measurement window")
-            denom = self.capacity * elapsed
-            tail = end - float(self.m_last[lane])
-            gross = (float(self.m_area[lane, 0])
-                     + float(self.m_val[lane, 0]) * tail) / denom
-            net = (float(self.m_area[lane, 1])
-                   + float(self.m_val[lane, 1]) * tail) / denom
-            mean = (float(self.resp_mean[lane]) if self.resp_cnt[lane]
-                    else math.nan)
-            k = int(self.b_cnt[lane])
-            if k < 2:
-                half = math.inf
-            else:
-                t_quant = student_t_quantile(0.5 + confidence / 2.0, k - 1)
-                std = math.sqrt(float(self.b_m2[lane]) / (k - 1))
-                half = t_quant * std / math.sqrt(k)
-            saturated = (int(self.backlog_end[lane])
-                         > max(50, 3 * int(self.backlog_reset[lane]) + 20))
-            points.append(SweepPoint(
-                offered_gross=offered,
-                gross_utilization=gross,
-                net_utilization=net,
-                mean_response=mean,
-                ci_half_width=half,
-                saturated=saturated,
-            ))
-        return points
+        end = float(self.end_time[lane])
+        elapsed = end - float(self.origin[lane])
+        if elapsed <= 0:
+            raise ValueError("empty measurement window")
+        denom = self.capacity * elapsed
+        tail = end - float(self.m_last[lane])
+        gross = (float(self.m_area[lane, 0])
+                 + float(self.m_val[lane, 0]) * tail) / denom
+        net = (float(self.m_area[lane, 1])
+               + float(self.m_val[lane, 1]) * tail) / denom
+        mean = (float(self.resp_mean[lane]) if self.resp_cnt[lane]
+                else math.nan)
+        k = int(self.b_cnt[lane])
+        if k < 2:
+            half = math.inf
+        else:
+            t_quant = student_t_quantile(0.5 + confidence / 2.0, k - 1)
+            std = math.sqrt(float(self.b_m2[lane]) / (k - 1))
+            half = t_quant * std / math.sqrt(k)
+        saturated = (int(self.backlog_end[lane])
+                     > max(50, 3 * int(self.backlog_reset[lane]) + 20))
+        return SweepPoint(
+            offered_gross=self._offered[lane],
+            gross_utilization=gross,
+            net_utilization=net,
+            mean_response=mean,
+            ci_half_width=half,
+            saturated=saturated,
+        )
 
 
 def run_batch_points(config: SimulationConfig,
@@ -1009,6 +1230,8 @@ def run_batch_points(config: SimulationConfig,
     (they are redundant; both are accepted so callers can match either
     scalar entry point exactly).
     """
+    if not seeds:
+        raise BatchBackendError("need at least one seed")
     factory = JobFactory(
         size_distribution,  # type: ignore[arg-type]
         service_distribution,
@@ -1022,9 +1245,15 @@ def run_batch_points(config: SimulationConfig,
         arrival_rate = factory.arrival_rate_for_gross_utilization(
             offered_gross, config.capacity
         )
-    kernel = _BatchKernel(config, size_distribution, service_distribution,
-                          arrival_rate, seeds)
-    return kernel.run()
+    kernel = BatchLaneKernel(config, size_distribution,
+                             service_distribution, len(seeds))
+    for slot, seed in enumerate(seeds):
+        kernel.load(slot, replace(config, seed=int(seed)),
+                    arrival_rate=arrival_rate)
+    while not kernel.idle:
+        kernel.step()
+    by_slot = dict(kernel.drain_retired())
+    return [by_slot[slot] for slot in range(len(seeds))]
 
 
 def run_batch_task(task: "RunTask") -> "SweepPoint":

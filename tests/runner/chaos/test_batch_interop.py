@@ -23,8 +23,6 @@ import sys
 import textwrap
 import time
 
-import pytest
-
 from repro.analysis.io import save_sweep
 from repro.analysis.sweeps import sweep, sweep_tasks
 from repro.runner import (
@@ -52,23 +50,6 @@ CHILD = textwrap.dedent("""
     sweep("GS", small_config("GS"), SIZES, SERVICE, {grid!r},
           workers=1, cache=ResultCache({cache_dir!r}), backend="batch")
 """)
-
-
-@pytest.fixture
-def batch_calls(monkeypatch):
-    """Count batch-kernel invocations (the batch analogue of
-    ``engine_calls``); cache-warm batch runs must leave it at zero."""
-    import repro.sim.batch as batch_module
-
-    calls = {"count": 0}
-    real = batch_module.run_batch_points
-
-    def counting(*args, **kwargs):
-        calls["count"] += 1
-        return real(*args, **kwargs)
-
-    monkeypatch.setattr(batch_module, "run_batch_points", counting)
-    return calls
 
 
 def payload(result) -> str:

@@ -1,0 +1,122 @@
+"""Crash recovery for the *fused* batch path.
+
+``test_batch_interop.py`` pins resume for batch campaigns whose child
+ran task-at-a-time (fault injection was armed, so fusion was gated
+off).  This file kills a process in the middle of a genuinely fused
+wave — several lanes in flight inside one
+:class:`~repro.sim.batch.BatchLaneKernel` call — and proves the
+per-task checkpoint granularity survives fusion:
+
+* points whose lanes retired before the crash are on disk, the
+  in-flight lanes are simply lost;
+* ``--resume`` (a re-invoked cached sweep) re-executes *only* the
+  unfinished grid points, loading that many lanes and no more;
+* the resumed curve is byte-identical to a fault-free fused run.
+
+The crash is deterministic: the child SIGKILLs itself from inside the
+first :meth:`~repro.runner.cache.ResultCache.store` call, i.e. at the
+exact moment the first lane retires while the rest of the wave is
+still running.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis.io import save_sweep
+from repro.analysis.sweeps import sweep, sweep_tasks
+from repro.runner import (
+    ResultCache,
+    campaign_key,
+    campaign_progress,
+    load_campaign,
+    task_keys,
+)
+
+from ..conftest import SERVICE, SIZES, small_config
+
+GRID = (0.3, 0.4, 0.5, 0.6)
+
+#: The fused sweep, run in a child that kills itself (SIGKILL — no
+#: cleanup, no atexit) from inside the first cache checkpoint.
+CHILD = textwrap.dedent("""
+    import os, signal, sys
+    sys.path.insert(0, {test_dir!r})
+    from conftest import SERVICE, SIZES, small_config  # tests/runner
+
+    from repro.analysis.sweeps import sweep
+    from repro.runner.cache import ResultCache
+
+    real_store = ResultCache.store
+    stores = [0]
+
+    def crashing_store(self, key, point, *args, **kwargs):
+        real_store(self, key, point, *args, **kwargs)
+        stores[0] += 1
+        if stores[0] == 1:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    ResultCache.store = crashing_store
+    sweep("GS", small_config("GS"), SIZES, SERVICE, {grid!r},
+          workers=1, cache=ResultCache({cache_dir!r}), backend="batch")
+""")
+
+
+def payload(result) -> str:
+    buf = io.StringIO()
+    save_sweep(result, buf)
+    return buf.getvalue()
+
+
+class TestCrashMidFusedWave:
+    def test_resume_reruns_only_the_lost_lanes(self, tmp_path,
+                                               batch_calls):
+        config = small_config("GS")
+        keys = task_keys(sweep_tasks(config, SIZES, SERVICE, GRID,
+                                     backend="batch"))
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+
+        test_dir = os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))
+        child = subprocess.run(
+            [sys.executable, "-c",
+             CHILD.format(test_dir=test_dir, grid=GRID,
+                          cache_dir=str(cache_dir))],
+            capture_output=True, timeout=120,
+        )
+        assert child.returncode == -signal.SIGKILL, (
+            f"child should die by its own SIGKILL, got "
+            f"{child.returncode}: {child.stderr.decode()[-500:]}"
+        )
+
+        # Exactly one lane retired before the crash; the rest of the
+        # wave was in flight and is lost.
+        done = [key for key in keys if cache.contains(key)]
+        assert len(done) == 1
+
+        manifest = load_campaign(cache, campaign_key("sweep", "GS", keys))
+        assert manifest is not None
+        assert manifest.status == "running"
+        assert campaign_progress(cache, manifest) == (1, len(keys))
+
+        # Resume: only the lost points load lanes; the survivor is a
+        # cache hit.
+        resumed = sweep("GS", config, SIZES, SERVICE, GRID,
+                        workers=1, cache=cache, backend="batch")
+        assert batch_calls["count"] == len(keys) - 1
+
+        manifest = load_campaign(cache, campaign_key("sweep", "GS", keys))
+        assert manifest.status == "complete"
+        for key in keys:
+            assert cache.contains(key)
+
+        # Byte-identical to a fused run that never crashed.
+        clean = sweep("GS", config, SIZES, SERVICE, GRID,
+                      workers=1, cache=False, backend="batch")
+        assert payload(resumed) == payload(clean)

@@ -22,6 +22,25 @@ def small_config(policy="GS", **kw) -> SimulationConfig:
 
 
 @pytest.fixture
+def batch_calls(monkeypatch):
+    """Count batch-kernel lane computations — one per point actually
+    simulated, whether through ``run_batch_points`` or a fused sweep
+    (the batch analogue of ``engine_calls``); cache-warm batch runs
+    must leave it at zero."""
+    import repro.sim.batch as batch_module
+
+    calls = {"count": 0}
+    real = batch_module.BatchLaneKernel.load
+
+    def counting(self, *args, **kwargs):
+        calls["count"] += 1
+        return real(self, *args, **kwargs)
+
+    monkeypatch.setattr(batch_module.BatchLaneKernel, "load", counting)
+    return calls
+
+
+@pytest.fixture
 def engine_calls(monkeypatch):
     """Count engine invocations (in-process runs only, ``workers=1``).
 

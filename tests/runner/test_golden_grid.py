@@ -1,0 +1,127 @@
+"""Committed golden grid campaigns, regressed through THREE paths.
+
+``tests/data/golden/grid_<policy>.json`` freeze one small campaign
+grid per policy — multiple component limits × multiple offered loads
+for the multicluster policies (GS/LS/LP), loads only for SC —
+generated once by the *scalar* engine and committed.  Every test run
+reproduces each file byte for byte three times:
+
+* the scalar engine, one run per grid cell (determinism: the model
+  still produces the committed numbers);
+* the homogeneous batch path, a width-1 lockstep kernel per cell
+  (backend equivalence, as in ``test_golden_replicated.py``);
+* the *fused* path, the whole heterogeneous grid through one
+  :func:`~repro.runner.fused.execute_fused` call with fewer lanes
+  than cells, so finished lanes retire and refill mid-campaign
+  (fusion equivalence: lane packing, slot reuse and per-lane
+  parameter columns change nothing).
+
+A diff from the scalar path means the model changed (regenerate in
+the same commit and say why); a diff from either batch path alone
+means the backends diverged — always a bug.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.points import SweepPoint, point_to_dict
+from repro.runner import RunTask, execute_fused, task_key
+from repro.runner.worker import run_task_result
+from repro.sim.batch import run_batch_task
+
+from .conftest import SERVICE, SIZES, small_config
+
+GOLDEN_DIR = Path(__file__).parent.parent / "data" / "golden"
+
+POLICIES = ("GS", "LS", "LP", "SC")
+LIMITS = (16, 24)
+RHOS = (0.35, 0.55)
+
+#: Fewer lanes than the 4-cell multicluster grids: the fused run must
+#: retire a lane and refill its slot to finish, exercising the
+#: heterogeneous-refill machinery rather than a single static wave.
+FUSED_WIDTH = 3
+
+
+def grid_tasks(policy: str) -> list[RunTask]:
+    """The policy's campaign, in (limit, rho) grid order."""
+    if policy == "SC":
+        configs = [small_config("SC")]
+    else:
+        configs = [small_config(policy, component_limit=limit)
+                   for limit in LIMITS]
+    return [RunTask(config, SIZES, SERVICE, rho, backend="batch")
+            for config in configs for rho in RHOS]
+
+
+def grid_payload(tasks: list[RunTask],
+                 points: list[SweepPoint]) -> str:
+    """Deterministic JSON for one campaign's cells, grid order."""
+    cells = [
+        {
+            "component_limit": task.config.component_limit,
+            "offered_gross": task.offered_gross,
+            "point": point_to_dict(point),
+        }
+        for task, point in zip(tasks, points)
+    ]
+    payload = {"format": "repro.grid", "version": 1, "cells": cells}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def scalar_points(tasks: list[RunTask]) -> list[SweepPoint]:
+    return [SweepPoint.from_result(run_task_result(t)) for t in tasks]
+
+
+def homogeneous_batch_points(tasks: list[RunTask]) -> list[SweepPoint]:
+    return [run_batch_task(t) for t in tasks]
+
+
+def fused_points(tasks: list[RunTask]) -> list[SweepPoint]:
+    by_key = execute_fused(tasks, cache=False, width=FUSED_WIDTH)
+    return [by_key[task_key(t)] for t in tasks]
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestGoldenGrids:
+    def golden(self, policy: str) -> str:
+        return (GOLDEN_DIR / f"grid_{policy}.json").read_text(
+            encoding="utf-8")
+
+    def test_scalar_engine_matches_committed_fixture(self, policy):
+        tasks = grid_tasks(policy)
+        assert grid_payload(tasks, scalar_points(tasks)) == \
+            self.golden(policy)
+
+    def test_homogeneous_batch_matches_committed_fixture(self, policy):
+        tasks = grid_tasks(policy)
+        assert grid_payload(tasks, homogeneous_batch_points(tasks)) == \
+            self.golden(policy)
+
+    def test_fused_grid_matches_committed_fixture(self, policy):
+        tasks = grid_tasks(policy)
+        assert grid_payload(tasks, fused_points(tasks)) == \
+            self.golden(policy)
+
+
+def test_one_fused_call_spanning_every_policy():
+    """All four campaigns fused at once: groups split per kernel shape
+    internally, and each policy's cells still match its fixture."""
+    per_policy = {p: grid_tasks(p) for p in POLICIES}
+    everything = [t for tasks in per_policy.values() for t in tasks]
+    by_key = execute_fused(everything, cache=False, width=FUSED_WIDTH)
+    for policy, tasks in per_policy.items():
+        points = [by_key[task_key(t)] for t in tasks]
+        golden = (GOLDEN_DIR / f"grid_{policy}.json").read_text(
+            encoding="utf-8")
+        assert grid_payload(tasks, points) == golden
+
+
+def test_grid_fixtures_differ_across_policies():
+    payloads = {p: (GOLDEN_DIR / f"grid_{p}.json").read_text("utf-8")
+                for p in POLICIES}
+    assert len(set(payloads.values())) == len(POLICIES)

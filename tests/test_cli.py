@@ -77,6 +77,60 @@ class TestSweepCommand:
         assert len(back.points) == 1
 
 
+class TestSweepBackendFlag:
+    def test_parser_accepts_auto(self):
+        args = build_parser().parse_args(["sweep", "--backend", "auto"])
+        assert args.backend == "auto"
+
+    def test_auto_on_a_narrow_grid_runs_scalar(self, capsys):
+        # One grid point is below AUTO_MIN_WIDTH, so auto must resolve
+        # to the scalar engine and behave exactly like the default.
+        rc = main([
+            "sweep", "--policy", "GS", "--grid", "0.3:0.3:0.1",
+            "--warmup", "100", "--measured", "400",
+            "--backend", "auto",
+        ])
+        assert rc == 0
+        assert "performance ranking" in capsys.readouterr().out
+
+    def test_auto_on_a_wide_grid_fuses_the_kernel(self, capsys,
+                                                  monkeypatch):
+        pytest.importorskip("numpy")
+        import repro.sim.batch as batch_module
+
+        calls = {"count": 0}
+        real = batch_module.BatchLaneKernel.load
+
+        def counting(self, *args, **kwargs):
+            calls["count"] += 1
+            return real(self, *args, **kwargs)
+
+        monkeypatch.setattr(batch_module.BatchLaneKernel, "load",
+                            counting)
+        rc = main([
+            "sweep", "--policy", "GS", "--grid", "0.3:0.6:0.1",
+            "--warmup", "100", "--measured", "400",
+            "--backend", "auto", "--no-cache",
+        ])
+        assert rc == 0
+        assert calls["count"] > 0
+
+    def test_batch_without_numpy_degrades_cleanly(self, monkeypatch,
+                                                  capsys):
+        import repro.sim.backend as backend_module
+
+        monkeypatch.setattr(backend_module, "numpy_available",
+                            lambda: False)
+        with pytest.warns(backend_module.BackendFallbackWarning):
+            rc = main([
+                "sweep", "--policy", "GS", "--grid", "0.3:0.3:0.1",
+                "--warmup", "100", "--measured", "400",
+                "--backend", "batch",
+            ])
+        assert rc == 0
+        assert "performance ranking" in capsys.readouterr().out
+
+
 class TestMaxUtilCommand:
     def test_maxutil_prints_values(self, capsys):
         rc = main([
