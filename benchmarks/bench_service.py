@@ -1,0 +1,261 @@
+#!/usr/bin/env python
+"""Sweep-service overhead benchmark: campaigns through the socket.
+
+Measures what the persistent campaign server (``repro.service``) adds
+on top of the work itself, for one GS utilization grid:
+
+* ``cold`` — submitting the grid to a fresh server over an empty cache
+  (engine-bound: the stream costs only framing on top of execution);
+* ``warm`` — resubmitting the identical spec (cache-bound: every cell
+  is a read-through hit; this is the latency a returning client pays);
+* ``throughput`` — warm submissions per second, each a full
+  connect → submit → stream → close cycle over the Unix socket;
+* ``overhead`` — paired A/B/B/A rounds of the cold service path
+  against the in-process one-shot runner executing the same task list
+  (``service elapsed / one-shot elapsed``; x1.00 means the socket adds
+  nothing measurable to an engine-bound campaign).
+
+Every round asserts the streamed points are identical to the one-shot
+runner's (and that warm rounds trigger **zero** engine executions, via
+the server's own ``status`` counters) before any timing is trusted —
+a benchmark round that diverges raises instead of reporting a number.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py           # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_service.py --quick --check
+
+Writes machine-readable results to ``BENCH_service.json`` (``--out``
+to redirect).  ``--check`` gates correctness in both modes (warm zero
+executions, byte-identical payloads) plus, in full mode, the service
+overhead staying under x1.5 and warm throughput above 2 campaigns/s.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+# The service rides on the same numeric stack as the rest of the
+# package; defer the import so a minimal environment gets a clear skip
+# (exit 0) and pytest can still collect this file.
+try:
+    from repro.analysis.points import SweepPoint, point_to_dict
+    from repro.runner import execute
+    from repro.service import (
+        ServiceClient,
+        config_to_dict,
+        normalize_spec,
+        serve_in_thread,
+        spec_tasks,
+    )
+except ModuleNotFoundError as exc:
+    if (exc.name or "").partition(".")[0] != "numpy":
+        raise
+    _IMPORT_ERROR: Optional[ModuleNotFoundError] = exc
+else:
+    _IMPORT_ERROR = None
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCHEMA = "repro.bench.service/1"
+
+RHOS_FULL = (0.3, 0.35, 0.4, 0.45, 0.5)
+RHOS_QUICK = (0.3, 0.4)
+
+#: --check gates.  Correctness (zero warm executions, identical
+#: payloads) is asserted inside the rounds in both modes; the numeric
+#: gates only apply to full mode — quick mode runs on shared CI
+#: runners where latency numbers mean little.
+CHECK_GATES = {
+    "full": {"overhead_quartile_max": 1.5,
+             "warm_campaigns_per_sec_min": 2.0},
+    "quick": {},
+}
+
+
+def grid_spec(warmup: int, measured: int, rhos: tuple) -> dict:
+    config = {"policy": "GS", "component_limit": 16, "seed": 7,
+              "warmup_jobs": warmup, "measured_jobs": measured,
+              "batch_size": max(1, measured // 10)}
+    return normalize_spec({
+        "label": "bench",
+        "cells": [{"config": config, "offered_gross": rho}
+                  for rho in rhos],
+    })
+
+
+def one_shot_points(spec: dict) -> "list[SweepPoint]":
+    """The in-process runner over the spec's task list, uncached."""
+    return execute(spec_tasks(spec), workers=1, cache=False)
+
+
+def _fresh_service(root: Path, index: int):
+    return serve_in_thread(root / f"cache-{index}",
+                           root / f"svc-{index}.sock", fleet=4)
+
+
+def bench_campaigns(spec: dict, rounds: int, warm_reps: int,
+                    root: Path) -> dict:
+    """Cold/warm/throughput/overhead in paired rounds."""
+    expected = [point_to_dict(p) for p in one_shot_points(spec)]
+
+    cold_times = []
+    warm_times = []
+    overhead_ratios = []
+    throughput = []
+    for round_index in range(rounds):
+        # A/B/B/A: alternate which path pays the cold-start cost.
+        def run_one_shot() -> float:
+            start = time.perf_counter()
+            points = one_shot_points(spec)
+            elapsed = time.perf_counter() - start
+            if [point_to_dict(p) for p in points] != expected:
+                raise AssertionError("one-shot points diverged "
+                                     "between rounds")
+            return elapsed
+
+        def run_service() -> float:
+            with _fresh_service(root, round_index) as server:
+                client = ServiceClient(server.socket_path)
+                start = time.perf_counter()
+                cold = client.run(spec)
+                cold_elapsed = time.perf_counter() - start
+                if cold.raw_points != expected:
+                    raise AssertionError(
+                        "service points diverged from the one-shot "
+                        "runner; timing would be meaningless")
+                executed = client.status()["counters"]["tasks.executed"]
+
+                start = time.perf_counter()
+                for _ in range(warm_reps):
+                    warm = client.run(spec)
+                warm_elapsed = (time.perf_counter() - start) / warm_reps
+                if warm.raw_points != expected:
+                    raise AssertionError("warm service points diverged")
+                after = client.status()["counters"]["tasks.executed"]
+                if after != executed:
+                    raise AssertionError(
+                        f"warm submissions executed {after - executed} "
+                        "tasks; the cache round-trip is broken")
+                cold_times.append(cold_elapsed)
+                warm_times.append(warm_elapsed)
+                throughput.append(1.0 / warm_elapsed)
+                return cold_elapsed
+
+        if round_index % 2 == 0:
+            one_shot_elapsed = run_one_shot()
+            service_elapsed = run_service()
+        else:
+            service_elapsed = run_service()
+            one_shot_elapsed = run_one_shot()
+        overhead_ratios.append(service_elapsed / one_shot_elapsed)
+        shutil.rmtree(root / f"cache-{round_index}",
+                      ignore_errors=True)
+
+    quartile = (statistics.quantiles(overhead_ratios, n=4)[2]
+                if len(overhead_ratios) > 1 else overhead_ratios[0])
+    return {
+        "grid_points": len(spec["cells"]),
+        "cold_s_best": round(min(cold_times), 4),
+        "warm_s_best": round(min(warm_times), 4),
+        "warm_campaigns_per_sec": round(max(throughput), 1),
+        "overhead_median": round(statistics.median(overhead_ratios), 3),
+        # Upper quartile: the conservative bound on what the socket
+        # costs (lower is better here, unlike a speedup).
+        "overhead_quartile": round(quartile, 3),
+        "overhead_rounds": [round(r, 3) for r in overhead_ratios],
+        "warm_zero_executions": True,
+        "payloads_identical": True,
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short runs for CI smoke testing")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_service.json",
+                        help="output JSON path")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero unless the gates for the "
+                             "current mode hold")
+    args = parser.parse_args(argv)
+
+    if _IMPORT_ERROR is not None:
+        print("SKIPPED: numpy is not installed "
+              f"({_IMPORT_ERROR}); install the numeric stack with "
+              "`pip install repro[batch]` to run this benchmark")
+        return 0
+
+    if args.quick:
+        warmup, measured, rounds, warm_reps = 100, 400, 2, 5
+        rhos = RHOS_QUICK
+    else:
+        warmup, measured, rounds, warm_reps = 500, 2_000, 5, 20
+        rhos = RHOS_FULL
+
+    mode = "quick" if args.quick else "full"
+    spec = grid_spec(warmup, measured, rhos)
+    root = Path(tempfile.mkdtemp(prefix="repro-bench-svc-"))
+    try:
+        case = bench_campaigns(spec, rounds, warm_reps, root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    print(f"grid: {case['grid_points']} cells  "
+          f"cold {case['cold_s_best']:.3f}s  "
+          f"warm {case['warm_s_best'] * 1000:.1f}ms  "
+          f"{case['warm_campaigns_per_sec']:.1f} campaigns/s warm  "
+          f"overhead x{case['overhead_quartile']:.2f} "
+          f"(median x{case['overhead_median']:.2f})")
+
+    payload = {
+        "schema": SCHEMA,
+        "generated_by": "benchmarks/bench_service.py",
+        "mode": mode,
+        "python": platform.python_version(),
+        "warmup_jobs": warmup,
+        "measured_jobs": measured,
+        "rounds": rounds,
+        "warm_reps": warm_reps,
+        "cases": {"grid": case},
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        reparsed = json.loads(args.out.read_text(encoding="utf-8"))
+        gates = CHECK_GATES[reparsed["mode"]]
+        case = reparsed["cases"]["grid"]
+        failed = []
+        if not (case["warm_zero_executions"]
+                and case["payloads_identical"]):
+            failed.append("correctness self-checks did not run")
+        limit = gates.get("overhead_quartile_max")
+        if limit is not None and case["overhead_quartile"] > limit:
+            failed.append(f"overhead x{case['overhead_quartile']:.2f} "
+                          f"> x{limit:.1f}")
+        floor = gates.get("warm_campaigns_per_sec_min")
+        if floor is not None and case["warm_campaigns_per_sec"] < floor:
+            failed.append(f"{case['warm_campaigns_per_sec']:.1f} warm "
+                          f"campaigns/s < {floor:.1f}")
+        if failed:
+            print(f"CHECK FAILED: {'; '.join(failed)}")
+            return 1
+        print(f"CHECK OK: all {reparsed['mode']}-mode gates hold and "
+              "every round passed the identity self-checks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,13 @@ Subcommands
     Inspect observability artifacts: ``summary``, ``tail``,
     ``validate``, ``dash``, ``trace``, ``manifest``, ``profile``
     (see ``docs/observability.md``).
+``serve``
+    Run the persistent sweep service: an asyncio campaign server on a
+    local Unix-domain socket (see ``docs/service.md``).
+``submit``
+    Submit a sweep to a running service and stream its results.
+``attach``
+    Reattach to a previously submitted campaign by key prefix.
 
 Examples::
 
@@ -40,6 +47,9 @@ Examples::
     repro-sim obs validate .repro-obs
     repro-sim obs dash --iterations 1
     repro-sim obs trace --out trace.json
+    repro-sim serve --socket /tmp/repro.sock --fleet 4
+    repro-sim submit --policy GS --grid 0.2:0.8:0.1 --socket /tmp/repro.sock
+    repro-sim attach 9df5b409 --socket /tmp/repro.sock
 """
 
 from __future__ import annotations
@@ -335,6 +345,68 @@ def build_parser() -> argparse.ArgumentParser:
                           help="target offered gross utilization")
     obs_prof.add_argument("--top", type=int, default=20,
                           help="hotspot rows to print (default 20)")
+
+    def add_socket_arg(p):
+        p.add_argument("--socket", default=None, metavar="PATH",
+                       help="service socket path (default "
+                            "$REPRO_SERVICE_SOCKET or "
+                            ".repro-service.sock)")
+
+    serve_p = sub.add_parser(
+        "serve", help="persistent sweep service (campaign server)"
+    )
+    add_socket_arg(serve_p)
+    serve_p.add_argument("--cache-dir", default=None, metavar="PATH",
+                         help="result-cache root backing the service "
+                              "(default .repro-cache); campaign "
+                              "ledgers and all results live here, so "
+                              "a restarted server resumes from it")
+    serve_p.add_argument("--fleet", type=int, default=4, metavar="N",
+                         help="concurrent engine executions across "
+                              "all campaigns (default 4)")
+    serve_p.add_argument("--task-workers", type=int, default=1,
+                         metavar="N",
+                         help="worker processes per task execution "
+                              "(default 1: in-thread; >1 fans one "
+                              "task's retries over a process pool)")
+    serve_p.add_argument("--retries", type=int, default=None,
+                         metavar="N",
+                         help="per-task retry count for the fleet "
+                              "(default $REPRO_RETRIES or 0)")
+    serve_p.add_argument("--task-timeout", type=float, default=None,
+                         metavar="S",
+                         help="per-task wall-clock limit in seconds "
+                              "(default $REPRO_TASK_TIMEOUT, none)")
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a sweep to a running service"
+    )
+    add_model_args(submit_p)
+    add_socket_arg(submit_p)
+    submit_p.add_argument("--grid", default="0.2:0.8:0.1",
+                          help="utilization grid start:stop:step")
+    submit_p.add_argument("--backend", default="scalar",
+                          choices=["scalar", "batch", "auto"],
+                          help="simulation engine (same semantics as "
+                               "'sweep --backend'; the service fuses "
+                               "batch grids into lane-kernel calls)")
+    submit_p.add_argument("--label", default=None,
+                          help="campaign label (default: the policy "
+                               "name, matching one-shot sweeps)")
+    submit_p.add_argument("--stop-after", type=int, default=1,
+                          metavar="N",
+                          help="cut the curve after N saturated "
+                               "points (default 1, the paper's "
+                               "convention; 0 streams the full grid)")
+    submit_p.add_argument("--json", metavar="PATH", default=None,
+                          help="save the sweep result as JSON")
+
+    attach_p = sub.add_parser(
+        "attach", help="reattach to a submitted campaign by key prefix"
+    )
+    attach_p.add_argument("campaign",
+                          help="campaign key (or unique prefix)")
+    add_socket_arg(attach_p)
     return parser
 
 
@@ -752,6 +824,99 @@ def _cmd_obs(args) -> int:
     )
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.runner.cache import DEFAULT_CACHE_DIR
+    from repro.service import ServiceServer, resolve_socket_path
+
+    socket_path = resolve_socket_path(args.socket)
+    cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    server = ServiceServer(cache_dir, socket_path, fleet=args.fleet,
+                           workers=args.task_workers)
+    print(f"sweep service listening on {socket_path} "
+          f"(cache {cache_dir}, fleet {args.fleet})", flush=True)
+    asyncio.run(server.serve())
+    print("sweep service stopped")
+    return 0
+
+
+def _print_campaign_summary(result) -> None:
+    print(f"campaign {result.campaign[:12]}: "
+          f"{result.statuses.count('computed')} computed, "
+          f"{result.statuses.count('hit')} cached, "
+          f"{result.statuses.count('deduped')} deduped")
+
+
+def _cmd_submit(args) -> int:
+    from repro.analysis.sweeps import SweepResult
+    from repro.service import (
+        ServiceClient,
+        ServiceConnectionError,
+        ServiceError,
+        resolve_socket_path,
+        sweep_spec,
+    )
+
+    config = _config_from_args(args)
+    grid = _parse_grid(args.grid)
+    label = args.label or args.policy
+    stop = args.stop_after if args.stop_after > 0 else None
+    spec = sweep_spec(label, config, grid, workload=args.workload,
+                      backend=args.backend, stop_after_saturation=stop)
+    client = ServiceClient(resolve_socket_path(args.socket))
+    try:
+        result = client.run(spec)
+    except ServiceConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    _print_campaign_summary(result)
+    sweep_result = SweepResult(label=label, config=config,
+                               points=tuple(result.points))
+    print(tables.render_sweeps(
+        [sweep_result],
+        title=f"{label} L={args.limit} ({args.workload}) [service]"))
+    if args.json:
+        from repro.analysis.io import save_sweep
+
+        save_sweep(sweep_result, args.json)
+        print(f"saved sweep to {args.json}")
+    return 0
+
+
+def _cmd_attach(args) -> int:
+    from repro.service import (
+        ServiceClient,
+        ServiceConnectionError,
+        ServiceError,
+        resolve_socket_path,
+    )
+
+    client = ServiceClient(resolve_socket_path(args.socket))
+    try:
+        result = client.run_attached(args.campaign)
+    except ServiceConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    _print_campaign_summary(result)
+    # The original configuration lives server-side (in the ledger), so
+    # reattachment renders the plain point rows.
+    print(f"{'offered':>8} {'gross':>8} {'net':>8} "
+          f"{'response':>10} {'ci95':>10}")
+    for p in result.points:
+        flag = " SAT" if p.saturated else ""
+        print(f"{p.offered_gross:8.3f} {p.gross_utilization:8.4f} "
+              f"{p.net_utilization:8.4f} {p.mean_response:10.2f} "
+              f"{p.ci_half_width:10.2f}{flag}")
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
@@ -764,6 +929,9 @@ _COMMANDS = {
     "characterize": _cmd_characterize,
     "lint": _cmd_lint,
     "obs": _cmd_obs,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "attach": _cmd_attach,
 }
 
 

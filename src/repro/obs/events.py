@@ -31,8 +31,9 @@ from typing import Iterable, Iterator, Optional, Type, Union
 
 from repro.sim.trace import Tracer, TraceRecord
 
-__all__ = ["EVENT_SCHEMA", "EVENT_SCHEMAS", "EventLog", "ExportTracer",
-           "read_events", "read_header", "tail_events"]
+__all__ = ["EVENT_SCHEMA", "EVENT_SCHEMAS", "SERVICE_EVENT_SCHEMAS",
+           "EventLog", "ExportTracer", "read_events", "read_header",
+           "tail_events"]
 
 
 def _jsonify(value: object) -> object:
@@ -75,6 +76,25 @@ EVENT_SCHEMAS = {
     "queue_disable": frozenset({"queue", "order"}),
     "queue_enable": frozenset({"queue", "order"}),
     "queue_reenable": frozenset({"queue", "order"}),
+}
+
+#: Payload keys per event kind on a *campaign stream* — the wire format
+#: the sweep service (:mod:`repro.service`) answers ``submit``/``attach``
+#: requests with.  A stream is framed exactly like an on-disk event
+#: log (an :data:`EVENT_SCHEMA` header line, then one JSON object per
+#: line; ``t`` is a per-stream monotone sequence number, not a clock),
+#: so :func:`read_events` parses a captured stream unchanged.  Kept
+#: separate from :data:`EVENT_SCHEMAS` because those kinds are the
+#: simulator's trace contract checked by simlint's SIM011 at the
+#: ``emit_row`` sites; these are the service's.  ``t`` and ``kind``
+#: are implicit on all rows.
+SERVICE_EVENT_SCHEMAS = {
+    "campaign-begin": frozenset({"campaign", "campaign_kind", "label",
+                                 "planned"}),
+    "heartbeat": frozenset({"phase", "key", "description"}),
+    "point": frozenset({"key", "index", "status", "point"}),
+    "campaign-finish": frozenset({"campaign", "points"}),
+    "error": frozenset({"message"}),
 }
 
 PathLike = Union[str, Path]

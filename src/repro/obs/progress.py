@@ -23,12 +23,14 @@ short and self-contained).
 from __future__ import annotations
 
 import sys
+import threading
 from typing import Callable, Optional, TextIO
 
 from .timing import wall_clock
 
-__all__ = ["ProgressDisplay", "activate", "deactivate", "notify",
-           "active_hook", "subscribe", "unsubscribe"]
+__all__ = ["HeartbeatRouter", "ProgressDisplay", "activate",
+           "deactivate", "notify", "active_hook", "subscribe",
+           "unsubscribe"]
 
 #: ``(kind, key, description)`` heartbeat callback type.
 ProgressHook = Callable[[str, str, str], None]
@@ -85,6 +87,69 @@ def notify(kind: str, key: str, description: str) -> None:
     if _subscribers:
         for sub in tuple(_subscribers):
             sub(kind, key, description)
+
+
+class HeartbeatRouter:
+    """Thread-safe fan-in of heartbeats, routed by task key.
+
+    The sweep service multiplexes many concurrent campaigns over one
+    worker fleet, and the runner's heartbeats arrive on whichever
+    thread is executing a task — but each connected client must only
+    see the heartbeats of *its* campaign's keys.  The router is one
+    process-wide subscriber (installed with :meth:`start`) that fans
+    every heartbeat out to the watches whose key set contains it.
+
+    Watch hooks are called on the emitting thread; consumers that need
+    loop affinity (the asyncio server) bounce through
+    ``loop.call_soon_threadsafe`` themselves.  Registering and removing
+    watches is safe from any thread.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._watches: dict[int, tuple[frozenset[str], ProgressHook]] = {}
+        self._next_token = 0
+        self._installed: Optional[ProgressHook] = None
+
+    def start(self) -> None:
+        """Subscribe the router to the process-wide heartbeat stream."""
+        with self._lock:
+            if self._installed is None:
+                self._installed = subscribe(self._route)
+
+    def stop(self) -> None:
+        """Unsubscribe and drop every watch."""
+        with self._lock:
+            if self._installed is not None:
+                unsubscribe(self._installed)
+                self._installed = None
+            self._watches.clear()
+
+    def watch(self, keys: "frozenset[str] | set[str]",
+              hook: ProgressHook) -> int:
+        """Route heartbeats for any of ``keys`` to ``hook``.
+
+        Returns a token for :meth:`unwatch`.  Key sets of concurrent
+        watches may overlap (two clients attached to one campaign both
+        see its heartbeats).
+        """
+        with self._lock:
+            token = self._next_token
+            self._next_token += 1
+            self._watches[token] = (frozenset(keys), hook)
+            return token
+
+    def unwatch(self, token: int) -> None:
+        """Remove a watch (no-op when already removed)."""
+        with self._lock:
+            self._watches.pop(token, None)
+
+    def _route(self, kind: str, key: str, description: str) -> None:
+        with self._lock:
+            hooks = [hook for keys, hook in self._watches.values()
+                     if key in keys]
+        for hook in hooks:
+            hook(kind, key, description)
 
 
 class ProgressDisplay:

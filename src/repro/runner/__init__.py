@@ -41,13 +41,18 @@ from .cache import (
     ResultCache,
 )
 from .campaign import (
+    CAMPAIGN_LEDGER_SCHEMA,
     SWEEP_MANIFEST_SCHEMA,
     SweepManifest,
     begin_campaign,
     campaign_key,
+    campaign_ledger_path,
     campaign_progress,
     finish_campaign,
     load_campaign,
+    load_ledger,
+    match_campaigns,
+    record_ledger,
     sweep_manifest_path,
 )
 from .errors import (
@@ -94,6 +99,8 @@ __all__ = [
     "SweepManifest", "SWEEP_MANIFEST_SCHEMA", "campaign_key",
     "sweep_manifest_path", "begin_campaign", "finish_campaign",
     "load_campaign", "campaign_progress",
+    "CAMPAIGN_LEDGER_SCHEMA", "campaign_ledger_path", "record_ledger",
+    "load_ledger", "match_campaigns",
     "RunnerError", "TaskFailedError", "TaskTimeoutError",
     "TransientWorkerError",
 ]

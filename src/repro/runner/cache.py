@@ -139,6 +139,16 @@ class ResultCache:
         os.replace(tmp, path)
         self.stores += 1
 
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters of this cache instance (JSON-ready).
+
+        The sweep service reports these through its ``status`` op, so a
+        client can verify dedup claims ("a repeat submission performed
+        zero engine calls") without filesystem access to the cache.
+        """
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores}
+
     def _warn_once(self, path: Path, reason: str) -> None:
         if self._warned:
             return

@@ -47,16 +47,24 @@ from .task import RunTask, task_key
 __all__ = [
     "SweepManifest",
     "SWEEP_MANIFEST_SCHEMA",
+    "CAMPAIGN_LEDGER_SCHEMA",
     "campaign_key",
     "sweep_manifest_path",
+    "campaign_ledger_path",
     "begin_campaign",
     "finish_campaign",
     "load_campaign",
     "campaign_progress",
+    "record_ledger",
+    "load_ledger",
+    "match_campaigns",
 ]
 
 #: Versioned shape tag of the sweep-manifest payload; bump on change.
 SWEEP_MANIFEST_SCHEMA = "repro.runner/sweep-manifest/1"
+
+#: Versioned shape tag of the campaign-ledger payload; bump on change.
+CAMPAIGN_LEDGER_SCHEMA = "repro.runner/campaign-ledger/1"
 
 
 @dataclass(frozen=True)
@@ -148,6 +156,76 @@ def campaign_progress(store: ResultCache,
     """``(completed, planned)`` task counts judged by cache presence."""
     done = sum(1 for key in manifest.task_keys if store.contains(key))
     return done, len(manifest.task_keys)
+
+
+def campaign_ledger_path(cache_root: Path, campaign: str) -> Path:
+    """Where the submission ledger for ``campaign`` lives.
+
+    It sits next to the manifest under ``sweeps/`` so deleting the
+    directory wipes both kinds of side-band campaign state at once.
+    """
+    return Path(cache_root) / "sweeps" / f"{campaign}.ledger.json"
+
+
+def record_ledger(store: ResultCache, campaign: str,
+                  submission: dict) -> None:
+    """Persist the submission that planned ``campaign`` (atomic write).
+
+    The ledger is what turns ``--resume`` into *reconnection*: the
+    manifest records which task keys a campaign planned, the ledger
+    records the submission they were derived from, so a client (or a
+    restarted server) can rebuild the exact task list from the
+    campaign key alone and re-run it — completed tasks are cache hits,
+    the remainder executes.  Like the manifest it is side-band: derived
+    from the plan, never fed back into task keys or payloads.
+    """
+    path = campaign_ledger_path(store.root, campaign)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": CAMPAIGN_LEDGER_SCHEMA,
+        "campaign": campaign,
+        "submission": submission,
+    }
+    tmp = path.with_suffix(".json.tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def load_ledger(store: ResultCache, campaign: str) -> Optional[dict]:
+    """The recorded submission for ``campaign``, or ``None``.
+
+    Malformed or schema-mismatched ledgers read as absent, mirroring
+    :func:`load_campaign`.
+    """
+    path = campaign_ledger_path(store.root, campaign)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict) \
+            or payload.get("schema") != CAMPAIGN_LEDGER_SCHEMA \
+            or not isinstance(payload.get("submission"), dict):
+        return None
+    return payload["submission"]
+
+
+def match_campaigns(store: ResultCache, prefix: str) -> list[str]:
+    """Ledgered campaign keys starting with ``prefix``, sorted.
+
+    Lets clients reattach by a short unique key prefix the way git
+    accepts abbreviated commit hashes.
+    """
+    sweeps = Path(store.root) / "sweeps"
+    suffix = ".ledger.json"
+    try:
+        names = sorted(p.name for p in sweeps.iterdir())
+    except OSError:
+        return []
+    return [name[:-len(suffix)] for name in names
+            if name.endswith(suffix)
+            and name[:-len(suffix)].startswith(prefix)]
 
 
 def begin_campaign(kind: str, label: str, tasks: Sequence[RunTask],

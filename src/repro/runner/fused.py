@@ -69,6 +69,10 @@ DEFAULT_FUSED_WIDTH = 32
 FollowUp = Callable[[RunTask, str, "SweepPoint"],
                     Optional[Iterable[RunTask]]]
 
+#: ``on_result(task, key, point)`` — streaming observer; see
+#: :func:`execute_fused`.
+OnResult = Callable[[RunTask, str, "SweepPoint"], None]
+
 #: One kernel shape: policy, placement, capacities, distribution
 #: fingerprints.  Tasks in one group share a kernel; groups run in
 #: first-appearance order.
@@ -115,7 +119,8 @@ def _group_key(task: RunTask) -> _GroupKey:
 def execute_fused(tasks: Sequence[RunTask], *,
                   cache: CacheSpec = None,
                   width: int = DEFAULT_FUSED_WIDTH,
-                  follow_up: Optional[FollowUp] = None
+                  follow_up: Optional[FollowUp] = None,
+                  on_result: Optional[OnResult] = None
                   ) -> "dict[str, SweepPoint]":
     """Run ``tasks`` as fused lane-kernel calls; returns points by key.
 
@@ -125,6 +130,14 @@ def execute_fused(tasks: Sequence[RunTask], *,
     Cached tasks are served without occupying a lane.  The returned
     mapping covers every task — the inputs plus everything
     ``follow_up`` added — keyed by :func:`~repro.runner.task.task_key`.
+
+    ``on_result`` is invoked once per task the moment its point is
+    known — at enqueue for cache hits, at lane retirement (after the
+    cache checkpoint) for fresh runs — so a driver can stream points
+    out mid-wave instead of waiting for the whole call to return.
+    The sweep service uses this to resolve per-task futures while the
+    kernel is still running; like ``follow_up`` it observes results,
+    it can never alter them.
 
     The caller is responsible for gating on :func:`fused_eligible`
     (and for only passing tasks the batch kernel supports —
@@ -154,6 +167,8 @@ def execute_fused(tasks: Sequence[RunTask], *,
         if hit is not None:
             results[key] = hit
             _progress.notify("hit", key, task.describe())
+            if on_result is not None:
+                on_result(task, key, hit)
             settled.append((task, key, hit))
             return
         gkey = _group_key(task)
@@ -202,6 +217,8 @@ def execute_fused(tasks: Sequence[RunTask], *,
                 if store is not None:
                     store.store(key, point, task.describe())
                 _progress.notify("finish", key, task.describe())
+                if on_result is not None:
+                    on_result(task, key, point)
                 settled.append((task, key, point))
             if retired:
                 # Follow-ups may enqueue to this group (refilling the

@@ -1,0 +1,72 @@
+"""``repro.service`` — the persistent sweep/campaign service.
+
+A long-lived asyncio server (:class:`ServiceServer`) accepts campaign
+submissions over a local Unix-domain socket, multiplexes them over one
+shared worker fleet with single-flight per-task deduplication
+(:class:`TaskBroker`), and streams results back as obs-EventLog-framed
+JSON lines.  Persistence lives entirely in the result-cache directory
+— campaign ledgers make every submission re-derivable from its key, so
+killing and restarting the server over the same cache finishes only
+the remaining work (the ``--resume`` contract, as a reconnection).
+
+See ``docs/service.md`` for the protocol, lifecycle and failure
+semantics; ``repro-sim serve`` / ``submit`` / ``attach`` are the CLI
+entry points.
+"""
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from .client import (
+    CampaignResult,
+    CampaignStream,
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceError,
+    collect,
+    wait_until_ready,
+)
+from .protocol import (
+    PROTOCOL_SCHEMA,
+    SPEC_SCHEMA,
+    STREAM_SCHEMA,
+    ProtocolError,
+    config_from_dict,
+    config_to_dict,
+    normalize_spec,
+    spec_campaign,
+    spec_tasks,
+    sweep_spec,
+)
+from .scheduler import TaskBroker
+from .server import ServiceServer, serve_in_thread
+
+__all__ = [
+    "PROTOCOL_SCHEMA", "STREAM_SCHEMA", "SPEC_SCHEMA",
+    "ProtocolError", "config_to_dict", "config_from_dict",
+    "normalize_spec", "sweep_spec", "spec_tasks", "spec_campaign",
+    "TaskBroker", "ServiceServer", "serve_in_thread",
+    "ServiceClient", "CampaignStream", "CampaignResult",
+    "ServiceError", "ServiceConnectionError", "collect",
+    "wait_until_ready",
+    "SOCKET_ENV", "DEFAULT_SOCKET", "resolve_socket_path",
+]
+
+#: Environment override naming the service socket for CLI clients.
+SOCKET_ENV = "REPRO_SERVICE_SOCKET"
+
+#: Socket filename used when neither ``--socket`` nor the environment
+#: names one (relative to the working directory, next to the default
+#: cache).
+DEFAULT_SOCKET = ".repro-service.sock"
+
+
+def resolve_socket_path(explicit: "Optional[Path | str]" = None) -> Path:
+    """The service socket path: explicit arg > env > default."""
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get(SOCKET_ENV)
+    if env:
+        return Path(env)
+    return Path(DEFAULT_SOCKET)

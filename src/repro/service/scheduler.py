@@ -1,0 +1,226 @@
+"""The shared worker fleet: single-flight task scheduling.
+
+A :class:`TaskBroker` owns the one execution fleet every connected
+campaign shares.  Its contract is *single-flight per task key*: however
+many concurrent campaigns want a task, it runs **at most once** —
+
+* a key with a cached result is served from the shared read-through
+  :class:`~repro.runner.cache.ResultCache` (zero engine calls);
+* a key already in flight hands back the in-flight future (the second
+  client awaits the first client's execution);
+* only a key that is neither cached nor in flight is executed, through
+  the ordinary :func:`~repro.runner.pool.execute` path — so the
+  round-based crash/hang/timeout recovery of
+  :mod:`repro.runner.pool` / :mod:`repro.runner.retry` applies under
+  the service unchanged (an armed fault plan routes execution through
+  a worker pool whose children, never the server, absorb the crash).
+
+Computations are *detached* ``asyncio.Task``\\ s owned by the broker,
+not by the requesting connection: a client that disconnects mid-flight
+cancels only its own ``await`` (shielded), while the computation runs
+to completion and checkpoints to the cache — exactly the semantics a
+killed one-shot campaign has, where completed tasks stay completed.
+
+Batch-backend campaigns go through :meth:`TaskBroker.run_fused`: the
+owned (non-cached, non-inflight) remainder of the grid becomes one
+:func:`~repro.runner.fused.execute_fused` call whose ``on_result``
+callback resolves each task's future the moment its lane retires, so
+points stream to clients mid-wave.
+
+Concurrency is bounded by a fleet semaphore counting concurrent engine
+invocations (a fused kernel call is one invocation, however many lanes
+it packs).  All bookkeeping lives on the server's event loop; only the
+engine work itself runs in threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.obs import progress as _progress
+from repro.runner import ResultCache, RetryPolicy, execute
+from repro.runner.fused import DEFAULT_FUSED_WIDTH, execute_fused
+from repro.runner.task import RunTask
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.analysis.points import SweepPoint
+
+__all__ = ["TaskBroker"]
+
+#: ``(point, status)`` with status in {"hit", "computed", "deduped"}.
+_Resolution = "tuple[SweepPoint, str]"
+
+
+def _consume_exception(future: "asyncio.Future") -> None:
+    """Mark a future's exception retrieved (a client may have gone)."""
+    if not future.cancelled():
+        future.exception()
+
+
+class TaskBroker:
+    """Single-flight execution of tasks over one shared fleet."""
+
+    def __init__(self, store: ResultCache, *, fleet: int = 4,
+                 workers: int = 1,
+                 retry: Optional[RetryPolicy] = None,
+                 fused_width: int = DEFAULT_FUSED_WIDTH) -> None:
+        if fleet < 1:
+            raise ValueError(f"fleet must be >= 1, got {fleet!r}")
+        self.store = store
+        self.workers = workers
+        self.retry = retry
+        self.fused_width = fused_width
+        self._semaphore = asyncio.Semaphore(fleet)
+        #: key -> future of its in-flight computation.  Only keys with
+        #: no cached result appear here; entries are removed as their
+        #: futures settle.
+        self.inflight: "dict[str, asyncio.Future]" = {}
+        #: Strong references to fused driver tasks (futures alone would
+        #: let the event loop garbage-collect a running driver).
+        self._drivers: "set[asyncio.Task]" = set()
+        self.counters = {
+            "tasks.executed": 0,   # fresh engine executions completed
+            "tasks.hit": 0,        # served straight from the cache
+            "tasks.deduped": 0,    # joined an in-flight execution
+            "fused.calls": 0,      # fused kernel drivers launched
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-ready state for the ``status`` op."""
+        return {"counters": dict(self.counters),
+                "inflight": len(self.inflight),
+                "cache": self.store.stats()}
+
+    async def point_for(self, task: RunTask, key: str) -> _Resolution:
+        """Resolve one task: cache hit, join in-flight, or execute.
+
+        The await on an in-flight computation is shielded — a
+        cancelled client never cancels work other clients (or the
+        cache) will want.
+        """
+        existing = self.inflight.get(key)
+        if existing is None:
+            hit = await asyncio.to_thread(self.store.load, key)
+            # The cache probe yielded the loop: someone may have
+            # started this key meanwhile.
+            existing = self.inflight.get(key)
+            if existing is None:
+                if hit is not None:
+                    self.counters["tasks.hit"] += 1
+                    _progress.notify("hit", key, task.describe())
+                    return hit, "hit"
+                handle = asyncio.create_task(self._compute(task, key))
+                self._register(key, handle)
+                return await asyncio.shield(handle), "computed"
+        self.counters["tasks.deduped"] += 1
+        return await asyncio.shield(existing), "deduped"
+
+    async def run_fused(self, pairs: "Sequence[tuple[RunTask, str]]"
+                        ) -> "dict[str, tuple[str, object]]":
+        """Plan a batch-backend campaign; resolve cells incrementally.
+
+        Returns ``{key: ("hit", point) | (status, future)}`` covering
+        every pair — cached cells resolve immediately, in-flight cells
+        are joined (``"deduped"``), and the owned remainder runs as one
+        fused kernel call whose futures settle lane by lane as they
+        retire (``"computed"``).  Callers await the futures (shielded)
+        in whatever order they stream cells.
+        """
+        loop = asyncio.get_running_loop()
+        resolved: "dict[str, tuple[str, object]]" = {}
+        fresh: "list[tuple[RunTask, str]]" = []
+        futures: "dict[str, asyncio.Future]" = {}
+        for task, key in pairs:
+            if key in resolved:
+                continue
+            existing = self.inflight.get(key)
+            if existing is None:
+                hit = await asyncio.to_thread(self.store.load, key)
+                existing = self.inflight.get(key)
+                if existing is None:
+                    if hit is not None:
+                        self.counters["tasks.hit"] += 1
+                        _progress.notify("hit", key, task.describe())
+                        resolved[key] = ("hit", hit)
+                        continue
+                    # Claim the key *before* the next cache probe can
+                    # yield the loop, or a concurrent campaign could
+                    # claim it too and the task would run twice.
+                    future = loop.create_future()
+                    self._register(key, future)
+                    futures[key] = future
+                    fresh.append((task, key))
+                    resolved[key] = ("computed", future)
+                    continue
+            self.counters["tasks.deduped"] += 1
+            resolved[key] = ("deduped", existing)
+        if fresh:
+            self.counters["fused.calls"] += 1
+            driver = asyncio.create_task(
+                self._drive_fused([t for t, _ in fresh], futures))
+            self._drivers.add(driver)
+            driver.add_done_callback(self._drivers.discard)
+        return resolved
+
+    def _register(self, key: str, future: "asyncio.Future") -> None:
+        self.inflight[key] = future
+        # Consume the exception even when every waiter has gone away
+        # (clients may disconnect mid-flight) so the loop never logs
+        # "exception was never retrieved" for a fleet failure that the
+        # retry machinery already reported.
+        future.add_done_callback(_consume_exception)
+        future.add_done_callback(
+            lambda fut: self._unregister(key, fut))
+
+    def _unregister(self, key: str, future: "asyncio.Future") -> None:
+        if self.inflight.get(key) is future:
+            del self.inflight[key]
+
+    async def _compute(self, task: RunTask, key: str) -> "SweepPoint":
+        async with self._semaphore:
+            point = await asyncio.to_thread(self._execute_one, task)
+        self.counters["tasks.executed"] += 1
+        return point
+
+    def _execute_one(self, task: RunTask) -> "SweepPoint":
+        # execute() checkpoints to the cache, emits the per-task
+        # heartbeats, and applies the retry/timeout/crash-recovery
+        # machinery; workers=1 without faults or a timeout runs the
+        # engine right here in this thread.
+        [point] = execute([task], workers=self.workers,
+                          cache=self.store, retry=self.retry)
+        return point
+
+    async def _drive_fused(self, tasks: "list[RunTask]",
+                           futures: "dict[str, asyncio.Future]") -> None:
+        """Run one fused kernel call, settling futures as lanes retire."""
+        loop = asyncio.get_running_loop()
+
+        def on_result(task: RunTask, key: str, point: object) -> None:
+            # Called on the executor thread mid-wave (after the cache
+            # checkpoint); hop to the loop to touch the futures.
+            loop.call_soon_threadsafe(self._settle, futures, key, point)
+
+        try:
+            async with self._semaphore:
+                results = await asyncio.to_thread(
+                    execute_fused, tasks, cache=self.store,
+                    width=self.fused_width, on_result=on_result)
+        except BaseException as exc:
+            for future in futures.values():
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        # on_result settles everything in the normal case; sweep any
+        # future a lost callback left behind so no client hangs.
+        for key, future in futures.items():
+            if not future.done():
+                self._settle(futures, key, results[key])
+
+    def _settle(self, futures: "dict[str, asyncio.Future]", key: str,
+                point: object) -> None:
+        future = futures.get(key)
+        if future is not None and not future.done():
+            future.set_result(point)
+            self.counters["tasks.executed"] += 1

@@ -1,0 +1,171 @@
+"""Chaos under the sweep service: killed servers and crashed workers.
+
+The service inherits the checkpoint/resume contract of the one-shot
+runner — a SIGKILLed server loses nothing that was checkpointed, and a
+restarted server over the same cache directory finishes only the
+remainder when a client reattaches by campaign key.  Worker-level
+fault tolerance (crash retry via ``$REPRO_RETRIES``) applies under the
+service unchanged, because the broker executes through the ordinary
+:func:`~repro.runner.pool.execute` path.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import suppress
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.points import point_to_dict
+from repro.analysis.sweeps import sweep
+from repro.runner import ResultCache
+from repro.runner.faults import FAULTS_ENV, Fault, plan_fault
+from repro.service import (
+    ServiceClient,
+    ServiceError,
+    serve_in_thread,
+    spec_campaign,
+    sweep_spec,
+    wait_until_ready,
+)
+
+from ..conftest import SERVICE, SIZES, small_config
+
+GRID = (0.3, 0.4, 0.5)
+
+SRC_DIR = Path(__file__).resolve().parents[3] / "src"
+
+#: The server process a chaos test SIGKILLs (the CLI entry point, so
+#: the kill lands on exactly what production runs).
+SERVE = ("from repro.cli import main; raise SystemExit("
+         "main(['serve', '--socket', {socket!r}, "
+         "'--cache-dir', {cache!r}, '--fleet', '1']))")
+
+
+def wait_for(predicate, timeout=60.0, interval=0.05) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+@pytest.fixture
+def socket_dir():
+    """Unix-socket paths are ~104-byte limited; keep them short."""
+    root = Path(tempfile.mkdtemp(prefix="repro-svc-"))
+    yield root
+    shutil.rmtree(root, ignore_errors=True)
+
+
+def baseline_raw_points(config) -> "list[dict]":
+    result = sweep("GS", config, SIZES, SERVICE, GRID, cache=False)
+    return [point_to_dict(p) for p in result.points]
+
+
+class TestKilledServerReattach:
+    def test_sigkill_restart_reattach_runs_only_remainder(
+            self, tmp_path, socket_dir, fault_plan, monkeypatch):
+        config = small_config("GS")
+        spec = sweep_spec("GS", config, GRID)
+        campaign, _, keys = spec_campaign(spec)
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+        socket_path = socket_dir / "svc.sock"
+
+        # Arm a hang on the second grid cell: with fleet=1 the server
+        # checkpoints cell 1, then wedges — a reproducible "mid-
+        # campaign" cut point.  The hang is long enough to hold the
+        # wedge but bounded, so the orphaned worker child dies on its
+        # own well before any timeout cleanup would have to.
+        plan_fault(fault_plan,
+                   Fault(key=keys[1], kind="hang", hang_seconds=120.0))
+        env = {**os.environ,
+               "PYTHONPATH": os.pathsep.join(
+                   [str(SRC_DIR)]
+                   + [p for p in [os.environ.get("PYTHONPATH")] if p]),
+               FAULTS_ENV: str(fault_plan)}
+        # Own session: the armed hang routes execution through a
+        # worker pool whose forked children inherit the accepted
+        # connection fd, so killing only the server would leave the
+        # client's read blocked on an orphan.  SIGKILL the whole group
+        # — nothing of the server tree survives the cut.
+        server = subprocess.Popen(
+            [sys.executable, "-c",
+             SERVE.format(socket=str(socket_path), cache=str(cache_dir))],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+            start_new_session=True)
+        try:
+            wait_until_ready(socket_path)
+            client = ServiceClient(socket_path)
+            with ThreadPoolExecutor(1) as pool:
+                pending = pool.submit(client.run, spec)
+                assert wait_for(lambda: cache.contains(keys[0])), \
+                    "server never checkpointed its first grid cell"
+                os.killpg(server.pid, signal.SIGKILL)
+                server.wait(timeout=30)
+                # The client's stream dies with the server — visibly.
+                with pytest.raises(ServiceError,
+                                   match="connection lost|stream broke"):
+                    pending.result(timeout=60)
+        finally:
+            if server.poll() is None:
+                with suppress(ProcessLookupError):
+                    os.killpg(server.pid, signal.SIGKILL)
+                server.wait()
+
+        assert cache.contains(keys[0])
+        assert not cache.contains(keys[1])
+        assert not cache.contains(keys[2])
+
+        # Restart a clean server over the same cache directory and
+        # reattach by campaign key: the ledger recorded at submission
+        # replays the same plan, and only the lost remainder executes.
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        with serve_in_thread(cache_dir, socket_dir / "svc2.sock",
+                             fleet=1) as restarted:
+            result = ServiceClient(
+                restarted.socket_path).run_attached(campaign)
+            executed = restarted.broker.counters["tasks.executed"]
+
+        assert result.campaign == campaign
+        assert result.statuses == ["hit", "computed", "computed"]
+        assert executed == len(keys) - 1, \
+            "reattach must re-execute only the lost remainder"
+        # Byte-identical to a never-killed run.
+        assert result.raw_points == baseline_raw_points(config)
+
+
+class TestWorkerCrashUnderService:
+    def test_crashed_worker_is_retried_and_curve_is_identical(
+            self, tmp_path, socket_dir, fault_plan, fresh_registry,
+            monkeypatch):
+        config = small_config("GS")
+        spec = sweep_spec("GS", config, GRID)
+        _, _, keys = spec_campaign(spec)
+
+        # First attempt of the second cell crashes its worker; one
+        # retry is allowed.  The broker passes retry=None, so the
+        # pool's env-resolved policy applies under the service exactly
+        # as it does one-shot.
+        plan_fault(fault_plan, Fault(key=keys[1], kind="crash", seq=0))
+        monkeypatch.setenv("REPRO_RETRIES", "1")
+
+        with serve_in_thread(tmp_path / "cache",
+                             socket_dir / "svc.sock", fleet=1) as server:
+            result = ServiceClient(server.socket_path).run(spec)
+            executed = server.broker.counters["tasks.executed"]
+
+        assert result.statuses == ["computed"] * len(keys)
+        assert executed == len(keys)
+        assert fresh_registry.counter("runner.retries").value == 1
+        assert result.raw_points == baseline_raw_points(config)

@@ -1,0 +1,104 @@
+"""Property: N concurrent clients see the one-shot curve, exactly once.
+
+Hypothesis draws a fleet of 1–4 clients, each submitting an arbitrary
+(overlapping) subset of a shared cell universe to a fresh server.  For
+every drawn schedule:
+
+* each client's streamed points are byte-identical to what the scalar
+  engine produces for those cells directly (the one-shot path);
+* across the whole fleet, each unique task key reaches the engine **at
+  most once** — overlap is served by single-flight dedup or the
+  read-through cache, never recomputed.
+
+Examples are deliberately few (each boots a real server and runs real
+simulations); the drawn structure — who overlaps with whom, in what
+order — is where the value is.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.points import point_to_dict
+from repro.runner.worker import run_task_result
+from repro.service import (
+    ServiceClient,
+    config_to_dict,
+    normalize_spec,
+    serve_in_thread,
+    spec_tasks,
+)
+
+from .conftest import count_engine_calls, small_config
+
+#: The shared cell universe all drawn clients pick subsets from.
+RHOS = (0.3, 0.35, 0.4, 0.45)
+CONFIG = small_config("GS")
+
+_expected_cache: "dict[int, dict]" = {}
+
+
+def universe_spec(indices: "tuple[int, ...]") -> dict:
+    return normalize_spec({
+        "label": "prop",
+        "cells": [{"config": config_to_dict(CONFIG),
+                   "offered_gross": RHOS[i]} for i in indices],
+    })
+
+
+def expected_point(index: int) -> dict:
+    """The scalar engine's point for one universe cell (memoized)."""
+    if index not in _expected_cache:
+        [task] = spec_tasks(universe_spec((index,)))
+        from repro.analysis.points import SweepPoint
+        point = SweepPoint.from_result(run_task_result(task))
+        _expected_cache[index] = point_to_dict(point)
+    return _expected_cache[index]
+
+
+#: One client = an ordered, duplicate-free, non-empty subset of cells.
+client_cells = st.lists(
+    st.integers(min_value=0, max_value=len(RHOS) - 1),
+    min_size=1, max_size=len(RHOS), unique=True,
+)
+
+schedule = st.lists(client_cells, min_size=1, max_size=4)
+
+
+@given(schedule)
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_concurrent_clients_get_one_shot_payloads_exactly_once(schedule):
+    root = Path(tempfile.mkdtemp(prefix="repro-svc-"))
+    try:
+        with count_engine_calls() as calls, \
+                serve_in_thread(root / "cache", root / "svc.sock",
+                                fleet=4) as server:
+            client = ServiceClient(server.socket_path)
+            with ThreadPoolExecutor(len(schedule)) as pool:
+                futures = [
+                    pool.submit(client.run, universe_spec(tuple(cells)))
+                    for cells in schedule
+                ]
+                results = [f.result(timeout=300) for f in futures]
+
+        for cells, result in zip(schedule, results):
+            assert result.statuses and all(
+                s in ("hit", "computed", "deduped")
+                for s in result.statuses)
+            assert result.raw_points == [expected_point(i)
+                                         for i in cells], cells
+
+        unique = {i for cells in schedule for i in cells}
+        assert calls["count"] == len(unique), \
+            "each unique task key must reach the engine at most once"
+        executed = server.broker.counters["tasks.executed"]
+        assert executed == len(unique)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
